@@ -1,0 +1,69 @@
+"""Extension benchmark — consistency as a fidelity dimension (§2.2).
+
+"One well-known, universal dimension is consistency."  This quantifies the
+Coda-style trade the paper describes: open latency falls and staleness
+rises as the consistency level relaxes, and the adaptive reader lands on
+the strong side at high bandwidth and the relaxed side at low.
+"""
+
+from conftest import run_once
+
+from repro.apps.files import DocumentReader, build_files
+from repro.core.api import OdysseyAPI
+from repro.core.viceroy import Viceroy
+from repro.net.network import Network
+from repro.sim.kernel import Simulator
+from repro.trace.waveforms import HIGH_BANDWIDTH, LOW_BANDWIDTH, constant
+
+LEVELS = (1.0, 0.5, 0.1, "adaptive")
+
+
+def run_reader(bandwidth, policy):
+    sim = Simulator()
+    network = Network(sim, constant(bandwidth, duration=3600))
+    viceroy = Viceroy(sim, network)
+    warden, server = build_files(sim, viceroy, network, update_period=3.0)
+    docs = [server.create(f"doc{i}") for i in range(3)]
+    api = OdysseyAPI(viceroy, "reader")
+    reader = DocumentReader(sim, api, "reader", "/odyssey/files", docs,
+                            server, period_seconds=0.5, policy=policy)
+    reader.start()
+    sim.run(until=90.0)
+    return reader.stats
+
+
+def test_consistency_fidelity_tradeoff(benchmark):
+    def sweep():
+        results = {}
+        for bandwidth, label in ((HIGH_BANDWIDTH, "high"),
+                                 (LOW_BANDWIDTH, "low")):
+            for level in LEVELS:
+                results[(label, level)] = run_reader(bandwidth, level)
+        return results
+
+    results = run_once(benchmark, sweep)
+    print("\nConsistency fidelity vs open latency and staleness")
+    print(f"{'bandwidth':>9s} {'level':>9s} {'open (ms)':>10s} "
+          f"{'stale reads':>12s}")
+    for (label, level), stats in results.items():
+        print(f"{label:>9s} {str(level):>9s} "
+              f"{stats.mean_open_seconds * 1000:10.1f} "
+              f"{stats.stale_fraction:11.0%}")
+
+    for label in ("high", "low"):
+        strong = results[(label, 1.0)]
+        relaxed = results[(label, 0.1)]
+        # The §2.2 trade, in both columns of the table:
+        assert strong.stale_reads == 0
+        assert relaxed.mean_open_seconds < strong.mean_open_seconds
+        assert relaxed.stale_fraction > 0
+
+    adaptive_high = results[("high", "adaptive")]
+    adaptive_low = results[("low", "adaptive")]
+    # Adaptive behaves like strong when it can afford it, and approaches
+    # the relaxed latency when it cannot.
+    assert adaptive_high.stale_fraction <= 0.05
+    assert adaptive_low.mean_open_seconds < \
+        results[("low", 1.0)].mean_open_seconds * 0.7
+    benchmark.extra_info["adaptive_low_open_ms"] = \
+        adaptive_low.mean_open_seconds * 1000

@@ -1,0 +1,50 @@
+"""Microbenchmarks of the estimation hot path.
+
+The viceroy processes a log entry on every window of every connection; in
+the concurrent scenario that is tens of entries per simulated second.
+These benchmarks keep that path honest.
+"""
+
+from repro.estimation.agility import settling_time
+from repro.estimation.share import ClientShares
+from repro.rpc.logs import RpcLog
+from repro.sim.kernel import Simulator
+
+
+def test_share_update_throughput(benchmark):
+    """Cost of absorbing one throughput entry with eight live connections."""
+    sim = Simulator()
+    shares = ClientShares(sim)
+    logs = []
+    for i in range(8):
+        log = RpcLog(sim, f"c{i}")
+        shares.register(log)
+        logs.append(log)
+
+    # Pre-populate delivery history.
+    sim.run(until=1.0)
+    for log in logs:
+        log.add_delivery(32 * 1024)
+
+    def absorb_batch():
+        for i in range(200):
+            log = logs[i % len(logs)]
+            sim.run(until=sim.now + 0.01)
+            log.add_delivery(8 * 1024)
+            entry = log.add_throughput(sim.now - 0.01, 8 * 1024)
+            shares.on_throughput(log, entry)
+        return shares.total
+
+    total = benchmark(absorb_batch)
+    assert total and total > 0
+
+
+def test_settling_time_on_long_series(benchmark):
+    """Agility metrics over a 10k-sample series (post-processing cost)."""
+    series = [(t * 0.01, 40960.0 if t < 5000 else 122880.0)
+              for t in range(10_000)]
+
+    def measure():
+        return settling_time(series, 50.0, 122880.0, tolerance=0.1)
+
+    assert benchmark(measure) == 0.0

@@ -1,0 +1,36 @@
+"""Fig. 10 — video player performance and fidelity."""
+
+from conftest import run_once
+
+from repro.experiments.report import format_video_table
+from repro.experiments.video import PAPER_FIG10, run_video_table
+
+
+def test_fig10_video_table(benchmark, trials):
+    table = run_once(benchmark, run_video_table, trials=trials)
+    print("\n" + format_video_table(table))
+
+    # Shape assertions (the paper's claims, not its absolute numbers):
+    for waveform in ("step-up", "step-down", "impulse-up", "impulse-down"):
+        adaptive = table.cell(waveform, "adaptive")
+        jpeg50 = table.cell(waveform, "jpeg50")
+        jpeg99 = table.cell(waveform, "jpeg99")
+        # "Odyssey achieves fidelity as good as or better than the JPEG(50)
+        # strategy in all cases"
+        assert adaptive.fidelity.mean >= jpeg50.fidelity.mean - 0.02
+        # "...but performs as well or better than JPEG(99) within
+        # experimental error" (drops).
+        assert adaptive.drops.mean <= jpeg99.drops.mean + 25
+
+    # Static sanity: JPEG(99) suffers on every low-bandwidth waveform.
+    assert table.cell("step-up", "jpeg99").drops.mean > 100
+    assert table.cell("impulse-up", "jpeg99").drops.mean > \
+        table.cell("step-up", "jpeg99").drops.mean
+    assert table.cell("impulse-down", "jpeg99").drops.mean < 60
+    # B&W never drops.
+    assert table.cell("step-down", "bw").drops.mean < 5
+
+    benchmark.extra_info["adaptive_step_up_drops"] = \
+        table.cell("step-up", "adaptive").drops.mean
+    benchmark.extra_info["paper_adaptive_step_up_drops"] = \
+        PAPER_FIG10["step-up"]["adaptive"][0]

@@ -1,0 +1,43 @@
+"""Fig. 11 — web browser performance and fidelity."""
+
+from conftest import run_once
+
+from repro.apps.web.browser import LATENCY_GOAL_SECONDS
+from repro.experiments.report import format_web_table
+from repro.experiments.web import PAPER_FIG11, run_web_table
+
+
+def test_fig11_web_table(benchmark, trials):
+    table = run_once(benchmark, run_web_table, trials=trials)
+    print("\n" + format_web_table(table))
+
+    # The Ethernet baseline anchors the latency goal (paper: 0.20 s).
+    ethernet = table.cell("ethernet", "baseline")
+    assert 0.12 <= ethernet.seconds.mean <= 0.28
+
+    for waveform in ("step-up", "step-down", "impulse-up", "impulse-down"):
+        adaptive = table.cell(waveform, "adaptive")
+        # "Odyssey meets our performance goal in all cases"
+        assert adaptive.seconds.mean <= LATENCY_GOAL_SECONDS * 1.08
+        # "...and does so at better quality than any of the sufficiently
+        # fast static strategies."
+        for strategy in (0.05, 0.25, 0.50):
+            static = table.cell(waveform, strategy)
+            if static.seconds.mean <= LATENCY_GOAL_SECONDS:
+                assert adaptive.fidelity.mean >= static.fidelity.mean - 0.02
+
+    # "The static strategy of fetching full-quality images only meets our
+    # performance goals in the Impulse-Down case."
+    assert table.cell("impulse-down", 1.00).seconds.mean <= \
+        LATENCY_GOAL_SECONDS * 1.05
+    assert table.cell("impulse-up", 1.00).seconds.mean > LATENCY_GOAL_SECONDS
+
+    # Static latencies rise with fidelity (more bytes, more time).
+    for waveform in ("step-up", "impulse-up"):
+        assert table.cell(waveform, 0.05).seconds.mean < \
+            table.cell(waveform, 1.00).seconds.mean
+
+    benchmark.extra_info["adaptive_step_up_seconds"] = \
+        table.cell("step-up", "adaptive").seconds.mean
+    benchmark.extra_info["paper_adaptive_step_up_seconds"] = \
+        PAPER_FIG11["step-up"]["adaptive"][0]

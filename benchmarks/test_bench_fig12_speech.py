@@ -1,0 +1,31 @@
+"""Fig. 12 — speech recognizer performance."""
+
+from conftest import run_once
+
+from repro.experiments.report import format_speech_table
+from repro.experiments.speech import PAPER_FIG12, run_speech_table
+
+
+def test_fig12_speech_table(benchmark, trials):
+    table = run_once(benchmark, run_speech_table, trials=trials)
+    print("\n" + format_speech_table(table))
+
+    for waveform in ("step-up", "step-down", "impulse-up", "impulse-down"):
+        hybrid = table.cell(waveform, "hybrid").mean
+        remote = table.cell(waveform, "remote").mean
+        adaptive = table.cell(waveform, "adaptive").mean
+        # "Odyssey correctly reproduces the always-hybrid case, which is
+        # optimal at our reference bandwidth levels."
+        assert abs(adaptive - hybrid) < 0.05
+        assert hybrid <= remote + 0.02
+        # Absolute values stay in the paper's neighbourhood.
+        paper = PAPER_FIG12[waveform]
+        assert abs(hybrid - paper["hybrid"]) < 0.08
+        assert abs(remote - paper["remote"]) < 0.10
+
+    # The impulse-up penalty for always-remote is the paper's headline gap.
+    assert table.cell("impulse-up", "remote").mean - \
+        table.cell("impulse-up", "hybrid").mean > 0.15
+
+    benchmark.extra_info["adaptive_step_up_seconds"] = \
+        table.cell("step-up", "adaptive").mean

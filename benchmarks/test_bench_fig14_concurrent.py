@@ -1,0 +1,44 @@
+"""Figs. 13-14 — concurrent applications under three management policies.
+
+The paper's headline: "Odyssey drops a factor of 2 to 5 fewer frames than
+the other strategies, and Web pages are loaded and displayed roughly twice
+as fast.  The resulting decrease in network utilization improves speech
+recognition time as well."
+"""
+
+from conftest import run_once
+
+from repro.experiments.concurrent import PAPER_FIG14, run_concurrent_table
+from repro.experiments.report import format_concurrent_table
+
+
+def test_fig14_concurrent_table(benchmark, trials):
+    table = run_once(benchmark, run_concurrent_table, trials=trials)
+    print("\n" + format_concurrent_table(table))
+
+    odyssey = table.row("odyssey")
+    laissez = table.row("laissez-faire")
+    blind = table.row("blind-optimism")
+
+    # Headline: at least 2x fewer dropped frames than either baseline.
+    assert odyssey.video_drops.mean * 2 <= laissez.video_drops.mean
+    assert odyssey.video_drops.mean * 2 <= blind.video_drops.mean
+    # Laissez-faire sits between Odyssey and blind optimism on drops.
+    assert laissez.video_drops.mean < blind.video_drops.mean
+
+    # Web pages load faster under Odyssey (paper: roughly twice as fast).
+    assert odyssey.web_seconds.mean * 1.3 <= laissez.web_seconds.mean
+    assert odyssey.web_seconds.mean * 1.3 <= blind.web_seconds.mean
+
+    # Speech recognition is fastest under Odyssey.
+    assert odyssey.speech_seconds.mean <= laissez.speech_seconds.mean
+    assert odyssey.speech_seconds.mean <= blind.speech_seconds.mean
+
+    # The trade that buys it: lower fidelity for video and web data.
+    assert odyssey.video_fidelity.mean < blind.video_fidelity.mean
+    assert odyssey.web_fidelity.mean < blind.web_fidelity.mean
+
+    benchmark.extra_info["odyssey_drops"] = odyssey.video_drops.mean
+    benchmark.extra_info["paper_odyssey_drops"] = PAPER_FIG14["odyssey"][0]
+    benchmark.extra_info["drop_ratio_blind"] = \
+        blind.video_drops.mean / max(odyssey.video_drops.mean, 1)

@@ -1,0 +1,35 @@
+"""Extension benchmark — the detection boundary of §6.1.1's impulses.
+
+Validates the paper's choice of a 2-second impulse ("large enough to be
+detectable by a sensitive system, yet small enough to be missed by an
+insensitive one") by sweeping the width and locating where detectability
+actually begins.
+"""
+
+from conftest import run_once
+
+from repro.experiments.turbulence import format_turbulence, run_turbulence_sweep
+
+
+def test_turbulence_detection_boundary(benchmark, trials):
+    result = run_once(benchmark, run_turbulence_sweep, trials=trials)
+    print("\n" + format_turbulence(result))
+
+    # Visibility is (weakly) monotone in impulse width.
+    widths = sorted(result.widths)
+    means = [result.visibility[w].mean for w in widths]
+    for earlier, later in zip(means, means[1:]):
+        assert later >= earlier - 0.12  # allow trial noise
+
+    # The paper's 2-second impulse is comfortably detectable...
+    assert result.visibility[2.0].mean > 0.6
+    # ...long impulses are fully tracked...
+    assert result.visibility[8.0].mean > 0.85
+    # ...and the quarter-second impulse is mostly missed.
+    assert result.visibility[0.25].mean < 0.55
+    minimum = result.minimum_detectable_width()
+    assert minimum is not None and minimum <= 2.0
+    benchmark.extra_info["min_detectable_width_s"] = minimum
+    benchmark.extra_info["visibility"] = {
+        str(w): result.visibility[w].mean for w in widths
+    }

@@ -1,0 +1,50 @@
+"""Figs. 7 and 13 — the reference waveforms and the urban trace.
+
+These are inputs, not measurements; the benchmark regenerates them, prints
+their structure, and times trace construction/query operations (they are on
+the hot path of every link transmission).
+"""
+
+from conftest import run_once
+
+from repro.trace.integrate import transmission_finish_time
+from repro.trace.replay import serialize_trace
+from repro.trace.waveforms import WAVEFORMS, urban_walk, waveform
+
+
+def test_fig7_reference_waveforms(benchmark):
+    def build_all():
+        return {name: waveform(name) for name in
+                ("step-up", "step-down", "impulse-up", "impulse-down")}
+
+    traces = run_once(benchmark, build_all)
+    print("\nFig. 7 — reference waveforms (duration, transitions, levels)")
+    for name, trace in traces.items():
+        levels = sorted({s.bandwidth / 1024 for s in trace.segments})
+        print(f"  {name:13s} {trace.duration:.0f} s, transitions at "
+              f"{trace.transitions}, levels {levels} KB/s")
+    benchmark.extra_info["waveforms"] = len(traces)
+
+
+def test_fig13_urban_walk(benchmark):
+    trace = run_once(benchmark, urban_walk)
+    print("\nFig. 13 — bandwidth variation in the urban scenario")
+    print(serialize_trace(trace))
+    minutes = [s.duration / 60 for s in trace.segments]
+    print(f"  segments (minutes): {minutes}  total {sum(minutes):.0f} min")
+    benchmark.extra_info["duration_s"] = trace.duration
+
+
+def test_trace_query_throughput(benchmark):
+    """Microbenchmark: bandwidth_at + transmission integration."""
+    trace = urban_walk()
+
+    def query_batch():
+        total = 0.0
+        for i in range(1000):
+            t = (i * 7919) % 900
+            total += trace.bandwidth_at(t)
+            total += transmission_finish_time(trace, t, 8192)
+        return total
+
+    benchmark(query_batch)

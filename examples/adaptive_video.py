@@ -1,0 +1,46 @@
+#!/usr/bin/env python3
+"""Fig. 10 in miniature: adaptive video against every static strategy.
+
+Plays the same movie under each strategy over a chosen waveform and prints
+the drop/fidelity tradeoff — the paper's point that "focusing solely on
+performance can result in a misleading evaluation".
+
+Run:  python examples/adaptive_video.py [--waveform step-up]
+"""
+
+import argparse
+
+from repro.experiments.supply import REFERENCE_WAVEFORMS
+from repro.experiments.video import PAPER_FIG10, VIDEO_STRATEGIES, run_video_trial
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--waveform", choices=REFERENCE_WAVEFORMS,
+                        default="step-up")
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    print(f"Playing 600 measured frames over the {args.waveform} waveform\n")
+    print(f"{'strategy':10s} {'drops':>6s} {'fidelity':>9s}   "
+          f"{'paper drops':>11s} {'paper fid':>9s}")
+    rows = {}
+    for strategy in VIDEO_STRATEGIES:
+        player = run_video_trial(args.waveform, strategy, seed=args.seed)
+        rows[strategy] = player
+        paper_drops, paper_fid = PAPER_FIG10[args.waveform][strategy]
+        print(f"{strategy:10s} {player.stats.drops:6d} "
+              f"{player.fidelity:9.2f}   {paper_drops:11d} {paper_fid:9.2f}")
+
+    adaptive = rows["adaptive"]
+    print("\nAdaptive track switches:")
+    if not adaptive.stats.switches:
+        print("  (none — the whole run fit one track)")
+    for at, old, new in adaptive.stats.switches:
+        print(f"  t={at:6.1f}s  {old} -> {new}")
+    print("\nThe adaptive player matches JPEG(50)'s fidelity or better while"
+          "\ndropping a small fraction of JPEG(99)'s frames — Fig. 10's point.")
+
+
+if __name__ == "__main__":
+    main()

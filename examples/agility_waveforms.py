@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Reproduce Fig. 8 as ASCII art: estimation agility under the waveforms.
+
+Runs the bitstream application over each reference waveform and plots the
+bandwidth estimate (dots) against the theoretical bandwidth (dashes), the
+way the paper's Fig. 8 panels do.
+
+Run:  python examples/agility_waveforms.py
+"""
+
+from repro.experiments.supply import (
+    REFERENCE_WAVEFORMS,
+    run_supply_trial,
+)
+from repro.trace.waveforms import HIGH_BANDWIDTH, waveform
+
+KB = 1024
+PLOT_WIDTH = 78
+PLOT_HEIGHT = 14
+
+
+def ascii_plot(series, trace, title):
+    """Dots for estimates, dashes for the theoretical level."""
+    top = HIGH_BANDWIDTH * 1.15
+    grid = [[" "] * PLOT_WIDTH for _ in range(PLOT_HEIGHT)]
+
+    def cell(t, value):
+        x = int(t / 60.0 * (PLOT_WIDTH - 1))
+        y = PLOT_HEIGHT - 1 - int(min(value, top - 1) / top * PLOT_HEIGHT)
+        return max(0, min(PLOT_HEIGHT - 1, y)), max(0, min(PLOT_WIDTH - 1, x))
+
+    for x in range(PLOT_WIDTH):
+        t = x / (PLOT_WIDTH - 1) * 60.0
+        y, _ = cell(t, trace.bandwidth_at(t))
+        grid[y][x] = "-"
+    for t, value in series:
+        if 0 <= t <= 60:
+            y, x = cell(t, value)
+            grid[y][x] = "*"
+
+    print(f"\n{title}")
+    print(f"{top / KB:6.0f} KB/s +" + "-" * PLOT_WIDTH + "+")
+    for row in grid:
+        print("            |" + "".join(row) + "|")
+    print("          0 +" + "-" * PLOT_WIDTH + "+")
+    print("            0s" + " " * (PLOT_WIDTH - 10) + "60s")
+    print("            (- theoretical bandwidth, * Odyssey's estimate)")
+
+
+def main():
+    for name in REFERENCE_WAVEFORMS:
+        trial = run_supply_trial(name, seed=0)
+        ascii_plot(trial.series, waveform(name), f"Fig. 8 — {name}")
+        if trial.settling is not None:
+            print(f"            settling time: {trial.settling:.2f} s, "
+                  f"50% detection delay: {trial.detection:.2f} s")
+
+
+if __name__ == "__main__":
+    main()

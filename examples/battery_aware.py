@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Multi-resource adaptation: bandwidth *and* battery (paper §8).
+
+The paper's prototype managed only network bandwidth, listing the rest of
+Fig. 3(c) as medium-term work.  This example exercises that extension: a
+video player that registers windows of tolerance on *two* resources.  When
+the battery falls below a threshold, the player caps its track at JPEG(50)
+— halving radio traffic — even though bandwidth alone would permit
+JPEG(99).
+
+Run:  python examples/battery_aware.py
+"""
+
+from repro.apps.video import Movie, MovieStore, VideoPlayer, build_video
+from repro.core import OdysseyAPI, Resource, Viceroy
+from repro.core.monitors import BatteryMonitor
+from repro.net import Network
+from repro.sim import Simulator
+from repro.trace import HIGH_BANDWIDTH, constant
+
+#: Below this many minutes of battery, cap fidelity to save the radio.
+LOW_BATTERY_MINUTES = 2.0
+
+
+class BatteryAwareVideoPlayer(VideoPlayer):
+    """Adds a battery ceiling on top of the bandwidth-adaptive player."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.battery_capped = False
+
+    def best_track_for(self, level):
+        track = super().best_track_for(level)
+        if self.battery_capped and track == "jpeg99":
+            return "jpeg50"
+        return track
+
+    def watch_battery(self):
+        self.api.on_upcall("battery-low", self._on_battery)
+        self.api.viceroy.request(
+            self.api.app, self.path,
+            _battery_descriptor(LOW_BATTERY_MINUTES),
+        )
+
+    def _on_battery(self, upcall):
+        print(f"  t={self.sim.now:5.1f}s  battery upcall: "
+              f"{upcall.level:.2f} minutes left -> capping fidelity")
+        self.battery_capped = True
+        if self.current_track == "jpeg99":
+            self.stats.switches.append((self.sim.now, "jpeg99", "jpeg50"))
+            self.current_track = "jpeg50"
+            self._rebuffer_pending = True
+
+
+def _battery_descriptor(threshold):
+    from repro.core.resources import ResourceDescriptor, Window
+
+    return ResourceDescriptor(
+        Resource.BATTERY_POWER, Window(threshold, 1e9), "battery-low"
+    )
+
+
+def main():
+    sim = Simulator()
+    network = Network(sim, constant(HIGH_BANDWIDTH, duration=600))
+    viceroy = Viceroy(sim, network)
+    battery = BatteryMonitor(sim, capacity_minutes=2.5, tick=1.0)
+    viceroy.attach_monitor(battery)
+
+    store = MovieStore()
+    store.add(Movie("documentary", n_frames=700))
+    build_video(sim, viceroy, network, store)
+    api = OdysseyAPI(viceroy, "xanim")
+    player = BatteryAwareVideoPlayer(
+        sim, api, "xanim", "/odyssey/video", "documentary", policy="adaptive"
+    )
+    player.watch_battery()
+    player.start()
+
+    def narrator():
+        while True:
+            yield sim.timeout(10.0)
+            print(f"  t={sim.now:5.1f}s  battery={battery.current():.2f} min"
+                  f"  track={player.current_track}")
+
+    sim.process(narrator())
+    sim.run(until=70.0)
+    print(f"\ndisplayed per track: {player.stats.displayed}")
+    print("Bandwidth never changed — the downgrade was driven entirely by")
+    print("the battery monitor, through the same request/upcall machinery.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Quickstart: an adaptive application on Odyssey in ~60 lines.
+
+Builds the whole stack — simulator, trace-modulated network, viceroy — and
+runs one adaptive video player over the Step-Down reference waveform.
+Watch the player negotiate a window of tolerance, receive an upcall when
+bandwidth collapses, and switch tracks.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.apps.video import Movie, MovieStore, VideoPlayer, build_video
+from repro.core import OdysseyAPI, Viceroy
+from repro.net import Network
+from repro.sim import Simulator
+from repro.trace import step_down
+
+KB = 1024
+
+
+def main():
+    sim = Simulator()
+    trace = step_down().shifted(10.0)  # 10 s priming, then the waveform
+    network = Network(sim, trace)
+    viceroy = Viceroy(sim, network)
+
+    # A movie server with one three-track movie, plus its warden.
+    store = MovieStore()
+    store.add(Movie("tour-of-the-city", n_frames=700))
+    build_video(sim, viceroy, network, store)
+
+    # The application: xanim with the adaptive policy.
+    api = OdysseyAPI(viceroy, "xanim")
+    player = VideoPlayer(sim, api, "xanim", "/odyssey/video",
+                         "tour-of-the-city", policy="adaptive")
+    player.start()
+
+    # Narrate what the system does while it runs.
+    def narrator():
+        last_track = None
+        while True:
+            yield sim.timeout(5.0)
+            total = viceroy.total_bandwidth()
+            track = player.current_track
+            marker = ""
+            if track != last_track:
+                marker = "  <-- fidelity change"
+                last_track = track
+            estimate = f"{total / KB:6.1f} KB/s" if total else "   (none)"
+            print(f"t={sim.now:5.1f}s  estimate={estimate}  "
+                  f"track={track}{marker}")
+
+    sim.process(narrator())
+    sim.run(until=75.0)
+
+    print()
+    print(f"frames displayed: {player.stats.frames_displayed}, "
+          f"dropped: {player.stats.drops}")
+    print(f"mean fidelity of displayed frames: {player.fidelity:.2f}")
+    print("track switches:")
+    for at, old, new in player.stats.switches:
+        print(f"  t={at:5.1f}s  {old} -> {new}")
+    for at, handler, upcall in viceroy.upcalls.delivered_to("xanim"):
+        print(f"upcall at t={at:5.1f}s: {upcall.resource} now "
+              f"{upcall.level / KB:.1f} KB/s (request {upcall.request_id})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+"""Shared application scaffolding."""
+
+from repro.errors import ToleranceError
+
+
+class Application:
+    """Base class for Odyssey applications.
+
+    Subclasses implement :meth:`run` as a generator; :meth:`start` spawns
+    it as a simulated process.  ``self.api`` is the application's
+    :class:`~repro.core.api.OdysseyAPI`.
+    """
+
+    def __init__(self, sim, api, name):
+        self.sim = sim
+        self.api = api
+        self.name = name
+        self.process = None
+
+    def start(self):
+        """Spawn the application's main loop; returns the process."""
+        if self.process is not None and self.process.alive:
+            raise RuntimeError(f"application {self.name!r} already running")
+        self.process = self.sim.process(self.run(), name=self.name)
+        return self.process
+
+    def run(self):
+        """The application's main loop (generator)."""
+        raise NotImplementedError
+
+    def stop(self):
+        """Interrupt the main loop, if running."""
+        if self.process is not None and self.process.alive:
+            self.process.interrupt("stop")
+
+
+def negotiate(api, path, resource, window_for, on_level, level_hint=None,
+              handler="default"):
+    """Register a tolerance window, retrying on :class:`ToleranceError`.
+
+    The paper's protocol: if ``request`` finds the resource outside the
+    window, it fails with the current level and "the application is then
+    expected to try again, with a new window of tolerance corresponding to
+    a new fidelity level".
+
+    Parameters
+    ----------
+    window_for:
+        ``level -> (lower, upper)``: the tolerance window the application
+        wants given an observed availability (None means "no estimate yet"
+        — the mapping should return its optimistic default).
+    on_level:
+        Called with each observed level (including None on the first
+        attempt) so the caller can set its fidelity to match.
+    level_hint:
+        Availability level to seed the first attempt, if the caller already
+        knows one (e.g. from an upcall).
+
+    Returns the request id.
+    """
+    level = level_hint
+    while True:
+        on_level(level)
+        lower, upper = window_for(level)
+        try:
+            return api.request(path, resource, lower, upper, handler=handler)
+        except ToleranceError as err:
+            if level is not None and err.available == level:
+                raise  # the mapping is not converging; surface loudly
+            level = err.available

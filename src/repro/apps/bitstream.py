@@ -1,0 +1,126 @@
+"""The *bitstream* synthetic application (paper §6.2.1).
+
+"A synthetic Odyssey application, bitstream, that consumed data as fast as
+possible through a streaming warden over a single connection from a
+server."  Used for both agility experiments: varying supply (Fig. 8) and
+varying demand (Fig. 9), where paced copies attempt 10 %, 45 % and 100 % of
+nominal throughput.
+"""
+
+from repro.apps.base import Application
+from repro.core.warden import Warden
+from repro.errors import ProcessInterrupt
+from repro.rpc.connection import RpcService
+from repro.rpc.messages import ServerReply
+
+#: Bytes fetched per chunk request.
+DEFAULT_CHUNK_BYTES = 64 * 1024
+
+
+class BitstreamServer:
+    """Serves arbitrary-length chunks of synthetic data."""
+
+    def __init__(self, sim, host, port="bitstream"):
+        self.sim = sim
+        self.service = RpcService(sim, host, port)
+        self.service.register("get-chunk", self._get_chunk)
+        self.chunks_served = 0
+
+    def _get_chunk(self, body):
+        nbytes = int(body["nbytes"])
+        self.chunks_served += 1
+        return ServerReply(
+            body={"chunk": self.chunks_served},
+            body_bytes=32,
+            bulk=self.service.make_bulk(nbytes),
+        )
+
+
+class StreamWarden(Warden):
+    """A minimal warden: one streaming connection, one tsop."""
+
+    TSOPS = {"get-chunk": "tsop_get_chunk"}
+    FIDELITIES = {"stream": 1.0}
+
+    def tsop_get_chunk(self, app, rest, inbuf):
+        """Fetch ``inbuf['nbytes']`` from the server; returns bytes fetched."""
+        conn = self.primary_connection(rest)
+        nbytes = int(inbuf.get("nbytes", DEFAULT_CHUNK_BYTES))
+        _, _, fetched = yield from conn.fetch(
+            "get-chunk", body={"nbytes": nbytes}, body_bytes=64
+        )
+        return fetched
+
+
+class BitstreamApp(Application):
+    """Consumes chunks as fast as possible, or paced to a target rate.
+
+    Parameters
+    ----------
+    target_rate:
+        Bytes/second to *attempt* to consume; None means unlimited (as fast
+        as possible).  Pacing matches the paper's utilization levels: the
+        app sleeps between chunks so its average demand equals the target.
+    """
+
+    def __init__(self, sim, api, name, path, chunk_bytes=DEFAULT_CHUNK_BYTES,
+                 target_rate=None):
+        super().__init__(sim, api, name)
+        self.path = path
+        self.chunk_bytes = chunk_bytes
+        self.target_rate = target_rate
+        self.bytes_consumed = 0
+        self.chunk_times = []  # (completion time, seconds per chunk)
+
+    def run(self):
+        next_due = self.sim.now
+        try:
+            while True:
+                started = self.sim.now
+                fetched = yield from self.api.tsop(
+                    self.path, "get-chunk", {"nbytes": self.chunk_bytes}
+                )
+                self.bytes_consumed += fetched
+                self.chunk_times.append((self.sim.now, self.sim.now - started))
+                if self.target_rate is not None:
+                    next_due += self.chunk_bytes / self.target_rate
+                    if next_due > self.sim.now:
+                        yield self.sim.timeout(next_due - self.sim.now)
+                    else:
+                        next_due = self.sim.now
+        except ProcessInterrupt:
+            return self.bytes_consumed
+
+    def mean_rate(self, start, end):
+        """Average consumption rate over [start, end] (bytes/s)."""
+        if end <= start:
+            return 0.0
+        consumed = sum(
+            self.chunk_bytes for (t, _) in self.chunk_times if start < t <= end
+        )
+        return consumed / (end - start)
+
+
+def build_bitstream(sim, viceroy, network, server_host=None, index=0,
+                    chunk_bytes=DEFAULT_CHUNK_BYTES, target_rate=None,
+                    **rpc_kwargs):
+    """Wire up server, warden, and app; returns (app, warden, server).
+
+    A convenience used by experiments and examples: each bitstream instance
+    gets its own warden, connection, and mount point so the viceroy sees
+    one logged endpoint per stream.
+    """
+    from repro.core.api import OdysseyAPI  # local import avoids a cycle
+
+    host = server_host or network.add_host(f"bitstream-server-{index}")
+    server = BitstreamServer(sim, host, port=f"bitstream-{index}")
+    warden = StreamWarden(sim, viceroy, f"bitstream-{index}")
+    warden.open_connection(host.name, f"bitstream-{index}", **rpc_kwargs)
+    path = f"/odyssey/bitstream/{index}"
+    viceroy.mount(path, warden)
+    api = OdysseyAPI(viceroy, f"bitstream-app-{index}")
+    app = BitstreamApp(
+        sim, api, f"bitstream-app-{index}", path,
+        chunk_bytes=chunk_bytes, target_rate=target_rate,
+    )
+    return app, warden, server

@@ -1,0 +1,27 @@
+"""Cached files with *consistency* as the fidelity dimension (§2.2).
+
+"Fidelity has many dimensions.  One well-known, universal dimension is
+consistency.  Systems such as Coda, Ficus and Bayou expose potentially
+stale data to applications when network connectivity is poor or
+nonexistent."
+
+This package is that dimension, made concrete: a file warden that caches
+whole files and offers three consistency levels — validate-on-every-open
+(strong), and two optimistic levels that serve cached copies within a
+staleness bound.  An adaptive reader widens its staleness tolerance as
+bandwidth drops, trading freshness for open latency exactly as Coda trades
+consistency for availability.
+"""
+
+from repro.apps.files.server import FileServer
+from repro.apps.files.warden import CONSISTENCY_LEVELS, FileWarden, build_files
+from repro.apps.files.reader import DocumentReader, ReaderStats
+
+__all__ = [
+    "CONSISTENCY_LEVELS",
+    "DocumentReader",
+    "FileServer",
+    "FileWarden",
+    "ReaderStats",
+    "build_files",
+]

@@ -1,0 +1,92 @@
+"""A versioned file server (the Coda-style remote repository)."""
+
+import hashlib
+
+from repro.errors import ReproError
+from repro.rpc.connection import RpcService
+from repro.rpc.messages import ServerReply
+
+#: Server time to validate or locate a file.
+VALIDATE_COMPUTE_SECONDS = 0.002
+FETCH_COMPUTE_SECONDS = 0.004
+
+
+def file_bytes(name, version):
+    """Deterministic size of a file at a version (documents grow/shrink)."""
+    digest = hashlib.blake2b(f"file:{name}:{version}".encode("utf-8"),
+                             digest_size=4).digest()
+    factor = 0.7 + 0.6 * (int.from_bytes(digest, "big") / 0xFFFFFFFF)
+    return max(int(24 * 1024 * factor), 1024)
+
+
+class FileServer:
+    """Holds versioned files; versions advance as writers elsewhere commit.
+
+    Operations:
+
+    - ``validate`` — small exchange: the current version of a file (what a
+      strong-consistency open pays for);
+    - ``fetch`` — bulk: the file's current contents plus its version.
+    """
+
+    def __init__(self, sim, host, port="files", update_period=None):
+        self.sim = sim
+        self.service = RpcService(sim, host, port)
+        self.service.register("validate", self._validate)
+        self.service.register("fetch", self._fetch)
+        self._versions = {}
+        self.update_period = update_period
+        if update_period is not None:
+            if update_period <= 0:
+                raise ReproError("update_period must be positive")
+            sim.process(self._mutator(), name="files.mutator")
+
+    def _mutator(self):
+        """Background writers elsewhere in the system commit updates."""
+        while True:
+            yield self.sim.timeout(self.update_period)
+            for name in list(self._versions):
+                self._versions[name] += 1
+
+    def create(self, name):
+        if name in self._versions:
+            raise ReproError(f"file {name!r} already exists")
+        self._versions[name] = 1
+        return name
+
+    def touch(self, name):
+        """Commit an update to ``name`` (tests drive staleness with this)."""
+        self._version_of(name)
+        self._versions[name] += 1
+
+    def version(self, name):
+        return self._version_of(name)
+
+    def _version_of(self, name):
+        version = self._versions.get(name)
+        if version is None:
+            raise ReproError(f"no such file {name!r}")
+        return version
+
+    # -- handlers ------------------------------------------------------------
+
+    def _validate(self, body):
+        version = self._version_of(body["name"])
+        return ServerReply(
+            body={"name": body["name"], "version": version},
+            body_bytes=48,
+            compute_seconds=VALIDATE_COMPUTE_SECONDS,
+        )
+
+    def _fetch(self, body):
+        name = body["name"]
+        version = self._version_of(name)
+        nbytes = file_bytes(name, version)
+        return ServerReply(
+            body={"name": name, "version": version},
+            body_bytes=48,
+            compute_seconds=FETCH_COMPUTE_SECONDS,
+            bulk=self.service.make_bulk(
+                nbytes, meta={"name": name, "version": version}
+            ),
+        )

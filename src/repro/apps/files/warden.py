@@ -1,0 +1,142 @@
+"""The file warden: whole-file caching with selectable consistency.
+
+The fidelity levels are staleness bounds, Coda-style:
+
+- ``1.0`` (strong)   — validate with the server on every open;
+- ``0.5`` (fresh)    — serve cached copies validated within 10 s;
+- ``0.1`` (relaxed)  — serve cached copies validated within 60 s.
+
+Lower levels risk exposing stale data (§2.2's tradeoff) but make opens
+cheap — at the relaxed level, an open during a bandwidth shadow usually
+costs nothing at all.
+"""
+
+from dataclasses import dataclass
+
+from repro.core.warden import Warden
+from repro.errors import NoSuchObject, OdysseyError
+
+#: Fidelity -> maximum seconds since last validation before re-validating.
+#: Strong consistency is a zero staleness bound.
+CONSISTENCY_LEVELS = {1.0: 0.0, 0.5: 10.0, 0.1: 60.0}
+
+
+@dataclass
+class CachedFile:
+    name: str
+    version: int
+    nbytes: int
+    validated_at: float
+
+
+class FileWarden(Warden):
+    """Caches whole files; consistency level selected by tsop."""
+
+    TSOPS = {
+        "set-consistency": "tsop_set_consistency",
+        "get-consistency": "tsop_get_consistency",
+        "open-stats": "tsop_open_stats",
+    }
+    FIDELITIES = {"strong": 1.0, "fresh": 0.5, "relaxed": 0.1}
+
+    def __init__(self, sim, viceroy, name="files", **kwargs):
+        super().__init__(sim, viceroy, name, **kwargs)
+        self.consistency = 1.0
+        self.validations = 0
+        self.refetches = 0
+        self.cache_serves = 0
+
+    # -- tsops -----------------------------------------------------------------
+
+    def tsop_set_consistency(self, app, rest, inbuf):
+        level = float(inbuf["consistency"])
+        if level not in CONSISTENCY_LEVELS:
+            raise OdysseyError(
+                f"consistency {level!r} not offered; "
+                f"levels: {sorted(CONSISTENCY_LEVELS)}"
+            )
+        self.consistency = level
+        return level
+        yield  # pragma: no cover - generator protocol
+
+    def tsop_get_consistency(self, app, rest, inbuf):
+        return self.consistency
+        yield  # pragma: no cover - generator protocol
+
+    def tsop_open_stats(self, app, rest, inbuf):
+        return {
+            "validations": self.validations,
+            "refetches": self.refetches,
+            "cache_serves": self.cache_serves,
+        }
+        yield  # pragma: no cover - generator protocol
+
+    # -- vfs: open/read through the cache ------------------------------------------
+
+    def vfs_open(self, app, rest, flags="r"):
+        if not rest:
+            raise NoSuchObject("file opens need a name")
+        return {"name": rest, "entry": None}
+
+    def vfs_read(self, app, handle, nbytes):
+        """Read the file's contents (as a size + version descriptor).
+
+        The consistency work happens here: depending on the level, the
+        cached copy is served as-is, revalidated, or refetched.
+        """
+        entry = yield from self._ensure_fresh(handle["name"])
+        handle["entry"] = entry
+        return {"name": entry.name, "version": entry.version,
+                "nbytes": entry.nbytes}
+
+    def vfs_stat(self, rest):
+        cached = self.cache.get(rest)
+        if cached is None:
+            raise NoSuchObject(f"{rest!r} not cached; read it first")
+        return {"size": cached.nbytes, "version": cached.version,
+                "validated_at": cached.validated_at}
+
+    # -- the consistency machinery ---------------------------------------------------
+
+    def _staleness_bound(self):
+        return CONSISTENCY_LEVELS[self.consistency]
+
+    def _ensure_fresh(self, name):
+        conn = self.primary_connection()
+        cached = self.cache.get(name)
+        if cached is not None:
+            age = self.sim.now - cached.validated_at
+            if age <= self._staleness_bound():
+                self.cache_serves += 1
+                return cached
+            # Validate the cached copy with a small exchange.
+            self.validations += 1
+            reply, _ = yield from conn.call(
+                "validate", body={"name": name}, body_bytes=64
+            )
+            if reply["version"] == cached.version:
+                cached.validated_at = self.sim.now
+                self.cache.put(name, cached, cached.nbytes)
+                return cached
+        # Miss or stale: fetch the current contents.
+        self.refetches += 1
+        reply, meta, nbytes = yield from conn.fetch(
+            "fetch", body={"name": name}, body_bytes=64
+        )
+        entry = CachedFile(name=name, version=meta["version"], nbytes=nbytes,
+                           validated_at=self.sim.now)
+        self.cache.put(name, entry, nbytes)
+        return entry
+
+
+def build_files(sim, viceroy, network, update_period=None,
+                mount="/odyssey/files", **warden_kwargs):
+    """Wire file server + warden; returns (warden, server)."""
+    from repro.apps.files.server import FileServer
+
+    host = network.add_host("file-server")
+    server = FileServer(sim, host, update_period=update_period)
+    warden = FileWarden(sim, viceroy, **warden_kwargs)
+    warden.open_connection(host.name, "files")
+    viceroy.mount(mount, warden)
+    return warden, server

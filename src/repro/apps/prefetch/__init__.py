@@ -1,0 +1,27 @@
+"""The §2.3 emergency-response prefetcher.
+
+"An application used in emergency response situations may monitor physical
+location and motion, and prefetch damage-assessment information for the
+areas to be traversed shortly."
+
+A field worker walks a grid of map tiles; the map warden prefetches the
+tiles ahead along the predicted path, at a fidelity chosen from the current
+bandwidth, so that when the worker arrives the tile is (usually) already
+cached.  Combines most of the platform: wardens, caching, dynamic-set-style
+concurrent fetching, and bandwidth-adaptive fidelity.
+"""
+
+from repro.apps.prefetch.maps import MapServer, TILE_FIDELITIES, tile_bytes
+from repro.apps.prefetch.warden import MapWarden, build_maps
+from repro.apps.prefetch.worker import FieldWorker, WorkerStats, walk_path
+
+__all__ = [
+    "FieldWorker",
+    "MapServer",
+    "MapWarden",
+    "TILE_FIDELITIES",
+    "WorkerStats",
+    "build_maps",
+    "tile_bytes",
+    "walk_path",
+]

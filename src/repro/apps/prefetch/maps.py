@@ -1,0 +1,59 @@
+"""Map tiles: spatial data with resolution as its fidelity dimension.
+
+"Spatial data, such as topographical maps, has dimensions of minimum
+feature size or resolution" (paper §2.2).  Tiles come in three resolutions;
+sizes vary deterministically with position (terrain complexity).
+"""
+
+import hashlib
+
+from repro.errors import ReproError
+from repro.rpc.connection import RpcService
+from repro.rpc.messages import ServerReply
+
+#: Fidelity -> mean tile bytes.  Full resolution is a detailed scan;
+#: the thumbnail is enough to orient by.
+TILE_FIDELITIES = {
+    1.0: 48 * 1024,
+    0.5: 12 * 1024,
+    0.1: 2 * 1024,
+}
+
+#: Server time to cut and package one tile.
+TILE_COMPUTE_SECONDS = 0.004
+
+
+def tile_bytes(x, y, fidelity):
+    """Deterministic size of tile (x, y) at ``fidelity``."""
+    mean = TILE_FIDELITIES.get(fidelity)
+    if mean is None:
+        raise ReproError(
+            f"unknown tile fidelity {fidelity!r}; known: {sorted(TILE_FIDELITIES)}"
+        )
+    digest = hashlib.blake2b(f"tile:{x}:{y}".encode("utf-8"),
+                             digest_size=4).digest()
+    factor = 0.8 + 0.4 * (int.from_bytes(digest, "big") / 0xFFFFFFFF)
+    return max(int(mean * factor), 256)
+
+
+class MapServer:
+    """A geographical-information back end serving tiles by coordinate."""
+
+    def __init__(self, sim, host, port="maps"):
+        self.sim = sim
+        self.service = RpcService(sim, host, port)
+        self.service.register("get-tile", self._get_tile)
+        self.tiles_served = 0
+
+    def _get_tile(self, body):
+        x, y, fidelity = body["x"], body["y"], body["fidelity"]
+        nbytes = tile_bytes(x, y, fidelity)
+        self.tiles_served += 1
+        return ServerReply(
+            body={"x": x, "y": y, "fidelity": fidelity},
+            body_bytes=48,
+            compute_seconds=TILE_COMPUTE_SECONDS,
+            bulk=self.service.make_bulk(
+                nbytes, meta={"x": x, "y": y, "fidelity": fidelity}
+            ),
+        )

@@ -1,0 +1,156 @@
+"""The map warden: cached tiles and path-ahead prefetching."""
+
+from collections import deque
+
+from repro.apps.prefetch.maps import TILE_FIDELITIES, tile_bytes
+from repro.core.warden import Warden
+from repro.errors import OdysseyError
+
+#: Tiles prefetched ahead of the current position along the planned path.
+PREFETCH_HORIZON = 6
+#: Concurrent tile fetches (overlap round trips, as the video warden does).
+FETCH_PIPELINE = 2
+
+
+class MapWarden(Warden):
+    """Serves tiles from cache, prefetching along the announced path.
+
+    tsops:
+
+    - ``get-tile`` — blocking fetch of one tile at the current fidelity;
+      cache hits return immediately (that is the point of prefetching).
+    - ``set-path`` — the application's predicted future positions; the
+      warden prefetches the next :data:`PREFETCH_HORIZON` of them.
+    - ``set-fidelity`` — resolution used for subsequent fetches.
+    """
+
+    TSOPS = {
+        "get-tile": "tsop_get_tile",
+        "set-path": "tsop_set_path",
+        "set-fidelity": "tsop_set_fidelity",
+        "cache-stats": "tsop_cache_stats",
+    }
+    FIDELITIES = {"full": 1.0, "half": 0.5, "thumb": 0.1}
+
+    def __init__(self, sim, viceroy, name="maps", prefetch=True,
+                 cache_bytes=8 * 1024 * 1024, **kwargs):
+        super().__init__(sim, viceroy, name, cache_bytes=cache_bytes, **kwargs)
+        self.prefetch_enabled = prefetch
+        self.fidelity = 1.0
+        self._path = deque()
+        self._inflight = set()
+        self._arrivals = {}
+        self._wakeups = []
+        self.tiles_fetched = 0
+        for i in range(FETCH_PIPELINE):
+            sim.process(self._fetch_loop(), name=f"{name}.fetch{i}")
+
+    # -- tsops ------------------------------------------------------------
+
+    def tsop_set_fidelity(self, app, rest, inbuf):
+        fidelity = float(inbuf["fidelity"])
+        if fidelity not in TILE_FIDELITIES:
+            raise OdysseyError(
+                f"fidelity {fidelity!r} not offered; "
+                f"levels: {sorted(TILE_FIDELITIES)}"
+            )
+        self.fidelity = fidelity
+        return fidelity
+        yield  # pragma: no cover - generator protocol
+
+    def tsop_set_path(self, app, rest, inbuf):
+        """Announce predicted future positions: list of (x, y)."""
+        self._path = deque(tuple(p) for p in inbuf["path"])
+        self._kick()
+        return len(self._path)
+        yield  # pragma: no cover - generator protocol
+
+    def tsop_get_tile(self, app, rest, inbuf):
+        """Fetch tile (x, y) at the current fidelity; returns its bytes."""
+        key = (inbuf["x"], inbuf["y"], self.fidelity)
+        # Arriving at a position consumes it from the prefetch path.
+        while self._path and self._path[0] == (key[0], key[1]):
+            self._path.popleft()
+        cached = self.cache.get(key)
+        if cached is not None:
+            self._kick()
+            return {"nbytes": cached, "hit": True}
+        if key not in self._inflight:
+            self._inflight.add(key)
+            self.sim.process(self._fetch_one(key), name=f"{self.name}.demand")
+        event = self._arrival_event(key)
+        self._kick()
+        nbytes = yield event
+        return {"nbytes": nbytes, "hit": False}
+
+    def tsop_cache_stats(self, app, rest, inbuf):
+        return {
+            "hits": self.cache.hits,
+            "misses": self.cache.misses,
+            "used_bytes": self.cache.used_bytes,
+            "fetched": self.tiles_fetched,
+        }
+        yield  # pragma: no cover - generator protocol
+
+    # -- prefetch machinery --------------------------------------------------
+
+    def _arrival_event(self, key):
+        event = self._arrivals.get(key)
+        if event is None:
+            event = self.sim.event(name=f"tile:{key}")
+            self._arrivals[key] = event
+        return event
+
+    def _kick(self):
+        while self._wakeups:
+            self._wakeups.pop().succeed()
+
+    def _next_prefetch_key(self):
+        if not self.prefetch_enabled:
+            return None
+        for x, y in list(self._path)[:PREFETCH_HORIZON]:
+            key = (x, y, self.fidelity)
+            if key in self.cache or key in self._inflight:
+                continue
+            return key
+        return None
+
+    def _fetch_loop(self):
+        while True:
+            key = self._next_prefetch_key()
+            if key is None:
+                wakeup = self.sim.event(name=f"{self.name}.wakeup")
+                self._wakeups.append(wakeup)
+                yield wakeup
+                continue
+            self._inflight.add(key)
+            yield from self._fetch_one(key)
+
+    def _fetch_one(self, key):
+        x, y, fidelity = key
+        conn = self.primary_connection()
+        try:
+            _, _, nbytes = yield from conn.fetch(
+                "get-tile", body={"x": x, "y": y, "fidelity": fidelity},
+                body_bytes=64,
+            )
+        finally:
+            self._inflight.discard(key)
+        self.tiles_fetched += 1
+        self.cache.put(key, nbytes, nbytes)
+        event = self._arrivals.pop(key, None)
+        if event is not None and not event.triggered:
+            event.succeed(nbytes)
+
+
+def build_maps(sim, viceroy, network, server_host=None,
+               mount="/odyssey/maps", **warden_kwargs):
+    """Wire map server + warden; returns (warden, server)."""
+    from repro.apps.prefetch.maps import MapServer
+
+    host = server_host or network.add_host("map-server")
+    server = MapServer(sim, host)
+    warden = MapWarden(sim, viceroy, **warden_kwargs)
+    warden.open_connection(host.name, "maps")
+    viceroy.mount(mount, warden)
+    return warden, server

@@ -1,0 +1,151 @@
+"""The field worker: moves along a path, viewing the tile at each stop."""
+
+from dataclasses import dataclass, field
+
+from repro.apps.base import Application, negotiate
+from repro.apps.prefetch.maps import TILE_FIDELITIES, tile_bytes
+from repro.core.resources import Resource
+from repro.errors import ProcessInterrupt
+
+#: The worker wants each tile on screen within this long of arriving.
+VIEW_GOAL_SECONDS = 0.5
+#: Hysteresis multiple for resolution upgrades.
+UPGRADE_MARGIN = 1.10
+NO_UPPER = 1e12
+
+
+def walk_path(length, seed=0, start=(0, 0)):
+    """A deterministic lawn-mower sweep over the damage-assessment grid."""
+    x, y = start
+    path = []
+    direction = 1
+    for i in range(length):
+        path.append((x, y))
+        x += direction
+        if i % 8 == 7:  # end of a sweep row
+            direction = -direction
+            y += 1
+    return path
+
+
+@dataclass
+class WorkerStats:
+    """Per-view accounting."""
+
+    views: list = field(default_factory=list)  # (time, seconds, hit, fidelity)
+
+    @property
+    def count(self):
+        return len(self.views)
+
+    @property
+    def hit_rate(self):
+        if not self.views:
+            return 0.0
+        return sum(1 for _, _, hit, _ in self.views if hit) / len(self.views)
+
+    @property
+    def mean_view_seconds(self):
+        if not self.views:
+            return 0.0
+        return sum(s for _, s, _, _ in self.views) / len(self.views)
+
+    @property
+    def mean_fidelity(self):
+        if not self.views:
+            return 0.0
+        return sum(f for _, _, _, f in self.views) / len(self.views)
+
+
+class FieldWorker(Application):
+    """Walks the grid, pausing at each tile, adapting map resolution.
+
+    Parameters
+    ----------
+    dwell_seconds:
+        Time spent assessing each position before moving on — the window
+    	the prefetcher has to stay ahead.
+    policy:
+        ``"adaptive"`` or a fixed fidelity level.
+    """
+
+    def __init__(self, sim, api, name, path, route, dwell_seconds=2.0,
+                 policy="adaptive", measure_from=0.0):
+        super().__init__(sim, api, name)
+        self.path = path
+        self.route = list(route)
+        self.dwell_seconds = dwell_seconds
+        self.policy = policy
+        self.measure_from = measure_from
+        self.stats = WorkerStats()
+        self.fidelity = policy if policy != "adaptive" else 1.0
+        self._levels = sorted(TILE_FIDELITIES, reverse=True)
+
+    # -- adaptation: resolution from bandwidth -----------------------------
+
+    def demand(self, fidelity):
+        """Bandwidth needed to prefetch one tile per dwell at ``fidelity``."""
+        mean_tile = TILE_FIDELITIES[fidelity]
+        return mean_tile * 1.25 / self.dwell_seconds  # headroom for headers
+
+    def best_level_for(self, bandwidth):
+        if bandwidth is None:
+            return self._levels[0]
+        for level in self._levels:
+            if self.demand(level) <= bandwidth:
+                return level
+        return self._levels[-1]
+
+    def _window_for_level(self, level):
+        lower = 0.0 if level == self._levels[-1] else self.demand(level)
+        better = [l for l in self._levels if l > level]
+        upper = self.demand(min(better)) * UPGRADE_MARGIN if better else NO_UPPER
+        return lower, upper
+
+    def _register(self, level_hint=None):
+        if self.policy != "adaptive":
+            return
+
+        def on_level(bandwidth):
+            self.fidelity = self.best_level_for(bandwidth)
+
+        negotiate(
+            self.api, self.path, Resource.NETWORK_BANDWIDTH,
+            window_for=lambda bw: self._window_for_level(
+                self.best_level_for(bw)),
+            on_level=on_level,
+            level_hint=level_hint,
+            handler="maps-bandwidth",
+        )
+
+    def _on_upcall(self, upcall):
+        self._register(level_hint=upcall.level)
+
+    # -- the walk --------------------------------------------------------------
+
+    def run(self):
+        if self.policy == "adaptive":
+            self.api.on_upcall("maps-bandwidth", self._on_upcall)
+            self._register(level_hint=self.api.availability(self.path))
+        try:
+            for step, (x, y) in enumerate(self.route):
+                yield from self.api.tsop(
+                    self.path, "set-fidelity", {"fidelity": self.fidelity}
+                )
+                # Announce where we are heading so the warden can prefetch.
+                yield from self.api.tsop(
+                    self.path, "set-path", {"path": self.route[step:]}
+                )
+                started = self.sim.now
+                result = yield from self.api.tsop(
+                    self.path, "get-tile", {"x": x, "y": y}
+                )
+                elapsed = self.sim.now - started
+                if started >= self.measure_from:
+                    self.stats.views.append(
+                        (self.sim.now, elapsed, result["hit"], self.fidelity)
+                    )
+                yield self.sim.timeout(self.dwell_seconds)
+        except ProcessInterrupt:
+            pass
+        return self.stats

@@ -1,0 +1,31 @@
+"""The speech recognizer (paper §5.3).
+
+Janus split into client and server.  "The server accepts two forms of
+input: a raw utterance, or an utterance that has already been processed by
+the first of several phases of Janus.  This pre-processing yields a
+compression ratio of approximately 5:1 at modest CPU cost."  The warden
+decides, from the current bandwidth estimate, whether to run the first pass
+locally (hybrid) or ship the raw utterance (remote); in the extreme case of
+disconnection a purely local recognition is possible at severe CPU cost.
+"""
+
+from repro.apps.speech.model import (
+    SpeechCosts,
+    Utterance,
+    DEFAULT_COSTS,
+    crossover_bandwidth,
+)
+from repro.apps.speech.recognizer import RecognizerStats, SpeechFrontEnd
+from repro.apps.speech.server import JanusServer
+from repro.apps.speech.warden import SpeechWarden, build_speech
+
+__all__ = [
+    "DEFAULT_COSTS",
+    "JanusServer",
+    "RecognizerStats",
+    "SpeechCosts",
+    "SpeechFrontEnd",
+    "SpeechWarden",
+    "Utterance",
+    "crossover_bandwidth",
+]

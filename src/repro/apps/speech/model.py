@@ -1,0 +1,106 @@
+"""Cost model for split Janus recognition.
+
+Calibrated against the paper's Fig. 12 so that:
+
+- hybrid is always at least as fast as remote at 40 and 120 KB/s
+  ("hybrid translation is always the correct strategy when speech is the
+  sole application" at the reference bandwidths);
+- the two are nearly tied at the high bandwidth (Impulse-Down: 0.76 vs
+  0.77 s), and remote wins only above the reference range ("at higher
+  bandwidths an adaptive strategy has benefits");
+- the remote penalty at low bandwidth matches the paper's ~1.11 s.
+"""
+
+from dataclasses import dataclass
+
+from repro.errors import ReproError
+
+#: 90 MHz Pentium client vs 200 MHz Pentium Pro servers (paper §6.1.3).
+#: The server runs the first pass roughly this much faster.
+SERVER_SPEEDUP = 1.9
+
+
+@dataclass(frozen=True)
+class Utterance:
+    """A captured utterance: a short phrase (paper uses one per trial)."""
+
+    name: str
+    raw_bytes: int = 20480
+    compression_ratio: float = 5.0  # paper: "approximately 5:1"
+    text: str = "move the map to the north"
+
+    def __post_init__(self):
+        if self.raw_bytes <= 0:
+            raise ReproError(f"raw_bytes must be positive, got {self.raw_bytes!r}")
+        if self.compression_ratio <= 1:
+            raise ReproError("compression_ratio must exceed 1")
+
+    @property
+    def preprocessed_bytes(self):
+        return int(self.raw_bytes / self.compression_ratio)
+
+
+#: Recognition fidelity levels (§8 short-term: "add support for multiple
+#: levels of recognition fidelity").  Vocabulary size scales both quality
+#: and compute: the tiny vocabulary is what §2.1's wearable falls back to
+#: when disconnected.
+VOCABULARIES = {
+    "full": {"fidelity": 1.0, "compute_scale": 1.0},
+    "small": {"fidelity": 0.5, "compute_scale": 0.45},
+    "tiny": {"fidelity": 0.1, "compute_scale": 0.12},
+}
+
+
+@dataclass(frozen=True)
+class SpeechCosts:
+    """CPU seconds for the phases of Janus on client and server."""
+
+    client_first_pass: float = 0.28  # slow mobile CPU
+    server_first_pass: float = 0.15  # = client_first_pass / SERVER_SPEEDUP
+    server_later_phases: float = 0.41
+    local_full_recognition: float = 4.0  # disconnected fallback, severe
+
+    def remote_seconds(self, utterance, bandwidth, round_trip):
+        """Predicted time to ship raw audio and recognize fully remotely."""
+        return (round_trip + utterance.raw_bytes / bandwidth
+                + self.server_first_pass + self.server_later_phases)
+
+    def hybrid_seconds(self, utterance, bandwidth, round_trip):
+        """Predicted time to preprocess locally and ship the compressed form."""
+        return (self.client_first_pass + round_trip
+                + utterance.preprocessed_bytes / bandwidth
+                + self.server_later_phases)
+
+    def local_seconds(self, vocabulary="full"):
+        """Fully-local recognition at a given vocabulary level.
+
+        The full vocabulary is severe on the mobile CPU (paper §5.3); the
+        tiny vocabulary trades recognition fidelity for a response time
+        usable while disconnected (§2.1).
+        """
+        scale = vocabulary_info(vocabulary)["compute_scale"]
+        return self.local_full_recognition * scale
+
+
+def vocabulary_info(name):
+    """Look up a vocabulary fidelity level."""
+    try:
+        return VOCABULARIES[name]
+    except KeyError:
+        known = ", ".join(sorted(VOCABULARIES))
+        raise ReproError(f"unknown vocabulary {name!r}; known: {known}") from None
+
+
+DEFAULT_COSTS = SpeechCosts()
+
+
+def crossover_bandwidth(utterance, costs=DEFAULT_COSTS):
+    """Bandwidth above which shipping raw audio beats local preprocessing.
+
+    Setting remote == hybrid:  (raw - pre)/bw = client_fp - server_fp.
+    """
+    cpu_saving = costs.client_first_pass - costs.server_first_pass
+    if cpu_saving <= 0:
+        return float("inf")
+    extra_bytes = utterance.raw_bytes - utterance.preprocessed_bytes
+    return extra_bytes / cpu_saving

@@ -1,0 +1,77 @@
+"""The speech front-end: capture, write, read (paper §5.3, §6.2.2).
+
+"For the speech experiments, we recognized a single, short phrase, repeating
+the recognition as quickly as possible.  Since the quality of recognition
+does not vary, the only interesting metric is the speed with which
+recognitions take place."
+"""
+
+from dataclasses import dataclass, field
+
+from repro.apps.base import Application
+from repro.apps.speech.model import Utterance
+from repro.errors import ProcessInterrupt
+
+
+@dataclass
+class RecognizerStats:
+    """What one run measured (the Fig. 12 columns)."""
+
+    recognitions: list = field(default_factory=list)  # (time, seconds)
+
+    @property
+    def count(self):
+        return len(self.recognitions)
+
+    @property
+    def mean_seconds(self):
+        if not self.recognitions:
+            return 0.0
+        return sum(s for _, s in self.recognitions) / len(self.recognitions)
+
+
+class SpeechFrontEnd(Application):
+    """Captures utterances and recognizes them through the Odyssey namespace.
+
+    Parameters
+    ----------
+    strategy:
+        ``adaptive``, ``hybrid``, ``remote``, or ``local`` — forwarded to
+        the warden via the set-strategy tsop before the loop starts.
+    utterance:
+        The phrase recognized repeatedly.
+    pause_seconds:
+        Gap between recognitions (0 = the paper's as-fast-as-possible).
+    """
+
+    def __init__(self, sim, api, name, path, strategy="adaptive",
+                 utterance=None, pause_seconds=0.0, measure_from=0.0):
+        super().__init__(sim, api, name)
+        self.path = path
+        self.strategy = strategy
+        self.utterance = utterance or Utterance("benchmark-phrase")
+        self.pause_seconds = pause_seconds
+        self.measure_from = measure_from
+        self.stats = RecognizerStats()
+
+    def run(self):
+        yield from self.api.tsop(
+            self.path, "set-strategy", {"strategy": self.strategy}
+        )
+        object_path = f"{self.path}/{self.utterance.name}"
+        try:
+            while True:
+                started = self.sim.now
+                fd = self.api.open(object_path, flags="w")
+                yield from self.api.write(fd, self.utterance)
+                result = yield from self.api.read(fd)
+                self.api.close(fd)
+                assert result["text"] == self.utterance.text
+                if started >= self.measure_from:
+                    self.stats.recognitions.append(
+                        (self.sim.now, self.sim.now - started)
+                    )
+                if self.pause_seconds > 0:
+                    yield self.sim.timeout(self.pause_seconds)
+        except ProcessInterrupt:
+            return self.stats

@@ -1,0 +1,53 @@
+"""The remote Janus server."""
+
+from repro.apps.speech.model import DEFAULT_COSTS
+from repro.rpc.connection import RpcService
+from repro.rpc.messages import ServerReply
+
+
+class JanusServer:
+    """Accepts raw or preprocessed utterances (paper §5.3).
+
+    Both operations are reached via :meth:`RpcConnection.push` — the
+    utterance bytes are shipped to the server, then the handler runs:
+
+    - ``recognize-raw`` — server runs the first pass and later phases;
+    - ``recognize-pre`` — the client already ran the first pass.
+
+    The CPU semaphore serializes recognitions: a 200 MHz Pentium Pro runs
+    one Janus instance at a time.
+    """
+
+    def __init__(self, sim, host, costs=DEFAULT_COSTS, port="janus"):
+        self.sim = sim
+        self.costs = costs
+        self.service = RpcService(sim, host, port, cpus=1)
+        self.service.register("prepare", self._prepare)
+        self.service.register("recognize-raw", self._recognize_raw)
+        self.service.register("recognize-pre", self._recognize_pre)
+        self.recognitions = 0
+
+    def _prepare(self, body):
+        """Session setup before an utterance is shipped.
+
+        A small exchange, so it also feeds the connection's round-trip log
+        — without it the push-only speech endpoint would never observe a
+        round trip and Eq. 2 could not correct its throughput samples.
+        """
+        return ServerReply(body={"session": True}, body_bytes=32,
+                           compute_seconds=0.002)
+
+    def _reply(self, body, compute):
+        self.recognitions += 1
+        return ServerReply(
+            body={"text": body["text"], "confidence": 0.95},
+            body_bytes=128,
+            compute_seconds=compute,
+        )
+
+    def _recognize_raw(self, body):
+        compute = self.costs.server_first_pass + self.costs.server_later_phases
+        return self._reply(body, compute)
+
+    def _recognize_pre(self, body):
+        return self._reply(body, self.costs.server_later_phases)

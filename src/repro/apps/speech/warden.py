@@ -1,0 +1,228 @@
+"""The speech warden (paper §5.3).
+
+"The speech front-end captures a raw speech utterance and then writes it to
+an object in the Odyssey namespace.  The warden, using the current bandwidth
+estimate, decides whether it is faster to perform the first pass of the
+recognition on the local, slower CPU, or to ship the larger, raw utterance
+to the server.  In the extreme case of disconnection, the local Janus is
+capable of recognizing the utterance, but at a severe CPU and memory cost.
+When the utterance is recognized, the resulting text is made available to
+the front-end through a read operation."
+
+Strategy modes (set via tsop, for the Fig. 12 static comparisons):
+``adaptive`` (the warden decides), ``hybrid``, ``remote``, ``local``.
+"""
+
+import itertools
+
+from repro.apps.speech.model import DEFAULT_COSTS, vocabulary_info
+from repro.core.shipping import Plan, PlacementEngine
+from repro.core.warden import Warden
+from repro.errors import OdysseyError
+
+STRATEGIES = ("adaptive", "hybrid", "remote", "local")
+
+#: If every network plan predicts worse than this, recognition goes fully
+#: local at a degraded vocabulary — the paper's §2.1 disconnected mode.
+DISCONNECTION_THRESHOLD_SECONDS = 3.0
+#: While disconnected, probe the server this often.  Passive estimation
+#: sees no traffic in local mode, so without probes a stale estimate would
+#: pin the warden offline forever (Coda solved the same problem the same
+#: way).
+PROBE_INTERVAL_SECONDS = 10.0
+#: A probe round trip under this means the link is usable again.
+PROBE_RTT_THRESHOLD_SECONDS = 0.15
+
+#: Placement hysteresis: enough to damp estimate noise without hiding the
+#: hybrid/remote crossover just above the reference bandwidths.
+PLACEMENT_HYSTERESIS = 0.05
+
+
+class SpeechWarden(Warden):
+    """Decides recognition placement and runs it."""
+
+    TSOPS = {
+        "set-strategy": "tsop_set_strategy",
+        "get-strategy": "tsop_get_strategy",
+        "set-vocabulary": "tsop_set_vocabulary",
+        "get-vocabulary": "tsop_get_vocabulary",
+    }
+    FIDELITIES = {"full": 1.0, "small": 0.5, "tiny": 0.1}
+
+    def __init__(self, sim, viceroy, name="speech", costs=DEFAULT_COSTS, **kwargs):
+        super().__init__(sim, viceroy, name, **kwargs)
+        self.costs = costs
+        self.strategy = "adaptive"
+        self.vocabulary = "full"
+        self.decisions = []  # (time, chosen, bandwidth estimate)
+        self._handles = {}
+        self._handle_ids = itertools.count(1)
+        # The §8 generalization: placement decided by the shared engine
+        # rather than ad-hoc warden arithmetic.
+        self.placement = PlacementEngine(
+            viceroy, connection_id=None, hysteresis=PLACEMENT_HYSTERESIS
+        )
+        self._last_probe = None
+        self._probe_running = False
+        self._reconnected = False
+
+    def plans_for(self, utterance):
+        """The placement alternatives for one utterance."""
+        return (
+            Plan(
+                "hybrid",
+                local_seconds=self.costs.client_first_pass,
+                remote_seconds=self.costs.server_later_phases,
+                ship_bytes=utterance.preprocessed_bytes,
+                result_bytes=128,
+            ),
+            Plan(
+                "remote",
+                remote_seconds=(self.costs.server_first_pass
+                                + self.costs.server_later_phases),
+                ship_bytes=utterance.raw_bytes,
+                result_bytes=128,
+            ),
+        )
+
+    # -- tsops ----------------------------------------------------------------
+
+    def tsop_set_strategy(self, app, rest, inbuf):
+        """Force a placement strategy (static modes of Fig. 12)."""
+        strategy = inbuf["strategy"]
+        if strategy not in STRATEGIES:
+            raise OdysseyError(
+                f"unknown strategy {strategy!r}; known: {STRATEGIES}"
+            )
+        self.strategy = strategy
+        return strategy
+        yield  # pragma: no cover - generator protocol
+
+    def tsop_get_strategy(self, app, rest, inbuf):
+        return self.strategy
+        yield  # pragma: no cover - generator protocol
+
+    def tsop_set_vocabulary(self, app, rest, inbuf):
+        """Select a recognition fidelity level (vocabulary size)."""
+        vocabulary = inbuf["vocabulary"]
+        vocabulary_info(vocabulary)  # validates
+        self.vocabulary = vocabulary
+        return vocabulary
+        yield  # pragma: no cover - generator protocol
+
+    def tsop_get_vocabulary(self, app, rest, inbuf):
+        return self.vocabulary
+        yield  # pragma: no cover - generator protocol
+
+    # -- the write-then-read recognition flow -------------------------------------
+
+    def vfs_open(self, app, rest, flags="r"):
+        handle = {"id": next(self._handle_ids), "path": rest, "result": None}
+        return handle
+
+    def vfs_write(self, app, handle, utterance):
+        """Recognize ``utterance``; the text appears for a later read."""
+        choice = self._choose(utterance)
+        self.decisions.append((self.sim.now, choice, self._bandwidth()))
+        if choice == "local":
+            yield self.sim.timeout(self.costs.local_seconds(self.vocabulary))
+            fidelity = vocabulary_info(self.vocabulary)["fidelity"]
+            result = {"text": utterance.text,
+                      "confidence": 0.80 * fidelity,
+                      "vocabulary": self.vocabulary}
+        elif choice == "remote":
+            result = yield from self._recognize_remote(utterance)
+        else:  # hybrid
+            result = yield from self._recognize_hybrid(utterance)
+        handle["result"] = result
+        return len(utterance.text)
+
+    def vfs_read(self, app, handle, nbytes):
+        """The recognized text (None until a write completes)."""
+        return handle["result"]
+        yield  # pragma: no cover - generator protocol
+
+    def vfs_close(self, app, handle):
+        handle["result"] = None
+
+    # -- placement ------------------------------------------------------------------
+
+    def _bandwidth(self):
+        conn = self.primary_connection()
+        return self.viceroy.availability_for_connection(conn.connection_id)
+
+    def _choose(self, utterance):
+        if self.strategy != "adaptive":
+            return self.strategy
+        self.placement.connection_id = self.primary_connection().connection_id
+        plan = self.placement.decide(self.plans_for(utterance))
+        # §2.1's extreme case: effectively disconnected.  If the best
+        # network plan predicts an unusable response time, recognize
+        # locally at a degraded vocabulary rather than waiting.
+        predicted = self.placement.decisions[-1][1]
+        if predicted > DISCONNECTION_THRESHOLD_SECONDS and not self._reconnected:
+            self.vocabulary = "tiny"
+            self._maybe_probe()
+            return "local"
+        self._reconnected = False
+        self.vocabulary = "full"
+        return plan.name
+
+    def _maybe_probe(self):
+        """Background reconnection probe while operating locally."""
+        now = self.sim.now
+        if self._probe_running:
+            return
+        if self._last_probe is not None and \
+                now - self._last_probe < PROBE_INTERVAL_SECONDS:
+            return
+        self._last_probe = now
+        self._probe_running = True
+        self.sim.process(self._probe(), name=f"{self.name}.probe")
+
+    def _probe(self):
+        conn = self.primary_connection()
+        started = self.sim.now
+        try:
+            yield from conn.call("prepare", body_bytes=64)
+        finally:
+            self._probe_running = False
+        if self.sim.now - started < PROBE_RTT_THRESHOLD_SECONDS:
+            # The link is back: forget the stale placement and let the next
+            # recognition use the network (which refreshes the estimates).
+            self.placement.reset()
+            self._reconnected = True
+
+    def _recognize_remote(self, utterance):
+        conn = self.primary_connection()
+        yield from conn.call("prepare", body_bytes=64)
+        result = yield from conn.push(
+            "recognize-raw", utterance.raw_bytes,
+            body={"text": utterance.text},
+        )
+        return result
+
+    def _recognize_hybrid(self, utterance):
+        conn = self.primary_connection()
+        yield from conn.call("prepare", body_bytes=64)
+        # First pass on the local, slower CPU...
+        yield self.sim.timeout(self.costs.client_first_pass)
+        # ...then ship the 5:1-compressed form.
+        result = yield from conn.push(
+            "recognize-pre", utterance.preprocessed_bytes,
+            body={"text": utterance.text},
+        )
+        return result
+
+
+def build_speech(sim, viceroy, network, costs=DEFAULT_COSTS,
+                 mount="/odyssey/speech", **warden_kwargs):
+    """Wire Janus server + warden; returns (warden, server)."""
+    from repro.apps.speech.server import JanusServer
+
+    host = network.add_host("janus-server")
+    server = JanusServer(sim, host, costs=costs)
+    warden = SpeechWarden(sim, viceroy, costs=costs, **warden_kwargs)
+    warden.open_connection("janus-server", "janus")
+    viceroy.mount(mount, warden)
+    return warden, server

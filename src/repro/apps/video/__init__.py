@@ -1,0 +1,28 @@
+"""The adaptive video player (paper §5.1).
+
+The paper splits *xanim* into a client and server with a video warden
+between them.  Movies are stored in multiple tracks at the server, one per
+fidelity level — JPEG-compressed colour frames at qualities 99 and 50, and
+black-and-white frames — and the player switches tracks as bandwidth
+changes.  The warden reads ahead to lower latency and discards prefetched
+low-quality frames when the player switches up.
+"""
+
+from repro.apps.video.codec import TRACKS, TrackSpec, frame_bytes
+from repro.apps.video.movie import Movie, MovieStore
+from repro.apps.video.player import PlayerStats, VideoPlayer
+from repro.apps.video.server import VideoServer
+from repro.apps.video.warden import VideoWarden, build_video
+
+__all__ = [
+    "Movie",
+    "MovieStore",
+    "PlayerStats",
+    "TRACKS",
+    "TrackSpec",
+    "VideoPlayer",
+    "VideoServer",
+    "VideoWarden",
+    "build_video",
+    "frame_bytes",
+]

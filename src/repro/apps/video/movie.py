@@ -1,0 +1,91 @@
+"""Movies: multi-track frame stores and their metadata."""
+
+from repro.apps.video.codec import TRACKS, frame_bytes
+from repro.errors import ReproError
+
+#: Paper §6.2.2: "All movie tracks are encoded at ten frames per second,
+#: with 600 frames to display during each trial."
+DEFAULT_FRAMES = 600
+DEFAULT_FPS = 10.0
+
+
+class Movie:
+    """One movie stored in all three tracks."""
+
+    def __init__(self, name, n_frames=DEFAULT_FRAMES, fps=DEFAULT_FPS):
+        if n_frames <= 0:
+            raise ReproError(f"n_frames must be positive, got {n_frames!r}")
+        if fps <= 0:
+            raise ReproError(f"fps must be positive, got {fps!r}")
+        self.name = name
+        self.n_frames = n_frames
+        self.fps = fps
+
+    def frame_bytes(self, track_name, index):
+        """Size in bytes of frame ``index`` on ``track_name``."""
+        if not 0 <= index < self.n_frames:
+            raise ReproError(
+                f"frame {index} out of range [0, {self.n_frames}) for {self.name!r}"
+            )
+        return frame_bytes(self.name, track_name, index)
+
+    def track_bandwidth(self, track_name):
+        """Exact average bandwidth demand of a track (bytes/s at ``fps``).
+
+        The player computes its per-track requirements from movie metadata
+        (paper §5.1); this is that computation, done on true sizes.
+        """
+        total = sum(self.frame_bytes(track_name, i) for i in range(self.n_frames))
+        return total * self.fps / self.n_frames
+
+    def meta(self):
+        """The metadata dictionary shipped to clients by the get-meta tsop."""
+        return {
+            "name": self.name,
+            "frames": self.n_frames,
+            "fps": self.fps,
+            "tracks": {
+                spec.name: {
+                    "fidelity": spec.fidelity,
+                    "jpeg_quality": spec.jpeg_quality,
+                    "bandwidth": self.track_bandwidth(spec.name),
+                }
+                for spec in TRACKS
+            },
+        }
+
+    def storage_bytes(self):
+        """Total bytes to store all tracks (the paper's ~60 % overhead claim)."""
+        return sum(
+            self.frame_bytes(spec.name, i)
+            for spec in TRACKS
+            for i in range(self.n_frames)
+        )
+
+
+class MovieStore:
+    """The video server's library."""
+
+    def __init__(self):
+        self._movies = {}
+
+    def add(self, movie):
+        if movie.name in self._movies:
+            raise ReproError(f"movie {movie.name!r} already in store")
+        self._movies[movie.name] = movie
+        return movie
+
+    def get(self, name):
+        movie = self._movies.get(name)
+        if movie is None:
+            raise ReproError(f"no such movie {name!r}")
+        return movie
+
+    def names(self):
+        return sorted(self._movies)
+
+    def __contains__(self, name):
+        return name in self._movies
+
+    def __len__(self):
+        return len(self._movies)

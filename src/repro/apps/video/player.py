@@ -1,0 +1,291 @@
+"""The xanim player: static and adaptive playback policies (paper §6.2.2).
+
+"Xanim's adaptation goal is to play the highest quality possible without
+dropping frames."  The player computes each track's bandwidth requirement
+from the movie metadata, begins at the highest sustainable quality, and
+registers a window of tolerance around its current track: the lower edge is
+the track's own demand, the upper edge the demand of the next-better track
+(crossing it means an upgrade is possible).  Frames whose data has not
+arrived by their display deadline are dropped, and the playback clock never
+stalls — a movie is 60 seconds long no matter what.
+"""
+
+from dataclasses import dataclass, field
+
+from repro.apps.base import Application, negotiate
+from repro.core.resources import Resource
+from repro.errors import ProcessInterrupt
+
+#: Per-frame protocol overhead (request + headers) charged when the player
+#: converts track frame rates into bandwidth demands, bytes.
+WIRE_OVERHEAD_BYTES = 224
+#: Hysteresis: an upgrade needs this multiple of the better track's demand.
+UPGRADE_MARGIN = 1.03
+#: A huge upper bound standing in for "no upgrade possible".
+NO_UPPER = 1e12
+#: Frames buffered (via warden read-ahead) before the playback clock starts.
+STARTUP_BUFFER_FRAMES = 4
+#: Minimum seconds between track switches.  Every switch empties the
+#: read-ahead buffer, so chasing a noisy estimate costs more frames than
+#: it saves; within the dwell the player widens its tolerance window and
+#: re-evaluates when the dwell expires.
+SWITCH_DWELL_SECONDS = 3.0
+
+
+@dataclass
+class PlayerStats:
+    """What one playback run measured (the Fig. 10 columns)."""
+
+    displayed: dict = field(default_factory=dict)  # track -> frames shown
+    drops: int = 0
+    switches: list = field(default_factory=list)  # (time, from, to)
+    frame_log: list = field(default_factory=list)  # (index, track or None)
+
+    @property
+    def frames_displayed(self):
+        return sum(self.displayed.values())
+
+    def fidelity(self, fidelity_of):
+        """Mean fidelity over displayed frames (paper §6.2.2)."""
+        shown = self.frames_displayed
+        if shown == 0:
+            return 0.0
+        total = sum(fidelity_of(track) * count
+                    for track, count in self.displayed.items())
+        return total / shown
+
+
+class VideoPlayer(Application):
+    """Plays one movie through the video warden.
+
+    Parameters
+    ----------
+    policy:
+        ``"adaptive"`` or a fixed track name (``"jpeg99"``, ``"jpeg50"``,
+        ``"bw"``) — the paper's static strategies.
+    """
+
+    def __init__(self, sim, api, name, path, movie_name, policy="adaptive",
+                 measure_from=0.0):
+        super().__init__(sim, api, name)
+        self.path = path
+        self.movie_name = movie_name
+        self.policy = policy
+        #: Frames whose deadline falls before this simulation time are
+        #: played but not counted — the paper's 30-second priming period.
+        self.measure_from = measure_from
+        self.stats = PlayerStats()
+        self.meta = None
+        self.demands = {}
+        self.fidelities = {}
+        self.current_track = None
+        self._tracks_by_quality = []  # ascending fidelity
+        self._rebuffer_pending = False
+        self._last_switch = None
+        self._dwelling = False
+        self._recheck_scheduled = False
+
+    # -- track selection -----------------------------------------------------
+
+    def _load_meta(self, meta):
+        self.meta = meta
+        tracks = meta["tracks"]
+        self._tracks_by_quality = sorted(tracks, key=lambda t: tracks[t]["fidelity"])
+        self.fidelities = {t: tracks[t]["fidelity"] for t in tracks}
+        self.demands = {
+            t: tracks[t]["bandwidth"] + WIRE_OVERHEAD_BYTES * meta["fps"]
+            for t in tracks
+        }
+
+    def best_track_for(self, level):
+        """Highest-fidelity track sustainable at availability ``level``.
+
+        "The player begins the movie at highest possible quality" — with no
+        estimate at all, optimism is the paper's choice.
+        """
+        if level is None:
+            return self._tracks_by_quality[-1]
+        best = self._tracks_by_quality[0]
+        for track in self._tracks_by_quality:
+            if self.demands[track] <= level:
+                best = track
+        return best
+
+    def _window_for_track(self, track):
+        """Tolerance window while playing ``track``.
+
+        Below the lower edge the track is unsustainable; above the upper
+        edge the next-better track (with hysteresis margin) fits.
+        """
+        lower = self.demands[track]
+        index = self._tracks_by_quality.index(track)
+        if track == self._tracks_by_quality[0]:
+            lower = 0.0  # nothing worse to fall back to
+        if index + 1 < len(self._tracks_by_quality):
+            upper = self.demands[self._tracks_by_quality[index + 1]] * UPGRADE_MARGIN
+        else:
+            upper = NO_UPPER
+        return lower, upper
+
+    def _register(self, level_hint=None):
+        if self.policy != "adaptive":
+            return
+
+        def on_level(level):
+            self._dwelling = False
+            track = self.best_track_for(level)
+            if track == self.current_track:
+                return
+            now = self.sim.now
+            if (self._last_switch is not None
+                    and now - self._last_switch < SWITCH_DWELL_SECONDS):
+                self._dwelling = True
+                self._schedule_recheck(
+                    self._last_switch + SWITCH_DWELL_SECONDS - now
+                )
+                return
+            self.stats.switches.append((now, self.current_track, track))
+            self.current_track = track
+            self._last_switch = now
+            self._rebuffer_pending = True
+
+        def window_for(level):
+            lower, upper = self._window_for_track(self.current_track)
+            if self._dwelling and level is not None:
+                # Refusing to switch while the estimate sits outside the
+                # track's window: widen so the registration is accepted;
+                # the scheduled recheck revisits the decision.
+                lower = min(lower, level * 0.90)
+                upper = max(upper, level * 1.10)
+            return lower, upper
+
+        negotiate(
+            self.api, self.path, Resource.NETWORK_BANDWIDTH,
+            window_for=window_for,
+            on_level=on_level,
+            level_hint=level_hint,
+            handler="video-bandwidth",
+        )
+
+    def _schedule_recheck(self, delay):
+        if self._recheck_scheduled:
+            return
+        self._recheck_scheduled = True
+
+        def recheck():
+            self._recheck_scheduled = False
+            if self.process is None or not self.process.alive:
+                return
+            for registration in self.api.viceroy.registered_requests(self.api.app):
+                self.api.cancel(registration.request_id)
+            self._register(level_hint=self.api.availability(self.path))
+
+        self.sim.call_in(max(delay, 1e-3), recheck)
+
+    def _on_upcall(self, upcall):
+        self._register(level_hint=upcall.level)
+
+    # -- playback ------------------------------------------------------------------
+
+    def run(self):
+        meta = yield from self.api.tsop(self.path, "get-meta",
+                                        {"movie": self.movie_name})
+        self._load_meta(meta)
+        if self.policy == "adaptive":
+            self.api.on_upcall("video-bandwidth", self._on_upcall)
+            level = self.api.availability(self.path)
+            self.current_track = self.best_track_for(level)
+            self._register(level_hint=level)
+        else:
+            self.current_track = self.policy
+        fps = meta["fps"]
+        n_frames = meta["frames"]
+        # Fetch the first frame, then let the warden's read-ahead build a
+        # small buffer before the playback clock starts — without this, the
+        # per-frame round trip keeps playback perpetually one frame late.
+        yield from self.api.tsop(
+            self.path, "get-frame",
+            {"movie": self.movie_name, "track": self.current_track, "index": 0,
+             "exact": True},
+        )
+        yield self.sim.timeout(STARTUP_BUFFER_FRAMES / fps)
+        start = self.sim.now
+        index = 0
+        try:
+            while index < n_frames:
+                if self._rebuffer_pending:
+                    # A track switch emptied the read-ahead buffer (the
+                    # warden discards stale prefetches).  Sacrifice a few
+                    # frames up front so the new track's pipeline starts
+                    # with margin, instead of sputtering for seconds.
+                    self._rebuffer_pending = False
+                    for _ in range(STARTUP_BUFFER_FRAMES):
+                        if index >= n_frames:
+                            break
+                        self._drop(index, start + index / fps)
+                        index += 1
+                    continue
+                deadline = start + index / fps
+                if self.sim.now > deadline:
+                    # This frame's moment has already passed: drop it and
+                    # move on without wasting bandwidth on it.
+                    self._drop(index, deadline)
+                    index += 1
+                    continue
+                track = self.current_track
+                got_index, _ = yield from self.api.tsop(
+                    self.path, "get-frame",
+                    {"movie": self.movie_name, "track": track, "index": index},
+                )
+                # The warden may serve a later frame: under constrained
+                # bandwidth its read-ahead strides through the movie, and
+                # the frames in between were never fetched.  They are the
+                # drops (paper: performance metric is frames dropped).
+                for skipped in range(index, got_index):
+                    self._drop(skipped, start + skipped / fps)
+                deadline = start + got_index / fps
+                if self.sim.now <= deadline:
+                    yield self.sim.timeout(deadline - self.sim.now)
+                    self._display(got_index, track, deadline)
+                    index = got_index + 1
+                else:
+                    # Arrived late (paper: frames in flight at a downward
+                    # transition are destined to be late).  Skip far enough
+                    # ahead to restore the pipeline's margin: the next
+                    # demand realigns the warden's read-ahead position, so
+                    # lateness costs a bounded burst of drops instead of a
+                    # permanent every-other-frame sputter.
+                    self._drop(got_index, deadline)
+                    lateness = self.sim.now - deadline
+                    index = got_index + 1
+                    if lateness > 2.0 / fps:
+                        # Substantially behind: rebuild margin.  Minor
+                        # lateness self-corrects through the skip at the
+                        # loop top; resyncing for it would discard frames
+                        # the pipeline already has.
+                        resync = int(lateness * fps) + STARTUP_BUFFER_FRAMES
+                        for _ in range(resync):
+                            if index >= n_frames:
+                                break
+                            self._drop(index, start + index / fps)
+                            index += 1
+        except ProcessInterrupt:
+            pass
+        return self.stats
+
+    def _display(self, index, track, deadline):
+        if deadline < self.measure_from:
+            return
+        self.stats.displayed[track] = self.stats.displayed.get(track, 0) + 1
+        self.stats.frame_log.append((index, track))
+
+    def _drop(self, index, deadline):
+        if deadline < self.measure_from:
+            return
+        self.stats.drops += 1
+        self.stats.frame_log.append((index, None))
+
+    @property
+    def fidelity(self):
+        """Mean fidelity of displayed frames."""
+        return self.stats.fidelity(lambda track: self.fidelities[track])

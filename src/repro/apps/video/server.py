@@ -1,0 +1,54 @@
+"""The video server: the remote half of the split *xanim*."""
+
+from repro.errors import ReproError
+from repro.rpc.connection import RpcService
+from repro.rpc.messages import ServerReply
+
+#: Server CPU time to locate and package metadata / a frame.
+META_COMPUTE_SECONDS = 0.002
+FRAME_COMPUTE_SECONDS = 0.001
+
+
+class VideoServer:
+    """Serves movie metadata and individual frames from specified tracks.
+
+    Operations:
+
+    - ``get-meta`` — body ``{"movie": name}``; replies with the movie's
+      metadata dictionary.
+    - ``get-frame`` — body ``{"movie", "track", "index"}``; replies with a
+      bulk source holding the frame's bytes.
+    """
+
+    def __init__(self, sim, host, store, port="video"):
+        self.sim = sim
+        self.store = store
+        self.service = RpcService(sim, host, port)
+        self.service.register("get-meta", self._get_meta)
+        self.service.register("get-frame", self._get_frame)
+        self.frames_served = 0
+
+    def _get_meta(self, body):
+        movie = self.store.get(body["movie"])
+        return ServerReply(
+            body=movie.meta(),
+            body_bytes=512,
+            compute_seconds=META_COMPUTE_SECONDS,
+        )
+
+    def _get_frame(self, body):
+        movie = self.store.get(body["movie"])
+        index = body["index"]
+        track_name = body["track"]
+        nbytes = movie.frame_bytes(track_name, index)
+        if nbytes <= 0:
+            raise ReproError(f"empty frame {index} on {track_name!r}")
+        self.frames_served += 1
+        return ServerReply(
+            body={"movie": movie.name, "track": track_name, "index": index},
+            body_bytes=48,
+            compute_seconds=FRAME_COMPUTE_SECONDS,
+            bulk=self.service.make_bulk(
+                nbytes, meta={"track": track_name, "index": index}
+            ),
+        )

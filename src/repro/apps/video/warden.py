@@ -1,0 +1,289 @@
+"""The video warden: type-specific support for movies (paper §5.1).
+
+"The warden supports two tsops: to read a movie's meta-data, and to get a
+particular frame from a specified track.  The warden performs read-ahead of
+frames to lower latency.  ...  If the player switches from a low fidelity
+track to a higher one, the warden discards the prefetched low-quality
+frames."
+
+Fetches are executed by a small pool of fetcher processes (depth 2 by
+default) so the per-frame request round trip overlaps the previous frame's
+data transfer — the read-ahead pipelining that makes a track whose demand
+is near link capacity sustainable.
+"""
+
+import math
+from collections import deque
+
+from repro.apps.video.codec import track as track_spec
+from repro.core.warden import Warden
+from repro.errors import OdysseyError
+
+#: How many frames ahead of the playback position the warden prefetches.
+READAHEAD_DEPTH = 8
+#: Concurrent fetches in flight (demand + read-ahead pipelining).
+#: Three keeps frame data flowing back-to-back: with fewer, a frame's
+#: initial call response queues behind the previous frame's fragments and
+#: a full round trip leaks into every frame time.
+FETCH_PIPELINE = 3
+
+
+class VideoWarden(Warden):
+    """Caches frames, reads ahead, serves the player's tsops."""
+
+    TSOPS = {
+        "get-meta": "tsop_get_meta",
+        "get-frame": "tsop_get_frame",
+        "cache-stats": "tsop_cache_stats",
+    }
+    FIDELITIES = {"bw": 0.01, "jpeg50": 0.50, "jpeg99": 1.00}
+
+    def __init__(self, sim, viceroy, name="video", cache_bytes=4 * 1024 * 1024,
+                 readahead=READAHEAD_DEPTH, pipeline=FETCH_PIPELINE):
+        super().__init__(sim, viceroy, name, cache_bytes=cache_bytes)
+        self.readahead = readahead
+        self._movie = None  # name of the movie being played
+        self._meta = None
+        self._track = None
+        self._position = -1
+        self._stride = 1
+        self._urgent = deque()
+        self._inflight = set()
+        self._arrivals = {}  # key -> Event for demand waiters
+        self._watchers = []  # (movie, track, min index, event) for catch-up
+        self._wakeups = []
+        self.frames_fetched = 0
+        self.bytes_wasted = 0  # prefetched then discarded
+        for i in range(pipeline):
+            sim.process(self._fetch_loop(), name=f"{name}.fetch{i}")
+
+    # -- tsops -------------------------------------------------------------
+
+    def tsop_get_meta(self, app, rest, inbuf):
+        """Fetch movie metadata; caches it for the session."""
+        movie = inbuf["movie"]
+        conn = self.primary_connection(rest)
+        meta, _ = yield from conn.call("get-meta", body={"movie": movie},
+                                       body_bytes=96)
+        self._movie = movie
+        self._meta = meta
+        return meta
+
+    def tsop_get_frame(self, app, rest, inbuf):
+        """Get the next displayable frame at or after ``index``.
+
+        Returns ``(actual_index, nbytes)``.  When bandwidth cannot sustain
+        the frame rate, the warden's read-ahead runs at a stride computed
+        from the viceroy's bandwidth estimate; serving the nearest frame the
+        pipeline has (or will shortly have) means no fetched byte is ever
+        wasted on a frame that cannot be shown.  Pass ``exact: True`` to
+        force fetching precisely ``index``.
+
+        Switching tracks here is what triggers the discard of stale
+        prefetched frames.
+        """
+        movie, track_name, index = inbuf["movie"], inbuf["track"], inbuf["index"]
+        self._note_track(track_name, index)
+        self._position = index
+        self._update_stride(track_name)
+        key = (movie, track_name, index)
+        cached = self.cache.get(key)
+        if cached is not None:
+            self._kick()
+            return index, cached
+        if not inbuf.get("exact", False):
+            candidate = self._nearest_available(movie, track_name, index)
+            if candidate is not None:
+                key = (movie, track_name, candidate)
+                self._position = candidate
+                cached = self.cache.get(key)
+                if cached is not None:
+                    self._kick()
+                    return candidate, cached
+                event = self._arrival_event(key)
+                self._kick()
+                nbytes = yield event
+                return candidate, nbytes
+            # Nothing at or beyond ``index`` is cached or in flight: the
+            # pipeline fell behind (a resync jump, or a cold start at low
+            # bandwidth).  Queueing an exact fetch here would wait behind
+            # every stale in-flight frame; instead wait for the first
+            # *fresh* arrival the realigned prefetcher produces.
+            event = self.sim.event(name=f"watch:{index}")
+            self._watchers.append((movie, track_name, index, event))
+            self._kick()
+            got_index, nbytes = yield event
+            self._position = got_index
+            return got_index, nbytes
+        if key not in self._inflight and key not in self._urgent:
+            self._urgent.append(key)
+        event = self._arrival_event(key)
+        self._kick()
+        nbytes = yield event
+        return key[2], nbytes
+
+    def _nearest_available(self, movie, track_name, index):
+        """Smallest cached or in-flight frame index >= ``index`` on track."""
+        best = None
+        for cached_key in self._list_cached():
+            m, t, i = cached_key
+            if m == movie and t == track_name and i >= index:
+                if best is None or i < best:
+                    best = i
+        for m, t, i in self._inflight:
+            if m == movie and t == track_name and i >= index:
+                if best is None or i < best:
+                    best = i
+        return best
+
+    def _update_stride(self, track_name):
+        """Prefetch stride from the bandwidth estimate and track demand.
+
+        ``ceil(track demand / available bandwidth)``: the spacing at which
+        sequential prefetch exactly keeps up with the playback clock.
+        """
+        if self._meta is None:
+            return
+        track_info = self._meta["tracks"].get(track_name)
+        if track_info is None:
+            return
+        conn = self.primary_connection()
+        available = self.viceroy.availability_for_connection(conn.connection_id)
+        if not available:
+            self._stride = 1
+            return
+        self._stride = max(1, math.ceil(track_info["bandwidth"] / available))
+
+    def tsop_cache_stats(self, app, rest, inbuf):
+        """Cache occupancy and hit statistics (diagnostics)."""
+        return {
+            "used_bytes": self.cache.used_bytes,
+            "entries": len(self.cache),
+            "hits": self.cache.hits,
+            "misses": self.cache.misses,
+            "wasted_bytes": self.bytes_wasted,
+        }
+        yield  # pragma: no cover - generator protocol
+
+    # -- vfs ------------------------------------------------------------------
+
+    def vfs_readdir(self, rest):
+        if rest:
+            raise OdysseyError(f"video warden has no directory {rest!r}")
+        return [self._movie] if self._movie else []
+
+    def vfs_stat(self, rest):
+        if self._meta is None or rest != self._movie:
+            raise OdysseyError(f"no metadata for {rest!r}; run get-meta first")
+        return {"size": self._meta["frames"], "type": "movie", "meta": self._meta}
+
+    # -- track switching ----------------------------------------------------------
+
+    def _note_track(self, track_name, position):
+        if track_name == self._track:
+            return
+        old, self._track = self._track, track_name
+        if old is None:
+            return
+        if track_spec(track_name).fidelity > track_spec(old).fidelity:
+            # Paper: on an upward switch, discard prefetched low-quality
+            # frames (they are beyond the playback position, never shown).
+            def stale(key):
+                _, key_track, key_index = key
+                return key_track == old and key_index >= position
+
+            discarded = [k for k in self._list_cached() if stale(k)]
+            for key in discarded:
+                self.bytes_wasted += self.cache.get(key) or 0
+                self.cache.discard(key)
+        # Stale urgent entries for another track are dropped; in-flight
+        # fetches complete and land in the cache harmlessly.
+        self._urgent = deque(k for k in self._urgent if k[1] == track_name)
+
+    def _list_cached(self):
+        return list(self.cache._entries.keys())
+
+    # -- fetch machinery -------------------------------------------------------------
+
+    def _arrival_event(self, key):
+        event = self._arrivals.get(key)
+        if event is None:
+            event = self.sim.event(name=f"frame:{key}")
+            self._arrivals[key] = event
+        return event
+
+    def _kick(self):
+        while self._wakeups:
+            self._wakeups.pop().succeed()
+
+    def _next_prefetch_key(self):
+        if self._movie is None or self._track is None or self._meta is None:
+            return None
+        n_frames = self._meta["frames"]
+        for step in range(1, self.readahead + 1):
+            index = self._position + step * self._stride
+            if index >= n_frames:
+                break
+            key = (self._movie, self._track, index)
+            if key in self.cache or key in self._inflight:
+                continue
+            return key
+        return None
+
+    def _take_work(self):
+        while self._urgent:
+            key = self._urgent.popleft()
+            if key not in self.cache and key not in self._inflight:
+                return key
+        return self._next_prefetch_key()
+
+    def _fetch_loop(self):
+        while True:
+            key = self._take_work()
+            if key is None:
+                wakeup = self.sim.event(name=f"{self.name}.wakeup")
+                self._wakeups.append(wakeup)
+                yield wakeup
+                continue
+            self._inflight.add(key)
+            try:
+                yield from self._fetch_one(key)
+            finally:
+                self._inflight.discard(key)
+
+    def _fetch_one(self, key):
+        movie, track_name, index = key
+        conn = self.primary_connection()
+        _, _, nbytes = yield from conn.fetch(
+            "get-frame",
+            body={"movie": movie, "track": track_name, "index": index},
+            body_bytes=96,
+        )
+        self.frames_fetched += 1
+        self.cache.put(key, nbytes, nbytes)
+        event = self._arrivals.pop(key, None)
+        if event is not None and not event.triggered:
+            event.succeed(nbytes)
+        if self._watchers:
+            satisfied = []
+            for watcher in self._watchers:
+                w_movie, w_track, w_index, w_event = watcher
+                if movie == w_movie and track_name == w_track and index >= w_index:
+                    if not w_event.triggered:
+                        w_event.succeed((index, nbytes))
+                    satisfied.append(watcher)
+            for watcher in satisfied:
+                self._watchers.remove(watcher)
+
+
+def build_video(sim, viceroy, network, store, server_host=None,
+                mount="/odyssey/video", **warden_kwargs):
+    """Wire server + warden; returns (warden, server)."""
+    from repro.apps.video.server import VideoServer  # local import avoids cycle
+
+    host = server_host or network.add_host("video-server")
+    server = VideoServer(sim, host, store)
+    warden = VideoWarden(sim, viceroy, **warden_kwargs)
+    warden.open_connection(host.name, "video")
+    viceroy.mount(mount, warden)
+    return warden, server

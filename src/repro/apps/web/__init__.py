@@ -1,0 +1,28 @@
+"""The adaptive web browser (paper §5.2).
+
+Netscape's source is closed, so the paper interposes: all requests are
+redirected to a client module called the *cellophane*, which uses the
+Odyssey API and selects fidelity levels; a *web warden* forwards requests
+over the mobile link to a *distillation server*, which fetches originals
+from web servers and distills images to the requested JPEG quality.
+Netscape passively benefits.
+"""
+
+from repro.apps.web.browser import BrowserStats, CellophaneBrowser
+from repro.apps.web.distill import DistillationServer
+from repro.apps.web.images import FIDELITY_LEVELS, ImageStore, WebImage, distilled_bytes
+from repro.apps.web.server import WebServer
+from repro.apps.web.warden import WebWarden, build_web
+
+__all__ = [
+    "BrowserStats",
+    "CellophaneBrowser",
+    "DistillationServer",
+    "FIDELITY_LEVELS",
+    "ImageStore",
+    "WebImage",
+    "WebServer",
+    "WebWarden",
+    "build_web",
+    "distilled_bytes",
+]

@@ -1,0 +1,69 @@
+"""The distillation server (paper §5.2, after Fox et al.).
+
+"The distillation server fetches requested objects from the appropriate Web
+server, distills them to the requested fidelity level, and sends the results
+to the warden."  It sits on the wired side of the network: the expensive
+hop — client to distillation server — is the modulated one.
+"""
+
+from repro.apps.web.images import distilled_bytes
+from repro.rpc.connection import RpcConnection, RpcService
+from repro.rpc.messages import ServerReply
+
+#: CPU time to decode + recompress one image.
+DISTILL_COMPUTE = 0.02
+#: CPU time to strip markup / summarize a text object (much cheaper).
+TEXT_DISTILL_COMPUTE = 0.005
+
+
+class DistillationServer:
+    """Distills images to a requested fidelity on behalf of mobile clients.
+
+    Operations:
+
+    - ``get-image`` — body ``{"name", "fidelity"}``; fetches the original
+      from the web server over its own (wired) RPC connection, distills,
+      and replies with a bulk source of the distilled bytes.  Fidelity 1.0
+      skips recompression and ships the original.
+    """
+
+    def __init__(self, sim, network, host, web_server_name, web_port="http",
+                 port="distill"):
+        self.sim = sim
+        self.service = RpcService(sim, host, port)
+        self.service.register("get-image", self._get_image)
+        self.web_connection = RpcConnection(
+            sim, network, web_server_name, web_port,
+            connection_id=f"{host.name}->{web_server_name}",
+            client_host=host,
+        )
+        self.images_distilled = 0
+        self.bytes_saved = 0
+
+    def _get_image(self, body):
+        """Generator handler: wired fetch, distill, reply with bulk.
+
+        Handles both images (JPEG recompression) and, per the paper's §8
+        short-term plan, text objects (markup stripping / summarization) —
+        ``body["kind"]`` selects the distillation table.
+        """
+        name, fidelity = body["name"], body["fidelity"]
+        kind = body.get("kind", "image")
+        _, meta, original_bytes = yield from self.web_connection.fetch(
+            "get-object", body={"name": name}, body_bytes=96
+        )
+        out_bytes = distilled_bytes(original_bytes, fidelity, kind=kind)
+        compute = 0.0
+        if fidelity < 1.0:
+            compute = DISTILL_COMPUTE if kind == "image" else TEXT_DISTILL_COMPUTE
+            self.bytes_saved += original_bytes - out_bytes
+        self.images_distilled += 1
+        return ServerReply(
+            body={"name": name, "fidelity": fidelity, "nbytes": out_bytes,
+                  "kind": kind},
+            body_bytes=64,
+            compute_seconds=compute,
+            bulk=self.service.make_bulk(
+                out_bytes, meta={"name": name, "fidelity": fidelity}
+            ),
+        )

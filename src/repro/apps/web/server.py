@@ -1,0 +1,29 @@
+"""The origin web server (kept on the test network for experimental control,
+exactly as in the paper §6.2.2)."""
+
+from repro.rpc.connection import RpcService
+from repro.rpc.messages import ServerReply
+
+#: Server time to locate and start serving an object (CGI-era web server).
+WEB_SERVER_COMPUTE = 0.10
+
+
+class WebServer:
+    """Serves original images by name via ``get-object``."""
+
+    def __init__(self, sim, host, store, port="http"):
+        self.sim = sim
+        self.store = store
+        self.service = RpcService(sim, host, port)
+        self.service.register("get-object", self._get_object)
+        self.requests = 0
+
+    def _get_object(self, body):
+        image = self.store.get(body["name"])
+        self.requests += 1
+        return ServerReply(
+            body={"name": image.name, "nbytes": image.nbytes},
+            body_bytes=64,
+            compute_seconds=WEB_SERVER_COMPUTE,
+            bulk=self.service.make_bulk(image.nbytes, meta={"name": image.name}),
+        )

@@ -1,0 +1,103 @@
+"""The web warden (paper §5.2).
+
+Transforms the cellophane's requests into fetches from the distillation
+server over the mobile connection.  "The warden provides a tsop to set the
+fidelity level."  A ``direct`` mode bypasses distillation and talks straight
+to the web server — the paper's unmodified-Ethernet baseline.
+"""
+
+from repro.apps.web.images import FIDELITY_LEVELS, KIND_LEVELS
+from repro.core.warden import Warden
+from repro.errors import OdysseyError
+
+
+class WebWarden(Warden):
+    """Fetches (possibly distilled) web objects for the browser."""
+
+    TSOPS = {
+        "set-fidelity": "tsop_set_fidelity",
+        "get-fidelity": "tsop_get_fidelity",
+        "get-image": "tsop_get_image",
+    }
+    FIDELITIES = {name: level for level, (name, _) in FIDELITY_LEVELS.items()}
+
+    def __init__(self, sim, viceroy, name="web", direct=False, **kwargs):
+        super().__init__(sim, viceroy, name, **kwargs)
+        self.direct = direct
+        #: Per-kind fidelity levels (images and, per §8, text objects).
+        self.fidelities = {"image": 1.0, "text": 1.0}
+        self.images_fetched = 0
+
+    @property
+    def fidelity(self):
+        """Image fidelity (the Fig. 11 dimension)."""
+        return self.fidelities["image"]
+
+    def tsop_set_fidelity(self, app, rest, inbuf):
+        """Set the fidelity used for subsequent fetches of a kind."""
+        level = float(inbuf["fidelity"])
+        kind = inbuf.get("kind", "image")
+        levels = KIND_LEVELS.get(kind)
+        if levels is None:
+            raise OdysseyError(f"unknown object kind {kind!r}")
+        if level not in levels:
+            raise OdysseyError(
+                f"{kind} fidelity {level!r} not offered; "
+                f"levels: {sorted(levels)}"
+            )
+        self.fidelities[kind] = level
+        return level
+        yield  # pragma: no cover - generator protocol
+
+    def tsop_get_fidelity(self, app, rest, inbuf):
+        """Current fidelity level for a kind (default: images)."""
+        return self.fidelities[inbuf.get("kind", "image") if inbuf else "image"]
+        yield  # pragma: no cover - generator protocol
+
+    def tsop_get_image(self, app, rest, inbuf):
+        """Fetch an image at the current fidelity.
+
+        Returns ``{"name", "fidelity", "nbytes"}``.  In ``direct`` mode the
+        original is fetched from the web server at full fidelity.
+        """
+        name = inbuf["name"]
+        kind = inbuf.get("kind", "image")
+        conn = self.primary_connection(rest)
+        if self.direct:
+            reply, _, nbytes = yield from conn.fetch(
+                "get-object", body={"name": name}, body_bytes=96
+            )
+            fidelity = 1.0
+        else:
+            fidelity = self.fidelities[kind]
+            reply, _, nbytes = yield from conn.fetch(
+                "get-image",
+                body={"name": name, "fidelity": fidelity, "kind": kind},
+                body_bytes=96,
+            )
+        self.images_fetched += 1
+        return {"name": name, "fidelity": fidelity, "nbytes": nbytes,
+                "kind": kind}
+
+
+def build_web(sim, viceroy, network, store, direct=False,
+              mount="/odyssey/web", **warden_kwargs):
+    """Wire web server (+ distillation server unless direct) and warden.
+
+    Returns ``(warden, distillation_server_or_None, web_server)``.
+    """
+    from repro.apps.web.distill import DistillationServer
+    from repro.apps.web.server import WebServer
+
+    web_host = network.add_host("web-server")
+    web_server = WebServer(sim, web_host, store)
+    distiller = None
+    warden = WebWarden(sim, viceroy, direct=direct, **warden_kwargs)
+    if direct:
+        warden.open_connection("web-server", "http")
+    else:
+        distill_host = network.add_host("distill-server")
+        distiller = DistillationServer(sim, network, distill_host, "web-server")
+        warden.open_connection("distill-server", "distill")
+    viceroy.mount(mount, warden)
+    return warden, distiller, web_server

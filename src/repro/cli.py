@@ -1,0 +1,238 @@
+"""Command-line interface: regenerate any paper artifact from a shell.
+
+Examples::
+
+    python -m repro calibration
+    python -m repro waveform urban-walk --format csv
+    python -m repro fig8 --waveform step-down
+    python -m repro fig10 --trials 5
+    python -m repro fig14 --trials 3
+    python -m repro scenario --policy odyssey
+"""
+
+import argparse
+import sys
+
+from repro.version import __version__
+
+
+def _cmd_calibration(args):
+    from repro.experiments.calibration import calibration_lines
+
+    for line in calibration_lines():
+        print(line)
+    return 0
+
+
+def _cmd_waveform(args):
+    from repro.trace.replay import serialize_trace
+    from repro.trace.scenarios import SCENARIO_MODELS, generate_scenario
+    from repro.trace.waveforms import WAVEFORMS, waveform
+
+    if args.name in SCENARIO_MODELS:
+        trace = generate_scenario(args.name, duration_seconds=args.duration,
+                                  seed=args.seed)
+    elif args.name in WAVEFORMS:
+        trace = waveform(args.name)
+    else:
+        trace = waveform(args.name)  # raises with the known-names message
+    if args.format == "trace":
+        print(serialize_trace(trace), end="")
+    else:  # csv of (time, bandwidth)
+        print("time_s,bandwidth_bytes_per_s")
+        t = 0.0
+        while t <= trace.duration:
+            print(f"{t:.2f},{trace.bandwidth_at(t):.0f}")
+            t += args.step
+    return 0
+
+
+def _cmd_fig8(args):
+    from repro.experiments.report import format_supply_result, series_to_csv
+    from repro.experiments.supply import (
+        REFERENCE_WAVEFORMS,
+        run_supply_experiment,
+    )
+
+    names = [args.waveform] if args.waveform else list(REFERENCE_WAVEFORMS)
+    for name in names:
+        result = run_supply_experiment(name, trials=args.trials)
+        if args.format == "csv":
+            print(series_to_csv(result.merged_series(),
+                                header="time_s,estimate_bytes_per_s"), end="")
+        else:
+            print(format_supply_result(result))
+    return 0
+
+
+def _cmd_fig9(args):
+    from repro.experiments.demand import UTILIZATIONS, run_demand_experiment
+    from repro.experiments.report import format_demand_result
+
+    utilizations = [args.utilization] if args.utilization else list(UTILIZATIONS)
+    for utilization in utilizations:
+        result = run_demand_experiment(utilization, trials=args.trials)
+        print(format_demand_result(result))
+    return 0
+
+
+def _cmd_fig10(args):
+    from repro.experiments.report import format_video_table
+    from repro.experiments.video import run_video_table
+
+    print(format_video_table(run_video_table(trials=args.trials)))
+    return 0
+
+
+def _cmd_fig11(args):
+    from repro.experiments.report import format_web_table
+    from repro.experiments.web import run_web_table
+
+    print(format_web_table(run_web_table(trials=args.trials)))
+    return 0
+
+
+def _cmd_fig12(args):
+    from repro.experiments.report import format_speech_table
+    from repro.experiments.speech import run_speech_table
+
+    print(format_speech_table(run_speech_table(trials=args.trials)))
+    return 0
+
+
+def _cmd_fig14(args):
+    from repro.experiments.concurrent import run_concurrent_table
+    from repro.experiments.report import format_concurrent_table
+
+    print(format_concurrent_table(run_concurrent_table(trials=args.trials)))
+    return 0
+
+
+def _cmd_turbulence(args):
+    from repro.experiments.turbulence import (
+        format_turbulence,
+        run_turbulence_sweep,
+    )
+
+    print(format_turbulence(run_turbulence_sweep(trials=args.trials)))
+    return 0
+
+
+def _cmd_adaptation(args):
+    from repro.experiments.adaptation import (
+        format_adaptation,
+        run_adaptation_experiment,
+    )
+
+    results = [run_adaptation_experiment(name, trials=args.trials)
+               for name in ("step-up", "step-down")]
+    print(format_adaptation(results))
+    return 0
+
+
+def _cmd_all(args):
+    from repro.experiments.summary import main as run_summary
+
+    run_summary(trials=args.trials, master_seed=args.seed,
+                out_path=args.out,
+                include_extensions=not args.no_extensions)
+    return 0
+
+
+def _cmd_scenario(args):
+    from repro.experiments.concurrent import PAPER_FIG14, run_concurrent_trial
+
+    result = run_concurrent_trial(args.policy, seed=args.seed)
+    video, web, speech = result.video, result.web, result.speech
+    paper = PAPER_FIG14[args.policy]
+    print(f"policy: {args.policy} (seed {args.seed})")
+    print(f"  video : drops {video.stats.drops} (paper {paper[0]}), "
+          f"fidelity {video.fidelity:.2f} (paper {paper[1]})")
+    print(f"  web   : {web.stats.mean_seconds:.2f} s (paper {paper[2]}), "
+          f"fidelity {web.stats.mean_fidelity:.2f} (paper {paper[3]})")
+    print(f"  speech: {speech.stats.mean_seconds:.2f} s (paper {paper[4]})")
+    return 0
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce 'Agile Application-Aware Adaptation for "
+                    "Mobility' (Odyssey, SOSP 1997)",
+    )
+    parser.add_argument("--version", action="version",
+                        version=f"repro {__version__}")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("calibration",
+                   help="print every calibrated constant and its provenance"
+                   ).set_defaults(fn=_cmd_calibration)
+
+    p = sub.add_parser("waveform", help="emit a reference waveform, the "
+                                        "urban walk, or a generated scenario")
+    p.add_argument("name", help="step-up, step-down, impulse-up, "
+                                "impulse-down, urban-walk, ethernet; or a "
+                                "generated family: urban, highway, office")
+    p.add_argument("--format", choices=("trace", "csv"), default="trace")
+    p.add_argument("--step", type=float, default=0.5,
+                   help="sampling step for csv output (seconds)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="seed for generated scenario families")
+    p.add_argument("--duration", type=float, default=900.0,
+                   help="duration for generated scenario families (seconds)")
+    p.set_defaults(fn=_cmd_waveform)
+
+    def experiment_parser(name, help_text, fn, extra=None):
+        p = sub.add_parser(name, help=help_text)
+        p.add_argument("--trials", type=int, default=3,
+                       help="trials per cell (paper uses 5)")
+        if extra:
+            extra(p)
+        p.set_defaults(fn=fn)
+        return p
+
+    experiment_parser(
+        "fig8", "supply-estimation agility", _cmd_fig8,
+        lambda p: (p.add_argument("--waveform"),
+                   p.add_argument("--format", choices=("text", "csv"),
+                                  default="text")),
+    )
+    experiment_parser(
+        "fig9", "demand-estimation agility", _cmd_fig9,
+        lambda p: p.add_argument("--utilization", type=float),
+    )
+    experiment_parser("fig10", "video player table", _cmd_fig10)
+    experiment_parser("fig11", "web browser table", _cmd_fig11)
+    experiment_parser("fig12", "speech recognizer table", _cmd_fig12)
+    experiment_parser("fig14", "concurrent applications table", _cmd_fig14)
+    experiment_parser("turbulence", "impulse detectability sweep",
+                      _cmd_turbulence)
+    experiment_parser("adaptation", "end-to-end adaptation agility",
+                      _cmd_adaptation)
+    experiment_parser(
+        "all", "regenerate every table and figure into one report",
+        _cmd_all,
+        lambda p: (p.add_argument("--out", help="also write the report here"),
+                   p.add_argument("--seed", type=int, default=0),
+                   p.add_argument("--no-extensions", action="store_true",
+                                  help="paper artifacts only")),
+    )
+
+    p = sub.add_parser("scenario",
+                       help="one urban-walk trial under a chosen policy")
+    p.add_argument("--policy", default="odyssey",
+                   choices=("odyssey", "laissez-faire", "blind-optimism"))
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(fn=_cmd_scenario)
+
+    return parser
+
+
+def main(argv=None):
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

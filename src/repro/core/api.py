@@ -1,0 +1,117 @@
+"""The per-application Odyssey API (paper Fig. 3).
+
+One :class:`OdysseyAPI` instance per application process.  It bundles:
+
+- ``request`` / ``cancel`` — resource negotiation, by path or descriptor;
+- upcall handler registration (``on_upcall``);
+- ``tsop`` — type-specific operations, by path or file descriptor;
+- file operations on Odyssey objects (``open`` / ``read`` / ``write`` /
+  ``close`` / ``stat`` / ``readdir``) routed through the interceptor.
+
+The paper notes that ``request`` and ``tsop`` have variants identifying
+objects by file descriptor rather than pathname; both variants exist here
+(``request_fd``, ``tsop_fd``).
+"""
+
+import itertools
+
+from repro.core.resources import Resource, ResourceDescriptor, Window
+from repro.errors import OdysseyError
+
+
+class OdysseyAPI:
+    """System-call surface bound to one application."""
+
+    def __init__(self, viceroy, app_name):
+        self.viceroy = viceroy
+        self.app = app_name
+        self._fds = {}
+        self._fd_counter = itertools.count(3)  # 0-2 taken, as tradition demands
+
+    # -- resource negotiation ---------------------------------------------------
+
+    def request(self, path, resource, lower, upper, handler="default"):
+        """Register a window of tolerance on ``resource`` for ``path``.
+
+        Returns a request id.  Raises
+        :class:`~repro.errors.ToleranceError` (carrying the current level)
+        if availability is already outside [lower, upper].
+        """
+        descriptor = ResourceDescriptor(
+            resource=resource, window=Window(lower, upper), handler=handler
+        )
+        return self.viceroy.request(self.app, path, descriptor)
+
+    def request_fd(self, fd, resource, lower, upper, handler="default"):
+        """The file-descriptor variant of :meth:`request`."""
+        return self.request(self._path_of(fd), resource, lower, upper, handler)
+
+    def cancel(self, request_id):
+        """Discard a registered request."""
+        self.viceroy.cancel(request_id)
+
+    def on_upcall(self, handler_name, fn):
+        """Bind ``fn(upcall)`` as this application's named upcall handler."""
+        self.viceroy.upcalls.register(self.app, handler_name, fn)
+
+    def availability(self, path, resource=Resource.NETWORK_BANDWIDTH):
+        """Convenience query of current availability for ``path``."""
+        return self.viceroy.availability(resource, path=path)
+
+    # -- type-specific operations -------------------------------------------------
+
+    def tsop(self, path, opcode, inbuf=None):
+        """Type-specific operation (generator; drive with ``yield from``)."""
+        result = yield from self.viceroy.tsop(self.app, path, opcode, inbuf)
+        return result
+
+    def tsop_fd(self, fd, opcode, inbuf=None):
+        """The file-descriptor variant of :meth:`tsop`."""
+        result = yield from self.tsop(self._path_of(fd), opcode, inbuf)
+        return result
+
+    # -- file operations ------------------------------------------------------------
+
+    def open(self, path, flags="r"):
+        """Open an Odyssey object; returns a file descriptor (int)."""
+        warden, handle = self.viceroy.vfs_open(self.app, path, flags)
+        fd = next(self._fd_counter)
+        self._fds[fd] = (path, warden, handle)
+        return fd
+
+    def read(self, fd, nbytes=None):
+        """Read from an open descriptor (generator)."""
+        _, warden, handle = self._entry(fd)
+        result = yield from warden.vfs_read(self.app, handle, nbytes)
+        return result
+
+    def write(self, fd, data):
+        """Write to an open descriptor (generator)."""
+        _, warden, handle = self._entry(fd)
+        result = yield from warden.vfs_write(self.app, handle, data)
+        return result
+
+    def close(self, fd):
+        """Close a descriptor."""
+        _, warden, handle = self._entry(fd)
+        warden.vfs_close(self.app, handle)
+        del self._fds[fd]
+
+    def stat(self, path):
+        """Object metadata (dict with at least 'size')."""
+        return self.viceroy.vfs_stat(path)
+
+    def readdir(self, path):
+        """List names under an Odyssey directory."""
+        return self.viceroy.vfs_readdir(path)
+
+    # -- internals ---------------------------------------------------------------------
+
+    def _entry(self, fd):
+        entry = self._fds.get(fd)
+        if entry is None:
+            raise OdysseyError(f"bad file descriptor {fd!r}")
+        return entry
+
+    def _path_of(self, fd):
+        return self._entry(fd)[0]

@@ -1,0 +1,171 @@
+"""The in-kernel interceptor and the local file system it guards (§4.1).
+
+Fig. 2 of the paper: "Operations on Odyssey objects are redirected to the
+viceroy by a small in-kernel interceptor module.  All other system calls
+are handled directly by NetBSD."  This module completes that picture: a
+single system-call surface that routes each path-based operation either to
+the viceroy (under ``/odyssey``) or to an ordinary local file system.
+
+:class:`LocalFS` is a minimal in-memory Unix-like tree — enough for
+applications that mix Odyssey objects with plain files (logs, preferences,
+spooled speech utterances).  :class:`Interceptor` is the dispatcher.
+"""
+
+import posixpath
+
+from repro.core.namespace import normalize
+from repro.errors import NoSuchObject, OdysseyError
+
+
+class LocalFS:
+    """A tiny in-memory file system standing in for NetBSD's FFS.
+
+    Supports the operations the interceptor needs to forward: open/read/
+    write/close, stat, unlink, mkdir, readdir.  Directories are implicit
+    for file creation but explicit entries may be made with mkdir.
+    """
+
+    def __init__(self):
+        self._files = {}  # path -> bytes-like content (str is fine)
+        self._dirs = {"/"}
+
+    # -- files -------------------------------------------------------------
+
+    def exists(self, path):
+        path = normalize(path)
+        return path in self._files or path in self._dirs
+
+    def write_file(self, path, content):
+        path = normalize(path)
+        if path in self._dirs:
+            raise OdysseyError(f"{path!r} is a directory")
+        parent = posixpath.dirname(path)
+        self._ensure_dir(parent)
+        self._files[path] = content
+        return len(content)
+
+    def read_file(self, path):
+        path = normalize(path)
+        content = self._files.get(path)
+        if content is None:
+            raise NoSuchObject(f"no such file {path!r}")
+        return content
+
+    def append_file(self, path, content):
+        path = normalize(path)
+        existing = self._files.get(path, "")
+        self._files[path] = existing + content
+        self._ensure_dir(posixpath.dirname(path))
+        return len(content)
+
+    def unlink(self, path):
+        path = normalize(path)
+        if path not in self._files:
+            raise NoSuchObject(f"no such file {path!r}")
+        del self._files[path]
+
+    def stat(self, path):
+        path = normalize(path)
+        if path in self._files:
+            return {"size": len(self._files[path]), "type": "file"}
+        if path in self._dirs:
+            return {"size": 0, "type": "directory"}
+        raise NoSuchObject(f"no such path {path!r}")
+
+    # -- directories ---------------------------------------------------------
+
+    def mkdir(self, path):
+        path = normalize(path)
+        if path in self._files:
+            raise OdysseyError(f"{path!r} exists as a file")
+        self._ensure_dir(path)
+
+    def _ensure_dir(self, path):
+        path = normalize(path) if path else "/"
+        while path not in self._dirs:
+            self._dirs.add(path)
+            if path == "/":
+                break
+            path = posixpath.dirname(path)
+
+    def readdir(self, path):
+        path = normalize(path)
+        if path not in self._dirs:
+            raise NoSuchObject(f"no such directory {path!r}")
+        prefix = path.rstrip("/") + "/"
+        names = set()
+        for candidate in list(self._files) + list(self._dirs):
+            if candidate != path and candidate.startswith(prefix):
+                rest = candidate[len(prefix):]
+                names.add(rest.split("/", 1)[0])
+        return sorted(names)
+
+
+class Interceptor:
+    """Routes path operations to the viceroy or the local file system.
+
+    The application-visible contract of Fig. 2: one ``open``/``stat``/
+    ``readdir`` surface; paths under the Odyssey root reach wardens, all
+    others the local FS.  Only the small Odyssey-path test lives "in the
+    kernel" — everything else is delegation.
+    """
+
+    def __init__(self, api, localfs=None):
+        self.api = api
+        self.localfs = localfs or LocalFS()
+        self.redirected = 0
+        self.passed_through = 0
+
+    def is_odyssey(self, path):
+        return self.api.viceroy.namespace.is_odyssey_path(path)
+
+    def open(self, path, flags="r"):
+        """Open either kind of object.
+
+        Returns ``("odyssey", fd)`` or ``("local", path)`` — local files
+        need no descriptor state beyond the path in this in-memory FS.
+        """
+        if self.is_odyssey(path):
+            self.redirected += 1
+            return ("odyssey", self.api.open(path, flags))
+        self.passed_through += 1
+        if flags == "r" and not self.localfs.exists(path):
+            raise NoSuchObject(f"no such file {path!r}")
+        return ("local", normalize(path))
+
+    def read(self, handle, nbytes=None):
+        """Read from an opened handle.  Generator (local reads are instant
+        but keep the same calling convention)."""
+        kind, ref = handle
+        if kind == "odyssey":
+            result = yield from self.api.read(ref, nbytes)
+            return result
+        content = self.localfs.read_file(ref)
+        return content if nbytes is None else content[:nbytes]
+
+    def write(self, handle, data):
+        """Write through an opened handle.  Generator."""
+        kind, ref = handle
+        if kind == "odyssey":
+            result = yield from self.api.write(ref, data)
+            return result
+        return self.localfs.write_file(ref, data)
+
+    def close(self, handle):
+        kind, ref = handle
+        if kind == "odyssey":
+            self.api.close(ref)
+
+    def stat(self, path):
+        if self.is_odyssey(path):
+            self.redirected += 1
+            return self.api.stat(path)
+        self.passed_through += 1
+        return self.localfs.stat(path)
+
+    def readdir(self, path):
+        if self.is_odyssey(path):
+            self.redirected += 1
+            return self.api.readdir(path)
+        self.passed_through += 1
+        return self.localfs.readdir(path)

@@ -1,0 +1,165 @@
+"""Monitors for the non-network resources of Fig. 3(c).
+
+The paper's prototype "only manages the most critical resource in mobile
+computing: network bandwidth", with the rest listed as medium-term work
+(§8).  We implement them: each monitor tracks one resource's availability,
+reports it through :meth:`current`, and pokes the viceroy whenever the level
+changes so registered windows are re-checked and upcalls generated.
+
+All monitors share the :class:`ResourceMonitor` contract the viceroy
+expects: a ``resource`` attribute, ``current()``, and ``attach(viceroy)``.
+"""
+
+from repro.core.resources import Resource
+from repro.errors import OdysseyError, ReproError
+
+
+class ResourceMonitor:
+    """Base class: level storage plus viceroy notification."""
+
+    resource = None
+
+    def __init__(self, sim):
+        self.sim = sim
+        self.viceroy = None
+        self.history = []  # (time, level)
+
+    def attach(self, viceroy):
+        self.viceroy = viceroy
+
+    def current(self):
+        """Current availability, in the resource's Fig. 3(c) unit."""
+        raise NotImplementedError
+
+    def _changed(self):
+        self.history.append((self.sim.now, self.current()))
+        if self.viceroy is not None:
+            self.viceroy.monitor_changed(self.resource)
+
+
+class BatteryMonitor(ResourceMonitor):
+    """Battery power in minutes remaining.
+
+    A linear drain model: the battery loses wall-clock minutes scaled by a
+    load factor (1.0 = nominal draw).  Applications that light up radios or
+    CPUs raise the factor via :meth:`set_load`.  The level is re-published
+    every ``tick`` seconds.
+    """
+
+    resource = Resource.BATTERY_POWER
+
+    def __init__(self, sim, capacity_minutes, load=1.0, tick=1.0):
+        super().__init__(sim)
+        if capacity_minutes <= 0:
+            raise ReproError(f"capacity must be positive, got {capacity_minutes!r}")
+        self.capacity_minutes = float(capacity_minutes)
+        self._remaining = float(capacity_minutes)
+        self._load = load
+        self.tick = tick
+        sim.process(self._drain_loop(), name="battery.drain")
+
+    @property
+    def load(self):
+        return self._load
+
+    def set_load(self, load):
+        """Set the drain multiplier (>= 0)."""
+        if load < 0:
+            raise ReproError(f"load must be >= 0, got {load!r}")
+        self._load = load
+
+    def current(self):
+        return max(self._remaining, 0.0)
+
+    def _drain_loop(self):
+        while self._remaining > 0:
+            yield self.sim.timeout(self.tick)
+            self._remaining -= self._load * self.tick / 60.0
+            self._changed()
+
+
+class CpuMonitor(ResourceMonitor):
+    """CPU availability in SPECint95 (rating scaled by idle fraction)."""
+
+    resource = Resource.CPU
+
+    def __init__(self, sim, rating_specint95, load=0.0):
+        super().__init__(sim)
+        if rating_specint95 <= 0:
+            raise ReproError(f"rating must be positive, got {rating_specint95!r}")
+        self.rating = float(rating_specint95)
+        self._load = load
+
+    @property
+    def load(self):
+        return self._load
+
+    def set_load(self, load):
+        """Set utilization in [0, 1]; publishes the change."""
+        if not 0.0 <= load <= 1.0:
+            raise ReproError(f"load must be in [0, 1], got {load!r}")
+        self._load = load
+        self._changed()
+
+    def current(self):
+        return self.rating * (1.0 - self._load)
+
+
+class DiskCacheMonitor(ResourceMonitor):
+    """Free disk cache space in kilobytes, aggregated over warden caches."""
+
+    resource = Resource.DISK_CACHE_SPACE
+
+    def __init__(self, sim):
+        super().__init__(sim)
+        self._caches = []
+
+    def watch(self, cache):
+        """Include a :class:`~repro.core.warden.WardenCache` in the total."""
+        if cache in self._caches:
+            raise OdysseyError("cache already watched")
+        self._caches.append(cache)
+
+    def current(self):
+        free = sum(c.capacity_bytes - c.used_bytes for c in self._caches)
+        return free / 1024.0
+
+    def poll(self):
+        """Re-publish the level (caches have no change hooks; callers poll)."""
+        self._changed()
+
+
+class MoneyMonitor(ResourceMonitor):
+    """Remaining communication budget in cents.
+
+    Models a metered network tariff: :meth:`charge_bytes` debits transfer
+    volume at ``cents_per_megabyte``; arbitrary debits via :meth:`charge`.
+    """
+
+    resource = Resource.MONEY
+
+    def __init__(self, sim, budget_cents, cents_per_megabyte=0.0):
+        super().__init__(sim)
+        if budget_cents < 0:
+            raise ReproError(f"budget must be >= 0, got {budget_cents!r}")
+        self.budget_cents = float(budget_cents)
+        self._spent = 0.0
+        self.cents_per_megabyte = cents_per_megabyte
+
+    def charge(self, cents):
+        """Debit ``cents`` (>= 0) and publish the new level."""
+        if cents < 0:
+            raise ReproError(f"charge must be >= 0, got {cents!r}")
+        self._spent += cents
+        self._changed()
+
+    def charge_bytes(self, nbytes):
+        """Debit a transfer of ``nbytes`` at the configured tariff."""
+        self.charge(self.cents_per_megabyte * nbytes / (1024.0 * 1024.0))
+
+    @property
+    def spent(self):
+        return self._spent
+
+    def current(self):
+        return max(self.budget_cents - self._spent, 0.0)

@@ -1,0 +1,150 @@
+"""Dynamic function-vs-data shipping (paper §8).
+
+"The speech application suggests the importance of being able to
+dynamically decide whether to ship data or computation.  This capability is
+currently provided in an ad hoc manner by the speech warden.  Extending
+Odyssey to provide full support for deciding between dynamic function or
+data shipping would enable us to more thoroughly explore this tradeoff."
+
+This module is that extension: a placement engine any warden can use.  A
+*plan* names one way to execute an operation — how many bytes move up and
+down, and how much computation runs locally vs remotely.  The engine
+predicts each plan's completion time from the viceroy's current bandwidth
+and round-trip estimates, picks the fastest, and applies hysteresis so a
+noisy estimate cannot flap placement decisions.
+"""
+
+from dataclasses import dataclass
+
+from repro.errors import ReproError
+
+#: A new plan must beat the incumbent by this fraction to displace it.
+DEFAULT_HYSTERESIS = 0.10
+#: Bandwidth assumed before any estimate exists (pessimistic mobile default).
+DEFAULT_BANDWIDTH_GUESS = 32 * 1024
+DEFAULT_ROUND_TRIP_GUESS = 0.021
+
+
+@dataclass(frozen=True)
+class Plan:
+    """One placement of an operation's work.
+
+    ``ship_bytes`` move over the mobile link before remote work starts;
+    ``result_bytes`` come back after it.  Pure-local plans have zero bytes
+    and zero remote seconds.
+    """
+
+    name: str
+    local_seconds: float = 0.0
+    remote_seconds: float = 0.0
+    ship_bytes: int = 0
+    result_bytes: int = 0
+
+    def __post_init__(self):
+        if self.local_seconds < 0 or self.remote_seconds < 0:
+            raise ReproError(f"plan {self.name!r}: negative compute time")
+        if self.ship_bytes < 0 or self.result_bytes < 0:
+            raise ReproError(f"plan {self.name!r}: negative byte count")
+
+    @property
+    def uses_network(self):
+        return self.ship_bytes > 0 or self.result_bytes > 0 \
+            or self.remote_seconds > 0
+
+
+class PlacementEngine:
+    """Predicts plan completion times and chooses placements with hysteresis."""
+
+    def __init__(self, viceroy=None, connection_id=None,
+                 hysteresis=DEFAULT_HYSTERESIS):
+        if hysteresis < 0:
+            raise ReproError(f"hysteresis must be >= 0, got {hysteresis!r}")
+        self.viceroy = viceroy
+        self.connection_id = connection_id
+        self.hysteresis = hysteresis
+        self.decisions = []  # (plan name, predicted seconds, bandwidth)
+        self._incumbent = None
+
+    # -- estimates --------------------------------------------------------------
+
+    def current_bandwidth(self):
+        """Bytes/s from the viceroy, or the pessimistic default."""
+        if self.viceroy is not None and self.connection_id is not None:
+            level = self.viceroy.availability_for_connection(self.connection_id)
+            if level:
+                return level
+        return DEFAULT_BANDWIDTH_GUESS
+
+    def current_round_trip(self):
+        if self.viceroy is not None and self.connection_id is not None:
+            rtt = self.viceroy.policy.round_trip(self.connection_id)
+            if rtt:
+                return rtt
+        return DEFAULT_ROUND_TRIP_GUESS
+
+    # -- prediction ---------------------------------------------------------------
+
+    def predict(self, plan, bandwidth=None, round_trip=None):
+        """Predicted completion time of ``plan`` in seconds."""
+        if not plan.uses_network:
+            return plan.local_seconds
+        bandwidth = bandwidth or self.current_bandwidth()
+        round_trip = round_trip if round_trip is not None \
+            else self.current_round_trip()
+        transfer = (plan.ship_bytes + plan.result_bytes) / bandwidth
+        return (plan.local_seconds + round_trip + transfer
+                + plan.remote_seconds)
+
+    def decide(self, plans, bandwidth=None):
+        """The fastest plan, sticky to the incumbent within hysteresis.
+
+        Returns the chosen :class:`Plan`.  The decision and its inputs are
+        appended to :attr:`decisions` for inspection.
+        """
+        if not plans:
+            raise ReproError("decide() needs at least one plan")
+        bandwidth = bandwidth or self.current_bandwidth()
+        predictions = {plan.name: self.predict(plan, bandwidth=bandwidth)
+                       for plan in plans}
+        best = min(plans, key=lambda plan: predictions[plan.name])
+        chosen = best
+        if self._incumbent is not None:
+            incumbent = next((p for p in plans
+                              if p.name == self._incumbent), None)
+            if incumbent is not None and best.name != incumbent.name:
+                # Only displace the incumbent for a clear win.
+                if predictions[best.name] > \
+                        predictions[incumbent.name] * (1 - self.hysteresis):
+                    chosen = incumbent
+        self._incumbent = chosen.name
+        self.decisions.append(
+            (chosen.name, predictions[chosen.name], bandwidth)
+        )
+        return chosen
+
+    def reset(self):
+        """Forget the incumbent (e.g. after a network technology switch)."""
+        self._incumbent = None
+
+
+def crossover_bandwidth(plan_a, plan_b, round_trip=DEFAULT_ROUND_TRIP_GUESS):
+    """Bandwidth at which two plans' predicted times are equal.
+
+    Returns ``math.inf`` when the byte-lighter plan is also compute-lighter
+    (it wins at every bandwidth).  Analysis helper — e.g. the speech
+    hybrid/remote crossover of Fig. 12's discussion.
+    """
+    import math
+
+    bytes_a = plan_a.ship_bytes + plan_a.result_bytes
+    bytes_b = plan_b.ship_bytes + plan_b.result_bytes
+    compute_a = plan_a.local_seconds + plan_a.remote_seconds \
+        + (round_trip if plan_a.uses_network else 0.0)
+    compute_b = plan_b.local_seconds + plan_b.remote_seconds \
+        + (round_trip if plan_b.uses_network else 0.0)
+    byte_gap = bytes_a - bytes_b
+    compute_gap = compute_b - compute_a
+    if byte_gap == 0:
+        return math.inf
+    crossover = byte_gap / compute_gap if compute_gap != 0 else math.inf
+    return crossover if crossover > 0 else math.inf

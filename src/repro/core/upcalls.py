@@ -1,0 +1,151 @@
+"""Upcalls: Odyssey's notification mechanism (paper §4.3).
+
+"Upcalls closely resemble Unix signals, but offer improved functionality.
+Like signals, upcalls can be sent to one or more processes, can be blocked
+or ignored, and have similar inheritance semantics on process fork.  Unlike
+signals, upcalls offer exactly-once, in-order semantics for each receiver of
+a particular upcall.  Further, upcalls allow parameters to be passed to
+target processes and results to be returned."
+
+The dispatcher keeps one FIFO per receiving application.  Deliveries are
+asynchronous (a small fixed dispatch latency models the kernel-to-user
+crossing) and strictly ordered per receiver.  Blocking a receiver queues
+deliveries; ignoring a handler discards them.  ``fork`` copies handler
+registrations to a child, mirroring signal-disposition inheritance.
+"""
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.errors import OdysseyError
+
+#: Simulated dispatch latency per upcall, seconds.
+UPCALL_LATENCY = 0.0005
+
+
+@dataclass(frozen=True)
+class Upcall:
+    """Parameters delivered to a handler (paper Fig. 3d)."""
+
+    request_id: int
+    resource: object
+    level: float
+
+
+class _Receiver:
+    """Per-application delivery state."""
+
+    def __init__(self, app):
+        self.app = app
+        self.handlers = {}
+        self.ignored = set()
+        self.blocked = False
+        self.queue = deque()
+        self.delivering = False
+        self.delivered = []  # (time, handler_name, upcall) for inspection
+
+
+class UpcallDispatcher:
+    """Exactly-once, in-order upcall delivery to registered applications."""
+
+    def __init__(self, sim, latency=UPCALL_LATENCY):
+        self.sim = sim
+        self.latency = latency
+        self._receivers = {}
+        #: Handler return values: (app, handler, result), in delivery order.
+        self.results = []
+
+    def _receiver(self, app, create=False):
+        receiver = self._receivers.get(app)
+        if receiver is None:
+            if not create:
+                raise OdysseyError(f"unknown upcall receiver {app!r}")
+            receiver = self._receivers[app] = _Receiver(app)
+        return receiver
+
+    # -- registration ----------------------------------------------------------
+
+    def register(self, app, handler_name, fn):
+        """Bind ``fn`` as ``app``'s handler named ``handler_name``.
+
+        ``fn(upcall)`` is invoked at delivery; its return value is recorded
+        (upcalls may return results to the sender's log).
+        """
+        receiver = self._receiver(app, create=True)
+        receiver.handlers[handler_name] = fn
+        receiver.ignored.discard(handler_name)
+
+    def ignore(self, app, handler_name):
+        """Discard future deliveries to ``handler_name`` (like SIG_IGN)."""
+        self._receiver(app, create=True).ignored.add(handler_name)
+
+    def block(self, app):
+        """Queue deliveries to ``app`` until :meth:`unblock` (like sigprocmask)."""
+        self._receiver(app, create=True).blocked = True
+
+    def unblock(self, app):
+        """Resume delivery, draining anything queued while blocked, in order."""
+        receiver = self._receiver(app)
+        receiver.blocked = False
+        self._pump(receiver)
+
+    def fork(self, parent, child):
+        """Copy handler dispositions from ``parent`` to a new ``child``.
+
+        Pending (queued) deliveries are *not* inherited, matching signal
+        semantics: the child starts with an empty pending set.
+        """
+        source = self._receiver(parent)
+        target = self._receiver(child, create=True)
+        target.handlers = dict(source.handlers)
+        target.ignored = set(source.ignored)
+        target.blocked = source.blocked
+
+    def delivered_to(self, app):
+        """Delivery records for ``app``: list of (time, handler, upcall)."""
+        return list(self._receiver(app, create=True).delivered)
+
+    # -- sending ------------------------------------------------------------------
+
+    def send(self, app, handler_name, upcall):
+        """Queue ``upcall`` for ``app``'s ``handler_name``.
+
+        Delivery happens after the dispatch latency, in FIFO order per
+        receiver, exactly once.  Unknown receivers raise; unknown handler
+        names raise at delivery time (the registration was validated when
+        the request was made, so this indicates handler deregistration).
+        """
+        receiver = self._receiver(app)
+        receiver.queue.append((handler_name, upcall))
+        self._pump(receiver)
+
+    def broadcast(self, apps, handler_name, upcall):
+        """Send the same upcall to several receivers ("one or more processes")."""
+        for app in apps:
+            self.send(app, handler_name, upcall)
+
+    # -- delivery machinery ----------------------------------------------------------
+
+    def _pump(self, receiver):
+        if receiver.delivering or receiver.blocked or not receiver.queue:
+            return
+        receiver.delivering = True
+        self.sim.call_in(self.latency, self._deliver_next, receiver)
+
+    def _deliver_next(self, receiver):
+        receiver.delivering = False
+        if receiver.blocked or not receiver.queue:
+            return
+        handler_name, upcall = receiver.queue.popleft()
+        if handler_name not in receiver.ignored:
+            fn = receiver.handlers.get(handler_name)
+            if fn is None:
+                raise OdysseyError(
+                    f"app {receiver.app!r} has no upcall handler {handler_name!r}"
+                )
+            receiver.delivered.append((self.sim.now, handler_name, upcall))
+            # "upcalls allow parameters to be passed to target processes and
+            # results to be returned" (§4.3): keep the handler's result for
+            # the sender's inspection.
+            self.results.append((receiver.app, handler_name, fn(upcall)))
+        self._pump(receiver)

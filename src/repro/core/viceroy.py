@@ -1,0 +1,244 @@
+"""The viceroy: centralized, type-independent resource management (§3.2).
+
+The viceroy is responsible for:
+
+- routing operations on Odyssey objects to the managing warden (via the
+  :class:`~repro.core.namespace.Namespace`, standing in for the in-kernel
+  interceptor);
+- monitoring resources — network bandwidth through the RPC logs and its
+  :class:`~repro.core.policies.Policy`, other resources through attached
+  :mod:`~repro.core.monitors`;
+- tracking ``request`` registrations and generating upcalls the moment a
+  resource's availability leaves a registered window of tolerance.
+
+A registration is one-shot: once violated and notified, it is dropped; the
+application re-registers with a window matching its new fidelity (paper
+§4.3).
+"""
+
+from repro.core.namespace import Namespace
+from repro.core.policies import OdysseyPolicy
+from repro.core.resources import Registration, Resource
+from repro.core.upcalls import Upcall, UpcallDispatcher
+from repro.errors import (
+    BadDescriptor,
+    OdysseyError,
+    RequestNotFound,
+    ToleranceError,
+)
+
+
+class Viceroy:
+    """Central resource manager for one mobile client."""
+
+    def __init__(self, sim, network, policy=None, upcalls=None, root="/odyssey"):
+        self.sim = sim
+        self.network = network
+        self.policy = policy or OdysseyPolicy()
+        self.policy.attach(self)
+        self.namespace = Namespace(root)
+        self.upcalls = upcalls or UpcallDispatcher(sim)
+        self._registrations = {}
+        self._connections = {}  # connection_id -> (conn, warden)
+        self._monitors = {}  # Resource -> monitor
+        self.upcalls_sent = 0
+
+    # -- wiring -------------------------------------------------------------
+
+    def mount(self, prefix, warden):
+        """Mount ``warden`` into the Odyssey namespace."""
+        self.namespace.mount(prefix, warden)
+
+    def register_connection(self, conn, warden=None):
+        """Adopt an RPC connection: subscribe to its log, inform the policy."""
+        if conn.connection_id in self._connections:
+            raise OdysseyError(f"connection {conn.connection_id!r} already registered")
+        self._connections[conn.connection_id] = (conn, warden)
+        self.policy.register_connection(conn)
+        conn.log.subscribe(self)
+
+    def unregister_connection(self, connection_id):
+        conn, _ = self._connections.pop(connection_id)
+        conn.log.unsubscribe(self)
+        self.policy.unregister_connection(connection_id)
+
+    def attach_monitor(self, monitor):
+        """Adopt a non-bandwidth resource monitor (battery, CPU, ...)."""
+        if monitor.resource in self._monitors:
+            raise OdysseyError(f"monitor for {monitor.resource} already attached")
+        self._monitors[monitor.resource] = monitor
+        monitor.attach(self)
+
+    # -- log observation (RpcLog observer interface) ---------------------------
+
+    def on_round_trip(self, log, entry):
+        self.policy.on_round_trip(log, entry)
+        self._recheck(Resource.NETWORK_LATENCY, connection_id=log.connection_id)
+
+    def on_throughput(self, log, entry):
+        self.policy.on_throughput(log, entry)
+        self.recheck_bandwidth()
+
+    def monitor_changed(self, resource):
+        """A monitor's level moved; re-check its registrations."""
+        self._recheck(resource)
+
+    # -- availability -----------------------------------------------------------
+
+    def availability(self, resource, connection_id=None, path=None):
+        """Current availability of ``resource`` (None if not yet known).
+
+        Bandwidth and latency are per-connection: give either the
+        connection id or an Odyssey path whose warden identifies it.
+        """
+        if resource is Resource.NETWORK_BANDWIDTH:
+            cid = self._connection_for(connection_id, path)
+            return None if cid is None else self.policy.availability(cid)
+        if resource is Resource.NETWORK_LATENCY:
+            cid = self._connection_for(connection_id, path)
+            if cid is None:
+                return None
+            rtt = self.policy.round_trip(cid)
+            return rtt * 1e6 / 2.0 if rtt else None  # one-way, microseconds
+        monitor = self._monitors.get(resource)
+        if monitor is None:
+            raise BadDescriptor(f"no monitor attached for resource {resource}")
+        return monitor.current()
+
+    def total_bandwidth(self):
+        """The policy's estimate of total client bandwidth (or None)."""
+        return self.policy.total()
+
+    def availability_for_connection(self, connection_id):
+        """Shorthand: bandwidth available to one connection (or None)."""
+        return self.availability(
+            Resource.NETWORK_BANDWIDTH, connection_id=connection_id
+        )
+
+    def _connection_for(self, connection_id, path):
+        if connection_id is not None:
+            if connection_id not in self._connections:
+                raise OdysseyError(f"unknown connection {connection_id!r}")
+            return connection_id
+        if path is not None:
+            warden, rest = self.namespace.resolve(path)
+            return warden.primary_connection(rest).connection_id
+        return None
+
+    # -- the request/cancel interface (paper Fig. 3a) ------------------------------
+
+    def request(self, app, path, descriptor):
+        """Register a window of tolerance (paper §4.2).
+
+        If the resource is currently outside the window, raises
+        :class:`~repro.errors.ToleranceError` carrying the available level
+        — the application is expected to retry with a window matching a
+        new fidelity.  Otherwise returns a unique request id.
+        """
+        resource = descriptor.resource
+        connection_id = None
+        if resource in (Resource.NETWORK_BANDWIDTH, Resource.NETWORK_LATENCY):
+            connection_id = self._connection_for(None, path)
+            level = self.availability(resource, connection_id=connection_id)
+        else:
+            level = self.availability(resource)
+        if level is not None and not descriptor.window.contains(level):
+            raise ToleranceError(resource, level)
+        registration = Registration(
+            app=app, path=path, descriptor=descriptor, connection_id=connection_id
+        )
+        self._registrations[registration.request_id] = registration
+        return registration.request_id
+
+    def cancel(self, request_id):
+        """Discard a registration (paper Fig. 3a)."""
+        if request_id not in self._registrations:
+            raise RequestNotFound(f"no registered request {request_id!r}")
+        del self._registrations[request_id]
+
+    def registered_requests(self, app=None):
+        """Live registrations, optionally filtered by application."""
+        return [r for r in self._registrations.values()
+                if app is None or r.app == app]
+
+    # -- window checking ------------------------------------------------------------
+
+    def recheck_bandwidth(self):
+        """Re-check every bandwidth registration (estimate or level changed)."""
+        self._recheck(Resource.NETWORK_BANDWIDTH)
+
+    def _recheck(self, resource, connection_id=None):
+        violated = []
+        for registration in self._registrations.values():
+            descriptor = registration.descriptor
+            if descriptor.resource is not resource:
+                continue
+            if (connection_id is not None
+                    and registration.connection_id != connection_id):
+                continue
+            level = self.availability(
+                resource, connection_id=registration.connection_id
+            ) if registration.connection_id else self.availability(resource)
+            if level is None:
+                continue
+            if not descriptor.window.contains(level):
+                violated.append((registration, level))
+        for registration, level in violated:
+            del self._registrations[registration.request_id]
+            self.upcalls_sent += 1
+            self.upcalls.send(
+                registration.app,
+                registration.descriptor.handler,
+                Upcall(registration.request_id, resource, level),
+            )
+
+    # -- object operations (delegated through the namespace) --------------------------
+
+    def tsop(self, app, path, opcode, inbuf=None):
+        """Type-specific operation (paper Fig. 3e).  Generator."""
+        warden, rest = self.namespace.resolve(path)
+        result = yield from warden.tsop(app, rest, opcode, inbuf)
+        return result
+
+    def vfs_open(self, app, path, flags="r"):
+        warden, rest = self.namespace.resolve(path)
+        return warden, warden.vfs_open(app, rest, flags)
+
+    def vfs_stat(self, path):
+        warden, rest = self.namespace.resolve(path)
+        return warden.vfs_stat(rest)
+
+    def vfs_readdir(self, path):
+        return self.namespace.readdir(path)
+
+    # -- introspection ---------------------------------------------------------
+
+    def describe(self):
+        """A snapshot of the viceroy's state, for debugging and tooling.
+
+        Returns a dict: mounts, connections (with availability), attached
+        monitors (with levels), live registrations, and counters.
+        """
+        connections = {}
+        for cid in self._connections:
+            try:
+                connections[cid] = self.policy.availability(cid)
+            except Exception:  # noqa: BLE001 - introspection must not throw
+                connections[cid] = None
+        return {
+            "policy": self.policy.name,
+            "total_bandwidth": self.total_bandwidth(),
+            "mounts": {prefix: warden.name
+                       for prefix, warden in self.namespace.mounts.items()},
+            "connections": connections,
+            "monitors": {resource.label: monitor.current()
+                         for resource, monitor in self._monitors.items()},
+            "registrations": [
+                {"request_id": r.request_id, "app": r.app, "path": r.path,
+                 "resource": r.descriptor.resource.label,
+                 "window": (r.descriptor.window.lower,
+                            r.descriptor.window.upper)}
+                for r in self._registrations.values()
+            ],
+            "upcalls_sent": self.upcalls_sent,
+        }

@@ -1,0 +1,186 @@
+"""Wardens: type-specific system components (paper §3.2).
+
+"A warden encapsulates the system-level support at a client necessary to
+effectively manage a data type."  Wardens are subordinate to the viceroy,
+communicate with their servers over logged RPC connections, cache data, and
+expose fidelity levels through type-specific operations.
+
+:class:`Warden` is the base class concrete wardens (video, web, speech,
+bitstream) extend.  :class:`WardenCache` is a byte-accounted LRU cache used
+by wardens that cache server data; its occupancy backs the disk-cache-space
+resource monitor.
+"""
+
+from collections import OrderedDict
+
+from repro.errors import NoSuchObject, NoSuchOperation, OdysseyError
+from repro.rpc.connection import RpcConnection
+
+
+class WardenCache:
+    """A byte-accounted LRU cache of warden objects."""
+
+    def __init__(self, capacity_bytes):
+        if capacity_bytes <= 0:
+            raise OdysseyError(f"cache capacity must be positive, got {capacity_bytes!r}")
+        self.capacity_bytes = capacity_bytes
+        self._entries = OrderedDict()  # key -> (value, nbytes)
+        self.used_bytes = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __contains__(self, key):
+        return key in self._entries
+
+    def __len__(self):
+        return len(self._entries)
+
+    def get(self, key):
+        """Return the cached value or None, updating recency and stats."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry[0]
+
+    def put(self, key, value, nbytes):
+        """Insert ``value``; evicts LRU entries to stay within capacity.
+
+        Objects larger than the whole cache are refused (returns False).
+        """
+        if nbytes > self.capacity_bytes:
+            return False
+        if key in self._entries:
+            self.discard(key)
+        while self.used_bytes + nbytes > self.capacity_bytes:
+            old_key, (_, old_bytes) = self._entries.popitem(last=False)
+            self.used_bytes -= old_bytes
+            self.evictions += 1
+        self._entries[key] = (value, nbytes)
+        self.used_bytes += nbytes
+        return True
+
+    def discard(self, key):
+        """Remove ``key`` if present; returns True if something was removed."""
+        entry = self._entries.pop(key, None)
+        if entry is None:
+            return False
+        self.used_bytes -= entry[1]
+        return True
+
+    def discard_matching(self, predicate):
+        """Remove all entries whose key satisfies ``predicate``; returns count.
+
+        Used by the video warden, which discards prefetched low-quality
+        frames when switching to a higher-fidelity track (paper §5.1).
+        """
+        doomed = [key for key in self._entries if predicate(key)]
+        for key in doomed:
+            self.discard(key)
+        return len(doomed)
+
+    def clear(self):
+        self._entries.clear()
+        self.used_bytes = 0
+
+
+class Warden:
+    """Base class for type-specific wardens.
+
+    Subclasses:
+
+    - set :attr:`TSOPS`, mapping opcode strings to method names; tsop
+      methods are generators ``(app, rest, inbuf) -> outbuf``;
+    - implement the ``vfs_*`` hooks they support;
+    - describe their fidelity levels in :attr:`FIDELITIES`, a mapping of
+      level name to a numeric fidelity in (0, 1] (strictly increasing with
+      quality, as §6.1.2 requires).
+
+    Wardens are statically linked with the viceroy in the paper; here they
+    are registered with :meth:`Viceroy.mount` and share its address space
+    trivially.
+    """
+
+    #: opcode -> method name for type-specific operations.
+    TSOPS = {}
+    #: fidelity level name -> numeric fidelity in (0, 1].
+    FIDELITIES = {}
+
+    def __init__(self, sim, viceroy, name, cache_bytes=8 * 1024 * 1024):
+        self.sim = sim
+        self.viceroy = viceroy
+        self.name = name
+        self.cache = WardenCache(cache_bytes)
+        self.connections = []
+
+    def __repr__(self):
+        return f"<{self.__class__.__name__} {self.name!r}>"
+
+    # -- connections ----------------------------------------------------------
+
+    def open_connection(self, server_name, server_port, connection_id=None,
+                        **rpc_kwargs):
+        """Create a logged RPC connection and register it with the viceroy.
+
+        Applications never contact servers directly (paper §4.1): all
+        communication flows through warden connections, which is what makes
+        centralized observation possible.
+        """
+        connection_id = connection_id or f"{self.name}:{len(self.connections)}"
+        conn = RpcConnection(
+            self.sim, self.viceroy.network, server_name, server_port,
+            connection_id, **rpc_kwargs,
+        )
+        self.connections.append(conn)
+        self.viceroy.register_connection(conn, warden=self)
+        return conn
+
+    def primary_connection(self, rest=None):
+        """The connection serving ``rest`` (default: the first one)."""
+        if not self.connections:
+            raise OdysseyError(f"warden {self.name!r} has no connections")
+        return self.connections[0]
+
+    # -- tsop dispatch -----------------------------------------------------------
+
+    def tsop(self, app, rest, opcode, inbuf):
+        """Dispatch a type-specific operation.  Generator."""
+        method_name = self.TSOPS.get(opcode)
+        if method_name is None:
+            raise NoSuchOperation(
+                f"warden {self.name!r} has no tsop {opcode!r}; "
+                f"supported: {sorted(self.TSOPS)}"
+            )
+        method = getattr(self, method_name)
+        result = yield from method(app, rest, inbuf)
+        return result
+
+    # -- vfs hooks (subclasses override what they support) ------------------------
+
+    def vfs_open(self, app, rest, flags="r"):
+        """Open an object; returns an opaque per-open handle object."""
+        raise NoSuchObject(f"warden {self.name!r} does not support open on {rest!r}")
+
+    def vfs_read(self, app, handle, nbytes):
+        """Read from an open object.  Generator returning bytes-like or object."""
+        raise NoSuchObject(f"warden {self.name!r} does not support read")
+        yield  # pragma: no cover - makes this a generator
+
+    def vfs_write(self, app, handle, data):
+        """Write to an open object.  Generator."""
+        raise NoSuchObject(f"warden {self.name!r} does not support write")
+        yield  # pragma: no cover - makes this a generator
+
+    def vfs_close(self, app, handle):
+        """Close an open handle (default: no-op)."""
+
+    def vfs_stat(self, rest):
+        """Metadata for an object: a dict with at least 'size'."""
+        raise NoSuchObject(f"warden {self.name!r} does not support stat on {rest!r}")
+
+    def vfs_readdir(self, rest):
+        """Names under ``rest`` (virtual-directory naming)."""
+        raise NoSuchObject(f"warden {self.name!r} does not support readdir on {rest!r}")

@@ -1,0 +1,75 @@
+"""Exception hierarchy shared across the reproduction.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause while
+still letting programming errors (``TypeError`` etc.) propagate.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class SimulationError(ReproError):
+    """A misuse of the simulation kernel (e.g. rescheduling a fired event)."""
+
+
+class ProcessInterrupt(ReproError):
+    """Raised inside a simulated process that another process interrupted.
+
+    The ``cause`` attribute carries the value passed to
+    :meth:`repro.sim.Process.interrupt`.
+    """
+
+    def __init__(self, cause=None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class NetworkError(ReproError):
+    """Base class for simulated network failures."""
+
+
+class LinkDown(NetworkError):
+    """A packet was offered to a link whose bandwidth is currently zero."""
+
+
+class RpcError(ReproError):
+    """Base class for simulated RPC failures."""
+
+
+class RpcTimeout(RpcError):
+    """An RPC exchange exceeded its timeout without completing."""
+
+
+class OdysseyError(ReproError):
+    """Base class for errors returned by the Odyssey API."""
+
+
+class ToleranceError(OdysseyError):
+    """A ``request`` call found the resource outside the requested window.
+
+    Mirrors the paper's API: the error carries the currently available level
+    so the application can immediately pick a new fidelity and re-request.
+    """
+
+    def __init__(self, resource_id, available):
+        super().__init__(f"resource {resource_id!r} outside window; available={available}")
+        self.resource_id = resource_id
+        self.available = available
+
+
+class NoSuchObject(OdysseyError):
+    """An Odyssey path did not resolve to any warden-managed object."""
+
+
+class NoSuchOperation(OdysseyError):
+    """A ``tsop`` opcode is not supported by the object's warden."""
+
+
+class BadDescriptor(OdysseyError):
+    """A resource descriptor is malformed (unknown resource, bad bounds)."""
+
+
+class RequestNotFound(OdysseyError):
+    """``cancel`` named a request identifier that is not registered."""

@@ -1,0 +1,107 @@
+"""Agility metrics (paper §6.1.1).
+
+The paper characterizes agility the way control systems do: subject the
+system to reference waveforms and measure properties of its response.  The
+headline number is the **settling time** — "the time required to reach and
+stay within the nominal bandwidth range" after a transition.
+
+All functions take a *series*: an iterable of ``(time, value)`` pairs in
+nondecreasing time order.
+"""
+
+import math
+
+from repro.errors import ReproError
+
+
+def _validate_series(series):
+    series = list(series)
+    for i in range(1, len(series)):
+        if series[i][0] < series[i - 1][0]:
+            raise ReproError("series times must be nondecreasing")
+    return series
+
+
+def series_bounds(target, tolerance=0.10):
+    """The nominal band around ``target``: ``(lo, hi)``."""
+    return target * (1.0 - tolerance), target * (1.0 + tolerance)
+
+
+def settling_time(series, transition, target, tolerance=0.10, horizon=None):
+    """Seconds after ``transition`` until the series enters — and stays in —
+    the nominal band around ``target``.
+
+    Only samples in ``[transition, horizon]`` are considered (``horizon``
+    defaults to the last sample).  Returns ``math.inf`` if the series never
+    settles; ``0.0`` if every post-transition sample is already in band.
+    Raises if there are no samples after the transition.
+    """
+    series = _validate_series(series)
+    lo, hi = series_bounds(target, tolerance)
+    window = [(t, v) for (t, v) in series
+              if t >= transition and (horizon is None or t <= horizon)]
+    if not window:
+        raise ReproError(f"no samples after transition t={transition!r}")
+    settled_from = None
+    for t, v in window:
+        if lo <= v <= hi:
+            if settled_from is None:
+                settled_from = t
+        else:
+            settled_from = None
+    if settled_from is None:
+        return math.inf
+    return settled_from - transition
+
+
+def detection_delay(series, transition, old_level, new_level, fraction=0.5):
+    """Seconds after ``transition`` until the estimate has moved ``fraction``
+    of the way from ``old_level`` to ``new_level``.
+
+    Measures the *leading edge* of the response (how fast a change is
+    noticed), as distinct from full settling.  Returns ``math.inf`` if the
+    threshold is never crossed.
+    """
+    if not 0 < fraction <= 1:
+        raise ReproError(f"fraction must be in (0, 1], got {fraction!r}")
+    series = _validate_series(series)
+    threshold = old_level + fraction * (new_level - old_level)
+    rising = new_level > old_level
+    for t, v in series:
+        if t < transition:
+            continue
+        if (rising and v >= threshold) or (not rising and v <= threshold):
+            return t - transition
+    return math.inf
+
+
+def tracking_error(series, trace, start=None, end=None):
+    """Mean absolute error between the series and the trace's true bandwidth.
+
+    Each sample is compared against ``trace.bandwidth_at(t)``; the result is
+    normalized by the trace's mean bandwidth over the interval, giving a
+    unitless figure (0 = perfect tracking).
+    """
+    series = _validate_series(series)
+    samples = [(t, v) for (t, v) in series
+               if (start is None or t >= start) and (end is None or t <= end)]
+    if not samples:
+        raise ReproError("tracking_error: no samples in interval")
+    abs_error = sum(abs(v - trace.bandwidth_at(t)) for t, v in samples)
+    lo = start if start is not None else samples[0][0]
+    hi = end if end is not None else samples[-1][0]
+    scale = trace.mean_bandwidth(lo, max(hi, lo + 1e-9))
+    if scale <= 0:
+        raise ReproError("tracking_error: trace mean bandwidth is zero")
+    return abs_error / len(samples) / scale
+
+
+def time_in_band(series, target, tolerance=0.10, start=None, end=None):
+    """Fraction of samples within the nominal band (coarse agility score)."""
+    series = _validate_series(series)
+    lo, hi = series_bounds(target, tolerance)
+    samples = [v for (t, v) in series
+               if (start is None or t >= start) and (end is None or t <= end)]
+    if not samples:
+        raise ReproError("time_in_band: no samples in interval")
+    return sum(1 for v in samples if lo <= v <= hi) / len(samples)

@@ -1,0 +1,62 @@
+"""Exponentially weighted smoothing with an optional rise cap (paper Eq. 1)."""
+
+from repro.errors import ReproError
+
+
+class EwmaFilter:
+    """``new = gain * measured + (1 - gain) * old``.
+
+    Parameters
+    ----------
+    gain:
+        Weight on the new measurement, in (0, 1].  The paper uses 0.75 for
+        round-trip times and 0.875 for throughput.
+    rise_cap:
+        If given, the filtered value may rise by at most this fraction per
+        update ("we cap the percentage rise possible at each estimate").
+        Falls are never capped — erring toward underestimation is the safe
+        direction for bandwidth.
+    initial:
+        Starting value; if None, the first sample initializes the filter
+        directly (uncapped).
+    """
+
+    def __init__(self, gain, rise_cap=None, initial=None):
+        if not 0 < gain <= 1:
+            raise ReproError(f"gain must be in (0, 1], got {gain!r}")
+        if rise_cap is not None and rise_cap <= 0:
+            raise ReproError(f"rise_cap must be positive, got {rise_cap!r}")
+        self.gain = gain
+        self.rise_cap = rise_cap
+        self._value = initial
+        self.updates = 0
+
+    @property
+    def value(self):
+        """Current filtered value, or None before any sample."""
+        return self._value
+
+    @property
+    def primed(self):
+        """True once at least one sample has been absorbed."""
+        return self._value is not None
+
+    def update(self, sample):
+        """Absorb ``sample``; returns the new filtered value."""
+        if sample < 0:
+            raise ReproError(f"negative sample {sample!r}")
+        self.updates += 1
+        if self._value is None:
+            self._value = float(sample)
+            return self._value
+        candidate = self.gain * sample + (1.0 - self.gain) * self._value
+        if self.rise_cap is not None and self._value > 0:
+            ceiling = self._value * (1.0 + self.rise_cap)
+            candidate = min(candidate, ceiling)
+        self._value = candidate
+        return self._value
+
+    def reset(self, value=None):
+        """Forget history; optionally seed with ``value``."""
+        self._value = value
+        self.updates = 0

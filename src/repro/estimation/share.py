@@ -1,0 +1,163 @@
+"""Centralized estimation: total client bandwidth and per-connection shares.
+
+"The viceroy collects information from all logs to estimate the total
+bandwidth available to the client.  It then estimates the fraction of this
+bandwidth likely to be available to each connection.  A connection estimate
+is composed of two parts: a competed-for part proportional to recent use,
+and a fair-share part reflecting an expected lower bound."  (paper §6.2.1)
+
+Mechanism for the total: each throughput entry observed on any connection
+covers an interval during which the client's link was (at least partly)
+busy.  Summing the bytes *all* connections received during that interval and
+dividing by the window's effective time yields a sample of the link's
+capacity regardless of how many connections shared it:
+
+- one connection bursting alone: its own bytes over its own window — the
+  full link rate;
+- two saturating connections: each window interval includes the other
+  connection's concurrent bytes, so the sample again reflects the full link.
+
+The sample feeds the same Eq. 1 smoothing as per-connection estimates.
+"""
+
+from repro.errors import ReproError
+from repro.estimation.bandwidth import (
+    MAX_CORRECTION_FACTOR,
+    MIN_EFFECTIVE_SECONDS,
+    ConnectionEstimator,
+    THROUGHPUT_GAIN,
+)
+from repro.estimation.ewma import EwmaFilter
+
+#: Sliding window over which "recent use" is measured, seconds.  Long
+#: enough to average over several transfer bursts of a lightly-loaded
+#: connection (a 10 %-utilization bitstream bursts every ~2.7 s).
+USAGE_HORIZON = 8.0
+#: Fraction of the total reserved as equal fair shares (the lower bound).
+FAIR_FRACTION = 0.25
+
+
+class ClientShares:
+    """Total-bandwidth estimate plus per-connection availability split."""
+
+    def __init__(self, sim, gain=THROUGHPUT_GAIN, usage_horizon=USAGE_HORIZON,
+                 fair_fraction=FAIR_FRACTION, estimator_kwargs=None):
+        if not 0 < fair_fraction <= 1:
+            raise ReproError(f"fair_fraction must be in (0, 1], got {fair_fraction!r}")
+        self.sim = sim
+        self.usage_horizon = usage_horizon
+        self.fair_fraction = fair_fraction
+        self.total_filter = EwmaFilter(gain)
+        self.total_history = []  # (time, total estimate)
+        self._logs = {}  # connection_id -> RpcLog
+        self._estimators = {}  # connection_id -> ConnectionEstimator
+        #: Forwarded to each ConnectionEstimator (ablation studies vary
+        #: gains and the rise cap here).
+        self.estimator_kwargs = estimator_kwargs or {}
+
+    # -- registration ---------------------------------------------------------
+
+    def register(self, log):
+        """Track ``log`` (an :class:`~repro.rpc.logs.RpcLog`)."""
+        if log.connection_id in self._logs:
+            raise ReproError(f"connection {log.connection_id!r} already registered")
+        self._logs[log.connection_id] = log
+        self._estimators[log.connection_id] = ConnectionEstimator(
+            self.sim, log.connection_id, **self.estimator_kwargs
+        )
+
+    def unregister(self, connection_id):
+        """Stop tracking a connection."""
+        self._logs.pop(connection_id, None)
+        self._estimators.pop(connection_id, None)
+
+    @property
+    def connection_count(self):
+        return len(self._logs)
+
+    def estimator(self, connection_id):
+        """The per-connection estimator (used for R in Eq. 2)."""
+        return self._estimators[connection_id]
+
+    # -- log-entry absorption ---------------------------------------------------
+
+    def on_round_trip(self, log, entry):
+        self._estimators[log.connection_id].on_round_trip(log, entry)
+
+    def on_throughput(self, log, entry):
+        """Absorb a window observation; returns the new total estimate.
+
+        The capacity sample combines two estimators, each exact in its own
+        regime:
+
+        - the connection's own Eq. 2 estimate (bytes over T minus the dead
+          round trip) — correct when the window ran alone, where the dead
+          time really was idle link;
+        - the aggregate raw rate (all connections' bytes during the window
+          over the full window time) — correct when concurrent traffic kept
+          the link busy through the observer's dead time (subtracting R
+          there would double-count and overestimate without bound).
+
+        ``max`` selects the applicable one: competition can only raise the
+        aggregate, and solo operation can only make the correction valid.
+        """
+        estimator = self._estimators[log.connection_id]
+        estimator.on_throughput(log, entry)  # keep the per-connection view fresh
+        aggregate = 0
+        competing = False
+        for other in self._logs.values():
+            aggregate += other.bytes_delivered_between(entry.started, entry.at)
+            if other is not log and other.recent_rate(3.0) > 1024:
+                competing = True
+        aggregate = max(aggregate, entry.nbytes)
+        aggregate_raw = aggregate / max(entry.seconds, MIN_EFFECTIVE_SECONDS)
+        if competing:
+            # Another connection has been moving real traffic: concurrent
+            # transfers keep the link busy through this window's dead time
+            # (so the raw aggregate is the capacity), and they pollute the
+            # round-trip log (so Eq. 2's correction cannot be trusted).
+            sample = aggregate_raw
+        else:
+            sample = max(estimator.bandwidth_sample(entry, log), aggregate_raw)
+        total = self.total_filter.update(sample)
+        self.total_history.append((self.sim.now, total))
+        return total
+
+    # -- queries -----------------------------------------------------------------
+
+    @property
+    def total(self):
+        """Smoothed total client bandwidth (bytes/s), or None before data."""
+        return self.total_filter.value
+
+    def usage(self, connection_id):
+        """Recent consumption rate of one connection (bytes/s)."""
+        return self._logs[connection_id].recent_rate(self.usage_horizon)
+
+    def availability(self, connection_id):
+        """Bandwidth likely available to ``connection_id`` (bytes/s).
+
+        ``fair_fraction`` of the total is divided equally (the expected
+        lower bound); the rest is split in proportion to recent use.  With a
+        single connection this degenerates to the total.  Returns None
+        before any throughput observation.
+        """
+        if connection_id not in self._logs:
+            raise ReproError(f"unknown connection {connection_id!r}")
+        total = self.total
+        if total is None:
+            return None
+        n = len(self._logs)
+        fair = self.fair_fraction * total / n
+        usages = {cid: self.usage(cid) for cid in self._logs}
+        denominator = sum(usages.values())
+        if denominator <= 0:
+            weight = 1.0 / n
+        else:
+            weight = usages[connection_id] / denominator
+        competed = (1.0 - self.fair_fraction) * total * weight
+        return fair + competed
+
+    def snapshot(self):
+        """A dict of availability per connection (diagnostics and tests)."""
+        return {cid: self.availability(cid) for cid in self._logs}

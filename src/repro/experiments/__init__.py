@@ -1,0 +1,23 @@
+"""Experiment harnesses regenerating every table and figure (paper §6).
+
+One module per artifact:
+
+- :mod:`repro.experiments.supply` — Fig. 8, supply-estimation agility.
+- :mod:`repro.experiments.demand` — Fig. 9, demand-estimation agility.
+- :mod:`repro.experiments.video` — Fig. 10, video player table.
+- :mod:`repro.experiments.web` — Fig. 11, web browser table.
+- :mod:`repro.experiments.speech` — Fig. 12, speech recognizer table.
+- :mod:`repro.experiments.concurrent` — Figs. 13-14, concurrent applications
+  on the urban-walk trace under three resource-management policies.
+
+Shared machinery lives in :mod:`repro.experiments.harness` (trial seeding,
+priming, jitter) and :mod:`repro.experiments.stats` (mean/σ cells).  Every
+experiment follows the paper's methodology: a 30-second priming period at
+the waveform's initial bandwidth, five seeded trials, and mean (standard
+deviation) reporting.
+"""
+
+from repro.experiments.harness import ExperimentWorld, seeded_rngs
+from repro.experiments.stats import Cell, summarize
+
+__all__ = ["Cell", "ExperimentWorld", "seeded_rngs", "summarize"]

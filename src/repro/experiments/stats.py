@@ -1,0 +1,48 @@
+"""Mean/σ cells, formatted the way the paper's tables print them."""
+
+import math
+
+from repro.errors import ReproError
+
+
+class Cell:
+    """A table cell: the mean of several trials with standard deviation.
+
+    Prints as ``mean (σ)`` — e.g. ``169 (2.4)`` — matching the paper's
+    convention "Each observation is the mean of five trials, with standard
+    deviations given in parentheses."
+    """
+
+    def __init__(self, values, precision=2):
+        values = [float(v) for v in values]
+        if not values:
+            raise ReproError("a Cell needs at least one value")
+        self.values = values
+        self.precision = precision
+
+    @property
+    def mean(self):
+        return sum(self.values) / len(self.values)
+
+    @property
+    def std(self):
+        n = len(self.values)
+        if n < 2:
+            return 0.0
+        mu = self.mean
+        return math.sqrt(sum((v - mu) ** 2 for v in self.values) / (n - 1))
+
+    def __format__(self, spec):
+        return format(str(self), spec)
+
+    def __str__(self):
+        p = self.precision
+        return f"{self.mean:.{p}f} ({self.std:.{p}f})"
+
+    def __repr__(self):
+        return f"Cell({self})"
+
+
+def summarize(values, precision=2):
+    """Shorthand constructor used by experiment modules."""
+    return Cell(values, precision=precision)

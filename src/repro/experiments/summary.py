@@ -1,0 +1,99 @@
+"""One-shot reproduction: run every table and figure, emit one report.
+
+``python -m repro all --trials 5 --out report.txt`` regenerates the
+complete evaluation — the artifact a referee would ask for.
+"""
+
+import io
+
+from repro.experiments.calibration import calibration_lines
+
+
+def run_everything(trials=3, master_seed=0, include_extensions=True):
+    """Run all experiments; returns the report text.
+
+    Imports are local so the cost of each experiment is only paid when the
+    summary actually runs.
+    """
+    from repro.experiments import concurrent, demand, speech, supply, video, web
+    from repro.experiments.report import (
+        format_concurrent_table,
+        format_demand_result,
+        format_speech_table,
+        format_supply_result,
+        format_video_table,
+        format_web_table,
+    )
+
+    out = io.StringIO()
+
+    def emit(*lines):
+        for line in lines:
+            out.write(str(line) + "\n")
+
+    emit("=" * 72)
+    emit("Reproduction report — 'Agile Application-Aware Adaptation for "
+         "Mobility'")
+    emit(f"trials per observation: {trials}   master seed: {master_seed}")
+    emit("=" * 72, "")
+    emit(*calibration_lines())
+    emit("")
+
+    emit("-" * 72)
+    for name, result in supply.run_all_supply(trials, master_seed).items():
+        emit(format_supply_result(result))
+    emit("")
+
+    emit("-" * 72)
+    for utilization, result in demand.run_all_demand(trials,
+                                                     master_seed).items():
+        emit(format_demand_result(result))
+    emit("")
+
+    for title, runner, formatter in (
+        ("video", video.run_video_table, format_video_table),
+        ("web", web.run_web_table, format_web_table),
+        ("speech", speech.run_speech_table, format_speech_table),
+        ("concurrent", concurrent.run_concurrent_table,
+         format_concurrent_table),
+    ):
+        emit("-" * 72)
+        emit(formatter(runner(trials=trials, master_seed=master_seed)))
+        emit("")
+
+    if include_extensions:
+        from repro.experiments.adaptation import (
+            format_adaptation,
+            run_adaptation_experiment,
+        )
+        from repro.experiments.turbulence import (
+            format_turbulence,
+            run_turbulence_sweep,
+        )
+
+        emit("-" * 72)
+        emit(format_adaptation(
+            [run_adaptation_experiment(name, trials=trials,
+                                       master_seed=master_seed)
+             for name in ("step-up", "step-down")]
+        ))
+        emit("")
+        emit("-" * 72)
+        emit(format_turbulence(run_turbulence_sweep(trials=trials,
+                                                    master_seed=master_seed)))
+        emit("")
+
+    emit("=" * 72)
+    emit("end of report")
+    return out.getvalue()
+
+
+def main(trials=3, master_seed=0, out_path=None, include_extensions=True):
+    """Run and print (and optionally save) the full report."""
+    report = run_everything(trials=trials, master_seed=master_seed,
+                            include_extensions=include_extensions)
+    print(report, end="")
+    if out_path:
+        with open(out_path, "w", encoding="utf-8") as handle:
+            handle.write(report)
+    return report

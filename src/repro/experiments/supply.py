@@ -1,0 +1,122 @@
+"""Fig. 8 — agility of bandwidth estimation under varying supply.
+
+"To measure agility with respect to bandwidth supply, we ran a synthetic
+Odyssey application, bitstream, that consumed data as fast as possible
+through a streaming warden over a single connection from a server.  During
+data transfer, we varied network bandwidth in accordance with the reference
+waveforms."
+"""
+
+from dataclasses import dataclass, field
+
+from repro.apps.bitstream import build_bitstream
+from repro.estimation.agility import detection_delay, settling_time, tracking_error
+from repro.experiments.harness import DEFAULT_TRIALS, ExperimentWorld, seeded_rngs
+from repro.experiments.stats import Cell
+from repro.trace.waveforms import (
+    HIGH_BANDWIDTH,
+    LOW_BANDWIDTH,
+    WAVEFORM_DURATION,
+    waveform as make_waveform,
+)
+
+#: The four §6.1.1 reference waveforms.
+REFERENCE_WAVEFORMS = ("step-up", "step-down", "impulse-up", "impulse-down")
+
+
+def _levels(name):
+    """(initial level, post-transition level, transition time) for a waveform."""
+    transition = WAVEFORM_DURATION / 2
+    if name == "step-up":
+        return LOW_BANDWIDTH, HIGH_BANDWIDTH, transition
+    if name == "step-down":
+        return HIGH_BANDWIDTH, LOW_BANDWIDTH, transition
+    if name == "impulse-up":
+        return LOW_BANDWIDTH, HIGH_BANDWIDTH, None
+    if name == "impulse-down":
+        return HIGH_BANDWIDTH, LOW_BANDWIDTH, None
+    raise ValueError(f"not a reference waveform: {name!r}")
+
+
+@dataclass
+class SupplyTrial:
+    """One trial's estimate series (times relative to waveform start)."""
+
+    waveform: str
+    series: list  # (t, estimated bandwidth bytes/s)
+    settling: float  # seconds (steps only; None for impulses)
+    detection: float  # seconds to cross halfway (steps only)
+
+
+@dataclass
+class SupplyResult:
+    """Fig. 8 for one waveform: five overlaid trials plus summary metrics."""
+
+    waveform: str
+    trials: list = field(default_factory=list)
+
+    @property
+    def settling_cell(self):
+        values = [t.settling for t in self.trials if t.settling is not None]
+        return Cell(values) if values else None
+
+    @property
+    def detection_cell(self):
+        values = [t.detection for t in self.trials if t.detection is not None]
+        return Cell(values) if values else None
+
+    def merged_series(self):
+        """All trials' samples merged, as the paper's dot plots do."""
+        merged = []
+        for trial in self.trials:
+            merged.extend(trial.series)
+        merged.sort()
+        return merged
+
+
+def run_supply_trial(waveform_name, seed=0, chunk_bytes=64 * 1024):
+    """One bitstream run over one waveform; returns a :class:`SupplyTrial`."""
+    world = ExperimentWorld(waveform_name, seed=seed)
+    app, warden, server = build_bitstream(
+        world.sim, world.viceroy, world.network, chunk_bytes=chunk_bytes
+    )
+    world.jitter_service(server.service)
+    app.start()
+    world.run_for(WAVEFORM_DURATION)
+    series = world.relative(world.viceroy.policy.shares.total_history)
+    initial, target, transition = _levels(waveform_name)
+    settling = detection = None
+    if transition is not None:
+        settling = settling_time(
+            series, transition, target, tolerance=0.10,
+            horizon=WAVEFORM_DURATION - 1.0,
+        )
+        detection = detection_delay(series, transition, initial, target)
+    return SupplyTrial(waveform_name, series, settling, detection)
+
+
+def run_supply_experiment(waveform_name, trials=DEFAULT_TRIALS, master_seed=0):
+    """Fig. 8 for one waveform: ``trials`` seeded runs."""
+    result = SupplyResult(waveform_name)
+    for rng in seeded_rngs(trials, master_seed):
+        result.trials.append(run_supply_trial(waveform_name, seed=rng))
+    return result
+
+
+def run_all_supply(trials=DEFAULT_TRIALS, master_seed=0):
+    """All four panels of Fig. 8."""
+    return {
+        name: run_supply_experiment(name, trials, master_seed)
+        for name in REFERENCE_WAVEFORMS
+    }
+
+
+def theoretical_series(waveform_name, step=0.25):
+    """The dashed 'theoretical bandwidth' line of Fig. 8."""
+    trace = make_waveform(waveform_name)
+    points = []
+    t = 0.0
+    while t <= trace.duration:
+        points.append((t, trace.bandwidth_at(t)))
+        t += step
+    return points

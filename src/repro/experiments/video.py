@@ -1,0 +1,103 @@
+"""Fig. 10 — video player performance and fidelity.
+
+Four strategies (three static tracks plus Odyssey-adaptive) over the four
+reference waveforms.  Drops and mean displayed fidelity, mean (σ) of five
+trials, exactly the table's shape.
+"""
+
+from dataclasses import dataclass, field
+
+from repro.apps.video.movie import Movie, MovieStore
+from repro.apps.video.player import VideoPlayer
+from repro.apps.video.warden import build_video
+from repro.core.api import OdysseyAPI
+from repro.experiments.harness import DEFAULT_TRIALS, ExperimentWorld, seeded_rngs
+from repro.experiments.stats import Cell
+from repro.experiments.supply import REFERENCE_WAVEFORMS
+from repro.trace.waveforms import WAVEFORM_DURATION
+
+#: The strategies of Fig. 10, in column order.
+VIDEO_STRATEGIES = ("bw", "jpeg50", "jpeg99", "adaptive")
+
+#: Fig. 10's published values, for paper-vs-measured reporting:
+#: waveform -> strategy -> (drops, fidelity or None for static tracks).
+PAPER_FIG10 = {
+    "step-up": {"bw": (0, 0.01), "jpeg50": (3, 0.5), "jpeg99": (169, 1.0),
+                "adaptive": (7, 0.73)},
+    "step-down": {"bw": (0, 0.01), "jpeg50": (5, 0.5), "jpeg99": (169, 1.0),
+                  "adaptive": (25, 0.76)},
+    "impulse-up": {"bw": (0, 0.01), "jpeg50": (3, 0.5), "jpeg99": (325, 1.0),
+                   "adaptive": (23, 0.50)},
+    "impulse-down": {"bw": (0, 0.01), "jpeg50": (0, 0.5), "jpeg99": (12, 1.0),
+                     "adaptive": (14, 0.98)},
+}
+
+
+@dataclass
+class VideoCell:
+    """One (waveform, strategy) cell: drops and fidelity over trials."""
+
+    drops: Cell
+    fidelity: Cell
+
+
+@dataclass
+class VideoTable:
+    """The Fig. 10 table: rows are waveforms, columns strategies."""
+
+    cells: dict = field(default_factory=dict)  # (waveform, strategy) -> VideoCell
+
+    def cell(self, waveform, strategy):
+        return self.cells[(waveform, strategy)]
+
+
+def run_video_trial(waveform_name, strategy, seed=0, movie_frames=None):
+    """One playback; returns the player (stats attached).
+
+    The movie is long enough to cover priming plus the 60-second waveform;
+    only the 600 frames whose deadlines fall inside the waveform are
+    measured, matching the paper's "600 frames to display during each
+    trial" after a 30-second priming period.
+    """
+    world = ExperimentWorld(waveform_name, seed=seed)
+    frames = movie_frames or int((world.prime + WAVEFORM_DURATION + 5) * 10)
+    store = MovieStore()
+    store.add(Movie("benchmark", n_frames=frames))
+    warden, server = build_video(world.sim, world.viceroy, world.network, store)
+    world.jitter_service(server.service)
+    api = OdysseyAPI(world.viceroy, "xanim")
+    player = VideoPlayer(
+        world.sim, api, "xanim", "/odyssey/video", "benchmark",
+        policy=strategy, measure_from=world.prime,
+    )
+    start_delay = world.start_offset()
+    world.sim.call_in(start_delay, player.start)
+    world.run_for(WAVEFORM_DURATION + 3.0)
+    return player
+
+
+def run_video_experiment(waveform_name, strategy, trials=DEFAULT_TRIALS,
+                         master_seed=0):
+    """One cell of Fig. 10: mean (σ) drops and fidelity."""
+    drops, fidelities = [], []
+    for rng in seeded_rngs(trials, master_seed):
+        player = run_video_trial(waveform_name, strategy, seed=rng)
+        measured = player.stats.frames_displayed + player.stats.drops
+        # Normalize to exactly 600 measured frames (start offsets can shift
+        # a frame or two across the measurement boundary).
+        scale = 600.0 / measured if measured else 1.0
+        drops.append(player.stats.drops * scale)
+        fidelities.append(player.fidelity)
+    return VideoCell(drops=Cell(drops, precision=0), fidelity=Cell(fidelities))
+
+
+def run_video_table(trials=DEFAULT_TRIALS, master_seed=0,
+                    waveforms=REFERENCE_WAVEFORMS, strategies=VIDEO_STRATEGIES):
+    """The full Fig. 10 table."""
+    table = VideoTable()
+    for waveform_name in waveforms:
+        for strategy in strategies:
+            table.cells[(waveform_name, strategy)] = run_video_experiment(
+                waveform_name, strategy, trials, master_seed
+            )
+    return table

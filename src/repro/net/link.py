@@ -1,0 +1,90 @@
+"""A serializing, trace-modulated simplex link.
+
+The link is the paper's delay layer: traffic is delayed "according to a
+simple linear model combining latency and bandwidth-induced delays"
+(§6.1.2).  Packets serialize FIFO through the bandwidth term (they queue
+behind each other), then experience the propagation latency in effect when
+serialization finishes.  Delivery order is forced FIFO even across latency
+drops, matching in-order modulation of a single radio.
+"""
+
+import math
+from dataclasses import dataclass, field
+
+from repro.errors import LinkDown
+from repro.sim.queues import Store
+from repro.trace.integrate import transmission_finish_time
+
+
+@dataclass
+class LinkStats:
+    """Counters a link keeps for evaluation and tests."""
+
+    packets_sent: int = 0
+    bytes_sent: int = 0
+    busy_seconds: float = 0.0
+    max_queue_depth: int = 0
+    deliveries: list = field(default_factory=list, repr=False)
+
+    def record(self, packet, service_time):
+        self.packets_sent += 1
+        self.bytes_sent += packet.size
+        self.busy_seconds += service_time
+
+
+class SimplexLink:
+    """One direction of the modulated wireless link.
+
+    ``send(packet)`` enqueues; a background transmitter process drains the
+    queue.  When a packet's serialization finishes, delivery is scheduled
+    ``latency_at(finish)`` later via ``deliver`` (a callable set by the
+    network).  Completion times are exact across trace transitions.
+    """
+
+    def __init__(self, sim, trace, name, deliver=None, record_deliveries=False):
+        self.sim = sim
+        self.trace = trace
+        self.name = name
+        self.deliver = deliver
+        self.stats = LinkStats()
+        self._record_deliveries = record_deliveries
+        self._queue = Store(sim, name=f"{name}.queue")
+        self._last_delivery = 0.0
+        self._transmitter = sim.process(self._transmit_loop(), name=f"{name}.tx")
+
+    @property
+    def queue_depth(self):
+        """Packets waiting or in service (approximate, for inspection)."""
+        return len(self._queue)
+
+    def send(self, packet):
+        """Enqueue ``packet`` for transmission."""
+        packet.enqueued_at = self.sim.now
+        self._queue.put(packet)
+        self.stats.max_queue_depth = max(self.stats.max_queue_depth, len(self._queue))
+
+    def _transmit_loop(self):
+        while True:
+            packet = yield self._queue.get()
+            start = self.sim.now
+            finish = transmission_finish_time(self.trace, start, packet.size)
+            if math.isinf(finish):
+                raise LinkDown(
+                    f"link {self.name!r}: bandwidth pinned at zero forever; "
+                    f"cannot transmit {packet!r}"
+                )
+            yield self.sim.timeout(finish - start)
+            self.stats.record(packet, finish - start)
+            deliver_at = finish + self.trace.latency_at(finish)
+            # Enforce FIFO delivery even if latency drops mid-flight.
+            deliver_at = max(deliver_at, self._last_delivery)
+            self._last_delivery = deliver_at
+            self.sim.call_at(deliver_at, self._deliver, packet)
+
+    def _deliver(self, packet):
+        packet.delivered_at = self.sim.now
+        if self._record_deliveries:
+            self.stats.deliveries.append((self.sim.now, packet.size))
+        if self.deliver is None:
+            raise LinkDown(f"link {self.name!r} has no delivery target")
+        self.deliver(packet)

@@ -1,0 +1,40 @@
+"""Packets: the unit of simulated transmission."""
+
+import itertools
+from dataclasses import dataclass, field
+
+from repro.errors import NetworkError
+
+#: Bytes of protocol header per packet (IP + UDP + RPC framing).
+HEADER_BYTES = 64
+
+_packet_ids = itertools.count(1)
+
+
+@dataclass
+class Packet:
+    """One datagram in flight.
+
+    ``size`` is the on-the-wire size in bytes including headers; ``payload``
+    is an arbitrary message object (never serialized — this is a simulation).
+    """
+
+    src: str
+    dst: str
+    port: str
+    size: int
+    payload: object = None
+    packet_id: int = field(default_factory=lambda: next(_packet_ids))
+    enqueued_at: float = None
+    delivered_at: float = None
+
+    def __post_init__(self):
+        if self.size < HEADER_BYTES:
+            raise NetworkError(
+                f"packet size {self.size} smaller than header ({HEADER_BYTES})"
+            )
+
+    @property
+    def payload_bytes(self):
+        """Application bytes carried (wire size minus header)."""
+        return self.size - HEADER_BYTES

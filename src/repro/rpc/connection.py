@@ -1,0 +1,558 @@
+"""The RPC protocol: small exchanges plus windowed bulk transfer.
+
+Client side (:class:`RpcConnection`) and server side (:class:`RpcService`)
+of the paper's user-level RPC mechanism.  The operations are generators: a
+simulated process drives them with ``yield from`` and receives the result::
+
+    def app(sim, conn):
+        reply = yield from conn.call("ping", body_bytes=128)
+        data = yield from conn.fetch("get-object", body={"name": "x"})
+
+Reliability: the simulated links never drop or corrupt packets, so there is
+no retransmission machinery.  The protocol's observable behaviour — what
+gets logged when — is what matters for reproducing the paper's estimation
+agility.
+"""
+
+import itertools
+
+from repro.errors import RpcError, RpcTimeout
+from repro.sim.events import AnyOf
+from repro.net.packet import HEADER_BYTES, Packet
+from repro.rpc.logs import RpcLog
+from repro.rpc.messages import (
+    BulkPush,
+    BulkSource,
+    CallRequest,
+    CallResponse,
+    Fragment,
+    ServerReply,
+    WindowAck,
+    WindowRequest,
+)
+from repro.sim.queues import Semaphore
+
+#: Default window for bulk transfers (paper's protocol window).
+DEFAULT_WINDOW_BYTES = 32 * 1024
+#: Payload bytes per fragment packet.  Kept small (near-MTU scale) so small
+#: control packets interleave with bulk data instead of waiting behind a
+#: whole window — at 40 KB/s an 8 KB fragment would head-of-line-block a
+#: round-trip response for 200 ms and poison the RTT estimate.
+DEFAULT_FRAGMENT_BYTES = 2048
+
+
+class RpcService:
+    """Server half: operation dispatch, compute modeling, bulk serving.
+
+    Parameters
+    ----------
+    sim, host, port:
+        Where the service listens.
+    cpus:
+        If given, compute time is serialized through a semaphore with this
+        many units (models a server CPU that concurrent requests share).
+    """
+
+    def __init__(self, sim, host, port, cpus=None):
+        self.sim = sim
+        self.host = host
+        self.port = port
+        self._handlers = {}
+        self._bulk_sources = {}
+        self._transfer_ids = itertools.count(1)
+        self._push_buffers = {}
+        self._cpu = Semaphore(sim, cpus, name=f"{port}.cpu") if cpus else None
+        self._jitter_rng = None
+        self._jitter_fraction = 0.0
+        self._outage_until = None
+        host.bind(port, self._on_packet)
+        self.requests_served = 0
+        self.dropped_during_outage = 0
+
+    def set_outage(self, duration):
+        """Silently drop everything arriving in the next ``duration`` seconds.
+
+        Failure injection: models a crashed or partitioned server.  Clients
+        see nothing — their recourse is the ``timeout`` parameter of
+        :meth:`RpcConnection.call` / ``fetch``.
+        """
+        if duration <= 0:
+            raise RpcError(f"outage duration must be positive, got {duration!r}")
+        self._outage_until = self.sim.now + duration
+
+    @property
+    def in_outage(self):
+        return self._outage_until is not None and self.sim.now < self._outage_until
+
+    def set_jitter(self, rng, fraction):
+        """Perturb compute times by ±``fraction`` using ``rng``.
+
+        Models run-to-run variation in server load; this is where the
+        experiments' standard deviations come from.
+        """
+        if not 0 <= fraction < 1:
+            raise RpcError(f"jitter fraction must be in [0, 1), got {fraction!r}")
+        self._jitter_rng = rng
+        self._jitter_fraction = fraction
+
+    def _jittered(self, seconds):
+        if self._jitter_rng is None or seconds <= 0:
+            return seconds
+        spread = self._jitter_fraction
+        return seconds * (1.0 + self._jitter_rng.uniform(-spread, spread))
+
+    def register(self, op, handler):
+        """Register ``handler(body)`` for operation ``op``.
+
+        The handler returns a :class:`ServerReply`, or a generator that
+        yields simulation events and returns one (for handlers that must
+        wait — e.g. the distillation server fetching from a web server).
+        """
+        if op in self._handlers:
+            raise RpcError(f"service {self.port!r}: op {op!r} already registered")
+        self._handlers[op] = handler
+
+    def make_bulk(self, nbytes, meta=None):
+        """Create a :class:`BulkSource` clients can fetch from."""
+        source = BulkSource(next(self._transfer_ids), int(nbytes), meta)
+        self._bulk_sources[source.transfer_id] = source
+        return source
+
+    # -- packet handling -----------------------------------------------------
+
+    def _on_packet(self, packet):
+        if self.in_outage:
+            self.dropped_during_outage += 1
+            return
+        message = packet.payload
+        if isinstance(message, CallRequest):
+            self.sim.process(self._serve_call(message), name=f"{self.port}.call")
+        elif isinstance(message, WindowRequest):
+            self._serve_window(message)
+        elif isinstance(message, BulkPush):
+            self.sim.process(self._serve_push(message), name=f"{self.port}.push")
+        else:
+            raise RpcError(f"service {self.port!r}: unexpected message {message!r}")
+
+    def _run_handler(self, op, body):
+        handler = self._handlers.get(op)
+        if handler is None:
+            raise RpcError(f"service {self.port!r}: no handler for op {op!r}")
+        result = handler(body)
+        if hasattr(result, "send"):  # generator-style handler
+            result = yield self.sim.process(result)
+        if not isinstance(result, ServerReply):
+            raise RpcError(
+                f"service {self.port!r}: handler for {op!r} returned {result!r}, "
+                "expected ServerReply"
+            )
+        return result
+
+    def _serve_call(self, request):
+        self.requests_served += 1
+        error = None
+        try:
+            reply = yield from self._run_handler(request.op, request.body)
+        except RpcError:
+            raise
+        except Exception as exc:  # noqa: BLE001 - surfaced at the caller's yield
+            error = exc
+            reply = ServerReply(body=None, body_bytes=HEADER_BYTES)
+        server_seconds = self._jittered(reply.compute_seconds)
+        if server_seconds > 0:
+            if self._cpu is not None:
+                yield self._cpu.acquire()
+                try:
+                    yield self.sim.timeout(server_seconds)
+                finally:
+                    self._cpu.release()
+            else:
+                yield self.sim.timeout(server_seconds)
+        bulk_ticket = None
+        if reply.bulk is not None:
+            bulk_ticket = (reply.bulk.transfer_id, reply.bulk.nbytes, reply.bulk.meta)
+        response = CallResponse(
+            connection_id=request.connection_id,
+            seq=request.seq,
+            body=(reply.body, bulk_ticket),
+            body_bytes=reply.body_bytes,
+            server_seconds=server_seconds,
+            error=error,
+        )
+        self.host.send(
+            Packet(
+                src=self.host.name,
+                dst=_host_of(request.reply_port),
+                port=request.reply_port,
+                size=HEADER_BYTES + response.body_bytes,
+                payload=response,
+            )
+        )
+
+    def _serve_window(self, request):
+        source = self._bulk_sources.get(request.transfer_id)
+        if source is None:
+            raise RpcError(
+                f"service {self.port!r}: window request for unknown transfer "
+                f"{request.transfer_id}"
+            )
+        remaining_total = source.nbytes - request.offset
+        window = min(request.window_bytes, remaining_total)
+        if window <= 0:
+            raise RpcError(
+                f"service {self.port!r}: empty window at offset {request.offset}"
+            )
+        fragment_bytes = request.fragment_bytes
+        sent = 0
+        while sent < window:
+            nbytes = min(fragment_bytes, window - sent)
+            last_in_window = sent + nbytes >= window
+            last_in_transfer = request.offset + sent + nbytes >= source.nbytes
+            fragment = Fragment(
+                connection_id=request.connection_id,
+                seq=request.seq,
+                transfer_id=request.transfer_id,
+                offset=request.offset + sent,
+                nbytes=nbytes,
+                last_in_window=last_in_window,
+                last_in_transfer=last_in_transfer,
+            )
+            self.host.send(
+                Packet(
+                    src=self.host.name,
+                    dst=_host_of(request.reply_port),
+                    port=request.reply_port,
+                    size=HEADER_BYTES + nbytes,
+                    payload=fragment,
+                )
+            )
+            sent += nbytes
+        source.consumed = max(source.consumed, request.offset + sent)
+        if source.consumed >= source.nbytes:
+            del self._bulk_sources[request.transfer_id]
+
+    def _serve_push(self, push):
+        key = (push.connection_id, push.transfer_id)
+        state = self._push_buffers.setdefault(key, {"received": 0})
+        state["received"] += push.nbytes
+        if push.last_in_window:
+            # Ack the window immediately — the sender's throughput entry must
+            # measure transmission, not server compute.
+            ack = WindowAck(
+                connection_id=push.connection_id,
+                seq=push.seq,
+                transfer_id=push.transfer_id,
+                next_offset=push.offset + push.nbytes,
+            )
+            self.host.send(
+                Packet(
+                    src=self.host.name,
+                    dst=_host_of(push.reply_port),
+                    port=push.reply_port,
+                    size=HEADER_BYTES,
+                    payload=ack,
+                )
+            )
+        if push.last_in_transfer:
+            del self._push_buffers[key]
+            reply = yield from self._run_handler(push.body[0], push.body[1])
+            compute_seconds = self._jittered(reply.compute_seconds)
+            if compute_seconds > 0:
+                if self._cpu is not None:
+                    yield self._cpu.acquire()
+                    try:
+                        yield self.sim.timeout(compute_seconds)
+                    finally:
+                        self._cpu.release()
+                else:
+                    yield self.sim.timeout(compute_seconds)
+            response = CallResponse(
+                connection_id=push.connection_id,
+                seq=push.response_seq,
+                body=(reply.body, None),
+                body_bytes=reply.body_bytes,
+                server_seconds=compute_seconds,
+            )
+            self.host.send(
+                Packet(
+                    src=self.host.name,
+                    dst=_host_of(push.reply_port),
+                    port=push.reply_port,
+                    size=HEADER_BYTES + response.body_bytes,
+                    payload=response,
+                )
+            )
+
+
+def _host_of(reply_port):
+    """Reply ports are ``host/port`` strings; extract the host."""
+    return reply_port.split("/", 1)[0]
+
+
+class RpcConnection:
+    """Client half: one logged endpoint to one service.
+
+    Every distinct (warden, server) pair gets its own connection and hence
+    its own :class:`~repro.rpc.logs.RpcLog` — "each distinct endpoint has
+    its own log" (paper §6.2.1).
+    """
+
+    def __init__(self, sim, network, server_name, server_port, connection_id,
+                 window_bytes=DEFAULT_WINDOW_BYTES,
+                 fragment_bytes=DEFAULT_FRAGMENT_BYTES,
+                 client_host=None):
+        if window_bytes <= 0 or fragment_bytes <= 0:
+            raise RpcError("window_bytes and fragment_bytes must be positive")
+        self.sim = sim
+        self.network = network
+        # Usually the mobile client; a wired host for server-to-server
+        # connections (e.g. the distillation server fetching from the web).
+        self.client = client_host or network.client
+        self.server_name = server_name
+        self.server_port = server_port
+        self.connection_id = connection_id
+        self.window_bytes = window_bytes
+        self.fragment_bytes = fragment_bytes
+        self.log = RpcLog(sim, connection_id)
+        self._seq = itertools.count(1)
+        self._pending = {}
+        self._abandoned = set()  # timed-out seqs whose late replies we drop
+        self.late_replies = 0
+        self._port = f"{self.client.name}/rpc:{connection_id}"
+        self.client.bind(self._port, self._on_packet)
+        self._closed = False
+
+    def __repr__(self):
+        return f"<RpcConnection {self.connection_id!r} -> {self.server_name}:{self.server_port}>"
+
+    def close(self):
+        """Unbind the client port.  Further operations raise."""
+        if not self._closed:
+            self.client.unbind(self._port)
+            self._closed = True
+
+    # -- small exchanges -------------------------------------------------------
+
+    def call(self, op, body=None, body_bytes=256, timeout=None):
+        """Small-exchange RPC.  Generator; returns the reply body.
+
+        Logs one round-trip entry (elapsed minus server compute).  If the
+        reply references bulk data, returns ``(body, bulk_ticket)`` where
+        ``bulk_ticket`` is ``(transfer_id, nbytes, meta)`` usable with
+        :meth:`fetch_ticket`.
+
+        ``timeout`` (seconds) raises :class:`~repro.errors.RpcTimeout` if
+        no reply arrives in time — the recourse against a crashed or
+        partitioned server.  There is no retransmission; retries are the
+        caller's policy.
+        """
+        response = yield from self._exchange(op, body, body_bytes, timeout)
+        started, reply = response
+        elapsed = self.sim.now - started
+        observed = max(elapsed - reply.server_seconds, 1e-6)
+        self.log.add_round_trip(observed, body_bytes + HEADER_BYTES,
+                                reply.body_bytes + HEADER_BYTES)
+        self.log.add_delivery(reply.body_bytes)
+        if reply.error is not None:
+            raise reply.error
+        return reply.body  # (body, bulk_ticket)
+
+    def _exchange(self, op, body, body_bytes, timeout=None):
+        self._check_open()
+        seq = next(self._seq)
+        request = CallRequest(
+            connection_id=self.connection_id,
+            seq=seq,
+            op=op,
+            body=body,
+            body_bytes=body_bytes,
+            reply_port=self._port,
+        )
+        event = self.sim.event(name=f"rpc:{self.connection_id}:{seq}")
+        started = self.sim.now
+        self._pending[seq] = event
+        self.client.send(
+            Packet(
+                src=self.client.name,
+                dst=self.server_name,
+                port=self.server_port,
+                size=HEADER_BYTES + body_bytes,
+                payload=request,
+            )
+        )
+        reply = yield from self._await(event, seq, timeout, f"call {op!r}")
+        return started, reply
+
+    def _await(self, event, seq, timeout, what):
+        """Wait for ``event``, optionally bounded by ``timeout`` seconds."""
+        if timeout is None:
+            reply = yield event
+            return reply
+        deadline = self.sim.timeout(timeout)
+        yield AnyOf(self.sim, [event, deadline])
+        if not event.triggered:
+            # Abandon the exchange: a late reply must not be mistaken for
+            # a response to some future sequence number.
+            self._pending.pop(seq, None)
+            self._abandoned.add(seq)
+            raise RpcTimeout(
+                f"{self.connection_id}: {what} timed out after {timeout} s"
+            )
+        return event.value
+
+    # -- bulk fetch (receiver-driven) ------------------------------------------
+
+    def fetch(self, op, body=None, body_bytes=256, timeout=None):
+        """Call ``op`` and fetch the bulk data its reply references.
+
+        Generator; returns ``(reply_body, meta, nbytes)``.  Logs one
+        round-trip entry for the initial exchange and one throughput entry
+        per window of the transfer.  ``timeout`` bounds the initial call
+        and each window independently.
+        """
+        reply_body, ticket = yield from self.call(op, body, body_bytes,
+                                                  timeout=timeout)
+        if ticket is None:
+            raise RpcError(f"fetch: op {op!r} reply carries no bulk data")
+        transfer_id, nbytes, meta = ticket
+        yield from self.fetch_ticket(transfer_id, nbytes, timeout=timeout)
+        return reply_body, meta, nbytes
+
+    def fetch_ticket(self, transfer_id, nbytes, timeout=None):
+        """Fetch ``nbytes`` of a known bulk source, window by window."""
+        self._check_open()
+        offset = 0
+        while offset < nbytes:
+            window = min(self.window_bytes, nbytes - offset)
+            received = yield from self._fetch_window(transfer_id, offset,
+                                                     window, timeout)
+            offset += received
+        return nbytes
+
+    def _fetch_window(self, transfer_id, offset, window, timeout=None):
+        seq = next(self._seq)
+        request = WindowRequest(
+            connection_id=self.connection_id,
+            seq=seq,
+            transfer_id=transfer_id,
+            offset=offset,
+            window_bytes=window,
+            fragment_bytes=self.fragment_bytes,
+            reply_port=self._port,
+        )
+        event = self.sim.event(name=f"window:{self.connection_id}:{seq}")
+        state = {"received": 0, "event": event}
+        started = self.sim.now
+        self._pending[seq] = state
+        self.client.send(
+            Packet(
+                src=self.client.name,
+                dst=self.server_name,
+                port=self.server_port,
+                size=HEADER_BYTES,
+                payload=request,
+            )
+        )
+        yield from self._await(event, seq, timeout, f"window @{offset}")
+        self.log.add_throughput(started, state["received"])
+        return state["received"]
+
+    # -- bulk push (sender-driven) ---------------------------------------------
+
+    def push(self, op, nbytes, body=None, reply_bytes=64):
+        """Ship ``nbytes`` to the server, then run ``op`` on it there.
+
+        Generator; returns the handler's reply body.  Logs one throughput
+        entry per window ("a sender to transmit that data and receive an
+        acknowledgement") — the final window's acknowledgement is the
+        operation's response itself.
+        """
+        self._check_open()
+        nbytes = int(nbytes)
+        if nbytes <= 0:
+            raise RpcError(f"push: nbytes must be positive, got {nbytes}")
+        transfer_id = next(self._seq)
+        response_seq = next(self._seq)
+        response_event = self.sim.event(name=f"pushresp:{self.connection_id}")
+        self._pending[response_seq] = response_event
+        offset = 0
+        while offset < nbytes:
+            window = min(self.window_bytes, nbytes - offset)
+            started = self.sim.now
+            seq = next(self._seq)
+            event = self.sim.event(name=f"push:{self.connection_id}:{seq}")
+            self._pending[seq] = event
+            last_in_transfer = offset + window >= nbytes
+            sent = 0
+            while sent < window:
+                frag = min(self.fragment_bytes, window - sent)
+                is_window_end = sent + frag >= window
+                is_transfer_end = last_in_transfer and is_window_end
+                push = BulkPush(
+                    connection_id=self.connection_id,
+                    seq=seq,
+                    transfer_id=transfer_id,
+                    offset=offset + sent,
+                    nbytes=frag,
+                    last_in_window=is_window_end,
+                    last_in_transfer=is_transfer_end,
+                    reply_port=self._port,
+                    body=(op, body) if is_transfer_end else None,
+                    response_seq=response_seq if is_transfer_end else None,
+                )
+                self.client.send(
+                    Packet(
+                        src=self.client.name,
+                        dst=self.server_name,
+                        port=self.server_port,
+                        size=HEADER_BYTES + frag,
+                        payload=push,
+                    )
+                )
+                sent += frag
+            yield event
+            self.log.add_throughput(started, window)
+            offset += window
+        response = yield response_event
+        self.log.add_delivery(response.body_bytes)
+        if response.error is not None:
+            raise response.error
+        return response.body[0]
+
+    # -- receive dispatch --------------------------------------------------------
+
+    def _on_packet(self, packet):
+        message = packet.payload
+        if getattr(message, "seq", None) in self._abandoned:
+            # A reply outliving its timeout: drop it (the exchange's state
+            # is gone) but account for it.
+            self.late_replies += 1
+            if isinstance(message, (CallResponse, WindowAck)) or (
+                    isinstance(message, Fragment) and message.last_in_window):
+                self._abandoned.discard(message.seq)
+            return
+        if isinstance(message, CallResponse):
+            waiter = self._pending.pop(message.seq, None)
+            if waiter is None:
+                raise RpcError(f"{self!r}: response for unknown seq {message.seq}")
+            waiter.succeed(message)
+        elif isinstance(message, Fragment):
+            state = self._pending.get(message.seq)
+            if state is None:
+                raise RpcError(f"{self!r}: fragment for unknown seq {message.seq}")
+            state["received"] += message.nbytes
+            self.log.add_delivery(message.nbytes)
+            if message.last_in_window:
+                del self._pending[message.seq]
+                state["event"].succeed()
+        elif isinstance(message, WindowAck):
+            waiter = self._pending.pop(message.seq, None)
+            if waiter is None:
+                raise RpcError(f"{self!r}: ack for unknown seq {message.seq}")
+            waiter.succeed(message)
+        else:
+            raise RpcError(f"{self!r}: unexpected message {message!r}")
+
+    def _check_open(self):
+        if self._closed:
+            raise RpcError(f"{self!r} is closed")

@@ -1,0 +1,125 @@
+"""Per-endpoint observation logs (paper §6.2.1).
+
+"Each distinct endpoint has its own log, and observations for different
+endpoints are recorded independently."  Entries are appended by the RPC
+protocol as a side effect of ordinary traffic — estimation is purely
+passive.  Observers (the viceroy's policy) subscribe to be told about each
+new entry.
+
+Beyond the two entry kinds the paper names, the log also records raw
+*delivery* events (timestamped byte arrivals).  The centralized viceroy uses
+these to compute aggregate link throughput across all connections during any
+interval — the mechanism behind "the viceroy collects information from all
+logs to estimate the total bandwidth available to the client".
+"""
+
+from collections import deque
+from dataclasses import dataclass
+
+#: How much delivery history each log retains, seconds.
+DELIVERY_HISTORY_SECONDS = 30.0
+
+
+@dataclass(frozen=True)
+class RoundTripEntry:
+    """One small exchange: elapsed wall time minus server compute time."""
+
+    at: float  # completion time
+    seconds: float  # R: round trip less server computation
+    request_bytes: int
+    response_bytes: int
+
+
+@dataclass(frozen=True)
+class ThroughputEntry:
+    """One bulk-transfer window: request-to-last-byte elapsed time."""
+
+    at: float  # completion time
+    started: float  # window request time
+    nbytes: int  # W: window payload bytes
+    seconds: float  # T: elapsed
+
+    @property
+    def raw_rate(self):
+        """Unsmoothed W/T in bytes/s (no round-trip correction)."""
+        return self.nbytes / self.seconds if self.seconds > 0 else 0.0
+
+
+class RpcLog:
+    """The observation log of one RPC endpoint (connection)."""
+
+    def __init__(self, sim, connection_id):
+        self.sim = sim
+        self.connection_id = connection_id
+        self.round_trips = []
+        self.throughputs = []
+        self._deliveries = deque()  # (time, payload_bytes)
+        self._delivered_total = 0
+        self._observers = []
+
+    def subscribe(self, observer):
+        """Register ``observer``; it must expose ``on_round_trip(log, entry)``
+        and ``on_throughput(log, entry)`` methods."""
+        self._observers.append(observer)
+
+    def unsubscribe(self, observer):
+        self._observers.remove(observer)
+
+    # -- appends (called by the protocol) -----------------------------------
+
+    def add_round_trip(self, seconds, request_bytes, response_bytes):
+        entry = RoundTripEntry(self.sim.now, seconds, request_bytes, response_bytes)
+        self.round_trips.append(entry)
+        for observer in list(self._observers):
+            observer.on_round_trip(self, entry)
+        return entry
+
+    def add_throughput(self, started, nbytes):
+        entry = ThroughputEntry(
+            self.sim.now, started, nbytes, self.sim.now - started
+        )
+        self.throughputs.append(entry)
+        for observer in list(self._observers):
+            observer.on_throughput(self, entry)
+        return entry
+
+    def add_delivery(self, nbytes):
+        """Record ``nbytes`` of payload arriving now (fragment or response)."""
+        self._deliveries.append((self.sim.now, nbytes))
+        self._delivered_total += nbytes
+        horizon = self.sim.now - DELIVERY_HISTORY_SECONDS
+        while self._deliveries and self._deliveries[0][0] < horizon:
+            self._deliveries.popleft()
+
+    # -- queries (used by estimators) ----------------------------------------
+
+    @property
+    def delivered_total(self):
+        """Total payload bytes ever delivered on this endpoint."""
+        return self._delivered_total
+
+    def bytes_delivered_between(self, start, end):
+        """Payload bytes that arrived in the half-open interval (start, end].
+
+        Only ``DELIVERY_HISTORY_SECONDS`` of history is retained; asking
+        about older intervals undercounts, which estimators tolerate.
+        """
+        return sum(n for (t, n) in self._deliveries if start < t <= end)
+
+    def recent_rate(self, horizon):
+        """Mean delivery rate over the last ``horizon`` seconds (bytes/s)."""
+        if horizon <= 0:
+            return 0.0
+        start = self.sim.now - horizon
+        return self.bytes_delivered_between(start, self.sim.now) / horizon
+
+    def last_activity(self):
+        """Time of the most recent entry of any kind, or None."""
+        times = []
+        if self.round_trips:
+            times.append(self.round_trips[-1].at)
+        if self.throughputs:
+            times.append(self.throughputs[-1].at)
+        if self._deliveries:
+            times.append(self._deliveries[-1][0])
+        return max(times) if times else None

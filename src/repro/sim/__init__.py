@@ -1,0 +1,35 @@
+"""Discrete-event simulation kernel.
+
+The kernel is the substrate standing in for real time on the paper's NetBSD
+hosts.  It is a small, deterministic, generator-coroutine engine in the style
+of SimPy, built from scratch:
+
+- :class:`Simulator` — the event loop: a heap of timestamped events.
+- :class:`Event` — one-shot occurrence that processes may wait on.
+- :class:`Process` — a generator whose ``yield``-ed events suspend it.
+- :class:`Store` / :class:`Semaphore` — FIFO queues and counting locks used
+  to model packet queues, request queues, and single-threaded servers.
+- :class:`RngRegistry` — named, independently seeded random streams so
+  experiments are reproducible trial by trial.
+
+Time is a float in **seconds**.  Determinism is guaranteed: events scheduled
+for the same instant fire in scheduling order (a monotonically increasing
+sequence number breaks ties).
+"""
+
+from repro.sim.events import AllOf, AnyOf, Event
+from repro.sim.kernel import Simulator
+from repro.sim.process import Process
+from repro.sim.queues import Semaphore, Store
+from repro.sim.rng import RngRegistry
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Event",
+    "Process",
+    "RngRegistry",
+    "Semaphore",
+    "Simulator",
+    "Store",
+]

@@ -1,0 +1,132 @@
+"""The simulator event loop.
+
+A :class:`Simulator` owns virtual time and a priority queue of triggered
+events.  ``run()`` pops events in (time, sequence) order and processes them;
+processing an event resumes any processes waiting on it.
+"""
+
+import heapq
+import itertools
+
+from repro.errors import SimulationError
+from repro.sim.events import Event, Timeout
+from repro.sim.process import Process
+
+
+class Simulator:
+    """A deterministic discrete-event simulator.
+
+    Typical use::
+
+        sim = Simulator()
+
+        def worker(sim):
+            yield sim.timeout(1.5)
+            return "done"
+
+        proc = sim.process(worker(sim))
+        sim.run()
+        assert sim.now == 1.5 and proc.value == "done"
+    """
+
+    def __init__(self):
+        self._now = 0.0
+        self._heap = []
+        self._sequence = itertools.count()
+
+    @property
+    def now(self):
+        """Current virtual time in seconds."""
+        return self._now
+
+    # -- event construction ------------------------------------------------
+
+    def event(self, name=None):
+        """Create a fresh, untriggered :class:`Event`."""
+        return Event(self, name=name)
+
+    def timeout(self, delay, value=None):
+        """Create an event that fires ``delay`` seconds from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator, name=None):
+        """Start a new :class:`Process` running ``generator``."""
+        return Process(self, generator, name=name)
+
+    # -- scheduling --------------------------------------------------------
+
+    def _enqueue(self, event, delay=0.0):
+        """Place a triggered event on the heap ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay!r})")
+        heapq.heappush(self._heap, (self._now + delay, next(self._sequence), event))
+
+    def call_at(self, when, callback, *args):
+        """Run ``callback(*args)`` at absolute time ``when``.
+
+        Returns the underlying event; triggering machinery is reused so the
+        call is ordered deterministically with other events at ``when``.
+        """
+        if when < self._now:
+            raise SimulationError(f"call_at({when!r}) is in the past (now={self._now!r})")
+        event = Timeout(self, when - self._now)
+        event.add_callback(lambda _: callback(*args))
+        return event
+
+    def call_in(self, delay, callback, *args):
+        """Run ``callback(*args)`` after ``delay`` seconds."""
+        return self.call_at(self._now + delay, callback, *args)
+
+    # -- execution ---------------------------------------------------------
+
+    def peek(self):
+        """Time of the next event, or ``None`` if the queue is empty."""
+        return self._heap[0][0] if self._heap else None
+
+    def step(self):
+        """Process exactly one event.
+
+        Raises :class:`SimulationError` if the queue is empty.
+        """
+        if not self._heap:
+            raise SimulationError("step() on an empty event queue")
+        when, _, event = heapq.heappop(self._heap)
+        self._now = when
+        event._process()
+
+    def run(self, until=None):
+        """Run until the queue drains, or until time/event ``until``.
+
+        ``until`` may be:
+
+        - ``None`` — run to exhaustion;
+        - a number — advance to exactly that time (events at later times stay
+          queued and ``now`` is left equal to ``until``);
+        - an :class:`Event` — run until that event has been processed, and
+          return its value.
+        """
+        if until is None:
+            while self._heap:
+                self.step()
+            return None
+        if isinstance(until, Event):
+            return self._run_until_event(until)
+        deadline = float(until)
+        if deadline < self._now:
+            raise SimulationError(f"run(until={deadline!r}) is in the past (now={self._now!r})")
+        while self._heap and self._heap[0][0] <= deadline:
+            self.step()
+        self._now = deadline
+        return None
+
+    def _run_until_event(self, event):
+        done = []
+        event.add_callback(done.append)
+        while not done:
+            if not self._heap:
+                raise SimulationError(f"queue drained before {event!r} was processed")
+            self.step()
+        if not event.ok:
+            event.defuse()
+            raise event.value
+        return event.value

@@ -1,0 +1,114 @@
+"""Blocking queues and locks for simulated processes.
+
+These primitives model the queueing that exists everywhere in the real
+system: packet queues on links, request queues at servers, and the
+single-address-space viceroy/warden thread pool.
+"""
+
+from collections import deque
+
+from repro.errors import SimulationError
+from repro.sim.events import Event
+
+
+class Store:
+    """An unbounded-or-bounded FIFO of items with blocking ``get``.
+
+    ``put(item)`` appends (raising if a finite ``capacity`` would be
+    exceeded and returning False); ``get()`` returns an :class:`Event` that
+    fires with the oldest item, immediately if one is available, otherwise
+    when one arrives.  Waiters are served in FIFO order.
+    """
+
+    def __init__(self, sim, capacity=None, name=None):
+        if capacity is not None and capacity <= 0:
+            raise SimulationError(f"capacity must be positive, got {capacity!r}")
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name
+        self._items = deque()
+        self._getters = deque()
+
+    def __len__(self):
+        return len(self._items)
+
+    @property
+    def waiters(self):
+        """Number of processes currently blocked in ``get``."""
+        return len(self._getters)
+
+    def put(self, item):
+        """Add ``item``; returns True, or False if the store is full."""
+        if self._getters:
+            self._getters.popleft().succeed(item)
+            return True
+        if self.capacity is not None and len(self._items) >= self.capacity:
+            return False
+        self._items.append(item)
+        return True
+
+    def get(self):
+        """Return an event that fires with the next item."""
+        event = Event(self.sim, name=f"get:{self.name or 'store'}")
+        if self._items:
+            event.succeed(self._items.popleft())
+        else:
+            self._getters.append(event)
+        return event
+
+    def peek_items(self):
+        """A snapshot tuple of queued items (oldest first), for inspection."""
+        return tuple(self._items)
+
+    def clear(self):
+        """Discard all queued items, returning them.  Waiters stay blocked."""
+        items = list(self._items)
+        self._items.clear()
+        return items
+
+
+class Semaphore:
+    """A counting semaphore with FIFO waiters.
+
+    ``acquire()`` returns an event that fires once a unit is held; release
+    with ``release()``.  Models exclusive resources such as a serialized
+    server CPU.
+    """
+
+    def __init__(self, sim, capacity=1, name=None):
+        if capacity <= 0:
+            raise SimulationError(f"capacity must be positive, got {capacity!r}")
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name
+        self._in_use = 0
+        self._waiters = deque()
+
+    @property
+    def available(self):
+        """Units currently free."""
+        return self.capacity - self._in_use
+
+    @property
+    def waiters(self):
+        """Number of processes blocked in ``acquire``."""
+        return len(self._waiters)
+
+    def acquire(self):
+        """Return an event firing when a unit of the semaphore is held."""
+        event = Event(self.sim, name=f"acquire:{self.name or 'sem'}")
+        if self._in_use < self.capacity:
+            self._in_use += 1
+            event.succeed()
+        else:
+            self._waiters.append(event)
+        return event
+
+    def release(self):
+        """Release one held unit, waking the oldest waiter if any."""
+        if self._in_use <= 0:
+            raise SimulationError("release() without a matching acquire()")
+        if self._waiters:
+            self._waiters.popleft().succeed()
+        else:
+            self._in_use -= 1

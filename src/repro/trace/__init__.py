@@ -1,0 +1,71 @@
+"""Replay traces and reference waveforms (paper §6.1).
+
+The paper evaluates agility by subjecting Odyssey to *reference waveforms* —
+sharp, idealized bandwidth variations borrowed from control-systems practice
+(Fig. 7) — and to a 15-minute synthetic *urban walk* trace (Fig. 13).  Both
+are expressed as *replay traces*: piecewise-constant schedules of
+(bandwidth, latency) that drive the trace-modulation layer.
+
+- :class:`ReplayTrace` / :class:`Segment` — the trace data structure, with a
+  text serialization matching the paper's trace-modulation daemon input.
+- :mod:`repro.trace.waveforms` — constructors for Step-Up/Down,
+  Impulse-Up/Down, the urban walk, constant traces, and priming extensions.
+- :mod:`repro.trace.integrate` — exact integration of byte counts across
+  piecewise-constant rate functions (used by the link transmitter).
+"""
+
+from repro.trace.algebra import (
+    add_latency,
+    clip,
+    concat,
+    scale_bandwidth,
+    scale_time,
+    with_fading,
+)
+from repro.trace.replay import ReplayTrace, Segment, parse_trace, serialize_trace
+from repro.trace.scenarios import SCENARIO_MODELS, generate_scenario
+from repro.trace.waveforms import (
+    HIGH_BANDWIDTH,
+    IMPULSE_WIDTH,
+    LOW_BANDWIDTH,
+    ONE_WAY_LATENCY,
+    WAVEFORM_DURATION,
+    WAVEFORMS,
+    constant,
+    ethernet,
+    impulse_down,
+    impulse_up,
+    step_down,
+    step_up,
+    urban_walk,
+    waveform,
+)
+
+__all__ = [
+    "HIGH_BANDWIDTH",
+    "IMPULSE_WIDTH",
+    "LOW_BANDWIDTH",
+    "ONE_WAY_LATENCY",
+    "SCENARIO_MODELS",
+    "WAVEFORMS",
+    "WAVEFORM_DURATION",
+    "ReplayTrace",
+    "Segment",
+    "add_latency",
+    "clip",
+    "concat",
+    "constant",
+    "ethernet",
+    "generate_scenario",
+    "impulse_down",
+    "impulse_up",
+    "parse_trace",
+    "scale_bandwidth",
+    "scale_time",
+    "serialize_trace",
+    "step_down",
+    "step_up",
+    "urban_walk",
+    "waveform",
+    "with_fading",
+]

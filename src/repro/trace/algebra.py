@@ -1,0 +1,94 @@
+"""Trace algebra: compose and transform replay traces.
+
+Experiment authors build custom conditions out of the stock waveforms —
+chain a priming stretch onto a generated scenario, halve a trace's
+bandwidth to model a weaker radio, overlay multiplicative noise to model
+fading.  All operations return new traces; traces stay immutable.
+"""
+
+from repro.errors import ReproError
+from repro.sim.rng import RngRegistry
+from repro.trace.replay import ReplayTrace, Segment
+
+
+def concat(*traces, name=None):
+    """Play traces back to back."""
+    if not traces:
+        raise ReproError("concat needs at least one trace")
+    segments = []
+    for trace in traces:
+        segments.extend(trace.segments)
+    return ReplayTrace(segments, name=name or "+".join(t.name for t in traces))
+
+
+def scale_bandwidth(trace, factor, name=None):
+    """Multiply every segment's bandwidth by ``factor``."""
+    if factor <= 0:
+        raise ReproError(f"factor must be positive, got {factor!r}")
+    segments = [Segment(s.duration, s.bandwidth * factor, s.latency)
+                for s in trace.segments]
+    return ReplayTrace(segments, name=name or f"{trace.name}*{factor:g}")
+
+
+def scale_time(trace, factor, name=None):
+    """Stretch (>1) or compress (<1) the trace in time."""
+    if factor <= 0:
+        raise ReproError(f"factor must be positive, got {factor!r}")
+    segments = [Segment(s.duration * factor, s.bandwidth, s.latency)
+                for s in trace.segments]
+    return ReplayTrace(segments, name=name or f"{trace.name}@{factor:g}x")
+
+
+def add_latency(trace, extra_seconds, name=None):
+    """Add a constant to every segment's one-way latency."""
+    if extra_seconds < 0:
+        raise ReproError(f"extra latency must be >= 0, got {extra_seconds!r}")
+    segments = [Segment(s.duration, s.bandwidth, s.latency + extra_seconds)
+                for s in trace.segments]
+    return ReplayTrace(segments, name=name or f"{trace.name}+lat")
+
+
+def clip(trace, duration, name=None):
+    """The first ``duration`` seconds of a trace."""
+    if duration <= 0:
+        raise ReproError(f"duration must be positive, got {duration!r}")
+    segments = []
+    remaining = duration
+    for segment in trace.segments:
+        if remaining <= 0:
+            break
+        take = min(segment.duration, remaining)
+        segments.append(Segment(take, segment.bandwidth, segment.latency))
+        remaining -= take
+    if remaining > 0:
+        # The trace holds its last value; materialize the tail.
+        last = trace.segments[-1]
+        segments.append(Segment(remaining, last.bandwidth, last.latency))
+    return ReplayTrace(segments, name=name or f"{trace.name}[:{duration:g}]")
+
+
+def with_fading(trace, amplitude=0.15, period=1.0, seed=0, name=None):
+    """Overlay multiplicative fading noise on a trace.
+
+    Each ``period``-second slice gets a seeded factor uniform in
+    [1-amplitude, 1+amplitude] — a crude model of small-scale fading the
+    idealized waveforms omit.  Transitions from the base trace are
+    preserved exactly.
+    """
+    if not 0 <= amplitude < 1:
+        raise ReproError(f"amplitude must be in [0, 1), got {amplitude!r}")
+    if period <= 0:
+        raise ReproError(f"period must be positive, got {period!r}")
+    rng = (seed if isinstance(seed, RngRegistry) else RngRegistry(seed)) \
+        .stream("fading")
+    segments = []
+    for segment in trace.segments:
+        remaining = segment.duration
+        while remaining > 1e-9:
+            slice_duration = min(period, remaining)
+            factor = 1.0 + rng.uniform(-amplitude, amplitude)
+            segments.append(Segment(slice_duration,
+                                    segment.bandwidth * factor,
+                                    segment.latency))
+            remaining -= slice_duration
+    return ReplayTrace(segments, name=name or f"{trace.name}~fading")

@@ -1,0 +1,141 @@
+"""Reference waveforms and scenario traces (paper Figs. 7 and 13).
+
+The paper quantifies agility with four idealized bandwidth waveforms, each
+60 seconds long over two modulated levels:
+
+- **Step-Up** / **Step-Down** — a single abrupt transition at the midpoint.
+- **Impulse-Up** / **Impulse-Down** — a two-second excursion in the middle,
+  approximating an ideal impulse.
+
+The modulated levels are the paper's (§6.1.3): 120 KB/s high, 40 KB/s low,
+with a 21 ms protocol round-trip (10.5 ms one-way here).  The 15-minute
+urban-walk trace of Fig. 13 drives the concurrency experiment: the user
+begins well connected, crosses a region of intermittent quality, spends four
+minutes in the radio shadow of a large building, and finally returns to good
+connectivity.
+"""
+
+from repro.errors import ReproError
+from repro.trace.replay import ReplayTrace, Segment
+
+KB = 1024
+#: High modulated bandwidth: 120 KB/s (paper §6.1.3).
+HIGH_BANDWIDTH = 120 * KB
+#: Low modulated bandwidth: 40 KB/s (paper §6.1.3).
+LOW_BANDWIDTH = 40 * KB
+#: One-way propagation delay giving the paper's 21 ms protocol round trip.
+ONE_WAY_LATENCY = 0.0105
+#: Length of each reference waveform in seconds (paper Fig. 7).
+WAVEFORM_DURATION = 60.0
+#: Width of the impulse excursions in seconds (paper Fig. 7).
+IMPULSE_WIDTH = 2.0
+#: Private 10 Mb/s Ethernet used for the web baseline, in bytes/s.
+ETHERNET_BANDWIDTH = 1250 * KB
+ETHERNET_LATENCY = 0.001
+
+
+def constant(bandwidth, latency=ONE_WAY_LATENCY, duration=WAVEFORM_DURATION, name=None):
+    """A trace holding ``bandwidth`` for ``duration`` seconds."""
+    return ReplayTrace(
+        [Segment(duration, bandwidth, latency)],
+        name=name or f"constant({bandwidth:g})",
+    )
+
+
+def ethernet(duration=WAVEFORM_DURATION):
+    """The unmodulated private-Ethernet baseline (paper Fig. 11, row 1)."""
+    return constant(ETHERNET_BANDWIDTH, ETHERNET_LATENCY, duration, name="ethernet")
+
+
+def step_up(low=LOW_BANDWIDTH, high=HIGH_BANDWIDTH, duration=WAVEFORM_DURATION,
+            latency=ONE_WAY_LATENCY):
+    """Step-Up: low for the first half, high for the second (Fig. 7a)."""
+    half = duration / 2
+    return ReplayTrace(
+        [Segment(half, low, latency), Segment(half, high, latency)],
+        name="step-up",
+    )
+
+
+def step_down(low=LOW_BANDWIDTH, high=HIGH_BANDWIDTH, duration=WAVEFORM_DURATION,
+              latency=ONE_WAY_LATENCY):
+    """Step-Down: high for the first half, low for the second (Fig. 7b)."""
+    half = duration / 2
+    return ReplayTrace(
+        [Segment(half, high, latency), Segment(half, low, latency)],
+        name="step-down",
+    )
+
+
+def impulse_up(low=LOW_BANDWIDTH, high=HIGH_BANDWIDTH, duration=WAVEFORM_DURATION,
+               width=IMPULSE_WIDTH, latency=ONE_WAY_LATENCY):
+    """Impulse-Up: low throughout, with a ``width``-second spike to high (Fig. 7c)."""
+    if width >= duration:
+        raise ReproError("impulse width must be smaller than the waveform duration")
+    wing = (duration - width) / 2
+    return ReplayTrace(
+        [Segment(wing, low, latency), Segment(width, high, latency),
+         Segment(wing, low, latency)],
+        name="impulse-up",
+    )
+
+
+def impulse_down(low=LOW_BANDWIDTH, high=HIGH_BANDWIDTH, duration=WAVEFORM_DURATION,
+                 width=IMPULSE_WIDTH, latency=ONE_WAY_LATENCY):
+    """Impulse-Down: high throughout, with a ``width``-second dip to low (Fig. 7d)."""
+    if width >= duration:
+        raise ReproError("impulse width must be smaller than the waveform duration")
+    wing = (duration - width) / 2
+    return ReplayTrace(
+        [Segment(wing, high, latency), Segment(width, low, latency),
+         Segment(wing, high, latency)],
+        name="impulse-down",
+    )
+
+
+#: Durations, in minutes, of the urban-walk segments (paper Fig. 13),
+#: starting at high bandwidth and alternating.  Fig. 13 labels the high
+#: segments 3 1 1 1 2 and the low segments 1 1 1 4; interleaved, the walk
+#: reads: 3 min well connected, an intermittent region of one-minute
+#: swings, the four-minute radio shadow of a large building, and a final
+#: two minutes of restored connectivity.  Total: 15 minutes.
+URBAN_WALK_MINUTES = (3, 1, 1, 1, 1, 1, 1, 4, 2)
+
+
+def urban_walk(low=LOW_BANDWIDTH, high=HIGH_BANDWIDTH, latency=ONE_WAY_LATENCY):
+    """The 15-minute synthetic urban-scenario trace (paper Fig. 13).
+
+    Alternates high/low starting at high; the 4-minute low segment is the
+    radio shadow, and the walk ends back in good connectivity.
+    """
+    segments = []
+    level = high
+    for minutes in URBAN_WALK_MINUTES:
+        segments.append(Segment(minutes * 60.0, level, latency))
+        level = low if level == high else high
+    return ReplayTrace(segments, name="urban-walk")
+
+
+#: Registry mapping waveform names to constructors (no-argument callables).
+WAVEFORMS = {
+    "step-up": step_up,
+    "step-down": step_down,
+    "impulse-up": impulse_up,
+    "impulse-down": impulse_down,
+    "urban-walk": urban_walk,
+    "ethernet": ethernet,
+}
+
+
+def waveform(name, **kwargs):
+    """Construct a registered waveform by name.
+
+    Raises :class:`~repro.errors.ReproError` for unknown names, listing the
+    valid ones.
+    """
+    try:
+        factory = WAVEFORMS[name]
+    except KeyError:
+        known = ", ".join(sorted(WAVEFORMS))
+        raise ReproError(f"unknown waveform {name!r}; known: {known}") from None
+    return factory(**kwargs)

@@ -1,0 +1,51 @@
+"""Shared fixtures: simulators, networks, and wired-up worlds."""
+
+import pytest
+
+from repro.core.api import OdysseyAPI
+from repro.core.viceroy import Viceroy
+from repro.net.network import Network
+from repro.sim.kernel import Simulator
+from repro.trace.waveforms import HIGH_BANDWIDTH, constant
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+@pytest.fixture
+def network(sim):
+    """A network with a constant high-bandwidth client link."""
+    return Network(sim, constant(HIGH_BANDWIDTH, duration=3600))
+
+
+@pytest.fixture
+def viceroy(sim, network):
+    return Viceroy(sim, network)
+
+
+@pytest.fixture
+def api(viceroy):
+    return OdysseyAPI(viceroy, "test-app")
+
+
+def drive(sim, generator, until=None):
+    """Run ``generator`` as a process to completion; return its value."""
+    process = sim.process(generator)
+    if until is None:
+        sim.run()
+    else:
+        sim.run(until=until)
+    assert process.triggered, "process did not finish in time"
+    return process.value
+
+
+@pytest.fixture
+def run_process(sim):
+    """Fixture-ized :func:`drive` bound to the test simulator."""
+
+    def runner(generator, until=None):
+        return drive(sim, generator, until=until)
+
+    return runner

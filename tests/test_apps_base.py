@@ -1,0 +1,124 @@
+"""The Application base class and the negotiate() retry helper."""
+
+import pytest
+
+from repro.apps.base import Application, negotiate
+from repro.apps.bitstream import build_bitstream
+from repro.core.api import OdysseyAPI
+from repro.core.resources import Resource
+from repro.core.viceroy import Viceroy
+from repro.errors import ProcessInterrupt, ToleranceError
+from repro.net.network import Network
+from repro.sim.kernel import Simulator
+from repro.trace.waveforms import HIGH_BANDWIDTH, constant
+
+
+class TickingApp(Application):
+    def __init__(self, sim, api):
+        super().__init__(sim, api, "ticker")
+        self.ticks = 0
+
+    def run(self):
+        try:
+            while True:
+                yield self.sim.timeout(1.0)
+                self.ticks += 1
+        except ProcessInterrupt:
+            return self.ticks
+
+
+def test_application_start_stop(sim, api):
+    app = TickingApp(sim, api)
+    process = app.start()
+    sim.run(until=5.5)
+    app.stop()
+    sim.run(until=6.0)
+    assert not process.alive
+    assert process.value == 5
+
+
+def test_double_start_rejected(sim, api):
+    app = TickingApp(sim, api)
+    app.start()
+    with pytest.raises(RuntimeError):
+        app.start()
+
+
+def test_stop_before_start_is_noop(sim, api):
+    TickingApp(sim, api).stop()  # nothing to interrupt, nothing raised
+
+
+def test_run_must_be_overridden(sim, api):
+    app = Application(sim, api, "abstract")
+    with pytest.raises(NotImplementedError):
+        app.run()
+
+
+def build_estimating_world():
+    sim = Simulator()
+    network = Network(sim, constant(HIGH_BANDWIDTH, duration=300))
+    viceroy = Viceroy(sim, network)
+    app, warden, _ = build_bitstream(sim, viceroy, network)
+    app.start()
+    sim.run(until=10.0)  # estimates now exist
+    return sim, viceroy
+
+
+def test_negotiate_registers_first_try_when_window_fits():
+    sim, viceroy = build_estimating_world()
+    api = OdysseyAPI(viceroy, "bitstream-app-0")
+    seen = []
+
+    request_id = negotiate(
+        api, "/odyssey/bitstream/0", Resource.NETWORK_BANDWIDTH,
+        window_for=lambda level: (0.0, 1e12),
+        on_level=seen.append,
+    )
+    assert request_id > 0
+    assert seen == [None]  # no hint, one attempt
+    api.cancel(request_id)
+
+
+def test_negotiate_retries_with_reported_level():
+    sim, viceroy = build_estimating_world()
+    api = OdysseyAPI(viceroy, "bitstream-app-0")
+    seen = []
+
+    def window_for(level):
+        if level is None:
+            return (1e9, 1e12)  # absurdly optimistic: will be rejected
+        return (level * 0.5, level * 2.0)  # second attempt fits
+
+    request_id = negotiate(
+        api, "/odyssey/bitstream/0", Resource.NETWORK_BANDWIDTH,
+        window_for=window_for, on_level=seen.append,
+    )
+    assert request_id > 0
+    assert seen[0] is None
+    assert seen[1] > 0  # the ToleranceError's reported availability
+    assert len(seen) == 2
+
+
+def test_negotiate_surfaces_nonconverging_mapping():
+    sim, viceroy = build_estimating_world()
+    api = OdysseyAPI(viceroy, "bitstream-app-0")
+
+    with pytest.raises(ToleranceError):
+        negotiate(
+            api, "/odyssey/bitstream/0", Resource.NETWORK_BANDWIDTH,
+            window_for=lambda level: (1e9, 1e12),  # never contains the level
+            on_level=lambda level: None,
+        )
+
+
+def test_negotiate_uses_level_hint():
+    sim, viceroy = build_estimating_world()
+    api = OdysseyAPI(viceroy, "bitstream-app-0")
+    seen = []
+    negotiate(
+        api, "/odyssey/bitstream/0", Resource.NETWORK_BANDWIDTH,
+        window_for=lambda level: (0.0, 1e12),
+        on_level=seen.append,
+        level_hint=12345.0,
+    )
+    assert seen == [12345.0]

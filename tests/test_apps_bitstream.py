@@ -1,0 +1,82 @@
+"""The bitstream synthetic application."""
+
+import pytest
+
+from repro.apps.bitstream import build_bitstream
+from repro.core.viceroy import Viceroy
+from repro.net.network import Network
+from repro.sim.kernel import Simulator
+from repro.trace.waveforms import HIGH_BANDWIDTH, constant
+
+
+@pytest.fixture
+def world():
+    sim = Simulator()
+    network = Network(sim, constant(HIGH_BANDWIDTH, duration=600))
+    viceroy = Viceroy(sim, network)
+    return sim, network, viceroy
+
+
+def test_unpaced_stream_saturates_the_link(world):
+    sim, network, viceroy = world
+    app, warden, server = build_bitstream(sim, viceroy, network)
+    app.start()
+    sim.run(until=20.0)
+    rate = app.bytes_consumed / 20.0
+    assert rate > 0.85 * HIGH_BANDWIDTH
+
+
+def test_paced_stream_matches_target(world):
+    sim, network, viceroy = world
+    target = 0.10 * HIGH_BANDWIDTH
+    app, warden, server = build_bitstream(
+        sim, viceroy, network, target_rate=target, chunk_bytes=16 * 1024
+    )
+    app.start()
+    sim.run(until=60.0)
+    assert app.mean_rate(10.0, 60.0) == pytest.approx(target, rel=0.15)
+
+
+def test_two_streams_share_fairly(world):
+    sim, network, viceroy = world
+    app_a, _, _ = build_bitstream(sim, viceroy, network, index=0)
+    app_b, _, _ = build_bitstream(sim, viceroy, network, index=1)
+    app_a.start()
+    app_b.start()
+    sim.run(until=30.0)
+    rate_a = app_a.bytes_consumed / 30.0
+    rate_b = app_b.bytes_consumed / 30.0
+    assert rate_a + rate_b > 0.85 * HIGH_BANDWIDTH
+    assert rate_a == pytest.approx(rate_b, rel=0.2)
+
+
+def test_stop_interrupts_cleanly(world):
+    sim, network, viceroy = world
+    app, _, _ = build_bitstream(sim, viceroy, network)
+    app.start()
+    sim.run(until=5.0)
+    app.stop()
+    sim.run(until=6.0)
+    assert not app.process.alive
+    consumed_at_stop = app.bytes_consumed
+    sim.run(until=10.0)
+    assert app.bytes_consumed == consumed_at_stop
+
+
+def test_viceroy_estimates_from_stream(world):
+    sim, network, viceroy = world
+    app, warden, _ = build_bitstream(sim, viceroy, network)
+    app.start()
+    sim.run(until=10.0)
+    total = viceroy.total_bandwidth()
+    assert total == pytest.approx(HIGH_BANDWIDTH, rel=0.10)
+
+
+def test_chunk_times_recorded(world):
+    sim, network, viceroy = world
+    app, _, _ = build_bitstream(sim, viceroy, network, chunk_bytes=32 * 1024)
+    app.start()
+    sim.run(until=5.0)
+    assert len(app.chunk_times) > 5
+    for at, seconds in app.chunk_times:
+        assert seconds > 0

@@ -1,0 +1,180 @@
+"""Consistency as fidelity: the file warden and document reader."""
+
+import pytest
+
+from repro.apps.files import (
+    CONSISTENCY_LEVELS,
+    DocumentReader,
+    build_files,
+)
+from repro.apps.files.server import file_bytes
+from repro.core.api import OdysseyAPI
+from repro.core.viceroy import Viceroy
+from repro.errors import OdysseyError, ReproError
+from repro.net.network import Network
+from repro.sim.kernel import Simulator
+from repro.trace.waveforms import HIGH_BANDWIDTH, LOW_BANDWIDTH, constant
+
+
+def build_world(bandwidth=HIGH_BANDWIDTH, update_period=None, n_docs=3):
+    sim = Simulator()
+    network = Network(sim, constant(bandwidth, duration=3600))
+    viceroy = Viceroy(sim, network)
+    warden, server = build_files(sim, viceroy, network,
+                                 update_period=update_period)
+    docs = [server.create(f"doc{i}") for i in range(n_docs)]
+    api = OdysseyAPI(viceroy, "reader")
+    return sim, warden, server, api, docs
+
+
+def read_doc(sim, api, name):
+    def flow():
+        fd = api.open(f"/odyssey/files/{name}")
+        contents = yield from api.read(fd)
+        api.close(fd)
+        return contents
+
+    process = sim.process(flow())
+    sim.run(until=sim.now + 10.0)
+    return process.value
+
+
+def test_file_sizes_deterministic():
+    assert file_bytes("a", 1) == file_bytes("a", 1)
+    assert file_bytes("a", 1) != file_bytes("a", 2)
+
+
+def test_server_versioning():
+    sim, warden, server, api, docs = build_world()
+    assert server.version("doc0") == 1
+    server.touch("doc0")
+    assert server.version("doc0") == 2
+    with pytest.raises(ReproError):
+        server.version("ghost")
+    with pytest.raises(ReproError):
+        server.create("doc0")
+
+
+def test_first_read_fetches_then_cache_serves():
+    sim, warden, server, api, docs = build_world()
+    first = read_doc(sim, api, "doc0")
+    assert first["version"] == 1
+    assert warden.refetches == 1
+    # Strong consistency: the second read validates but need not refetch.
+    second = read_doc(sim, api, "doc0")
+    assert second["version"] == 1
+    assert warden.validations == 1
+    assert warden.refetches == 1
+
+
+def test_strong_consistency_never_serves_stale():
+    sim, warden, server, api, docs = build_world()
+    read_doc(sim, api, "doc0")
+    server.touch("doc0")
+    contents = read_doc(sim, api, "doc0")
+    assert contents["version"] == 2  # validation noticed, refetched
+
+
+def test_relaxed_consistency_can_serve_stale_within_bound():
+    sim, warden, server, api, docs = build_world()
+
+    def flow():
+        yield from api.tsop("/odyssey/files", "set-consistency",
+                            {"consistency": 0.1})
+
+    sim.process(flow())
+    sim.run(until=1.0)
+    read_doc(sim, api, "doc0")
+    server.touch("doc0")
+    contents = read_doc(sim, api, "doc0")  # within the 60 s bound
+    assert contents["version"] == 1  # stale, by design
+    assert warden.cache_serves >= 1
+
+
+def test_relaxed_consistency_revalidates_after_bound():
+    sim, warden, server, api, docs = build_world()
+
+    def flow():
+        yield from api.tsop("/odyssey/files", "set-consistency",
+                            {"consistency": 0.1})
+
+    sim.process(flow())
+    sim.run(until=1.0)
+    read_doc(sim, api, "doc0")
+    server.touch("doc0")
+    sim.run(until=sim.now + 61.0)  # past the 60 s staleness bound
+    contents = read_doc(sim, api, "doc0")
+    assert contents["version"] == 2
+
+
+def test_consistency_level_validated():
+    sim, warden, server, api, docs = build_world()
+
+    def flow():
+        try:
+            yield from api.tsop("/odyssey/files", "set-consistency",
+                                {"consistency": 0.7})
+        except OdysseyError:
+            return "rejected"
+
+    process = sim.process(flow())
+    sim.run(until=1.0)
+    assert process.value == "rejected"
+
+
+def test_stat_reports_cached_metadata():
+    sim, warden, server, api, docs = build_world()
+    read_doc(sim, api, "doc0")
+    stat = api.stat("/odyssey/files/doc0")
+    assert stat["version"] == 1
+    assert stat["size"] > 0
+    from repro.errors import NoSuchObject
+
+    with pytest.raises(NoSuchObject):
+        api.stat("/odyssey/files/never-read")
+
+
+def run_reader(bandwidth, policy, update_period=3.0, until=60.0):
+    sim, warden, server, api, docs = build_world(
+        bandwidth=bandwidth, update_period=update_period
+    )
+    reader = DocumentReader(sim, api, "reader", "/odyssey/files", docs,
+                            server, period_seconds=0.5, policy=policy)
+    reader.start()
+    sim.run(until=until)
+    return reader, warden
+
+
+def test_strong_reader_is_never_stale_but_pays_latency():
+    reader, warden = run_reader(HIGH_BANDWIDTH, 1.0)
+    assert reader.stats.count > 50
+    assert reader.stats.stale_reads == 0
+    assert reader.stats.mean_open_seconds > 0.02  # every open pays the wire
+
+
+def test_relaxed_reader_is_fast_but_sometimes_stale():
+    reader, warden = run_reader(HIGH_BANDWIDTH, 0.1)
+    assert reader.stats.mean_open_seconds < 0.05
+    assert reader.stats.stale_reads > 0  # the §2.2 trade, visible
+
+
+def test_adaptive_reader_relaxes_at_low_bandwidth():
+    strong_low, _ = run_reader(LOW_BANDWIDTH, 1.0)
+    adaptive_low, _ = run_reader(LOW_BANDWIDTH, "adaptive")
+    # At 40 KB/s the adaptive reader drops to a weaker consistency level,
+    # opening faster than the always-strong reader...
+    assert adaptive_low.stats.mean_open_seconds < \
+        strong_low.stats.mean_open_seconds * 0.7
+    levels = [level for _, _, _, _, level in adaptive_low.stats.opens]
+    # The first open (no estimate) may be strong; the steady state is not.
+    assert levels and max(levels[2:]) < 1.0
+    # ...at the cost of some staleness (fidelity lowered, §2.2).
+    assert adaptive_low.stats.stale_fraction >= 0.0
+
+
+def test_adaptive_reader_stays_strong_at_high_bandwidth():
+    adaptive, _ = run_reader(HIGH_BANDWIDTH, "adaptive")
+    levels = [level for _, _, _, _, level in adaptive.stats.opens]
+    assert levels
+    assert max(levels) == 1.0
+    assert sum(1 for l in levels if l == 1.0) / len(levels) > 0.8

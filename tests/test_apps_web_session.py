@@ -1,0 +1,98 @@
+"""Realistic browsing sessions over the extended web warden."""
+
+import pytest
+
+from repro.apps.web.browser import LATENCY_GOAL_SECONDS
+from repro.apps.web.images import ImageStore
+from repro.apps.web.session import BrowsingSession, Page, synthetic_site
+from repro.apps.web.warden import build_web
+from repro.core.api import OdysseyAPI
+from repro.core.viceroy import Viceroy
+from repro.errors import ReproError
+from repro.net.network import Network
+from repro.sim.kernel import Simulator
+from repro.trace.waveforms import HIGH_BANDWIDTH, LOW_BANDWIDTH, constant, step_down
+
+
+def test_page_validation():
+    with pytest.raises(ReproError):
+        Page(html="", images=())
+
+
+def test_synthetic_site_deterministic():
+    a = synthetic_site(ImageStore(), seed=1)
+    b = synthetic_site(ImageStore(), seed=1)
+    assert [p.html for p in a] == [p.html for p in b]
+    assert all(len(p.images) == 3 for p in a)
+
+
+def build_session(bandwidth, policy="adaptive", think=1.0, pages=6):
+    sim = Simulator()
+    network = Network(sim, constant(bandwidth, duration=3600))
+    viceroy = Viceroy(sim, network)
+    store = ImageStore()
+    site = synthetic_site(store, pages=pages)
+    build_web(sim, viceroy, network, store)
+    api = OdysseyAPI(viceroy, "browser")
+    session = BrowsingSession(sim, api, "browser", "/odyssey/web", site,
+                              store, think_seconds=think, policy=policy)
+    return sim, session
+
+
+def test_session_loads_every_page():
+    sim, session = build_session(HIGH_BANDWIDTH)
+    session.start()
+    sim.run(until=60.0)
+    assert session.stats.count == 6
+
+
+def test_full_fidelity_at_high_bandwidth():
+    sim, session = build_session(HIGH_BANDWIDTH)
+    session.start()
+    sim.run(until=60.0)
+    # Full quality is marginal at 120 KB/s by design (the Fig. 11 goal);
+    # the session should still be near-full and near-goal.
+    assert session.stats.mean_image_fidelity > 0.85
+    goal = session.page_goal_seconds(session.site[0])
+    assert session.stats.goal_met_fraction(goal * 1.15) >= 0.8
+
+
+def test_degrades_both_kinds_at_low_bandwidth():
+    sim, session = build_session(LOW_BANDWIDTH)
+    session.start()
+    sim.run(until=90.0)
+    assert session.stats.count == 6
+    # Images degraded below full quality...
+    assert session.stats.mean_image_fidelity < 0.9
+    # ...and page loads still land near the scaled goal.
+    goal = session.page_goal_seconds(session.site[0])
+    assert session.stats.goal_met_fraction(goal * 1.2) >= 0.8
+
+
+def test_adaptive_beats_static_full_at_low_bandwidth():
+    sim_a, adaptive = build_session(LOW_BANDWIDTH, policy="adaptive")
+    adaptive.start()
+    sim_a.run(until=90.0)
+    sim_s, static = build_session(LOW_BANDWIDTH, policy=1.0)
+    static.start()
+    sim_s.run(until=90.0)
+    assert adaptive.stats.mean_load_seconds < static.stats.mean_load_seconds
+
+
+def test_session_adapts_across_step_down():
+    sim = Simulator()
+    network = Network(sim, step_down().shifted(5.0))  # transition at t=35
+    viceroy = Viceroy(sim, network)
+    store = ImageStore()
+    site = synthetic_site(store, pages=25)
+    build_web(sim, viceroy, network, store)
+    api = OdysseyAPI(viceroy, "browser")
+    session = BrowsingSession(sim, api, "browser", "/odyssey/web", site,
+                              store, think_seconds=2.0)
+    session.start()
+    sim.run(until=120.0)
+    early = [f for t, _, f, _ in session.stats.loads if t < 30]
+    late = [f for t, _, f, _ in session.stats.loads if t > 45]
+    assert early and late
+    assert max(early) == 1.0  # full quality was reached while it lasted
+    assert max(late) < 1.0  # degraded after the step

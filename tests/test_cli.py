@@ -1,0 +1,98 @@
+"""The command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out
+
+
+def test_calibration(capsys):
+    code, out = run_cli(capsys, "calibration")
+    assert code == 0
+    assert "modulated bandwidths" in out
+    assert "video tracks" in out
+
+
+def test_waveform_trace_format(capsys):
+    code, out = run_cli(capsys, "waveform", "step-up")
+    assert code == 0
+    assert "duration_s" in out
+    assert "122880" in out and "40960" in out
+
+
+def test_waveform_csv_format(capsys):
+    code, out = run_cli(capsys, "waveform", "impulse-down", "--format", "csv",
+                        "--step", "5")
+    assert code == 0
+    lines = out.strip().splitlines()
+    assert lines[0] == "time_s,bandwidth_bytes_per_s"
+    assert len(lines) == 14  # header + 0..60 in 5 s steps
+
+
+def test_unknown_waveform_errors(capsys):
+    from repro.errors import ReproError
+
+    with pytest.raises(ReproError):
+        main(["waveform", "sine"])
+
+
+def test_fig8_single_waveform(capsys):
+    code, out = run_cli(capsys, "fig8", "--waveform", "step-down",
+                        "--trials", "1")
+    assert code == 0
+    assert "settling time" in out
+
+
+def test_fig8_csv(capsys):
+    code, out = run_cli(capsys, "fig8", "--waveform", "step-up",
+                        "--trials", "1", "--format", "csv")
+    assert code == 0
+    assert out.startswith("time_s,estimate_bytes_per_s")
+
+
+def test_fig9_single_utilization(capsys):
+    code, out = run_cli(capsys, "fig9", "--utilization", "0.1",
+                        "--trials", "1")
+    assert code == 0
+    assert "second stream settling" in out
+
+
+def test_fig12_table(capsys):
+    code, out = run_cli(capsys, "fig12", "--trials", "1")
+    assert code == 0
+    assert "hybrid" in out and "remote" in out and "adaptive" in out
+
+
+def test_scenario(capsys):
+    code, out = run_cli(capsys, "scenario", "--policy", "blind-optimism",
+                        "--seed", "2")
+    assert code == 0
+    assert "video" in out and "speech" in out
+    assert "blind-optimism" in out
+
+
+def test_parser_rejects_missing_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_version(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main(["--version"])
+    assert excinfo.value.code == 0
+
+
+@pytest.mark.slow
+def test_all_report(capsys, tmp_path):
+    out_file = tmp_path / "report.txt"
+    code, out = run_cli(capsys, "all", "--trials", "1",
+                        "--no-extensions", "--out", str(out_file))
+    assert code == 0
+    assert "Reproduction report" in out
+    assert "Fig. 10" in out and "Fig. 14" in out
+    assert out_file.read_text() == out

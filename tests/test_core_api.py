@@ -1,0 +1,146 @@
+"""The per-application OdysseyAPI façade (Fig. 3's system-call surface)."""
+
+import pytest
+
+from repro.core.api import OdysseyAPI
+from repro.core.resources import Resource
+from repro.core.warden import Warden
+from repro.errors import NoSuchObject, NoSuchOperation, OdysseyError, ToleranceError
+
+
+class MiniWarden(Warden):
+    TSOPS = {"double": "tsop_double"}
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.objects = {"greeting": "hello world"}
+        self.closed = []
+
+    def tsop_double(self, app, rest, inbuf):
+        return inbuf["value"] * 2
+        yield  # pragma: no cover
+
+    def vfs_open(self, app, rest, flags="r"):
+        if rest not in self.objects:
+            raise NoSuchObject(rest)
+        return {"name": rest, "pos": 0}
+
+    def vfs_read(self, app, handle, nbytes):
+        data = self.objects[handle["name"]]
+        yield self.sim.timeout(0.01)  # a little simulated work
+        return data if nbytes is None else data[:nbytes]
+
+    def vfs_write(self, app, handle, data):
+        self.objects[handle["name"]] = data
+        return len(data)
+        yield  # pragma: no cover
+
+    def vfs_close(self, app, handle):
+        self.closed.append(handle["name"])
+
+    def vfs_stat(self, rest):
+        return {"size": len(self.objects[rest])}
+
+    def vfs_readdir(self, rest):
+        return sorted(self.objects)
+
+
+@pytest.fixture
+def warden(sim, viceroy):
+    warden = MiniWarden(sim, viceroy, "mini")
+    viceroy.mount("/odyssey/mini", warden)
+    return warden
+
+
+def test_open_read_close(sim, api, warden, run_process):
+    def flow():
+        fd = api.open("/odyssey/mini/greeting")
+        assert fd >= 3
+        data = yield from api.read(fd, 5)
+        api.close(fd)
+        return data
+
+    assert run_process(flow()) == "hello"
+    assert warden.closed == ["greeting"]
+
+
+def test_read_after_close_is_bad_fd(sim, api, warden, run_process):
+    def flow():
+        fd = api.open("/odyssey/mini/greeting")
+        api.close(fd)
+        try:
+            yield from api.read(fd, 1)
+        except OdysseyError:
+            return "bad fd"
+
+    assert run_process(flow()) == "bad fd"
+
+
+def test_write(sim, api, warden, run_process):
+    def flow():
+        fd = api.open("/odyssey/mini/greeting", flags="w")
+        count = yield from api.write(fd, "new text")
+        api.close(fd)
+        return count
+
+    assert run_process(flow()) == 8
+    assert warden.objects["greeting"] == "new text"
+
+
+def test_open_missing_object(api, warden):
+    with pytest.raises(NoSuchObject):
+        api.open("/odyssey/mini/nothing")
+
+
+def test_tsop_by_path_and_fd(sim, api, warden, run_process):
+    def flow():
+        by_path = yield from api.tsop("/odyssey/mini/greeting", "double",
+                                      {"value": 21})
+        fd = api.open("/odyssey/mini/greeting")
+        by_fd = yield from api.tsop_fd(fd, "double", {"value": 10})
+        return by_path, by_fd
+
+    assert run_process(flow()) == (42, 20)
+
+
+def test_unknown_tsop(sim, api, warden, run_process):
+    def flow():
+        try:
+            yield from api.tsop("/odyssey/mini/greeting", "missing", {})
+        except NoSuchOperation as exc:
+            return str(exc)
+
+    assert "double" in run_process(flow())  # error lists supported opcodes
+
+
+def test_stat_and_readdir(api, warden):
+    assert api.stat("/odyssey/mini/greeting")["size"] == 11
+    assert api.readdir("/odyssey/mini") == ["greeting"]
+    assert "mini" in api.readdir("/odyssey")
+
+
+def test_request_fd_variant(sim, network, viceroy, warden):
+    """request/request_fd resolve paths to the warden's connection."""
+    from repro.rpc.connection import RpcService
+    from repro.rpc.messages import ServerReply
+
+    server = network.add_host("server")
+    service = RpcService(sim, server, "svc")
+    service.register("noop", lambda body: ServerReply())
+    warden.open_connection("server", "svc")
+
+    api = OdysseyAPI(viceroy, "fd-app")
+    request_id = api.request("/odyssey/mini/greeting",
+                             Resource.NETWORK_BANDWIDTH, 0, 1e9)
+    api.cancel(request_id)
+    fd = api.open("/odyssey/mini/greeting")
+    request_id = api.request_fd(fd, Resource.NETWORK_BANDWIDTH, 0, 1e9)
+    api.cancel(request_id)
+
+
+def test_fds_are_per_application(viceroy, warden):
+    first = OdysseyAPI(viceroy, "one")
+    second = OdysseyAPI(viceroy, "two")
+    fd = first.open("/odyssey/mini/greeting")
+    with pytest.raises(OdysseyError):
+        second.close(fd)

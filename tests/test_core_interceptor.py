@@ -1,0 +1,147 @@
+"""The interceptor and its local file system (Fig. 2's architecture)."""
+
+import pytest
+
+from repro.core.api import OdysseyAPI
+from repro.core.interceptor import Interceptor, LocalFS
+from repro.core.warden import Warden
+from repro.errors import NoSuchObject, OdysseyError
+
+
+# -- LocalFS ----------------------------------------------------------------
+
+
+@pytest.fixture
+def fs():
+    return LocalFS()
+
+
+def test_write_read_roundtrip(fs):
+    assert fs.write_file("/var/log/app.log", "hello") == 5
+    assert fs.read_file("/var/log/app.log") == "hello"
+
+
+def test_read_missing_file(fs):
+    with pytest.raises(NoSuchObject):
+        fs.read_file("/nothing")
+
+
+def test_append(fs):
+    fs.write_file("/notes", "a")
+    fs.append_file("/notes", "b")
+    assert fs.read_file("/notes") == "ab"
+
+
+def test_unlink(fs):
+    fs.write_file("/tmp/x", "data")
+    fs.unlink("/tmp/x")
+    with pytest.raises(NoSuchObject):
+        fs.read_file("/tmp/x")
+    with pytest.raises(NoSuchObject):
+        fs.unlink("/tmp/x")
+
+
+def test_stat_files_and_dirs(fs):
+    fs.write_file("/etc/conf", "xy")
+    assert fs.stat("/etc/conf") == {"size": 2, "type": "file"}
+    assert fs.stat("/etc")["type"] == "directory"
+    with pytest.raises(NoSuchObject):
+        fs.stat("/missing")
+
+
+def test_mkdir_and_readdir(fs):
+    fs.mkdir("/home/user")
+    fs.write_file("/home/user/a.txt", "1")
+    fs.write_file("/home/user/b.txt", "2")
+    fs.write_file("/home/other/c.txt", "3")
+    assert fs.readdir("/home/user") == ["a.txt", "b.txt"]
+    assert fs.readdir("/home") == ["other", "user"]
+    with pytest.raises(NoSuchObject):
+        fs.readdir("/nowhere")
+
+
+def test_intermediate_directories_created(fs):
+    fs.write_file("/a/b/c/d.txt", "deep")
+    assert fs.stat("/a/b/c")["type"] == "directory"
+    assert fs.readdir("/a") == ["b"]
+
+
+def test_file_directory_conflicts(fs):
+    fs.write_file("/x", "f")
+    with pytest.raises(OdysseyError):
+        fs.mkdir("/x")
+    fs.mkdir("/d")
+    with pytest.raises(OdysseyError):
+        fs.write_file("/d", "f")
+
+
+# -- Interceptor ----------------------------------------------------------------
+
+
+class TinyWarden(Warden):
+    def vfs_open(self, app, rest, flags="r"):
+        return {"rest": rest}
+
+    def vfs_read(self, app, handle, nbytes):
+        yield self.sim.timeout(0.01)
+        return f"odyssey:{handle['rest']}"
+
+
+@pytest.fixture
+def interceptor(sim, viceroy):
+    warden = TinyWarden(sim, viceroy, "tiny")
+    viceroy.mount("/odyssey/tiny", warden)
+    api = OdysseyAPI(viceroy, "app")
+    return Interceptor(api)
+
+
+def test_odyssey_paths_redirected(sim, interceptor, run_process):
+    def flow():
+        handle = interceptor.open("/odyssey/tiny/obj")
+        data = yield from interceptor.read(handle)
+        interceptor.close(handle)
+        return handle[0], data
+
+    kind, data = run_process(flow())
+    assert kind == "odyssey"
+    assert data == "odyssey:obj"
+    assert interceptor.redirected == 1
+
+
+def test_local_paths_pass_through(sim, interceptor, run_process):
+    interceptor.localfs.write_file("/home/user/prefs", "volume=7")
+
+    def flow():
+        handle = interceptor.open("/home/user/prefs")
+        data = yield from interceptor.read(handle)
+        interceptor.close(handle)
+        return handle[0], data
+
+    kind, data = run_process(flow())
+    assert kind == "local"
+    assert data == "volume=7"
+    assert interceptor.passed_through == 1
+    assert interceptor.redirected == 0
+
+
+def test_local_write_through_interceptor(sim, interceptor, run_process):
+    def flow():
+        handle = interceptor.open("/var/spool/utterance.raw", flags="w")
+        count = yield from interceptor.write(handle, "PCM" * 10)
+        return count
+
+    assert run_process(flow()) == 30
+    assert interceptor.localfs.read_file("/var/spool/utterance.raw")
+
+
+def test_open_missing_local_file(interceptor):
+    with pytest.raises(NoSuchObject):
+        interceptor.open("/no/such/file")
+
+
+def test_stat_and_readdir_route_correctly(interceptor):
+    interceptor.localfs.write_file("/etc/fstab", "/dev/wd0a /")
+    assert interceptor.stat("/etc/fstab")["type"] == "file"
+    assert "tiny" in interceptor.readdir("/odyssey")
+    assert interceptor.redirected >= 1
+    assert interceptor.passed_through >= 1

@@ -1,0 +1,96 @@
+"""Monitors for the non-network resources of Fig. 3(c)."""
+
+import pytest
+
+from repro.core.monitors import (
+    BatteryMonitor,
+    CpuMonitor,
+    DiskCacheMonitor,
+    MoneyMonitor,
+)
+from repro.core.warden import WardenCache
+from repro.errors import OdysseyError, ReproError
+
+
+def test_battery_drains_linearly(sim):
+    battery = BatteryMonitor(sim, capacity_minutes=10, tick=1.0)
+    sim.run(until=60.0)
+    assert battery.current() == pytest.approx(9.0, abs=0.05)
+
+
+def test_battery_load_scales_drain(sim):
+    battery = BatteryMonitor(sim, capacity_minutes=10, load=2.0, tick=1.0)
+    sim.run(until=60.0)
+    assert battery.current() == pytest.approx(8.0, abs=0.1)
+
+
+def test_battery_never_negative(sim):
+    battery = BatteryMonitor(sim, capacity_minutes=0.05, tick=1.0)
+    sim.run(until=10.0)
+    assert battery.current() == 0.0
+
+
+def test_battery_validation(sim):
+    with pytest.raises(ReproError):
+        BatteryMonitor(sim, capacity_minutes=0)
+    battery = BatteryMonitor(sim, capacity_minutes=10)
+    with pytest.raises(ReproError):
+        battery.set_load(-1)
+
+
+def test_battery_history_recorded(sim):
+    battery = BatteryMonitor(sim, capacity_minutes=10, tick=1.0)
+    sim.run(until=5.0)
+    assert len(battery.history) == 5
+
+
+def test_cpu_monitor(sim):
+    cpu = CpuMonitor(sim, rating_specint95=3.05)
+    assert cpu.current() == pytest.approx(3.05)
+    cpu.set_load(0.5)
+    assert cpu.current() == pytest.approx(1.525)
+    with pytest.raises(ReproError):
+        cpu.set_load(1.5)
+    with pytest.raises(ReproError):
+        CpuMonitor(sim, rating_specint95=0)
+
+
+def test_disk_cache_monitor_aggregates(sim):
+    monitor = DiskCacheMonitor(sim)
+    cache_a, cache_b = WardenCache(1024 * 10), WardenCache(1024 * 20)
+    monitor.watch(cache_a)
+    monitor.watch(cache_b)
+    assert monitor.current() == pytest.approx(30.0)  # KB free
+    cache_a.put("x", None, 5120)
+    assert monitor.current() == pytest.approx(25.0)
+    with pytest.raises(OdysseyError):
+        monitor.watch(cache_a)
+
+
+def test_money_monitor_budget(sim):
+    money = MoneyMonitor(sim, budget_cents=100, cents_per_megabyte=10)
+    money.charge(25)
+    assert money.current() == 75
+    money.charge_bytes(1024 * 1024)  # one megabyte
+    assert money.current() == pytest.approx(65)
+    assert money.spent == pytest.approx(35)
+    with pytest.raises(ReproError):
+        money.charge(-1)
+    with pytest.raises(ReproError):
+        MoneyMonitor(sim, budget_cents=-1)
+
+
+def test_money_floor_at_zero(sim):
+    money = MoneyMonitor(sim, budget_cents=10)
+    money.charge(100)
+    assert money.current() == 0.0
+
+
+def test_cpu_monitor_pokes_viceroy(sim, viceroy):
+    cpu = CpuMonitor(sim, rating_specint95=3.0)
+    viceroy.attach_monitor(cpu)
+    from repro.core.resources import Resource
+
+    assert viceroy.availability(Resource.CPU) == 3.0
+    cpu.set_load(0.9)
+    assert viceroy.availability(Resource.CPU) == pytest.approx(0.3)

@@ -1,0 +1,105 @@
+"""The three resource-management policies (§6.2.3)."""
+
+import pytest
+
+from repro.apps.bitstream import build_bitstream
+from repro.core.policies import BlindOptimismPolicy
+from repro.core.viceroy import Viceroy
+from repro.errors import ReproError
+from repro.net.network import Network
+from repro.sim.kernel import Simulator
+from repro.trace.waveforms import HIGH_BANDWIDTH, LOW_BANDWIDTH, step_down
+
+
+def build_world(policy_factory):
+    sim = Simulator()
+    trace = step_down()
+    network = Network(sim, trace)
+    viceroy = Viceroy(sim, network, policy=policy_factory(trace))
+    app, warden, server = build_bitstream(sim, viceroy, network)
+    return sim, viceroy, warden, app
+
+
+def test_blind_optimism_tracks_trace_instantly():
+    sim, viceroy, warden, app = build_world(BlindOptimismPolicy)
+    cid = warden.primary_connection().connection_id
+    assert viceroy.availability_for_connection(cid) == HIGH_BANDWIDTH
+    sim.run(until=30.001)
+    assert viceroy.availability_for_connection(cid) == LOW_BANDWIDTH
+
+
+def test_blind_optimism_ignores_measurements():
+    sim, viceroy, warden, app = build_world(BlindOptimismPolicy)
+    app.start()
+    sim.run(until=10.0)
+    cid = warden.primary_connection().connection_id
+    # Real throughput is below theoretical; blind optimism doesn't care.
+    assert viceroy.availability_for_connection(cid) == HIGH_BANDWIDTH
+    assert viceroy.total_bandwidth() == HIGH_BANDWIDTH
+
+
+def test_blind_optimism_rechecks_windows_at_transitions():
+    from repro.core.resources import Resource, ResourceDescriptor, Window
+
+    sim, viceroy, warden, app = build_world(BlindOptimismPolicy)
+    got = []
+    viceroy.upcalls.register("app", "h", got.append)
+    viceroy.request(
+        "app", "/odyssey/bitstream/0",
+        ResourceDescriptor(Resource.NETWORK_BANDWIDTH,
+                           Window(HIGH_BANDWIDTH * 0.9, HIGH_BANDWIDTH * 1.1),
+                           "h"),
+    )
+    sim.run(until=31.0)
+    assert len(got) == 1
+    assert got[0].level == LOW_BANDWIDTH
+
+
+def test_laissez_faire_per_connection_isolation():
+    from repro.core.policies import LaissezFairePolicy
+
+    sim = Simulator()
+    network = Network(sim, step_down())
+    viceroy = Viceroy(sim, network, policy=LaissezFairePolicy())
+    app0, warden0, _ = build_bitstream(sim, viceroy, network, index=0)
+    app1, warden1, _ = build_bitstream(sim, viceroy, network, index=1)
+    app0.start()
+    sim.run(until=10.0)
+    cid0 = warden0.primary_connection().connection_id
+    cid1 = warden1.primary_connection().connection_id
+    # Only the active connection has an estimate; the idle one knows nothing.
+    assert viceroy.availability_for_connection(cid0) > 0
+    assert viceroy.availability_for_connection(cid1) is None
+    # total() under laissez-faire is just the best individual estimate.
+    assert viceroy.total_bandwidth() == viceroy.availability_for_connection(cid0)
+
+
+def test_laissez_faire_duplicate_registration_rejected():
+    from repro.core.policies import LaissezFairePolicy
+
+    sim = Simulator()
+    network = Network(sim, step_down())
+    viceroy = Viceroy(sim, network, policy=LaissezFairePolicy())
+    app, warden, _ = build_bitstream(sim, viceroy, network)
+    with pytest.raises((ReproError, Exception)):
+        viceroy.policy.register_connection(warden.primary_connection())
+
+
+def test_odyssey_policy_is_default():
+    from repro.core.policies import OdysseyPolicy
+
+    sim = Simulator()
+    network = Network(sim, step_down())
+    viceroy = Viceroy(sim, network)
+    assert isinstance(viceroy.policy, OdysseyPolicy)
+    assert viceroy.policy.shares is not None
+
+
+def test_odyssey_policy_round_trip_exposed():
+    sim, viceroy, warden, app = build_world(
+        lambda trace: __import__("repro.core.policies", fromlist=["OdysseyPolicy"]).OdysseyPolicy()
+    )
+    app.start()
+    sim.run(until=5.0)
+    cid = warden.primary_connection().connection_id
+    assert viceroy.policy.round_trip(cid) > 0

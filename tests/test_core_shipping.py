@@ -1,0 +1,119 @@
+"""The function/data-shipping placement engine (§8 generalization)."""
+
+import math
+
+import pytest
+
+from repro.core.shipping import (
+    Plan,
+    PlacementEngine,
+    crossover_bandwidth,
+    DEFAULT_BANDWIDTH_GUESS,
+)
+from repro.errors import ReproError
+
+LOCAL = Plan("local", local_seconds=4.0)
+HYBRID = Plan("hybrid", local_seconds=0.28, remote_seconds=0.41,
+              ship_bytes=4096, result_bytes=128)
+REMOTE = Plan("remote", remote_seconds=0.56, ship_bytes=20480,
+              result_bytes=128)
+
+
+def test_plan_validation():
+    with pytest.raises(ReproError):
+        Plan("bad", local_seconds=-1)
+    with pytest.raises(ReproError):
+        Plan("bad", ship_bytes=-1)
+
+
+def test_local_plan_ignores_network():
+    engine = PlacementEngine()
+    assert engine.predict(LOCAL, bandwidth=1) == 4.0
+    assert not LOCAL.uses_network
+    assert REMOTE.uses_network
+
+
+def test_prediction_formula():
+    engine = PlacementEngine()
+    predicted = engine.predict(REMOTE, bandwidth=102400, round_trip=0.02)
+    expected = 0.02 + (20480 + 128) / 102400 + 0.56
+    assert predicted == pytest.approx(expected)
+
+
+def test_decide_picks_fastest():
+    engine = PlacementEngine(hysteresis=0.0)
+    slow_net = engine.decide([LOCAL, HYBRID, REMOTE], bandwidth=1024)
+    assert slow_net.name == "local"  # 4 s beats ~4.1 s hybrid at 1 KB/s
+    fast_net = engine.decide([LOCAL, HYBRID, REMOTE], bandwidth=10**7)
+    assert fast_net.name == "remote"
+
+
+def test_decide_requires_plans():
+    with pytest.raises(ReproError):
+        PlacementEngine().decide([])
+
+
+def test_hysteresis_keeps_incumbent_on_marginal_wins():
+    engine = PlacementEngine(hysteresis=0.10)
+    first = engine.decide([HYBRID, REMOTE], bandwidth=100 * 1024)
+    assert first.name == "hybrid"
+    # At a bandwidth where remote is only slightly faster, stick.
+    marginal = engine.decide([HYBRID, REMOTE], bandwidth=200 * 1024)
+    assert marginal.name == "hybrid"
+    # A decisive improvement displaces the incumbent.
+    decisive = engine.decide([HYBRID, REMOTE], bandwidth=10**7)
+    assert decisive.name == "remote"
+
+
+def test_reset_clears_incumbent():
+    engine = PlacementEngine(hysteresis=0.5)
+    engine.decide([HYBRID, REMOTE], bandwidth=100 * 1024)
+    engine.reset()
+    fresh = engine.decide([HYBRID, REMOTE], bandwidth=10**7)
+    assert fresh.name == "remote"
+
+
+def test_decisions_recorded():
+    engine = PlacementEngine()
+    engine.decide([HYBRID, REMOTE], bandwidth=100 * 1024)
+    assert len(engine.decisions) == 1
+    name, predicted, bandwidth = engine.decisions[0]
+    assert name == "hybrid"
+    assert predicted > 0
+    assert bandwidth == 100 * 1024
+
+
+def test_defaults_without_viceroy():
+    engine = PlacementEngine()
+    assert engine.current_bandwidth() == DEFAULT_BANDWIDTH_GUESS
+    assert engine.current_round_trip() > 0
+
+
+def test_crossover_between_hybrid_and_remote():
+    crossover = crossover_bandwidth(REMOTE, HYBRID)
+    # Below the crossover hybrid wins, above it remote wins.
+    engine = PlacementEngine(hysteresis=0.0)
+    below = engine.decide([HYBRID, REMOTE], bandwidth=crossover * 0.8)
+    engine.reset()
+    above = engine.decide([HYBRID, REMOTE], bandwidth=crossover * 1.2)
+    assert below.name == "hybrid"
+    assert above.name == "remote"
+
+
+def test_crossover_infinite_when_one_plan_dominates():
+    cheap = Plan("cheap", remote_seconds=0.1, ship_bytes=100)
+    dear = Plan("dear", remote_seconds=0.5, ship_bytes=10_000)
+    assert math.isinf(crossover_bandwidth(cheap, dear)) or \
+        crossover_bandwidth(dear, cheap) == math.inf
+
+
+def test_engine_reads_viceroy_estimates(sim, network, viceroy):
+    from repro.apps.bitstream import build_bitstream
+
+    app, warden, _ = build_bitstream(sim, viceroy, network)
+    app.start()
+    sim.run(until=10.0)
+    cid = warden.primary_connection().connection_id
+    engine = PlacementEngine(viceroy, connection_id=cid)
+    assert engine.current_bandwidth() > DEFAULT_BANDWIDTH_GUESS
+    assert 0.01 < engine.current_round_trip() < 0.2

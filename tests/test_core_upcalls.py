@@ -1,0 +1,157 @@
+"""Upcalls: exactly-once, in-order, block/ignore/fork semantics (§4.3)."""
+
+import pytest
+
+from repro.core.resources import Resource
+from repro.core.upcalls import Upcall, UpcallDispatcher
+from repro.errors import OdysseyError
+
+
+@pytest.fixture
+def dispatcher(sim):
+    return UpcallDispatcher(sim)
+
+
+def upcall(n):
+    return Upcall(n, Resource.NETWORK_BANDWIDTH, float(n))
+
+
+def test_delivery_invokes_handler(sim, dispatcher):
+    got = []
+    dispatcher.register("app", "h", got.append)
+    dispatcher.send("app", "h", upcall(1))
+    sim.run()
+    assert [u.request_id for u in got] == [1]
+
+
+def test_exactly_once(sim, dispatcher):
+    got = []
+    dispatcher.register("app", "h", got.append)
+    for i in range(10):
+        dispatcher.send("app", "h", upcall(i))
+    sim.run()
+    assert [u.request_id for u in got] == list(range(10))
+
+
+def test_in_order_per_receiver(sim, dispatcher):
+    got = []
+    dispatcher.register("app", "h", lambda u: got.append(u.request_id))
+    # Send from different sim times; order of sends must be preserved.
+    sim.call_in(0.1, dispatcher.send, "app", "h", upcall(1))
+    sim.call_in(0.1, dispatcher.send, "app", "h", upcall(2))
+    sim.call_in(0.2, dispatcher.send, "app", "h", upcall(3))
+    sim.run()
+    assert got == [1, 2, 3]
+
+
+def test_delivery_is_asynchronous(sim, dispatcher):
+    """Handlers run after the dispatch latency, not inline with send."""
+    got = []
+    dispatcher.register("app", "h", lambda u: got.append(sim.now))
+    dispatcher.send("app", "h", upcall(1))
+    assert got == []  # not yet delivered
+    sim.run()
+    assert got and got[0] > 0
+
+
+def test_unknown_receiver_rejected(dispatcher):
+    with pytest.raises(OdysseyError):
+        dispatcher.send("ghost", "h", upcall(1))
+
+
+def test_unknown_handler_raises_at_delivery(sim, dispatcher):
+    dispatcher.register("app", "other", lambda u: None)
+    dispatcher.send("app", "missing", upcall(1))
+    with pytest.raises(OdysseyError, match="missing"):
+        sim.run()
+
+
+def test_blocked_receiver_queues_until_unblock(sim, dispatcher):
+    got = []
+    dispatcher.register("app", "h", lambda u: got.append((sim.now, u.request_id)))
+    dispatcher.block("app")
+    dispatcher.send("app", "h", upcall(1))
+    dispatcher.send("app", "h", upcall(2))
+    sim.run()
+    assert got == []  # queued, not delivered
+    dispatcher.unblock("app")
+    sim.run()
+    assert [request for _, request in got] == [1, 2]
+
+
+def test_ignored_handler_discards(sim, dispatcher):
+    got = []
+    dispatcher.register("app", "h", got.append)
+    dispatcher.ignore("app", "h")
+    dispatcher.send("app", "h", upcall(1))
+    sim.run()
+    assert got == []
+    # Re-registering clears the ignore (like resetting a signal disposition).
+    dispatcher.register("app", "h", got.append)
+    dispatcher.send("app", "h", upcall(2))
+    sim.run()
+    assert [u.request_id for u in got] == [2]
+
+
+def test_broadcast_reaches_all(sim, dispatcher):
+    got = {"a": [], "b": []}
+    dispatcher.register("a", "h", got["a"].append)
+    dispatcher.register("b", "h", got["b"].append)
+    dispatcher.broadcast(["a", "b"], "h", upcall(9))
+    sim.run()
+    assert len(got["a"]) == len(got["b"]) == 1
+
+
+def test_fork_inherits_dispositions_not_pending(sim, dispatcher):
+    got = {"parent": [], "child": []}
+    dispatcher.register("parent", "h", got["parent"].append)
+    dispatcher.ignore("parent", "noisy")
+    dispatcher.block("parent")
+    dispatcher.send("parent", "h", upcall(1))  # queued (blocked)
+    dispatcher.fork("parent", "child")
+    receiver = dispatcher._receiver("child")
+    assert "noisy" in receiver.ignored
+    assert receiver.blocked
+    assert len(receiver.queue) == 0  # pending deliveries not inherited
+    dispatcher.unblock("parent")
+    dispatcher.unblock("child")
+    sim.run()
+    assert len(got["parent"]) == 1
+    assert got["child"] == []
+
+
+def test_delivery_records_kept(sim, dispatcher):
+    dispatcher.register("app", "h", lambda u: None)
+    dispatcher.send("app", "h", upcall(5))
+    sim.run()
+    records = dispatcher.delivered_to("app")
+    assert len(records) == 1
+    _, handler, delivered = records[0]
+    assert handler == "h"
+    assert delivered.request_id == 5
+
+
+def test_handler_sending_more_upcalls_keeps_order(sim, dispatcher):
+    got = []
+
+    def chain(u):
+        got.append(u.request_id)
+        if u.request_id < 3:
+            dispatcher.send("app", "h", upcall(u.request_id + 1))
+
+    dispatcher.register("app", "h", chain)
+    dispatcher.send("app", "h", upcall(1))
+    sim.run()
+    assert got == [1, 2, 3]
+
+
+def test_handler_results_are_returned_to_the_dispatcher(sim, dispatcher):
+    """§4.3: 'results to be returned' — the sender can see handler output."""
+    dispatcher.register("app", "h", lambda u: f"ack-{u.request_id}")
+    dispatcher.send("app", "h", upcall(1))
+    dispatcher.send("app", "h", upcall(2))
+    sim.run()
+    assert dispatcher.results == [
+        ("app", "h", "ack-1"),
+        ("app", "h", "ack-2"),
+    ]

@@ -1,0 +1,98 @@
+"""Byte-accounted LRU cache used by wardens."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.warden import WardenCache
+from repro.errors import OdysseyError
+
+
+def test_capacity_validated():
+    with pytest.raises(OdysseyError):
+        WardenCache(0)
+
+
+def test_put_get_and_stats():
+    cache = WardenCache(1000)
+    assert cache.put("a", "value-a", 400)
+    assert cache.get("a") == "value-a"
+    assert cache.get("b") is None
+    assert cache.hits == 1
+    assert cache.misses == 1
+    assert cache.used_bytes == 400
+
+
+def test_eviction_is_lru():
+    cache = WardenCache(1000)
+    cache.put("a", 1, 400)
+    cache.put("b", 2, 400)
+    cache.get("a")  # refresh a
+    cache.put("c", 3, 400)  # evicts b, the least recently used
+    assert cache.get("b") is None
+    assert cache.get("a") == 1
+    assert cache.get("c") == 3
+    assert cache.evictions == 1
+
+
+def test_oversized_object_refused():
+    cache = WardenCache(100)
+    assert not cache.put("huge", None, 101)
+    assert len(cache) == 0
+
+
+def test_replacing_key_updates_accounting():
+    cache = WardenCache(1000)
+    cache.put("a", 1, 400)
+    cache.put("a", 2, 100)
+    assert cache.used_bytes == 100
+    assert cache.get("a") == 2
+
+
+def test_discard():
+    cache = WardenCache(1000)
+    cache.put("a", 1, 300)
+    assert cache.discard("a")
+    assert not cache.discard("a")
+    assert cache.used_bytes == 0
+
+
+def test_discard_matching():
+    cache = WardenCache(10_000)
+    for i in range(10):
+        cache.put(("track-low", i), i, 100)
+        cache.put(("track-high", i), i, 100)
+    removed = cache.discard_matching(lambda key: key[0] == "track-low")
+    assert removed == 10
+    assert len(cache) == 10
+    assert cache.used_bytes == 1000
+
+
+def test_clear():
+    cache = WardenCache(1000)
+    cache.put("a", 1, 10)
+    cache.clear()
+    assert len(cache) == 0 and cache.used_bytes == 0
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    operations=st.lists(
+        st.tuples(st.integers(min_value=0, max_value=20),
+                  st.integers(min_value=1, max_value=500)),
+        min_size=1, max_size=60,
+    ),
+    capacity=st.integers(min_value=100, max_value=2000),
+)
+def test_accounting_invariants(operations, capacity):
+    """used_bytes always equals the sum of live entries and never exceeds
+    capacity."""
+    cache = WardenCache(capacity)
+    live = {}
+    for key, nbytes in operations:
+        if cache.put(key, nbytes, nbytes):
+            live[key] = nbytes
+        # Reconcile against evictions by scanning what's actually present.
+        live = {k: v for k, v in live.items() if k in cache}
+        assert cache.used_bytes == sum(live.values())
+        assert cache.used_bytes <= capacity

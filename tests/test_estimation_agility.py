@@ -1,0 +1,132 @@
+"""Agility metrics: settling time, detection delay, tracking error."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ReproError
+from repro.estimation.agility import (
+    detection_delay,
+    series_bounds,
+    settling_time,
+    time_in_band,
+    tracking_error,
+)
+from repro.trace.replay import ReplayTrace, Segment
+
+
+def ramp_series(transition, before, after, step=0.5, rate=0.3, end=60.0):
+    """A series that moves exponentially from ``before`` to ``after``."""
+    series = []
+    t = 0.0
+    while t <= end:
+        if t < transition:
+            series.append((t, before))
+        else:
+            progress = 1 - math.exp(-rate * (t - transition))
+            series.append((t, before + (after - before) * progress))
+        t += step
+    return series
+
+
+def test_series_bounds():
+    lo, hi = series_bounds(100, 0.10)
+    assert lo == pytest.approx(90.0)
+    assert hi == pytest.approx(110.0)
+
+
+def test_settling_time_immediate_when_always_in_band():
+    series = [(t, 100.0) for t in range(40)]
+    assert settling_time(series, 20.0, 100.0) == 0.0
+
+
+def test_settling_time_of_exponential_ramp():
+    series = ramp_series(30.0, 40.0, 120.0)
+    settle = settling_time(series, 30.0, 120.0, tolerance=0.10)
+    # 90% progress with rate 0.3 takes ln(...)/0.3 ~ 6.6 s.
+    assert 5.0 <= settle <= 9.0
+
+
+def test_settling_requires_staying_in_band():
+    series = [(0.0, 100.0), (1.0, 100.0), (2.0, 50.0), (3.0, 100.0), (4.0, 100.0)]
+    # Enters at t=0 but leaves at t=2: settled only from t=3.
+    assert settling_time(series, 0.0, 100.0) == 3.0
+
+
+def test_settling_inf_when_never_in_band():
+    series = [(t, 10.0) for t in range(10)]
+    assert settling_time(series, 0.0, 100.0) == math.inf
+
+
+def test_settling_needs_samples_after_transition():
+    with pytest.raises(ReproError):
+        settling_time([(0.0, 1.0)], 10.0, 1.0)
+
+
+def test_settling_rejects_unsorted_series():
+    with pytest.raises(ReproError):
+        settling_time([(2.0, 1.0), (1.0, 1.0)], 0.0, 1.0)
+
+
+def test_detection_delay_crossing():
+    series = ramp_series(30.0, 40.0, 120.0)
+    delay = detection_delay(series, 30.0, 40.0, 120.0, fraction=0.5)
+    # 50% progress with rate 0.3 takes ln(2)/0.3 ~ 2.3 s.
+    assert 1.5 <= delay <= 3.5
+
+
+def test_detection_delay_downward():
+    series = ramp_series(30.0, 120.0, 40.0)
+    delay = detection_delay(series, 30.0, 120.0, 40.0, fraction=0.5)
+    assert delay < math.inf
+
+
+def test_detection_delay_never_crossed():
+    series = [(t, 40.0) for t in range(60)]
+    assert detection_delay(series, 30.0, 40.0, 120.0) == math.inf
+
+
+def test_detection_fraction_validated():
+    with pytest.raises(ReproError):
+        detection_delay([(0, 1)], 0.0, 1, 2, fraction=0)
+
+
+def test_tracking_error_zero_for_perfect_tracking():
+    trace = ReplayTrace([Segment(30, 100, 0), Segment(30, 200, 0)])
+    series = [(t, trace.bandwidth_at(t)) for t in range(0, 60)]
+    assert tracking_error(series, trace) == pytest.approx(0.0)
+
+
+def test_tracking_error_scales_with_deviation():
+    trace = ReplayTrace([Segment(60, 100, 0)])
+    small = [(t, 110.0) for t in range(60)]
+    large = [(t, 200.0) for t in range(60)]
+    assert tracking_error(large, trace) > tracking_error(small, trace)
+
+
+def test_time_in_band():
+    series = [(0, 100), (1, 100), (2, 50), (3, 100)]
+    assert time_in_band(series, 100, tolerance=0.10) == pytest.approx(0.75)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    values=st.lists(st.floats(min_value=1, max_value=1e5), min_size=3,
+                    max_size=40),
+    target=st.floats(min_value=1, max_value=1e5),
+)
+def test_settling_time_nonnegative_or_inf(values, target):
+    series = [(float(i), v) for i, v in enumerate(values)]
+    result = settling_time(series, 0.0, target)
+    assert result >= 0.0 or math.isinf(result)
+
+
+@settings(max_examples=60, deadline=None)
+@given(values=st.lists(st.floats(min_value=1, max_value=1e5), min_size=2,
+                       max_size=40))
+def test_time_in_band_is_a_fraction(values):
+    series = [(float(i), v) for i, v in enumerate(values)]
+    fraction = time_in_band(series, target=values[0])
+    assert 0.0 <= fraction <= 1.0

@@ -1,0 +1,117 @@
+"""Centralized total estimation and per-connection shares."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.estimation.share import ClientShares
+from repro.rpc.logs import RpcLog
+
+
+def make_shares(sim, *connection_ids):
+    shares = ClientShares(sim)
+    logs = {}
+    for cid in connection_ids:
+        log = RpcLog(sim, cid)
+        shares.register(log)
+        logs[cid] = log
+    return shares, logs
+
+
+def feed_window(sim, shares, log, nbytes, seconds):
+    """Simulate a completed window: deliveries plus a throughput entry.
+
+    In the full system the viceroy observes the log and forwards entries to
+    the policy; these unit tests forward by hand.
+    """
+    started = sim.now
+    sim.run(until=sim.now + seconds)
+    log.add_delivery(nbytes)
+    entry = log.add_throughput(started, nbytes)
+    shares.on_throughput(log, entry)
+    return entry
+
+
+def test_duplicate_registration_rejected(sim):
+    shares, logs = make_shares(sim, "a")
+    with pytest.raises(ReproError):
+        shares.register(logs["a"])
+
+
+def test_total_none_before_data(sim):
+    shares, _ = make_shares(sim, "a")
+    assert shares.total is None
+    assert shares.availability("a") is None
+
+
+def test_single_connection_availability_equals_total(sim):
+    shares, logs = make_shares(sim, "a")
+    feed_window(sim, shares, logs["a"], 32768, 0.3)
+    assert shares.total is not None
+    assert shares.availability("a") == pytest.approx(shares.total)
+
+
+def test_unknown_connection_rejected(sim):
+    shares, _ = make_shares(sim, "a")
+    with pytest.raises(ReproError):
+        shares.availability("ghost")
+
+
+def test_equal_users_get_equal_shares(sim):
+    shares, logs = make_shares(sim, "a", "b")
+    for _ in range(5):
+        feed_window(sim, shares, logs["a"], 32768, 0.3)
+        feed_window(sim, shares, logs["b"], 32768, 0.3)
+    a, b = shares.availability("a"), shares.availability("b")
+    assert a == pytest.approx(b, rel=0.05)
+    assert a == pytest.approx(shares.total / 2, rel=0.1)
+
+
+def test_heavier_user_gets_bigger_competed_share(sim):
+    shares, logs = make_shares(sim, "big", "small")
+    for _ in range(5):
+        feed_window(sim, shares, logs["big"], 65536, 0.3)
+        feed_window(sim, shares, logs["small"], 4096, 0.05)
+    assert shares.availability("big") > shares.availability("small")
+
+
+def test_idle_connection_still_gets_fair_share(sim):
+    shares, logs = make_shares(sim, "busy", "idle")
+    for _ in range(5):
+        feed_window(sim, shares, logs["busy"], 65536, 0.5)
+    fair = shares.fair_fraction * shares.total / 2
+    assert shares.availability("idle") == pytest.approx(fair, rel=0.01)
+
+
+def test_availabilities_sum_to_total(sim):
+    shares, logs = make_shares(sim, "a", "b", "c")
+    for nbytes, cid in ((65536, "a"), (32768, "b"), (8192, "c")):
+        for _ in range(3):
+            feed_window(sim, shares, logs[cid], nbytes, 0.2)
+    snapshot = shares.snapshot()
+    assert sum(snapshot.values()) == pytest.approx(shares.total, rel=1e-6)
+
+
+def test_aggregate_sample_counts_concurrent_connections(sim):
+    """A window observed while another connection moves bytes yields a
+    capacity sample near the sum, not the observer's share."""
+    shares, logs = make_shares(sim, "a", "b")
+    started = sim.now
+    sim.run(until=1.0)
+    logs["a"].add_delivery(50_000)
+    logs["b"].add_delivery(50_000)
+    entry = logs["a"].add_throughput(started, 50_000)
+    shares.on_throughput(logs["a"], entry)
+    assert shares.total == pytest.approx(100_000, rel=0.05)
+
+
+def test_unregister_removes_connection(sim):
+    shares, logs = make_shares(sim, "a", "b")
+    shares.unregister("b")
+    assert shares.connection_count == 1
+    with pytest.raises(ReproError):
+        shares.availability("b")
+
+
+def test_fair_fraction_validated(sim):
+    with pytest.raises(ReproError):
+        ClientShares(sim, fair_fraction=0)

@@ -1,0 +1,85 @@
+"""Smoke-run every example script: examples are part of the product.
+
+Each example's ``main()`` is imported and executed with stdout captured;
+these tests pin the examples to the public API so refactors cannot silently
+break them.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+
+def load_example(name):
+    spec = importlib.util.spec_from_file_location(
+        f"example_{name}", EXAMPLES_DIR / f"{name}.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.mark.slow
+def test_quickstart(capsys):
+    load_example("quickstart").main()
+    out = capsys.readouterr().out
+    assert "fidelity change" in out
+    assert "frames displayed" in out
+    assert "upcall" in out
+
+
+@pytest.mark.slow
+def test_adaptive_video(capsys, monkeypatch):
+    monkeypatch.setattr(sys, "argv", ["adaptive_video.py"])
+    load_example("adaptive_video").main()
+    out = capsys.readouterr().out
+    assert "adaptive" in out
+    assert "jpeg99" in out
+
+
+@pytest.mark.slow
+def test_agility_waveforms(capsys):
+    load_example("agility_waveforms").main()
+    out = capsys.readouterr().out
+    assert "step-up" in out
+    assert "settling time" in out
+    assert "*" in out  # the dot plot rendered something
+
+
+@pytest.mark.slow
+def test_custom_warden(capsys):
+    load_example("custom_warden").main()
+    out = capsys.readouterr().out
+    assert "sampling rate -> 100 Hz" in out
+    assert "sampling rate -> 20 Hz" in out  # it adapted
+
+
+@pytest.mark.slow
+def test_battery_aware(capsys):
+    load_example("battery_aware").main()
+    out = capsys.readouterr().out
+    assert "battery upcall" in out
+    assert "jpeg50" in out
+
+
+@pytest.mark.slow
+def test_emergency_response(capsys):
+    load_example("emergency_response").main()
+    out = capsys.readouterr().out
+    assert "prefetch hit rate" in out
+    assert "budget left" in out
+
+
+@pytest.mark.slow
+def test_urban_walk_single_policy(capsys, monkeypatch):
+    monkeypatch.setattr(sys, "argv",
+                        ["urban_walk.py", "--policy", "odyssey"])
+    load_example("urban_walk").main()
+    out = capsys.readouterr().out
+    assert "odyssey" in out
+    assert "frames dropped" in out

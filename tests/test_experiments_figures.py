@@ -1,0 +1,166 @@
+"""Single-trial smoke runs of every figure/table module, with shape checks.
+
+These are the fast versions of the benchmarks: one seeded trial each,
+asserting the qualitative claims the paper makes.  The full five-trial
+tables live in benchmarks/.
+"""
+
+import math
+
+import pytest
+
+from repro.experiments import concurrent, demand, speech, supply, video, web
+from repro.trace.waveforms import HIGH_BANDWIDTH, LOW_BANDWIDTH
+
+
+# -- Fig. 8: supply agility ------------------------------------------------
+
+
+def test_step_up_detected_almost_instantaneously():
+    trial = supply.run_supply_trial("step-up", seed=0)
+    assert trial.detection < 1.5
+    assert trial.settling < 3.0
+
+
+def test_step_down_settles_around_two_seconds():
+    trial = supply.run_supply_trial("step-down", seed=0)
+    assert 0.5 <= trial.settling <= 4.0  # paper: 2.0 s
+
+
+def test_impulse_up_leading_edge_traced():
+    trial = supply.run_supply_trial("impulse-up", seed=0)
+    during = [v for t, v in trial.series if 29.5 <= t <= 31.0]
+    assert during and max(during) > 0.8 * HIGH_BANDWIDTH
+
+
+def test_impulse_down_has_trailing_settling():
+    trial = supply.run_supply_trial("impulse-down", seed=0)
+    after = [v for t, v in trial.series if 32.0 <= t <= 34.0]
+    assert after
+    # Recovery toward high is under way but the dip is visible after the
+    # impulse ends (trailing settling).
+    dip = [v for t, v in trial.series if 30.0 <= t <= 32.0]
+    assert min(dip) < 0.6 * HIGH_BANDWIDTH
+
+
+def test_estimates_lie_below_theoretical():
+    trial = supply.run_supply_trial("step-up", seed=0)
+    steady = [v for t, v in trial.series if 50 <= t <= 58]
+    assert steady
+    for value in steady:
+        assert value <= HIGH_BANDWIDTH * 1.02
+
+
+# -- Fig. 9: demand agility --------------------------------------------------
+
+
+def test_demand_low_utilization_settles_fast():
+    trial = demand.run_demand_trial(0.10, seed=0)
+    assert trial.second_settling < 8.0
+
+
+def test_demand_full_utilization_settles_slower_but_settles():
+    low = demand.run_demand_trial(0.10, seed=0)
+    full = demand.run_demand_trial(1.00, seed=0)
+    assert not math.isinf(full.second_settling)
+    assert full.second_settling >= low.second_settling * 0.8
+
+
+def test_demand_total_stays_near_link_capacity():
+    trial = demand.run_demand_trial(1.00, seed=0)
+    steady = [v for t, v in trial.total_series if 45 <= t <= 58]
+    assert steady
+    mean = sum(steady) / len(steady)
+    assert mean == pytest.approx(HIGH_BANDWIDTH, rel=0.15)
+
+
+def test_demand_streams_converge_to_fair_shares():
+    trial = demand.run_demand_trial(1.00, seed=0)
+    tail_second = [v for t, v in trial.second_series if 50 <= t <= 58]
+    assert tail_second
+    mean = sum(tail_second) / len(tail_second)
+    assert mean == pytest.approx(HIGH_BANDWIDTH / 2, rel=0.25)
+
+
+# -- Fig. 10: video ------------------------------------------------------------
+
+
+def test_video_adaptive_beats_static_on_step_up():
+    adaptive = video.run_video_trial("step-up", "adaptive", seed=0)
+    jpeg99 = video.run_video_trial("step-up", "jpeg99", seed=0)
+    jpeg50 = video.run_video_trial("step-up", "jpeg50", seed=0)
+    # Fidelity at least JPEG-50's, drops far below JPEG-99's (paper's claim).
+    assert adaptive.fidelity >= jpeg50.fidelity
+    assert adaptive.stats.drops < jpeg99.stats.drops / 5
+    assert adaptive.stats.drops < 30
+
+
+def test_video_adaptive_matches_jpeg99_on_impulse_down():
+    adaptive = video.run_video_trial("impulse-down", "adaptive", seed=0)
+    assert adaptive.fidelity > 0.95
+    assert adaptive.stats.drops < 60
+
+
+# -- Fig. 11: web ---------------------------------------------------------------
+
+
+def test_web_adaptive_meets_goal_everywhere():
+    for waveform in ("step-up", "impulse-down"):
+        browser = web.run_web_trial(waveform, "adaptive", seed=0)
+        assert browser.stats.mean_seconds <= 0.45
+
+
+def test_web_full_quality_misses_goal_except_impulse_down():
+    slow = web.run_web_trial("impulse-up", 1.0, seed=0)
+    fast = web.run_web_trial("impulse-down", 1.0, seed=0)
+    assert slow.stats.mean_seconds > 0.45
+    assert fast.stats.mean_seconds <= 0.45
+
+
+def test_web_adaptive_fidelity_beats_static_that_meets_goal():
+    adaptive = web.run_web_trial("step-up", "adaptive", seed=0)
+    jpeg50 = web.run_web_trial("step-up", 0.5, seed=0)
+    assert adaptive.stats.mean_fidelity > jpeg50.stats.mean_fidelity
+
+
+# -- Fig. 12: speech ----------------------------------------------------------------
+
+
+def test_speech_adaptive_reproduces_always_hybrid():
+    for waveform in ("step-up", "impulse-down"):
+        hybrid = speech.run_speech_trial(waveform, "hybrid", seed=0)
+        adaptive = speech.run_speech_trial(waveform, "adaptive", seed=0)
+        assert adaptive.stats.mean_seconds == pytest.approx(
+            hybrid.stats.mean_seconds, abs=0.03
+        )
+
+
+def test_speech_remote_slower_at_reference_bandwidths():
+    hybrid = speech.run_speech_trial("impulse-up", "hybrid", seed=0)
+    remote = speech.run_speech_trial("impulse-up", "remote", seed=0)
+    assert remote.stats.mean_seconds > hybrid.stats.mean_seconds + 0.1
+
+
+# -- Fig. 14: concurrency -------------------------------------------------------------
+
+
+@pytest.mark.slow
+def test_concurrent_policy_ordering():
+    results = {
+        policy: concurrent.run_concurrent_trial(policy, seed=1)
+        for policy in ("odyssey", "laissez-faire", "blind-optimism")
+    }
+    odyssey = results["odyssey"]
+    laissez = results["laissez-faire"]
+    blind = results["blind-optimism"]
+    # Drops: Odyssey fewest, blind optimism most (paper: factors of 2-5).
+    assert odyssey.video.stats.drops * 2 < laissez.video.stats.drops
+    assert laissez.video.stats.drops < blind.video.stats.drops
+    # Web pages load faster under Odyssey.
+    assert odyssey.web.stats.mean_seconds < laissez.web.stats.mean_seconds
+    assert odyssey.web.stats.mean_seconds < blind.web.stats.mean_seconds
+    # Speech recognition fastest under Odyssey.
+    assert odyssey.speech.stats.mean_seconds <= blind.speech.stats.mean_seconds
+    # The trade: Odyssey runs at *lower* fidelity to meet performance goals.
+    assert odyssey.video.fidelity < blind.video.fidelity
+    assert odyssey.web.stats.mean_fidelity < blind.web.stats.mean_fidelity

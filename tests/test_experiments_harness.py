@@ -1,0 +1,82 @@
+"""Experiment machinery: worlds, seeding, stats cells."""
+
+import pytest
+
+from repro.core.policies import (
+    BlindOptimismPolicy,
+    LaissezFairePolicy,
+    OdysseyPolicy,
+)
+from repro.errors import ReproError
+from repro.experiments.harness import (
+    PRIME_SECONDS,
+    ExperimentWorld,
+    seeded_rngs,
+)
+from repro.experiments.stats import Cell
+from repro.trace.waveforms import LOW_BANDWIDTH, step_up
+
+
+def test_world_primes_the_trace():
+    world = ExperimentWorld("step-up")
+    assert world.trace.duration == 60.0 + PRIME_SECONDS
+    assert world.trace.bandwidth_at(0) == LOW_BANDWIDTH
+    assert world.trace.bandwidth_at(PRIME_SECONDS + 1) == LOW_BANDWIDTH
+
+
+def test_world_accepts_trace_object():
+    world = ExperimentWorld(step_up())
+    assert world.base_trace.name == "step-up"
+
+
+def test_world_policies():
+    assert isinstance(ExperimentWorld("step-up").viceroy.policy, OdysseyPolicy)
+    assert isinstance(
+        ExperimentWorld("step-up", policy="laissez-faire").viceroy.policy,
+        LaissezFairePolicy,
+    )
+    assert isinstance(
+        ExperimentWorld("step-up", policy="blind-optimism").viceroy.policy,
+        BlindOptimismPolicy,
+    )
+    with pytest.raises(ReproError):
+        ExperimentWorld("step-up", policy="anarchy")
+
+
+def test_relative_shifts_by_prime():
+    world = ExperimentWorld("step-up")
+    assert world.relative([(PRIME_SECONDS + 5.0, 1)]) == [(5.0, 1)]
+
+
+def test_run_for_advances_past_prime():
+    world = ExperimentWorld("step-up")
+    world.run_for(10.0)
+    assert world.sim.now == PRIME_SECONDS + 10.0
+
+
+def test_seeded_rngs_independent_and_reproducible():
+    first = seeded_rngs(3, master_seed=9)
+    second = seeded_rngs(3, master_seed=9)
+    values_first = [rng.stream("x").random() for rng in first]
+    values_second = [rng.stream("x").random() for rng in second]
+    assert values_first == values_second
+    assert len(set(values_first)) == 3
+
+
+def test_start_offsets_are_seeded():
+    a = ExperimentWorld("step-up", seed=1).start_offset()
+    b = ExperimentWorld("step-up", seed=1).start_offset()
+    c = ExperimentWorld("step-up", seed=2).start_offset()
+    assert a == b
+    assert a != c
+    assert 0 <= a <= 0.25
+
+
+def test_cell_statistics():
+    cell = Cell([1.0, 2.0, 3.0])
+    assert cell.mean == 2.0
+    assert cell.std == pytest.approx(1.0)
+    assert str(cell) == "2.00 (1.00)"
+    assert str(Cell([5], precision=0)) == "5 (0)"
+    with pytest.raises(ReproError):
+        Cell([])

@@ -1,0 +1,124 @@
+"""Stress: many concurrent applications on one client (paper §2.3).
+
+"The ability to execute multiple independent applications concurrently on
+a mobile client is vital."  These tests push past the paper's three-app
+scenario to check the machinery holds up: shares stay consistent, upcalls
+keep flowing, nothing deadlocks.
+"""
+
+import pytest
+
+from repro.apps.video.movie import Movie, MovieStore
+from repro.apps.video.player import VideoPlayer
+from repro.apps.video.warden import build_video
+from repro.core.api import OdysseyAPI
+from repro.core.viceroy import Viceroy
+from repro.net.network import Network
+from repro.sim.kernel import Simulator
+from repro.trace.waveforms import HIGH_BANDWIDTH, constant, step_down
+
+
+def test_three_video_players_share_one_link():
+    """Three adaptive players: none can afford JPEG(99); all keep playing."""
+    sim = Simulator()
+    network = Network(sim, constant(HIGH_BANDWIDTH, duration=600))
+    viceroy = Viceroy(sim, network)
+    players = []
+    for i in range(3):
+        store = MovieStore()
+        store.add(Movie(f"movie{i}", n_frames=400))
+        host = network.add_host(f"video-server-{i}")
+        build_video(sim, viceroy, network, store, server_host=host,
+                    name=f"video{i}", mount=f"/odyssey/video{i}")
+        api = OdysseyAPI(viceroy, f"xanim{i}")
+        player = VideoPlayer(sim, api, f"xanim{i}", f"/odyssey/video{i}",
+                             f"movie{i}", policy="adaptive")
+        players.append(player)
+        sim.call_in(i * 0.4, player.start)
+    sim.run(until=45.0)
+
+    for player in players:
+        displayed = player.stats.frames_displayed
+        assert displayed > 250, player.name
+        # 3 x JPEG(99) demand (~300 KB/s) exceeds the link: every player
+        # must have settled below the top track most of the time.
+        jpeg99_share = player.stats.displayed.get("jpeg99", 0) / max(displayed, 1)
+        assert jpeg99_share < 0.5, player.name
+
+    # The viceroy's books stay balanced across all six+ connections.
+    shares = viceroy.policy.shares
+    snapshot = shares.snapshot()
+    assert sum(snapshot.values()) == pytest.approx(shares.total, rel=1e-6)
+
+
+def test_ten_bitstreams_remain_fair_and_live():
+    from repro.apps.bitstream import build_bitstream
+
+    sim = Simulator()
+    network = Network(sim, constant(HIGH_BANDWIDTH, duration=600))
+    viceroy = Viceroy(sim, network)
+    apps = []
+    for i in range(10):
+        app, _, _ = build_bitstream(sim, viceroy, network, index=i,
+                                    chunk_bytes=8 * 1024)
+        sim.call_in(i * 0.1, app.start)
+        apps.append(app)
+    sim.run(until=30.0)
+    rates = [app.bytes_consumed / 30.0 for app in apps]
+    total_rate = sum(rates)
+    assert total_rate > 0.8 * HIGH_BANDWIDTH
+    # No starvation: the slowest gets at least a third of the mean.
+    assert min(rates) > (total_rate / 10) / 3
+
+
+def test_mixed_policies_under_churn():
+    """Applications arriving and stopping; registrations stay consistent."""
+    from repro.apps.bitstream import build_bitstream
+    from repro.core.resources import Resource
+
+    sim = Simulator()
+    network = Network(sim, step_down().shifted(5.0))
+    viceroy = Viceroy(sim, network)
+
+    app0, warden0, _ = build_bitstream(sim, viceroy, network, index=0)
+    app0.start()
+    api = OdysseyAPI(viceroy, "bitstream-app-0")
+    upcalls = []
+    api.on_upcall("bw", upcalls.append)
+
+    def churn():
+        yield sim.timeout(5.0)
+        level = api.availability("/odyssey/bitstream/0")
+        api.request("/odyssey/bitstream/0", Resource.NETWORK_BANDWIDTH,
+                    level * 0.6, level * 1.4, handler="bw")
+        # A second stream arrives, shifting shares...
+        app1, _, _ = build_bitstream(sim, viceroy, network, index=1)
+        app1.start()
+        yield sim.timeout(10.0)
+        # ...and leaves again.
+        app1.stop()
+
+    sim.process(churn())
+    sim.run(until=60.0)
+    # The step down at t=35 (or the churn) must have violated the window.
+    assert len(upcalls) == 1
+    assert viceroy.registered_requests("bitstream-app-0") == []
+    assert app0.bytes_consumed > 0
+
+
+def test_hundred_requests_and_cancels_do_not_leak():
+    from repro.apps.bitstream import build_bitstream
+    from repro.core.resources import Resource
+
+    sim = Simulator()
+    network = Network(sim, constant(HIGH_BANDWIDTH, duration=120))
+    viceroy = Viceroy(sim, network)
+    app, _, _ = build_bitstream(sim, viceroy, network)
+    app.start()
+    sim.run(until=5.0)
+    api = OdysseyAPI(viceroy, "bitstream-app-0")
+    for _ in range(100):
+        request_id = api.request("/odyssey/bitstream/0",
+                                 Resource.NETWORK_BANDWIDTH, 0, 1e12)
+        api.cancel(request_id)
+    assert viceroy.registered_requests() == []

@@ -1,0 +1,108 @@
+"""Modulated links: serialization, FIFO delivery, stats."""
+
+import pytest
+
+from repro.errors import LinkDown, NetworkError
+from repro.net.link import SimplexLink
+from repro.net.packet import HEADER_BYTES, Packet
+from repro.sim.kernel import Simulator
+from repro.trace.replay import ReplayTrace, Segment
+
+
+def make_packet(size, tag=None):
+    return Packet(src="a", dst="b", port="p", size=size, payload=tag)
+
+
+def collecting_link(sim, trace):
+    received = []
+    link = SimplexLink(sim, trace, "test-link",
+                       deliver=lambda p: received.append((sim.now, p)))
+    return link, received
+
+
+def test_packet_smaller_than_header_rejected():
+    with pytest.raises(NetworkError):
+        make_packet(HEADER_BYTES - 1)
+
+
+def test_payload_bytes_excludes_header():
+    packet = make_packet(HEADER_BYTES + 100)
+    assert packet.payload_bytes == 100
+
+
+def test_single_packet_latency_plus_transmission():
+    sim = Simulator()
+    trace = ReplayTrace([Segment(100, 1000, 0.5)])
+    link, received = collecting_link(sim, trace)
+    link.send(make_packet(1000))
+    sim.run()
+    # 1 s serialization + 0.5 s propagation.
+    assert received[0][0] == pytest.approx(1.5)
+
+
+def test_packets_serialize_fifo():
+    sim = Simulator()
+    trace = ReplayTrace([Segment(100, 1000, 0.0)])
+    link, received = collecting_link(sim, trace)
+    for tag in ("first", "second", "third"):
+        link.send(make_packet(1000, tag))
+    sim.run()
+    times = [t for t, _ in received]
+    tags = [p.payload for _, p in received]
+    assert tags == ["first", "second", "third"]
+    assert times == pytest.approx([1.0, 2.0, 3.0])
+
+
+def test_transmission_straddles_bandwidth_step():
+    sim = Simulator()
+    trace = ReplayTrace([Segment(1, 1000, 0.0), Segment(100, 3000, 0.0)])
+    link, received = collecting_link(sim, trace)
+    # 4000 bytes: 1000 in the first second, 3000 in the next -> t=2.
+    link.send(make_packet(4000))
+    sim.run()
+    assert received[0][0] == pytest.approx(2.0)
+
+
+def test_fifo_preserved_across_latency_drop():
+    sim = Simulator()
+    trace = ReplayTrace([Segment(1.05, 10000, 1.0), Segment(100, 10000, 0.0)])
+    link, received = collecting_link(sim, trace)
+    link.send(make_packet(10000))  # finishes t=1, delivered t=2 (latency 1.0)
+    link.send(make_packet(1000))   # finishes t=1.1, latency now 0
+    sim.run()
+    tags = [p.packet_id for _, p in received]
+    assert tags == sorted(tags)
+    assert received[1][0] >= received[0][0]
+
+
+def test_stats_accumulate():
+    sim = Simulator()
+    trace = ReplayTrace([Segment(100, 1000, 0.0)])
+    link, _ = collecting_link(sim, trace)
+    for _ in range(3):
+        link.send(make_packet(500))
+    sim.run()
+    assert link.stats.packets_sent == 3
+    assert link.stats.bytes_sent == 1500
+    assert link.stats.busy_seconds == pytest.approx(1.5)
+    assert link.stats.max_queue_depth >= 2
+
+
+def test_zero_bandwidth_forever_raises_linkdown():
+    sim = Simulator()
+    trace = ReplayTrace([Segment(1, 0, 0.0)])
+    link, _ = collecting_link(sim, trace)
+    link.send(make_packet(100))
+    with pytest.raises(LinkDown):
+        sim.run()
+
+
+def test_stalled_packet_resumes_after_outage():
+    sim = Simulator()
+    trace = ReplayTrace([
+        Segment(1, 1000, 0.0), Segment(5, 0, 0.0), Segment(100, 1000, 0.0),
+    ])
+    link, received = collecting_link(sim, trace)
+    link.send(make_packet(2000))  # 1000 by t=1, stall 5 s, 1000 more by t=7
+    sim.run()
+    assert received[0][0] == pytest.approx(7.0)

@@ -1,0 +1,102 @@
+"""Hosts, ports, and the star topology's routing."""
+
+import pytest
+
+from repro.errors import NetworkError
+from repro.net.network import WIRED_LATENCY, Network
+from repro.net.packet import Packet
+from repro.sim.kernel import Simulator
+from repro.trace.waveforms import LOW_BANDWIDTH, constant
+
+
+@pytest.fixture
+def world():
+    sim = Simulator()
+    network = Network(sim, constant(LOW_BANDWIDTH, duration=1000))
+    return sim, network
+
+
+def test_duplicate_host_rejected(world):
+    _, network = world
+    network.add_host("server")
+    with pytest.raises(NetworkError):
+        network.add_host("server")
+
+
+def test_unknown_host_lookup(world):
+    _, network = world
+    with pytest.raises(NetworkError):
+        network.host("nope")
+
+
+def test_port_dispatch(world):
+    sim, network = world
+    server = network.add_host("server")
+    got = []
+    server.bind("svc", got.append)
+    network.client.bind("reply", lambda p: None)
+    network.client.send(Packet(src="client", dst="server", port="svc",
+                               size=100, payload="hello"))
+    sim.run()
+    assert [p.payload for p in got] == ["hello"]
+
+
+def test_rebind_port_rejected(world):
+    _, network = world
+    server = network.add_host("server")
+    server.bind("svc", lambda p: None)
+    with pytest.raises(NetworkError):
+        server.bind("svc", lambda p: None)
+    server.unbind("svc")
+    server.bind("svc", lambda p: None)  # rebinding after unbind is fine
+
+
+def test_unbound_port_raises(world):
+    sim, network = world
+    network.add_host("server")
+    network.client.send(Packet(src="client", dst="server", port="nothing",
+                               size=100))
+    with pytest.raises(NetworkError, match="no handler"):
+        sim.run()
+
+
+def test_spoofed_source_rejected(world):
+    _, network = world
+    network.add_host("server")
+    with pytest.raises(NetworkError, match="src"):
+        network.client.send(Packet(src="server", dst="server", port="p", size=100))
+
+
+def test_client_traffic_modulated_but_wired_is_fast(world):
+    sim, network = world
+    server_a = network.add_host("a")
+    server_b = network.add_host("b")
+    times = {}
+    server_a.bind("svc", lambda p: times.setdefault("via-client", sim.now))
+    server_b.bind("svc", lambda p: times.setdefault("wired", sim.now))
+
+    size = 40 * 1024  # 1 s at the modulated LOW_BANDWIDTH
+    network.client.send(Packet(src="client", dst="a", port="svc", size=size))
+    server_a.send(Packet(src="a", dst="b", port="svc", size=size))
+    sim.run()
+    assert times["via-client"] > 0.9  # modulated: ~1 s
+    assert times["wired"] < 0.1  # fast LAN
+    assert times["wired"] >= WIRED_LATENCY
+
+
+def test_concurrent_client_flows_share_the_link(world):
+    """Two flows through the modulated link serialize; aggregate rate is
+    the link rate, so each sees roughly half."""
+    sim, network = world
+    server = network.add_host("server")
+    arrivals = []
+    network.client.bind("sink", lambda p: arrivals.append((sim.now, p.payload)))
+
+    chunk = 20 * 1024  # 0.5 s each at LOW_BANDWIDTH
+    for flow in ("a", "b"):
+        for _ in range(4):
+            server.send(Packet(src="server", dst="client", port="sink",
+                               size=chunk, payload=flow))
+    sim.run()
+    # 8 chunks x 0.5 s = 4 s of serialization in total.
+    assert arrivals[-1][0] == pytest.approx(4.0, rel=0.05)

@@ -1,0 +1,176 @@
+"""Small-exchange RPC: round trips, compute subtraction, errors."""
+
+import pytest
+
+from repro.errors import RpcError
+from repro.rpc.connection import RpcConnection, RpcService
+from repro.rpc.messages import ServerReply
+from repro.trace.waveforms import ONE_WAY_LATENCY
+
+
+@pytest.fixture
+def service(sim, network):
+    server = network.add_host("server")
+    return RpcService(sim, server, "svc")
+
+
+@pytest.fixture
+def connection(sim, network, service):
+    return RpcConnection(sim, network, "server", "svc", "test-conn")
+
+
+def test_call_returns_body(sim, connection, service, run_process):
+    service.register("echo", lambda body: ServerReply(body=body, body_bytes=64))
+
+    def client():
+        reply = yield from connection.call("echo", body="hello")
+        return reply
+
+    body, bulk = run_process(client())
+    assert body == "hello"
+    assert bulk is None
+
+
+def test_round_trip_excludes_server_compute(sim, connection, service, run_process):
+    service.register("slow", lambda body: ServerReply(compute_seconds=0.5))
+
+    def client():
+        yield from connection.call("slow")
+
+    run_process(client())
+    entry = connection.log.round_trips[0]
+    # Elapsed includes the 0.5 s compute; the logged round trip must not.
+    assert entry.seconds < 0.1
+    assert entry.seconds >= 2 * ONE_WAY_LATENCY
+
+
+def test_call_counts_and_sizes_logged(sim, connection, service, run_process):
+    service.register("op", lambda body: ServerReply(body_bytes=128))
+
+    def client():
+        for _ in range(3):
+            yield from connection.call("op", body_bytes=512)
+
+    run_process(client())
+    assert len(connection.log.round_trips) == 3
+    entry = connection.log.round_trips[0]
+    assert entry.request_bytes > 512  # includes header
+    assert entry.response_bytes > 128
+
+
+def test_unknown_op_raises(sim, connection, service):
+    def client():
+        yield from connection.call("missing")
+
+    sim.process(client())
+    with pytest.raises(RpcError, match="no handler"):
+        sim.run()
+
+
+def test_duplicate_registration_rejected(service):
+    service.register("op", lambda body: ServerReply())
+    with pytest.raises(RpcError):
+        service.register("op", lambda body: ServerReply())
+
+
+def test_handler_exception_travels_to_caller(sim, connection, service, run_process):
+    def broken(body):
+        raise KeyError("not found")
+
+    service.register("broken", broken)
+
+    def client():
+        try:
+            yield from connection.call("broken")
+        except KeyError:
+            return "caught"
+
+    assert run_process(client()) == "caught"
+
+
+def test_generator_handler_can_wait(sim, connection, service, run_process):
+    def waiting(body):
+        yield sim.timeout(0.3)
+        return ServerReply(body="waited")
+
+    service.register("waiting", waiting)
+
+    def client():
+        body, _ = yield from connection.call("waiting")
+        return (body, sim.now)
+
+    body, finished = run_process(client())
+    assert body == "waited"
+    assert finished > 0.3
+
+
+def test_handler_must_return_server_reply(sim, connection, service):
+    service.register("bad", lambda body: "not a reply")
+
+    def client():
+        yield from connection.call("bad")
+
+    sim.process(client())
+    with pytest.raises(RpcError, match="expected ServerReply"):
+        sim.run()
+
+
+def test_closed_connection_rejects_calls(sim, connection, service):
+    connection.close()
+    with pytest.raises(RpcError, match="closed"):
+        next(connection.call("op"))
+    connection.close()  # idempotent
+
+
+def test_cpu_semaphore_serializes_compute(sim, network, run_process):
+    server = network.add_host("busy-server")
+    service = RpcService(sim, server, "busy", cpus=1)
+    service.register("work", lambda body: ServerReply(compute_seconds=1.0))
+    conn_a = RpcConnection(sim, network, "busy-server", "busy", "a")
+    conn_b = RpcConnection(sim, network, "busy-server", "busy", "b")
+    done = []
+
+    def client(conn):
+        yield from conn.call("work")
+        done.append(sim.now)
+
+    sim.process(client(conn_a))
+    sim.process(client(conn_b))
+    sim.run()
+    # Second completion waits for the first's compute: >= 2 s apart start.
+    assert done[1] - done[0] >= 0.99
+
+
+def test_jitter_perturbs_compute(sim, network, run_process):
+    import random
+
+    server = network.add_host("jitter-server")
+    service = RpcService(sim, server, "jit")
+    service.register("work", lambda body: ServerReply(compute_seconds=1.0))
+    service.set_jitter(random.Random(1), 0.2)
+    conn = RpcConnection(sim, network, "jitter-server", "jit", "jc")
+
+    def client():
+        durations = []
+        for _ in range(5):
+            started = sim.now
+            yield from connectionless_call(conn)
+            durations.append(sim.now - started)
+        return durations
+
+    def connectionless_call(conn):
+        yield from conn.call("work")
+
+    durations = run_process(client())
+    assert len(set(round(d, 6) for d in durations)) > 1  # actually varied
+    for duration in durations:
+        assert 0.75 <= duration <= 1.25
+
+
+def test_jitter_fraction_validated(sim, network):
+    import random
+
+    server = network.add_host("s2")
+    service = RpcService(sim, server, "v")
+    with pytest.raises(RpcError):
+        service.set_jitter(random.Random(0), 1.5)

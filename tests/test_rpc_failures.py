@@ -1,0 +1,141 @@
+"""Failure injection: server outages and client timeouts."""
+
+import pytest
+
+from repro.errors import RpcTimeout, RpcError
+from repro.rpc.connection import RpcConnection, RpcService
+from repro.rpc.messages import ServerReply
+from repro.net.network import Network
+from repro.sim.kernel import Simulator
+from repro.trace.waveforms import HIGH_BANDWIDTH, constant
+
+
+@pytest.fixture
+def world():
+    sim = Simulator()
+    network = Network(sim, constant(HIGH_BANDWIDTH, duration=3600))
+    server = network.add_host("server")
+    service = RpcService(sim, server, "svc")
+    service.register("ping", lambda body: ServerReply(body="pong"))
+    service.register(
+        "get", lambda body: ServerReply(bulk=service.make_bulk(64 * 1024))
+    )
+    connection = RpcConnection(sim, network, "server", "svc", "c")
+    return sim, service, connection
+
+
+def test_outage_validation(world):
+    _, service, _ = world
+    with pytest.raises(RpcError):
+        service.set_outage(0)
+
+
+def test_call_times_out_during_outage(world):
+    sim, service, connection = world
+    service.set_outage(10.0)
+
+    def client():
+        try:
+            yield from connection.call("ping", timeout=1.0)
+        except RpcTimeout:
+            return ("timed out", sim.now)
+
+    process = sim.process(client())
+    sim.run(until=20.0)
+    outcome, when = process.value
+    assert outcome == "timed out"
+    assert when == pytest.approx(1.0, abs=0.1)
+    assert service.dropped_during_outage >= 1
+
+
+def test_call_without_timeout_hangs_through_outage(world):
+    sim, service, connection = world
+    service.set_outage(5.0)
+    state = {}
+
+    def client():
+        yield from connection.call("ping")
+        state["done"] = sim.now
+
+    sim.process(client())
+    sim.run(until=20.0)
+    # The request was dropped and never retried: the call never completes.
+    assert "done" not in state
+
+
+def test_service_recovers_after_outage(world):
+    sim, service, connection = world
+    service.set_outage(2.0)
+    results = []
+
+    def client():
+        for _ in range(5):
+            try:
+                reply, _ = yield from connection.call("ping", timeout=1.0)
+                results.append((sim.now, reply))
+            except RpcTimeout:
+                results.append((sim.now, "timeout"))
+    process = sim.process(client())
+    sim.run(until=20.0)
+    outcomes = [r for _, r in results]
+    assert outcomes[0] == "timeout"
+    assert outcomes[-1] == "pong"  # recovered
+    assert "pong" in outcomes[2:]
+
+
+def test_fetch_window_times_out(world):
+    sim, service, connection = world
+
+    def client():
+        # Outage begins mid-transfer: the first window may land, later ones
+        # time out.
+        try:
+            yield from connection.fetch("get", timeout=0.5)
+        except RpcTimeout as exc:
+            return str(exc)
+
+    def saboteur():
+        yield sim.timeout(0.05)
+        service.set_outage(30.0)
+
+    process = sim.process(client())
+    sim.process(saboteur())
+    sim.run(until=40.0)
+    assert "timed out" in process.value
+
+
+def test_late_reply_after_timeout_is_dropped_not_fatal(world):
+    """A reply that arrives after its timeout must not crash dispatch."""
+    sim, service, connection = world
+    service.register("slow", lambda body: ServerReply(body="late",
+                                                      compute_seconds=2.0))
+    outcomes = []
+
+    def client():
+        try:
+            yield from connection.call("slow", timeout=0.5)
+        except RpcTimeout:
+            outcomes.append("timeout")
+        # Keep the connection busy afterward; the late reply arrives now.
+        reply, _ = yield from connection.call("ping")
+        outcomes.append(reply)
+
+    sim.process(client())
+    sim.run(until=10.0)
+    assert outcomes == ["timeout", "pong"]
+    assert connection.late_replies == 1
+
+
+def test_timeout_does_not_fire_on_fast_replies(world):
+    sim, service, connection = world
+
+    def client():
+        for _ in range(10):
+            reply, _ = yield from connection.call("ping", timeout=5.0)
+            assert reply == "pong"
+        return "all good"
+
+    process = sim.process(client())
+    sim.run(until=20.0)
+    assert process.value == "all good"
+    assert connection.late_replies == 0

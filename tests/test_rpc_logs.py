@@ -1,0 +1,88 @@
+"""Endpoint observation logs."""
+
+import pytest
+
+from repro.rpc.logs import DELIVERY_HISTORY_SECONDS, RpcLog
+
+
+@pytest.fixture
+def log(sim):
+    return RpcLog(sim, "conn")
+
+
+class Recorder:
+    def __init__(self):
+        self.round_trips = []
+        self.throughputs = []
+
+    def on_round_trip(self, log, entry):
+        self.round_trips.append(entry)
+
+    def on_throughput(self, log, entry):
+        self.throughputs.append(entry)
+
+
+def test_observers_notified(sim, log):
+    recorder = Recorder()
+    log.subscribe(recorder)
+    log.add_round_trip(0.02, 100, 200)
+    log.add_throughput(started=0.0, nbytes=1000)
+    assert len(recorder.round_trips) == 1
+    assert len(recorder.throughputs) == 1
+    log.unsubscribe(recorder)
+    log.add_round_trip(0.02, 100, 200)
+    assert len(recorder.round_trips) == 1
+
+
+def test_throughput_entry_fields(sim, log):
+    sim.run(until=2.0)
+    entry = log.add_throughput(started=1.5, nbytes=4096)
+    assert entry.at == 2.0
+    assert entry.seconds == pytest.approx(0.5)
+    assert entry.raw_rate == pytest.approx(8192)
+
+
+def test_deliveries_window_query(sim, log):
+    log.add_delivery(100)
+    sim.run(until=5.0)
+    log.add_delivery(200)
+    sim.run(until=10.0)
+    log.add_delivery(400)
+    assert log.bytes_delivered_between(-1.0, 10.0) == 700
+    assert log.bytes_delivered_between(0, 10.0) == 600  # start is exclusive
+    assert log.bytes_delivered_between(2.0, 7.0) == 200
+    assert log.bytes_delivered_between(4.9, 10.0) == 600
+    assert log.delivered_total == 700
+
+
+def test_delivery_interval_is_half_open(sim, log):
+    sim.run(until=5.0)
+    log.add_delivery(100)
+    assert log.bytes_delivered_between(5.0, 6.0) == 0  # start exclusive
+    assert log.bytes_delivered_between(4.0, 5.0) == 100  # end inclusive
+
+
+def test_old_deliveries_pruned(sim, log):
+    log.add_delivery(100)
+    sim.run(until=DELIVERY_HISTORY_SECONDS + 10)
+    log.add_delivery(50)
+    # The first delivery fell off the retained window.
+    assert log.bytes_delivered_between(0, sim.now) == 50
+    assert log.delivered_total == 150  # the total counter never forgets
+
+
+def test_recent_rate(sim, log):
+    sim.run(until=10.0)
+    log.add_delivery(5000)
+    assert log.recent_rate(5.0) == pytest.approx(1000)
+    assert log.recent_rate(0) == 0.0
+
+
+def test_last_activity(sim, log):
+    assert log.last_activity() is None
+    sim.run(until=3.0)
+    log.add_round_trip(0.02, 10, 10)
+    assert log.last_activity() == 3.0
+    sim.run(until=7.0)
+    log.add_delivery(10)
+    assert log.last_activity() == 7.0

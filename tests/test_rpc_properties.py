@@ -1,0 +1,152 @@
+"""Property tests: conservation and ordering invariants of the RPC stack."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.network import Network
+from repro.rpc.connection import RpcConnection, RpcService
+from repro.rpc.messages import ServerReply
+from repro.sim.kernel import Simulator
+from repro.trace.replay import ReplayTrace, Segment
+from repro.trace.waveforms import HIGH_BANDWIDTH
+
+
+def build_world(trace=None):
+    sim = Simulator()
+    trace = trace or ReplayTrace([Segment(10_000, HIGH_BANDWIDTH, 0.0105)])
+    network = Network(sim, trace)
+    server = network.add_host("server")
+    service = RpcService(sim, server, "svc")
+    service.register(
+        "get",
+        lambda body: ServerReply(bulk=service.make_bulk(body["nbytes"])),
+    )
+    service.register("sink", lambda body: ServerReply(body="ok"))
+    return sim, network, service
+
+
+@settings(max_examples=25, deadline=None)
+@given(sizes=st.lists(st.integers(min_value=1, max_value=300_000),
+                      min_size=1, max_size=8))
+def test_fetch_conserves_bytes(sizes):
+    """Every fetch delivers exactly the requested bytes, whatever the mix
+    of window and fragment boundaries the sizes hit."""
+    sim, network, service = build_world()
+    connection = RpcConnection(sim, network, "server", "svc", "c")
+    got = []
+
+    def client():
+        for nbytes in sizes:
+            _, _, delivered = yield from connection.fetch(
+                "get", body={"nbytes": nbytes}
+            )
+            got.append(delivered)
+
+    sim.process(client())
+    sim.run()
+    assert got == sizes
+    window_bytes = sum(e.nbytes for e in connection.log.throughputs)
+    assert window_bytes == sum(sizes)
+
+
+@settings(max_examples=25, deadline=None)
+@given(sizes=st.lists(st.integers(min_value=1, max_value=200_000),
+                      min_size=1, max_size=6))
+def test_push_conserves_bytes(sizes):
+    sim, network, service = build_world()
+    connection = RpcConnection(sim, network, "server", "svc", "c")
+    replies = []
+
+    def client():
+        for nbytes in sizes:
+            reply = yield from connection.push("sink", nbytes)
+            replies.append(reply)
+
+    sim.process(client())
+    sim.run()
+    assert replies == ["ok"] * len(sizes)
+    assert sum(e.nbytes for e in connection.log.throughputs) == sum(sizes)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    sizes=st.lists(st.integers(min_value=1, max_value=120_000),
+                   min_size=2, max_size=5),
+    step_at=st.floats(min_value=0.1, max_value=5.0),
+)
+def test_fetch_conserves_bytes_across_bandwidth_steps(sizes, step_at):
+    """Conservation holds even when the bandwidth steps mid-transfer."""
+    trace = ReplayTrace([
+        Segment(step_at, HIGH_BANDWIDTH, 0.0105),
+        Segment(10_000, HIGH_BANDWIDTH // 3, 0.0105),
+    ])
+    sim, network, service = build_world(trace)
+    connection = RpcConnection(sim, network, "server", "svc", "c")
+    got = []
+
+    def client():
+        for nbytes in sizes:
+            _, _, delivered = yield from connection.fetch(
+                "get", body={"nbytes": nbytes}
+            )
+            got.append(delivered)
+
+    sim.process(client())
+    sim.run()
+    assert got == sizes
+
+
+@settings(max_examples=15, deadline=None)
+@given(concurrency=st.integers(min_value=2, max_value=6))
+def test_concurrent_connections_each_conserve(concurrency):
+    """N clients fetching simultaneously never cross wires."""
+    sim, network, service = build_world()
+    connections = [
+        RpcConnection(sim, network, "server", "svc", f"c{i}")
+        for i in range(concurrency)
+    ]
+    delivered = {}
+
+    def client(i, connection):
+        nbytes = 10_000 + i * 7_333
+        _, _, got = yield from connection.fetch("get", body={"nbytes": nbytes})
+        delivered[i] = (nbytes, got)
+
+    for i, connection in enumerate(connections):
+        sim.process(client(i, connection))
+    sim.run()
+    assert len(delivered) == concurrency
+    for nbytes, got in delivered.values():
+        assert got == nbytes
+
+
+def test_throughput_entries_are_time_ordered():
+    sim, network, service = build_world()
+    connection = RpcConnection(sim, network, "server", "svc", "c")
+
+    def client():
+        for _ in range(5):
+            yield from connection.fetch("get", body={"nbytes": 50_000})
+
+    sim.process(client())
+    sim.run()
+    times = [entry.at for entry in connection.log.throughputs]
+    assert times == sorted(times)
+    for entry in connection.log.throughputs:
+        assert entry.at > entry.started
+
+
+def test_link_stats_account_for_all_traffic():
+    """Bytes counted by the links bound the payload delivered."""
+    sim, network, service = build_world()
+    connection = RpcConnection(sim, network, "server", "svc", "c")
+
+    def client():
+        yield from connection.fetch("get", body={"nbytes": 100_000})
+
+    sim.process(client())
+    sim.run()
+    down = network.downlink.stats.bytes_sent
+    assert down >= 100_000  # payload plus headers
+    assert down <= 100_000 * 1.1  # headers are a bounded overhead

@@ -1,0 +1,168 @@
+"""Unit tests for the simulator event loop."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.events import Event, Timeout
+from repro.sim.kernel import Simulator
+
+
+def test_time_starts_at_zero(sim):
+    assert sim.now == 0.0
+
+
+def test_timeout_advances_time(sim):
+    fired = []
+    sim.timeout(2.5).add_callback(lambda e: fired.append(sim.now))
+    sim.run()
+    assert fired == [2.5]
+    assert sim.now == 2.5
+
+
+def test_timeout_carries_value(sim):
+    seen = []
+    sim.timeout(1.0, value="payload").add_callback(lambda e: seen.append(e.value))
+    sim.run()
+    assert seen == ["payload"]
+
+
+def test_negative_timeout_rejected(sim):
+    with pytest.raises(SimulationError):
+        sim.timeout(-1)
+
+
+def test_events_fire_in_time_order(sim):
+    order = []
+    for delay in (3.0, 1.0, 2.0):
+        sim.timeout(delay, value=delay).add_callback(lambda e: order.append(e.value))
+    sim.run()
+    assert order == [1.0, 2.0, 3.0]
+
+
+def test_same_time_events_fire_in_schedule_order(sim):
+    order = []
+    for tag in "abcde":
+        sim.timeout(1.0, value=tag).add_callback(lambda e: order.append(e.value))
+    sim.run()
+    assert order == list("abcde")
+
+
+def test_run_until_time_stops_exactly(sim):
+    fired = []
+    sim.timeout(5.0).add_callback(lambda e: fired.append("late"))
+    sim.timeout(1.0).add_callback(lambda e: fired.append("early"))
+    sim.run(until=3.0)
+    assert fired == ["early"]
+    assert sim.now == 3.0
+    sim.run()
+    assert fired == ["early", "late"]
+
+
+def test_run_until_past_time_rejected(sim):
+    sim.run(until=10.0)
+    with pytest.raises(SimulationError):
+        sim.run(until=5.0)
+
+
+def test_run_until_event_returns_value(sim):
+    event = sim.event()
+    sim.call_in(2.0, event.succeed, 42)
+    assert sim.run(until=event) == 42
+    assert sim.now == 2.0
+
+
+def test_run_until_failed_event_raises(sim):
+    event = sim.event()
+    sim.call_in(1.0, event.fail, ValueError("boom"))
+    with pytest.raises(ValueError, match="boom"):
+        sim.run(until=event)
+
+
+def test_run_until_event_never_fired_raises(sim):
+    event = sim.event()
+    sim.timeout(1.0)
+    with pytest.raises(SimulationError, match="drained"):
+        sim.run(until=event)
+
+
+def test_step_on_empty_queue_raises(sim):
+    with pytest.raises(SimulationError):
+        sim.step()
+
+
+def test_peek_reports_next_event_time(sim):
+    assert sim.peek() is None
+    sim.timeout(4.0)
+    sim.timeout(2.0)
+    assert sim.peek() == 2.0
+
+
+def test_call_at_and_call_in(sim):
+    calls = []
+    sim.call_at(2.0, calls.append, "at")
+    sim.call_in(1.0, calls.append, "in")
+    sim.run()
+    assert calls == ["in", "at"]
+
+
+def test_call_at_past_rejected(sim):
+    sim.run(until=5.0)
+    with pytest.raises(SimulationError):
+        sim.call_at(1.0, lambda: None)
+
+
+def test_event_double_trigger_rejected(sim):
+    event = sim.event()
+    event.succeed(1)
+    with pytest.raises(SimulationError):
+        event.succeed(2)
+    with pytest.raises(SimulationError):
+        event.fail(RuntimeError())
+
+
+def test_event_value_before_trigger_raises(sim):
+    event = sim.event()
+    with pytest.raises(SimulationError):
+        _ = event.value
+
+
+def test_fail_requires_exception(sim):
+    event = sim.event()
+    with pytest.raises(TypeError):
+        event.fail("not an exception")
+
+
+def test_unhandled_failed_event_propagates(sim):
+    sim.event().fail(RuntimeError("unhandled"))
+    with pytest.raises(RuntimeError, match="unhandled"):
+        sim.run()
+
+
+def test_defused_failure_does_not_propagate(sim):
+    event = sim.event()
+    event.fail(RuntimeError("handled"))
+    event.defuse()
+    sim.run()  # no raise
+
+
+def test_late_callback_runs_immediately(sim):
+    event = sim.timeout(1.0, value="x")
+    sim.run()
+    seen = []
+    event.add_callback(lambda e: seen.append(e.value))
+    assert seen == ["x"]
+
+
+def test_many_events_deterministic():
+    def run_once():
+        sim = Simulator()
+        order = []
+        for i in range(500):
+            delay = (i * 37) % 97 / 10.0
+            sim.timeout(delay, value=i).add_callback(
+                lambda e: order.append(e.value)
+            )
+        sim.run()
+        return order
+
+    assert run_once() == run_once()

@@ -1,0 +1,185 @@
+"""Unit tests for generator-coroutine processes."""
+
+import pytest
+
+from repro.errors import ProcessInterrupt, SimulationError
+from repro.sim.events import AllOf, AnyOf
+
+
+def test_process_returns_value(sim, run_process):
+    def worker():
+        yield sim.timeout(1.0)
+        return "done"
+
+    assert run_process(worker()) == "done"
+    assert sim.now == 1.0
+
+
+def test_process_waits_on_process(sim, run_process):
+    def child():
+        yield sim.timeout(2.0)
+        return 7
+
+    def parent():
+        value = yield sim.process(child())
+        return value * 6
+
+    assert run_process(parent()) == 42
+
+
+def test_yield_none_resumes_immediately(sim, run_process):
+    def worker():
+        yield
+        return sim.now
+
+    assert run_process(worker()) == 0.0
+
+
+def test_yield_non_event_fails_the_process(sim):
+    def worker():
+        yield "garbage"
+
+    process = sim.process(worker())
+    with pytest.raises(SimulationError, match="non-event"):
+        sim.run()
+    assert process.triggered and not process.ok
+
+
+def test_exception_in_process_propagates_to_waiter(sim, run_process):
+    def child():
+        yield sim.timeout(1.0)
+        raise ValueError("child broke")
+
+    def parent():
+        try:
+            yield sim.process(child())
+        except ValueError as exc:
+            return f"caught: {exc}"
+
+    assert run_process(parent()) == "caught: child broke"
+
+
+def test_uncaught_process_exception_surfaces(sim):
+    def worker():
+        yield sim.timeout(1.0)
+        raise RuntimeError("unhandled in process")
+
+    sim.process(worker())
+    with pytest.raises(RuntimeError, match="unhandled in process"):
+        sim.run()
+
+
+def test_interrupt_delivers_cause(sim, run_process):
+    def victim():
+        try:
+            yield sim.timeout(100.0)
+        except ProcessInterrupt as interrupt:
+            return ("interrupted", interrupt.cause, sim.now)
+        return "finished"
+
+    victim_process = sim.process(victim())
+
+    def interrupter():
+        yield sim.timeout(3.0)
+        victim_process.interrupt("reason")
+
+    sim.process(interrupter())
+    sim.run()
+    assert victim_process.value == ("interrupted", "reason", 3.0)
+
+
+def test_interrupt_finished_process_rejected(sim):
+    def quick():
+        yield sim.timeout(1.0)
+
+    process = sim.process(quick())
+    sim.run()
+    with pytest.raises(SimulationError):
+        process.interrupt()
+
+
+def test_abandoned_event_after_interrupt_is_harmless(sim):
+    """The timeout abandoned by an interrupt must not resume the process."""
+    log = []
+
+    def victim():
+        try:
+            yield sim.timeout(10.0)
+        except ProcessInterrupt:
+            log.append(("interrupted", sim.now))
+        yield sim.timeout(20.0)
+        log.append(("resumed", sim.now))
+
+    victim_process = sim.process(victim())
+    sim.call_in(1.0, victim_process.interrupt)
+    sim.run()
+    # Resumed exactly once, 20 s after the interrupt at t=1.
+    assert log == [("interrupted", 1.0), ("resumed", 21.0)]
+
+
+def test_process_alive_flag(sim):
+    def worker():
+        yield sim.timeout(5.0)
+
+    process = sim.process(worker())
+    assert process.alive
+    sim.run()
+    assert not process.alive
+
+
+def test_anyof_returns_first(sim, run_process):
+    def racer():
+        slow = sim.timeout(10.0, value="slow")
+        fast = sim.timeout(1.0, value="fast")
+        results = yield AnyOf(sim, [slow, fast])
+        return list(results.values())
+
+    assert run_process(racer()) == ["fast"]
+    assert sim.now == 10.0  # the slow timeout still drains
+
+
+def test_allof_waits_for_all(sim, run_process):
+    def gatherer():
+        timeouts = [sim.timeout(d, value=d) for d in (3.0, 1.0, 2.0)]
+        results = yield AllOf(sim, timeouts)
+        return sorted(results.values())
+
+    assert run_process(gatherer()) == [1.0, 2.0, 3.0]
+
+
+def test_empty_allof_fires_immediately(sim, run_process):
+    def worker():
+        result = yield AllOf(sim, [])
+        return result
+
+    assert run_process(worker()) == {}
+
+
+def test_condition_failure_propagates(sim, run_process):
+    def worker():
+        bad = sim.event()
+        bad.fail(ValueError("child failed"), delay=1.0)
+        try:
+            yield AllOf(sim, [bad, sim.timeout(5.0)])
+        except ValueError:
+            return "caught"
+
+    assert run_process(worker()) == "caught"
+
+
+def test_two_processes_interleave(sim):
+    trace = []
+
+    def ticker(name, period):
+        for _ in range(3):
+            yield sim.timeout(period)
+            trace.append((sim.now, name))
+
+    sim.process(ticker("a", 1.0))
+    sim.process(ticker("b", 1.5))
+    sim.run()
+    # At t=3.0 both fire; b's timeout was scheduled first (at t=1.5, before
+    # a's at t=2.0), so the deterministic tiebreak runs b first.
+    assert trace == [
+        (1.0, "a"), (1.5, "b"), (2.0, "a"), (3.0, "b"), (3.0, "a"), (4.5, "b"),
+    ]

@@ -1,0 +1,194 @@
+"""Unit and property tests for Store and Semaphore."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SimulationError
+from repro.sim.kernel import Simulator
+from repro.sim.queues import Semaphore, Store
+
+
+def test_store_put_then_get(sim, run_process):
+    store = Store(sim)
+    store.put("x")
+
+    def consumer():
+        item = yield store.get()
+        return item
+
+    assert run_process(consumer()) == "x"
+
+
+def test_store_get_blocks_until_put(sim, run_process):
+    store = Store(sim)
+
+    def producer():
+        yield sim.timeout(2.0)
+        store.put("late")
+
+    def consumer():
+        item = yield store.get()
+        return (item, sim.now)
+
+    sim.process(producer())
+    assert run_process(consumer()) == ("late", 2.0)
+
+
+def test_store_fifo_order(sim, run_process):
+    store = Store(sim)
+    for i in range(5):
+        store.put(i)
+
+    def consumer():
+        items = []
+        for _ in range(5):
+            items.append((yield store.get()))
+        return items
+
+    assert run_process(consumer()) == [0, 1, 2, 3, 4]
+
+
+def test_store_waiters_served_fifo(sim):
+    store = Store(sim)
+    got = []
+
+    def consumer(name):
+        item = yield store.get()
+        got.append((name, item))
+
+    sim.process(consumer("first"))
+    sim.process(consumer("second"))
+    sim.call_in(1.0, store.put, "a")
+    sim.call_in(2.0, store.put, "b")
+    sim.run()
+    assert got == [("first", "a"), ("second", "b")]
+
+
+def test_store_capacity_rejects_overflow(sim):
+    store = Store(sim, capacity=2)
+    assert store.put(1)
+    assert store.put(2)
+    assert not store.put(3)
+    assert len(store) == 2
+
+
+def test_store_capacity_must_be_positive(sim):
+    with pytest.raises(SimulationError):
+        Store(sim, capacity=0)
+
+
+def test_store_clear_returns_items(sim):
+    store = Store(sim)
+    store.put("a")
+    store.put("b")
+    assert store.clear() == ["a", "b"]
+    assert len(store) == 0
+
+
+def test_store_peek_items(sim):
+    store = Store(sim)
+    store.put(1)
+    store.put(2)
+    assert store.peek_items() == (1, 2)
+    assert len(store) == 2  # peek does not consume
+
+
+def test_semaphore_mutual_exclusion(sim):
+    sem = Semaphore(sim, capacity=1)
+    inside = []
+    overlap = []
+
+    def worker(name):
+        yield sem.acquire()
+        if inside:
+            overlap.append(name)
+        inside.append(name)
+        yield sim.timeout(1.0)
+        inside.remove(name)
+        sem.release()
+
+    for name in ("a", "b", "c"):
+        sim.process(worker(name))
+    sim.run()
+    assert overlap == []
+    assert sim.now == 3.0  # fully serialized
+
+
+def test_semaphore_capacity_two_overlaps(sim):
+    sem = Semaphore(sim, capacity=2)
+
+    def worker():
+        yield sem.acquire()
+        yield sim.timeout(1.0)
+        sem.release()
+
+    for _ in range(4):
+        sim.process(worker())
+    sim.run()
+    assert sim.now == 2.0  # two waves of two
+
+
+def test_semaphore_release_without_acquire(sim):
+    sem = Semaphore(sim)
+    with pytest.raises(SimulationError):
+        sem.release()
+
+
+def test_semaphore_counters(sim, run_process):
+    sem = Semaphore(sim, capacity=2)
+
+    def worker():
+        yield sem.acquire()
+        held = sem.available
+        sem.release()
+        return held
+
+    assert run_process(worker()) == 1
+
+
+@settings(max_examples=50, deadline=None)
+@given(items=st.lists(st.integers(), min_size=1, max_size=40))
+def test_store_preserves_all_items_in_order(items):
+    sim = Simulator()
+    store = Store(sim)
+    received = []
+
+    def producer():
+        for item in items:
+            store.put(item)
+            yield sim.timeout(0.1)
+
+    def consumer():
+        for _ in items:
+            received.append((yield store.get()))
+
+    sim.process(producer())
+    sim.process(consumer())
+    sim.run()
+    assert received == items
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    capacity=st.integers(min_value=1, max_value=5),
+    workers=st.integers(min_value=1, max_value=12),
+)
+def test_semaphore_never_over_admits(capacity, workers):
+    sim = Simulator()
+    sem = Semaphore(sim, capacity=capacity)
+    concurrency = {"now": 0, "max": 0}
+
+    def worker():
+        yield sem.acquire()
+        concurrency["now"] += 1
+        concurrency["max"] = max(concurrency["max"], concurrency["now"])
+        yield sim.timeout(1.0)
+        concurrency["now"] -= 1
+        sem.release()
+
+    for _ in range(workers):
+        sim.process(worker())
+    sim.run()
+    assert concurrency["max"] <= capacity
+    assert concurrency["now"] == 0

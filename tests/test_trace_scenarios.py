@@ -1,0 +1,108 @@
+"""The Markov mobility-scenario generator."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ReproError
+from repro.trace.scenarios import (
+    SCENARIO_MODELS,
+    MobilityModel,
+    Zone,
+    generate_scenario,
+    urban_model,
+)
+from repro.trace.waveforms import HIGH_BANDWIDTH, LOW_BANDWIDTH
+
+
+def test_zone_validation():
+    with pytest.raises(ReproError):
+        Zone("bad", -1, 10)
+    with pytest.raises(ReproError):
+        Zone("bad", 100, 0)
+
+
+def test_model_validation_catches_bad_probabilities():
+    model = MobilityModel()
+    model.add_zone(Zone("a", 100, 10), {"a": 0.5})
+    with pytest.raises(ReproError, match="sum"):
+        model.validate()
+
+
+def test_model_validation_catches_unknown_successor():
+    model = MobilityModel()
+    model.add_zone(Zone("a", 100, 10), {"ghost": 1.0})
+    with pytest.raises(ReproError, match="unknown zone"):
+        model.validate()
+
+
+def test_empty_model_rejected():
+    with pytest.raises(ReproError):
+        MobilityModel().validate()
+
+
+def test_generated_trace_has_requested_duration():
+    trace = generate_scenario("urban", duration_seconds=600, seed=1)
+    assert trace.duration == pytest.approx(600.0)
+
+
+def test_generation_is_seeded():
+    a = generate_scenario("highway", seed=5)
+    b = generate_scenario("highway", seed=5)
+    c = generate_scenario("highway", seed=6)
+    assert a.segments == b.segments
+    assert a.segments != c.segments
+
+
+def test_all_families_generate():
+    for family in SCENARIO_MODELS:
+        trace = generate_scenario(family, duration_seconds=300, seed=0)
+        assert trace.duration == pytest.approx(300.0)
+        assert len(trace.segments) >= 2
+        levels = {segment.bandwidth for segment in trace.segments}
+        assert len(levels) >= 2  # coverage actually varies
+
+
+def test_unknown_family():
+    with pytest.raises(ReproError, match="urban"):
+        generate_scenario("submarine")
+
+
+def test_urban_statistics_resemble_the_walk():
+    """Mostly connected, with real shadow time — Fig. 13's character."""
+    trace = generate_scenario("urban", duration_seconds=3600, seed=3)
+    high_time = sum(s.duration for s in trace.segments
+                    if s.bandwidth == HIGH_BANDWIDTH)
+    low_time = sum(s.duration for s in trace.segments
+                   if s.bandwidth == LOW_BANDWIDTH)
+    assert high_time + low_time == pytest.approx(3600.0)
+    assert 0.35 <= high_time / 3600.0 <= 0.85
+
+
+def test_dwell_floors_respected():
+    trace = generate_scenario("urban", duration_seconds=3600, seed=0)
+    # All but the (possibly truncated) final segment honor the 5 s floor.
+    for segment in trace.segments[:-1]:
+        assert segment.duration >= 5.0 - 1e-9
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000),
+       duration=st.floats(min_value=60, max_value=1800))
+def test_generation_robust_over_seeds(seed, duration):
+    trace = generate_scenario("office", duration_seconds=duration, seed=seed)
+    assert trace.duration == pytest.approx(duration)
+    for segment in trace.segments:
+        assert segment.duration > 0
+        assert segment.bandwidth >= 0
+
+
+def test_concurrent_experiment_runs_on_generated_scenario():
+    """The robustness loop: Fig. 14's harness over a generated trace."""
+    from repro.experiments.concurrent import run_concurrent_trial
+
+    trace = generate_scenario("urban", duration_seconds=180, seed=2)
+    result = run_concurrent_trial("odyssey", seed=1, trace=trace)
+    assert result.video.stats.frames_displayed > 800
+    assert result.web.stats.count > 100
+    assert result.speech.stats.count > 50

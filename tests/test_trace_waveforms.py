@@ -1,0 +1,98 @@
+"""Reference waveforms and the urban trace (paper Figs. 7 and 13)."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.trace.waveforms import (
+    HIGH_BANDWIDTH,
+    IMPULSE_WIDTH,
+    LOW_BANDWIDTH,
+    WAVEFORM_DURATION,
+    WAVEFORMS,
+    ethernet,
+    impulse_down,
+    impulse_up,
+    step_down,
+    step_up,
+    urban_walk,
+    waveform,
+)
+
+
+def test_modulated_levels_match_paper():
+    assert HIGH_BANDWIDTH == 120 * 1024
+    assert LOW_BANDWIDTH == 40 * 1024
+
+
+def test_step_up_shape():
+    trace = step_up()
+    assert trace.duration == WAVEFORM_DURATION
+    assert trace.bandwidth_at(0) == LOW_BANDWIDTH
+    assert trace.bandwidth_at(29.9) == LOW_BANDWIDTH
+    assert trace.bandwidth_at(30.0) == HIGH_BANDWIDTH
+    assert trace.transitions == [30.0]
+
+
+def test_step_down_mirrors_step_up():
+    up, down = step_up(), step_down()
+    assert down.bandwidth_at(0) == up.bandwidth_at(59)
+    assert down.bandwidth_at(59) == up.bandwidth_at(0)
+
+
+@pytest.mark.parametrize("factory,wing_level,mid_level", [
+    (impulse_up, LOW_BANDWIDTH, HIGH_BANDWIDTH),
+    (impulse_down, HIGH_BANDWIDTH, LOW_BANDWIDTH),
+])
+def test_impulse_shape(factory, wing_level, mid_level):
+    trace = factory()
+    assert trace.duration == WAVEFORM_DURATION
+    mid = WAVEFORM_DURATION / 2
+    assert trace.bandwidth_at(0) == wing_level
+    assert trace.bandwidth_at(mid) == mid_level
+    assert trace.bandwidth_at(mid - IMPULSE_WIDTH) == wing_level
+    assert trace.bandwidth_at(WAVEFORM_DURATION - 1) == wing_level
+    # Impulse is exactly IMPULSE_WIDTH wide.
+    start, end = trace.transitions
+    assert end - start == IMPULSE_WIDTH
+
+
+def test_impulse_width_bounds():
+    with pytest.raises(ReproError):
+        impulse_up(width=120.0)
+
+
+def test_urban_walk_matches_figure_13():
+    trace = urban_walk()
+    minutes = [segment.duration / 60 for segment in trace.segments]
+    # Fig. 13: high segments 3 1 1 1 2 interleaved with low segments 1 1 1 4.
+    assert minutes == [3, 1, 1, 1, 1, 1, 1, 4, 2]
+    assert sum(minutes) == 15
+    assert trace.duration == 15 * 60
+    assert trace.bandwidth_at(0) == HIGH_BANDWIDTH  # begins well-connected
+    highs = [s.duration / 60 for s in trace.segments if s.bandwidth == HIGH_BANDWIDTH]
+    lows = [s.duration / 60 for s in trace.segments if s.bandwidth == LOW_BANDWIDTH]
+    assert highs == [3, 1, 1, 1, 2]
+    assert lows == [1, 1, 1, 4]
+    # The radio shadow: the four-minute low segment near the end.
+    shadow = trace.segments[7]
+    assert shadow.duration == 240.0
+    assert shadow.bandwidth == LOW_BANDWIDTH
+    assert trace.segments[-1].bandwidth == HIGH_BANDWIDTH  # good connectivity
+
+
+def test_ethernet_is_fast_and_flat():
+    trace = ethernet()
+    assert trace.transitions == []
+    assert trace.bandwidth_at(0) > 8 * HIGH_BANDWIDTH
+
+
+def test_registry_contains_all_reference_waveforms():
+    for name in ("step-up", "step-down", "impulse-up", "impulse-down",
+                 "urban-walk", "ethernet"):
+        assert name in WAVEFORMS
+        assert waveform(name).duration > 0
+
+
+def test_unknown_waveform_lists_known():
+    with pytest.raises(ReproError, match="step-up"):
+        waveform("sawtooth")
