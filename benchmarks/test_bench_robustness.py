@@ -1,17 +1,35 @@
-"""Extension benchmark — Fig. 14's conclusion across scenario families.
+"""Extension benchmark — robustness beyond the paper's clean traces.
 
-The paper's concurrency result comes from one hand-built trace.  Here the
-same three-application experiment runs over *generated* mobility scenarios
-(urban, highway, office Markov models) to confirm that Odyssey's advantage
-over blind optimism is a property of the approach, not of the trace.
+Two studies:
+
+1. Fig. 14's conclusion across *generated* scenario families (urban,
+   highway, office Markov models): Odyssey's advantage over blind optimism
+   is a property of the approach, not of the one hand-built trace.
+2. The connection lifecycle under injected faults: a bulk client rides out
+   a link blackout, a loss burst, a server stall and a server slowdown via
+   timeout/retry-with-backoff, survives a mid-run connection failover
+   (unregister → teardown upcall → re-register), and its throughput
+   degrades gracefully relative to the same seed without faults.
 """
 
 from conftest import run_once
 
 from repro.experiments.concurrent import run_concurrent_trial
-from repro.trace.scenarios import SCENARIO_MODELS, generate_scenario
+from repro.experiments.robustness import (
+    default_fault_plan,
+    run_robustness_comparison,
+)
+from repro.trace.scenarios import generate_scenario
 
 SCENARIO_SECONDS = 240.0
+#: The concurrency comparison is pinned to the well-covered families; the
+#: adversarial "robustness" family (near-dead zones) belongs to the
+#: fault-injection study below, where survival — not policy ordering — is
+#: the property under test.
+COMPARISON_FAMILIES = ("urban", "highway", "office")
+
+FAULT_SEED = 1
+FAILOVER_AT = SCENARIO_SECONDS / 2.0
 
 
 def run_family(family, seed=0):
@@ -26,7 +44,7 @@ def run_family(family, seed=0):
 
 def test_robustness_across_scenarios(benchmark):
     def run_all():
-        return {family: run_family(family) for family in SCENARIO_MODELS}
+        return {family: run_family(family) for family in COMPARISON_FAMILIES}
 
     results = run_once(benchmark, run_all)
     print("\nOdyssey vs blind optimism across generated scenarios "
@@ -49,3 +67,52 @@ def test_robustness_across_scenarios(benchmark):
         assert odyssey.web.stats.mean_seconds <= \
             blind.web.stats.mean_seconds * 1.05, family
     benchmark.extra_info["families"] = list(results)
+
+
+def test_lifecycle_under_faults(benchmark):
+    """Blackout + loss + stall + slowdown + mid-run failover, end to end."""
+    plan = default_fault_plan(SCENARIO_SECONDS)
+
+    def run_pair():
+        return run_robustness_comparison(
+            policy="odyssey", seed=FAULT_SEED, duration=SCENARIO_SECONDS,
+            faults=plan, failover_at=FAILOVER_AT,
+        )
+
+    clean, faulted = run_once(benchmark, run_pair)
+
+    print(f"\nConnection lifecycle under injected faults "
+          f"(plan {plan.name!r}, {SCENARIO_SECONDS:.0f} s, "
+          f"failover at {FAILOVER_AT:.0f} s)")
+    print(f"{'':10s} {'completed':>10s} {'timeouts':>9s} {'retries':>8s} "
+          f"{'dropped':>8s} {'mean s':>7s}")
+    for label, r in (("clean", clean), ("faulted", faulted)):
+        print(f"{label:10s} {r.completed:10d} {r.timeouts:9d} "
+              f"{r.retries:8d} {r.packets_dropped:8d} "
+              f"{r.mean_fetch_seconds:7.2f}")
+
+    # The client survives and makes progress through every fault episode.
+    assert faulted.completed > 0
+    assert faulted.upcall_failures == 0
+    # Retry-with-backoff actually engaged: faults cost timeouts, and every
+    # timed-out attempt was re-issued rather than abandoned.
+    assert faulted.timeouts > 0
+    assert faulted.retries > 0
+    assert faulted.exhausted == 0
+    # The loss burst really dropped packets, and both scheduled server
+    # faults fired (fault_events counts per-packet drops plus one event
+    # per stall/slowdown activation).
+    assert faulted.packets_dropped > 0
+    assert faulted.fault_events >= faulted.packets_dropped + 2
+    # Faults degrade throughput but never below the floor of usefulness.
+    assert faulted.completed <= clean.completed
+    assert faulted.completed > clean.completed * 0.5
+    # The mid-run unregister tore down the live registration with an
+    # upcall notice, and the client re-registered on the replacement.
+    for r in (clean, faulted):
+        assert r.failovers == 1
+        assert r.teardown_notices == 1
+        assert r.registrations >= 2
+
+    benchmark.extra_info["faulted_completed"] = faulted.completed
+    benchmark.extra_info["clean_completed"] = clean.completed

@@ -172,7 +172,8 @@ def build_parser():
                                         "urban walk, or a generated scenario")
     p.add_argument("name", help="step-up, step-down, impulse-up, "
                                 "impulse-down, urban-walk, ethernet; or a "
-                                "generated family: urban, highway, office")
+                                "generated family: urban, highway, office, "
+                                "robustness")
     p.add_argument("--format", choices=("trace", "csv"), default="trace")
     p.add_argument("--step", type=float, default=0.5,
                    help="sampling step for csv output (seconds)")

@@ -96,7 +96,7 @@ class CpuMonitor(ResourceMonitor):
 
     def set_load(self, load):
         """Set utilization in [0, 1]; publishes the change."""
-        if not 0.0 <= load <= 1.0:
+        if not 0 <= load <= 1:
             raise ReproError(f"load must be in [0, 1], got {load!r}")
         self._load = load
         self._changed()

@@ -25,7 +25,13 @@ UPCALL_LATENCY = 0.0005
 
 @dataclass(frozen=True)
 class Upcall:
-    """Parameters delivered to a handler (paper Fig. 3d)."""
+    """Parameters delivered to a handler (paper Fig. 3d).
+
+    ``level`` is the resource's availability at violation time — or ``None``
+    when the registration was torn down with its connection (the viceroy can
+    no longer say what is available; the application should re-register once
+    its warden has a live connection again).
+    """
 
     request_id: int
     resource: object
@@ -43,6 +49,7 @@ class _Receiver:
         self.queue = deque()
         self.delivering = False
         self.delivered = []  # (time, handler_name, upcall) for inspection
+        self.failed = []  # (time, handler_name, upcall, exception)
 
 
 class UpcallDispatcher:
@@ -54,6 +61,11 @@ class UpcallDispatcher:
         self._receivers = {}
         #: Handler return values: (app, handler, result), in delivery order.
         self.results = []
+        #: Handler exceptions: (app, handler, upcall, exception), in delivery
+        #: order.  A throwing handler never stalls its receiver's FIFO; the
+        #: failure is recorded here instead (senders poll this the way they
+        #: poll :attr:`results`).
+        self.failures = []
 
     def _receiver(self, app, create=False):
         receiver = self._receivers.get(app)
@@ -101,9 +113,17 @@ class UpcallDispatcher:
         target.ignored = set(source.ignored)
         target.blocked = source.blocked
 
+    def has_receiver(self, app):
+        """Whether ``app`` ever registered with this dispatcher."""
+        return app in self._receivers
+
     def delivered_to(self, app):
         """Delivery records for ``app``: list of (time, handler, upcall)."""
         return list(self._receiver(app, create=True).delivered)
+
+    def failures_for(self, app):
+        """Handler failures for ``app``: (time, handler, upcall, exception)."""
+        return list(self._receiver(app, create=True).failed)
 
     # -- sending ------------------------------------------------------------------
 
@@ -137,15 +157,25 @@ class UpcallDispatcher:
         if receiver.blocked or not receiver.queue:
             return
         handler_name, upcall = receiver.queue.popleft()
-        if handler_name not in receiver.ignored:
-            fn = receiver.handlers.get(handler_name)
-            if fn is None:
-                raise OdysseyError(
-                    f"app {receiver.app!r} has no upcall handler {handler_name!r}"
-                )
-            receiver.delivered.append((self.sim.now, handler_name, upcall))
-            # "upcalls allow parameters to be passed to target processes and
-            # results to be returned" (§4.3): keep the handler's result for
-            # the sender's inspection.
-            self.results.append((receiver.app, handler_name, fn(upcall)))
-        self._pump(receiver)
+        try:
+            if handler_name not in receiver.ignored:
+                fn = receiver.handlers.get(handler_name)
+                if fn is None:
+                    raise OdysseyError(
+                        f"app {receiver.app!r} has no upcall handler {handler_name!r}"
+                    )
+                receiver.delivered.append((self.sim.now, handler_name, upcall))
+                # "upcalls allow parameters to be passed to target processes
+                # and results to be returned" (§4.3): keep the handler's
+                # result for the sender's inspection.
+                try:
+                    result = fn(upcall)
+                except Exception as exc:  # noqa: BLE001 - a handler fault is the receiver's bug, not the queue's
+                    receiver.failed.append((self.sim.now, handler_name, upcall, exc))
+                    self.failures.append((receiver.app, handler_name, upcall, exc))
+                else:
+                    self.results.append((receiver.app, handler_name, result))
+        finally:
+            # Deliver the rest of the queue even when this delivery blew up —
+            # exactly-once semantics cover the remaining entries too.
+            self._pump(receiver)

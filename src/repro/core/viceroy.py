@@ -57,10 +57,36 @@ class Viceroy:
         self.policy.register_connection(conn)
         conn.log.subscribe(self)
 
-    def unregister_connection(self, connection_id):
+    def unregister_connection(self, connection_id, notify=True):
+        """Drop an adopted connection and tear down everything keyed on it.
+
+        Registrations bound to the connection can never be re-checked once
+        it is gone (``availability`` would raise on the dead id, wedging
+        every subsequent window check), so they are removed here.  With
+        ``notify=True`` each owning application that has an upcall receiver
+        gets one final upcall carrying ``level=None`` — the teardown signal
+        (see :class:`~repro.core.upcalls.Upcall`) — so it can re-register
+        against a replacement connection.  Returns the number of
+        registrations torn down.
+        """
+        if connection_id not in self._connections:
+            raise OdysseyError(f"unknown connection {connection_id!r}")
         conn, _ = self._connections.pop(connection_id)
         conn.log.unsubscribe(self)
         self.policy.unregister_connection(connection_id)
+        doomed = [r for r in self._registrations.values()
+                  if r.connection_id == connection_id]
+        for registration in doomed:
+            del self._registrations[registration.request_id]
+            if notify and self.upcalls.has_receiver(registration.app):
+                self.upcalls_sent += 1
+                self.upcalls.send(
+                    registration.app,
+                    registration.descriptor.handler,
+                    Upcall(registration.request_id,
+                           registration.descriptor.resource, None),
+                )
+        return len(doomed)
 
     def attach_monitor(self, monitor):
         """Adopt a non-bandwidth resource monitor (battery, CPU, ...)."""

@@ -115,6 +115,7 @@ class Warden:
         self.name = name
         self.cache = WardenCache(cache_bytes)
         self.connections = []
+        self.failovers = 0
 
     def __repr__(self):
         return f"<{self.__class__.__name__} {self.name!r}>"
@@ -137,6 +138,43 @@ class Warden:
         self.connections.append(conn)
         self.viceroy.register_connection(conn, warden=self)
         return conn
+
+    def close_connection(self, conn, notify=True):
+        """Tear ``conn`` down cleanly: viceroy first, then the socket.
+
+        Unregisters from the viceroy (which drops or upcall-notifies any
+        registrations riding on the connection), closes the endpoint, and
+        forgets it.  ``notify`` is forwarded to
+        :meth:`~repro.core.viceroy.Viceroy.unregister_connection`.
+        """
+        if conn not in self.connections:
+            raise OdysseyError(f"warden {self.name!r} does not own {conn!r}")
+        self.viceroy.unregister_connection(conn.connection_id, notify=notify)
+        conn.close()
+        self.connections.remove(conn)
+
+    def failover_connection(self, conn, connection_id=None, notify=True):
+        """Replace ``conn`` with a fresh connection to the same server.
+
+        The failed connection is torn down exactly as in
+        :meth:`close_connection`; the replacement takes its slot in
+        :attr:`connections` (so :meth:`primary_connection` routing is
+        preserved) and is registered with the viceroy under a new id.
+        Returns the replacement connection.
+        """
+        index = self.connections.index(conn)  # raises if not ours
+        self.viceroy.unregister_connection(conn.connection_id, notify=notify)
+        conn.close()
+        self.failovers += 1
+        connection_id = connection_id or f"{conn.connection_id}+f{self.failovers}"
+        replacement = RpcConnection(
+            self.sim, self.viceroy.network, conn.server_name, conn.server_port,
+            connection_id, window_bytes=conn.window_bytes,
+            fragment_bytes=conn.fragment_bytes, client_host=conn.client,
+        )
+        self.connections[index] = replacement
+        self.viceroy.register_connection(replacement, warden=self)
+        return replacement
 
     def primary_connection(self, rest=None):
         """The connection serving ``rest`` (default: the first one)."""

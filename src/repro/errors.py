@@ -34,6 +34,10 @@ class LinkDown(NetworkError):
     """A packet was offered to a link whose bandwidth is currently zero."""
 
 
+class FaultError(NetworkError):
+    """A fault-injection plan is malformed or cannot be armed."""
+
+
 class RpcError(ReproError):
     """Base class for simulated RPC failures."""
 

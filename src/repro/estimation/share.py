@@ -35,18 +35,37 @@ from repro.estimation.ewma import EwmaFilter
 USAGE_HORIZON = 8.0
 #: Fraction of the total reserved as equal fair shares (the lower bound).
 FAIR_FRACTION = 0.25
+#: Horizon over which a peer connection's recent delivery rate marks it as
+#: actively competing, seconds.  Short: competition matters only if the peer
+#: moved traffic during (roughly) the observed window.
+COMPETING_HORIZON = 3.0
+#: Recent-rate floor (bytes/s) above which a peer counts as competing.
+#: Below this, traffic is keepalive-scale noise that neither kept the link
+#: busy nor polluted the round-trip log.
+COMPETING_RATE_FLOOR = 1024.0
 
 
 class ClientShares:
     """Total-bandwidth estimate plus per-connection availability split."""
 
     def __init__(self, sim, gain=THROUGHPUT_GAIN, usage_horizon=USAGE_HORIZON,
-                 fair_fraction=FAIR_FRACTION, estimator_kwargs=None):
+                 fair_fraction=FAIR_FRACTION, competing_horizon=COMPETING_HORIZON,
+                 competing_rate_floor=COMPETING_RATE_FLOOR, estimator_kwargs=None):
         if not 0 < fair_fraction <= 1:
             raise ReproError(f"fair_fraction must be in (0, 1], got {fair_fraction!r}")
+        if competing_horizon <= 0:
+            raise ReproError(
+                f"competing_horizon must be positive, got {competing_horizon!r}"
+            )
+        if competing_rate_floor < 0:
+            raise ReproError(
+                f"competing_rate_floor must be >= 0, got {competing_rate_floor!r}"
+            )
         self.sim = sim
         self.usage_horizon = usage_horizon
         self.fair_fraction = fair_fraction
+        self.competing_horizon = competing_horizon
+        self.competing_rate_floor = competing_rate_floor
         self.total_filter = EwmaFilter(gain)
         self.total_history = []  # (time, total estimate)
         self._logs = {}  # connection_id -> RpcLog
@@ -107,7 +126,9 @@ class ClientShares:
         competing = False
         for other in self._logs.values():
             aggregate += other.bytes_delivered_between(entry.started, entry.at)
-            if other is not log and other.recent_rate(3.0) > 1024:
+            if (other is not log
+                    and other.recent_rate(self.competing_horizon)
+                    > self.competing_rate_floor):
                 competing = True
         aggregate = max(aggregate, entry.nbytes)
         aggregate_raw = aggregate / max(entry.seconds, MIN_EFFECTIVE_SECONDS)

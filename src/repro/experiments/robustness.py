@@ -1,0 +1,264 @@
+"""Robustness experiment: the connection lifecycle under injected faults.
+
+Exercises the machinery the paper assumes but never stresses (§6.1.2 only
+*modulates* the network, it never breaks it): link blackouts, loss bursts,
+server stalls and slowdowns from :mod:`repro.faults`, ridden out by the
+RPC layer's timeout/retry-with-backoff, plus a mid-run connection failover
+through :meth:`~repro.core.warden.Warden.failover_connection`.
+
+One trial runs a synthetic bulk client (fixed-size fetches through a
+minimal warden) over the adversarial ``robustness`` scenario family.  The
+client keeps a bandwidth window of tolerance registered, so the trial also
+exercises the teardown-notification protocol: when its connection is torn
+down mid-run, the registration is upcall-notified (``level is None``) and
+the client re-registers against the replacement connection.
+
+``run_robustness_comparison`` runs the same seed with and without a fault
+plan; the delta is the measured cost of the injected faults.
+"""
+
+from dataclasses import dataclass, field
+
+from repro.core.api import OdysseyAPI
+from repro.core.resources import Resource
+from repro.core.warden import Warden
+from repro.errors import RpcError, RpcTimeout, ToleranceError
+from repro.experiments.harness import ExperimentWorld
+from repro.faults import Blackout, FaultPlan, LossBurst, ServerSlowdown, ServerStall
+from repro.rpc.connection import RetryPolicy, RpcService
+from repro.rpc.messages import ServerReply
+from repro.trace.scenarios import generate_scenario
+
+APP_NAME = "robust-client"
+WINDOW_HANDLER = "bandwidth-window"
+SERVER_NAME = "robust-server"
+SERVER_PORT = "robust"
+MOUNT_POINT = "/odyssey/robust"
+OBJECT_PATH = "/odyssey/robust/stream"
+
+#: Bytes per fetched object — a few windows' worth, so a mid-transfer
+#: fault costs measurable re-fetched bytes.
+OBJECT_BYTES = 48 * 1024
+#: Server compute time per request (jittered per trial as usual).
+SERVER_COMPUTE_SECONDS = 0.01
+#: Pause between fetches: the client is demanding but not a tight spin.
+THINK_SECONDS = 0.05
+DEFAULT_DURATION = 240.0
+#: Half-width of the registered window of tolerance, as a fraction of the
+#: estimate at registration time.  Wide: the trial is about lifecycle, not
+#: about upcall agility, so only large swings should fire.
+WINDOW_SLACK = 0.5
+
+
+class RobustWarden(Warden):
+    """A minimal bulk warden whose fetches ride out faults via retry."""
+
+    TSOPS = {"fetch": "tsop_fetch"}
+    FIDELITIES = {"full": 1.0}
+
+    def __init__(self, sim, viceroy, name="robust", retry=None, **kwargs):
+        super().__init__(sim, viceroy, name, **kwargs)
+        self.retry = retry or RetryPolicy()
+
+    def tsop_fetch(self, app, rest, inbuf):
+        """Fetch one object; returns bytes fetched.  Generator."""
+        conn = self.primary_connection(rest)
+        _, _, nbytes = yield from conn.fetch_with_retry(
+            "get", body_bytes=64, retry=self.retry
+        )
+        return nbytes
+
+
+@dataclass
+class RobustnessResult:
+    """Counters from one trial of the lifecycle-under-faults client."""
+
+    policy: str
+    #: Fetches that completed (possibly after retries).
+    completed: int = 0
+    #: Fetches abandoned after the whole retry budget timed out.
+    exhausted: int = 0
+    #: Fetches that died because their connection was closed under them
+    #: (the failover window); the next fetch uses the replacement.
+    aborted: int = 0
+    bytes_fetched: int = 0
+    fetch_seconds: list = field(default_factory=list, repr=False)
+    #: RPC timeouts and retry attempts, summed over every connection the
+    #: warden ever owned (including pre-failover ones).
+    timeouts: int = 0
+    retries: int = 0
+    failovers: int = 0
+    #: Window-of-tolerance upcalls with a real level (estimate left window).
+    window_violations: int = 0
+    #: Teardown upcalls (``level is None``) from connection unregistration.
+    teardown_notices: int = 0
+    #: Successful ``request`` registrations over the trial.
+    registrations: int = 0
+    #: Upcall handlers that raised (must stay zero: the dispatcher survives
+    #: them, but this client's handler never throws).
+    upcall_failures: int = 0
+    #: Packets discarded by injected loss bursts.
+    packets_dropped: int = 0
+    #: Server stall/slowdown activations that fired.
+    fault_events: int = 0
+
+    @property
+    def attempts(self):
+        return self.completed + self.exhausted + self.aborted
+
+    @property
+    def mean_fetch_seconds(self):
+        if not self.fetch_seconds:
+            return 0.0
+        return sum(self.fetch_seconds) / len(self.fetch_seconds)
+
+
+def default_fault_plan(duration=DEFAULT_DURATION):
+    """The benchmark's stock plan: blackout, loss burst, stall, slowdown.
+
+    All windows sit well inside ``duration`` so the trace resumes after
+    every fault (a blackout running past the trace end would pin bandwidth
+    at zero forever).
+    """
+    quarter = duration / 4.0
+    return FaultPlan(
+        [
+            Blackout(start=quarter, duration=8.0),
+            LossBurst(start=2.0 * quarter, duration=6.0, drop_fraction=0.5),
+            ServerStall(start=2.5 * quarter, duration=8.0),
+            ServerSlowdown(start=3.0 * quarter, duration=10.0, factor=4.0),
+        ],
+        name="bench-robustness",
+    )
+
+
+def run_robustness_trial(policy="odyssey", seed=0, duration=DEFAULT_DURATION,
+                         trace=None, faults=None, failover_at=None,
+                         retry=None):
+    """One lifecycle-under-faults run; returns a :class:`RobustnessResult`.
+
+    Parameters
+    ----------
+    faults:
+        Optional :class:`~repro.faults.FaultPlan`.  Blackouts are folded
+        into the trace before the world is built (links capture the trace
+        at construction); runtime faults are armed on the built world.
+    failover_at:
+        If given, the warden's connection is failed over to a fresh one at
+        this absolute time — the mid-run unregister/re-register exercise.
+    """
+    trace = trace or generate_scenario("robustness", duration, seed=seed)
+    if faults is not None:
+        trace = faults.modulate(trace)
+    # prime=0: fault-plan times are absolute simulation seconds.
+    world = ExperimentWorld(trace, policy=policy, prime=0.0, seed=seed)
+
+    host = world.network.add_host(SERVER_NAME)
+    service = RpcService(world.sim, host, SERVER_PORT)
+
+    def _get(body):
+        return ServerReply(
+            body={"ok": True}, body_bytes=64,
+            compute_seconds=SERVER_COMPUTE_SECONDS,
+            bulk=service.make_bulk(OBJECT_BYTES),
+        )
+
+    service.register("get", _get)
+    world.jitter_service(service)
+
+    warden = RobustWarden(world.sim, world.viceroy, "robust", retry=retry)
+    world.viceroy.mount(MOUNT_POINT, warden)
+    all_connections = [warden.open_connection(SERVER_NAME, SERVER_PORT)]
+
+    injector = None
+    if faults is not None:
+        injector = faults.arm(
+            world.sim, network=world.network, services=[service],
+            rng=world.rng,
+        )
+
+    result = RobustnessResult(policy=policy)
+    api = OdysseyAPI(world.viceroy, APP_NAME)
+
+    def ensure_registration():
+        """(Re-)register the bandwidth window if none is live."""
+        if world.viceroy.registered_requests(APP_NAME):
+            return
+        level = api.availability(OBJECT_PATH)
+        if level is None:
+            return  # no estimate yet; try again after the next fetch
+        try:
+            api.request(
+                OBJECT_PATH, Resource.NETWORK_BANDWIDTH,
+                level * (1.0 - WINDOW_SLACK), level * (1.0 + WINDOW_SLACK),
+                handler=WINDOW_HANDLER,
+            )
+        except ToleranceError:
+            return  # estimate moved underneath us; next fetch retries
+        result.registrations += 1
+
+    def on_window(upcall):
+        if upcall.level is None:
+            result.teardown_notices += 1
+        else:
+            result.window_violations += 1
+        ensure_registration()
+
+    api.on_upcall(WINDOW_HANDLER, on_window)
+
+    def client_loop():
+        while True:
+            started = world.sim.now
+            try:
+                nbytes = yield from api.tsop(OBJECT_PATH, "fetch")
+            except RpcTimeout:
+                result.exhausted += 1
+            except RpcError:
+                result.aborted += 1
+            else:
+                result.completed += 1
+                result.bytes_fetched += nbytes
+                result.fetch_seconds.append(world.sim.now - started)
+            ensure_registration()
+            yield world.sim.timeout(THINK_SECONDS)
+
+    world.sim.process(client_loop(), name="robust.client")
+
+    if failover_at is not None:
+        def do_failover():
+            replacement = warden.failover_connection(warden.primary_connection())
+            all_connections.append(replacement)
+
+        world.sim.call_at(failover_at, do_failover)
+
+    world.sim.run(until=duration)
+
+    result.timeouts = sum(c.timeouts for c in all_connections)
+    result.retries = sum(c.retries for c in all_connections)
+    result.failovers = warden.failovers
+    result.upcall_failures = len(world.viceroy.upcalls.failures)
+    if injector is not None:
+        result.packets_dropped = injector.packets_dropped
+        result.fault_events = len(injector.events)
+    return result
+
+
+def run_robustness_comparison(policy="odyssey", seed=0,
+                              duration=DEFAULT_DURATION, faults=None,
+                              failover_at=None, retry=None):
+    """The same trial clean and faulted; returns ``(clean, faulted)``.
+
+    ``seed`` must be an int (not a shared :class:`RngRegistry`): each trial
+    builds its own registry from it, so both see an identical trace and
+    jitter streams and the delta is attributable to the faults alone.
+    """
+    faults = faults or default_fault_plan(duration)
+    clean = run_robustness_trial(
+        policy=policy, seed=seed, duration=duration,
+        failover_at=failover_at, retry=retry,
+    )
+    faulted = run_robustness_trial(
+        policy=policy, seed=seed, duration=duration, faults=faults,
+        failover_at=failover_at, retry=retry,
+    )
+    return clean, faulted

@@ -1,0 +1,26 @@
+"""Fault injection and connection-lifecycle hardening.
+
+Declarative fault plans (:class:`FaultPlan`) describe link blackouts, loss
+bursts, and server stalls/slowdowns; armed against a world they exercise
+the teardown/retry/failover paths the rest of the system must survive.
+See docs/architecture.md §8 ("Failure model") and docs/api.md.
+"""
+
+from repro.faults.injector import FaultInjector, LinkFaultInjector
+from repro.faults.plan import (
+    Blackout,
+    FaultPlan,
+    LossBurst,
+    ServerSlowdown,
+    ServerStall,
+)
+
+__all__ = [
+    "Blackout",
+    "FaultInjector",
+    "FaultPlan",
+    "LinkFaultInjector",
+    "LossBurst",
+    "ServerSlowdown",
+    "ServerStall",
+]

@@ -1,0 +1,120 @@
+"""Arming fault plans against a live world.
+
+The :class:`FaultInjector` is the runtime half of :mod:`repro.faults`: it
+takes a :class:`~repro.faults.plan.FaultPlan` and wires its episodes into a
+running simulation —
+
+- loss bursts become packet-drop filters on the modulated links (see
+  ``SimplexLink.drop_filter``);
+- server stalls call :meth:`~repro.rpc.connection.RpcService.set_outage`
+  at the scheduled time;
+- server slowdowns call ``set_slowdown`` likewise.
+
+Every episode that actually fires is appended to :attr:`FaultInjector.events`
+(``(time, kind, detail)``), so tests and benchmarks can assert that the
+faults they asked for really happened.
+"""
+
+from repro.errors import FaultError
+from repro.faults.plan import LossBurst, ServerSlowdown, ServerStall
+from repro.sim.rng import RngRegistry
+
+
+class LinkFaultInjector:
+    """A drop filter implementing scheduled loss bursts on one link."""
+
+    def __init__(self, bursts, rng, on_drop=None):
+        self.bursts = tuple(bursts)
+        self.rng = rng
+        self.on_drop = on_drop
+        self.dropped = 0
+
+    def __call__(self, packet, when):
+        for burst in self.bursts:
+            if burst.covers(when) and self.rng.random() < burst.drop_fraction:
+                self.dropped += 1
+                if self.on_drop is not None:
+                    self.on_drop(when, packet)
+                return True
+        return False
+
+
+class FaultInjector:
+    """Schedules a plan's runtime faults; see the module docstring."""
+
+    def __init__(self, sim, plan, network=None, services=(), rng=None):
+        self.sim = sim
+        self.plan = plan
+        self.network = network
+        self.services = tuple(services)
+        self.events = []  # (time, kind, detail), appended as episodes fire
+        self.link_injectors = []
+        self._arm_links(rng)
+        self._arm_servers()
+
+    # -- links ----------------------------------------------------------------
+
+    def _arm_links(self, rng):
+        bursts = self.plan.loss_bursts
+        if not bursts:
+            return
+        if self.network is None:
+            raise FaultError("plan has loss bursts but no network to arm")
+        if rng is None:
+            raise FaultError("loss bursts need an rng (probabilistic drops)")
+        if isinstance(rng, RngRegistry):
+            rng = rng.stream("faults")
+        for link in (self.network.uplink, self.network.downlink):
+            if link.drop_filter is not None:
+                raise FaultError(f"link {link.name!r} already has a drop filter")
+            injector = LinkFaultInjector(
+                bursts, rng,
+                on_drop=lambda when, packet, _name=link.name: self.events.append(
+                    (when, "loss", _name)
+                ),
+            )
+            link.drop_filter = injector
+            self.link_injectors.append(injector)
+
+    # -- servers ---------------------------------------------------------------
+
+    def _arm_servers(self):
+        for fault in self.plan.server_faults:
+            targets = [s for s in self.services
+                       if fault.port is None or s.port == fault.port]
+            if not targets:
+                raise FaultError(
+                    f"no armed service matches {fault!r} "
+                    f"(ports: {[s.port for s in self.services]})"
+                )
+            if fault.start < self.sim.now:
+                raise FaultError(
+                    f"{fault!r} starts in the past (now={self.sim.now!r})"
+                )
+            for service in targets:
+                self.sim.call_at(fault.start, self._fire_server_fault,
+                                 fault, service)
+
+    def _fire_server_fault(self, fault, service):
+        if isinstance(fault, ServerStall):
+            service.set_outage(fault.duration)
+            self.events.append((self.sim.now, "stall", service.port))
+        elif isinstance(fault, ServerSlowdown):
+            service.set_slowdown(fault.factor, fault.duration)
+            self.events.append((self.sim.now, "slowdown", service.port))
+
+    # -- inspection -------------------------------------------------------------
+
+    @property
+    def packets_dropped(self):
+        """Packets discarded by this injector's loss bursts, both directions."""
+        return sum(injector.dropped for injector in self.link_injectors)
+
+    def describe(self):
+        """Counters for reports: planned episodes vs fired events."""
+        return {
+            "plan": self.plan.name,
+            "planned": len(self.plan.faults),
+            "fired": len(self.events),
+            "packets_dropped": self.packets_dropped,
+        }

@@ -1,0 +1,200 @@
+"""Declarative fault plans: what goes wrong, when, and for how long.
+
+The paper's agility evaluation (§6, Figs. 8-9) perturbs *supply* through
+trace waveforms; production mobility also suffers discrete faults — radio
+blackouts, bursts of loss at coverage edges, servers stalling or answering
+slowly.  A :class:`FaultPlan` describes such an episode schedule once and
+applies it to a world in two complementary ways:
+
+- **Trace-level** (:meth:`FaultPlan.modulate`): blackout windows are folded
+  into a :class:`~repro.trace.replay.ReplayTrace` as zero-bandwidth
+  stretches, so the link layer itself starves — exactly how the
+  trace-modulation daemon would express a radio outage.
+- **Runtime-level** (:class:`~repro.faults.injector.FaultInjector`, built by
+  ``arm``): loss bursts install packet-drop filters on the modulated links;
+  server stalls/slowdowns are scheduled onto the target
+  :class:`~repro.rpc.connection.RpcService` instances.
+
+Plans are plain frozen data — reusable across trials, seeds, and policies.
+"""
+
+from dataclasses import dataclass
+
+from repro.errors import FaultError
+from repro.trace.replay import ReplayTrace, Segment
+
+
+@dataclass(frozen=True)
+class Blackout:
+    """Total connectivity loss: link bandwidth pinned to zero for a window."""
+
+    start: float
+    duration: float
+
+    def __post_init__(self):
+        _check_window(self)
+
+    @property
+    def end(self):
+        return self.start + self.duration
+
+    def covers(self, t):
+        return self.start <= t < self.end
+
+
+@dataclass(frozen=True)
+class LossBurst:
+    """A window during which each transmitted packet is dropped with
+    probability ``drop_fraction`` (coverage-edge corruption)."""
+
+    start: float
+    duration: float
+    drop_fraction: float = 0.5
+
+    def __post_init__(self):
+        _check_window(self)
+        if not 0 < self.drop_fraction <= 1:
+            raise FaultError(
+                f"drop_fraction must be in (0, 1], got {self.drop_fraction!r}"
+            )
+
+    @property
+    def end(self):
+        return self.start + self.duration
+
+    def covers(self, t):
+        return self.start <= t < self.end
+
+
+@dataclass(frozen=True)
+class ServerStall:
+    """A server silently drops everything for a window (crash/partition).
+
+    ``port``: limit the stall to the service bound to that port; ``None``
+    stalls every service the plan is armed with.
+    """
+
+    start: float
+    duration: float
+    port: str = None
+
+    def __post_init__(self):
+        _check_window(self)
+
+
+@dataclass(frozen=True)
+class ServerSlowdown:
+    """A server answers, but compute takes ``factor`` times longer
+    (overload / cold start)."""
+
+    start: float
+    duration: float
+    factor: float = 4.0
+    port: str = None
+
+    def __post_init__(self):
+        _check_window(self)
+        if self.factor < 1:
+            raise FaultError(f"slowdown factor must be >= 1, got {self.factor!r}")
+
+
+def _check_window(fault):
+    if fault.start < 0:
+        raise FaultError(f"{fault.__class__.__name__}: negative start {fault.start!r}")
+    if fault.duration <= 0:
+        raise FaultError(
+            f"{fault.__class__.__name__}: duration must be positive, "
+            f"got {fault.duration!r}"
+        )
+
+
+#: Resolution below which adjacent trace cut points are merged, seconds.
+CUT_EPSILON = 1e-9
+
+
+class FaultPlan:
+    """An ordered collection of fault episodes.
+
+    Times are absolute simulation seconds (the same clock the armed world
+    runs on); when a plan modulates a primed trace, express blackouts in
+    the primed timeline.
+    """
+
+    def __init__(self, faults=(), name=None):
+        faults = tuple(faults)
+        for fault in faults:
+            if not isinstance(fault, (Blackout, LossBurst, ServerStall,
+                                      ServerSlowdown)):
+                raise FaultError(f"unknown fault type {fault!r}")
+        self.faults = tuple(sorted(faults, key=lambda f: f.start))
+        self.name = name or "faults"
+
+    def __repr__(self):
+        return f"<FaultPlan {self.name!r} {len(self.faults)} faults>"
+
+    def __iter__(self):
+        return iter(self.faults)
+
+    @property
+    def blackouts(self):
+        return [f for f in self.faults if isinstance(f, Blackout)]
+
+    @property
+    def loss_bursts(self):
+        return [f for f in self.faults if isinstance(f, LossBurst)]
+
+    @property
+    def server_faults(self):
+        return [f for f in self.faults
+                if isinstance(f, (ServerStall, ServerSlowdown))]
+
+    # -- trace-level application ---------------------------------------------
+
+    def modulate(self, trace, name=None):
+        """Fold this plan's blackouts into ``trace``.
+
+        Returns a new :class:`ReplayTrace` whose bandwidth is zero during
+        every blackout window; all other parameters (and every original
+        transition) are preserved exactly.  Without blackouts the trace is
+        returned unchanged.
+        """
+        blackouts = self.blackouts
+        if not blackouts:
+            return trace
+        end = max(trace.duration, max(b.end for b in blackouts))
+        cuts = {0.0, end}
+        for start, _ in trace.segment_boundaries_after(0.0):
+            cuts.add(start)
+        cuts.add(trace.duration)
+        for blackout in blackouts:
+            cuts.add(min(blackout.start, end))
+            cuts.add(min(blackout.end, end))
+        ordered = sorted(cuts)
+        segments = []
+        for lo, hi in zip(ordered, ordered[1:]):
+            if hi - lo <= CUT_EPSILON:
+                continue
+            midpoint = (lo + hi) / 2.0
+            dark = any(b.covers(midpoint) for b in blackouts)
+            segments.append(Segment(
+                hi - lo,
+                0.0 if dark else trace.bandwidth_at(midpoint),
+                trace.latency_at(midpoint),
+            ))
+        return ReplayTrace(segments, name=name or f"{trace.name}!{self.name}")
+
+    # -- runtime-level application --------------------------------------------
+
+    def arm(self, sim, network=None, services=(), rng=None):
+        """Wire runtime faults into a live world; returns a ``FaultInjector``.
+
+        ``network``: loss bursts install drop filters on its uplink and
+        downlink.  ``services``: stall/slowdown targets (matched by ``port``
+        when a fault names one).  ``rng``: random stream for probabilistic
+        drops (a :class:`~repro.sim.rng.RngRegistry` stream or any object
+        with ``random()``); required when the plan has loss bursts.
+        """
+        from repro.faults.injector import FaultInjector
+
+        return FaultInjector(sim, self, network=network, services=services,
+                             rng=rng)

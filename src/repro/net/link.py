@@ -22,6 +22,7 @@ class LinkStats:
 
     packets_sent: int = 0
     bytes_sent: int = 0
+    packets_dropped: int = 0
     busy_seconds: float = 0.0
     max_queue_depth: int = 0
     deliveries: list = field(default_factory=list, repr=False)
@@ -47,6 +48,11 @@ class SimplexLink:
         self.name = name
         self.deliver = deliver
         self.stats = LinkStats()
+        #: Optional fault hook: ``drop_filter(packet, when) -> bool``.  A
+        #: truthy return discards the packet after serialization (the bytes
+        #: occupied the air, but the receiver never sees them) — the
+        #: mechanism behind injected loss bursts (:mod:`repro.faults`).
+        self.drop_filter = None
         self._record_deliveries = record_deliveries
         self._queue = Store(sim, name=f"{name}.queue")
         self._last_delivery = 0.0
@@ -75,6 +81,9 @@ class SimplexLink:
                 )
             yield self.sim.timeout(finish - start)
             self.stats.record(packet, finish - start)
+            if self.drop_filter is not None and self.drop_filter(packet, finish):
+                self.stats.packets_dropped += 1
+                continue
             deliver_at = finish + self.trace.latency_at(finish)
             # Enforce FIFO delivery even if latency drops mid-flight.
             deliver_at = max(deliver_at, self._last_delivery)

@@ -15,6 +15,7 @@ agility.
 """
 
 import itertools
+from dataclasses import dataclass
 
 from repro.errors import RpcError, RpcTimeout
 from repro.sim.events import AnyOf
@@ -39,6 +40,54 @@ DEFAULT_WINDOW_BYTES = 32 * 1024
 #: whole window — at 40 KB/s an 8 KB fragment would head-of-line-block a
 #: round-trip response for 200 ms and poison the RTT estimate.
 DEFAULT_FRAGMENT_BYTES = 2048
+
+#: Per-attempt timeout for retried operations, seconds.  Long enough to
+#: ride out one LOW_BANDWIDTH window transmission; short enough that a
+#: blacked-out link is detected within a couple of seconds.
+DEFAULT_RETRY_TIMEOUT = 2.0
+#: Retries after the first attempt before giving up.
+DEFAULT_RETRY_LIMIT = 5
+#: First backoff pause, seconds; doubles per retry up to the cap.
+DEFAULT_BACKOFF_SECONDS = 0.5
+DEFAULT_BACKOFF_MULTIPLIER = 2.0
+DEFAULT_BACKOFF_CAP_SECONDS = 8.0
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Timeout/retry-with-backoff parameters for RPC operations.
+
+    An operation is attempted with ``timeout`` seconds per attempt; each
+    :class:`~repro.errors.RpcTimeout` triggers a backoff pause that grows by
+    ``multiplier`` up to ``cap`` before the next attempt.  After ``retries``
+    failed retries the last timeout propagates to the caller.
+    """
+
+    timeout: float = DEFAULT_RETRY_TIMEOUT
+    retries: int = DEFAULT_RETRY_LIMIT
+    backoff: float = DEFAULT_BACKOFF_SECONDS
+    multiplier: float = DEFAULT_BACKOFF_MULTIPLIER
+    cap: float = DEFAULT_BACKOFF_CAP_SECONDS
+
+    def __post_init__(self):
+        if self.timeout <= 0:
+            raise RpcError(f"retry timeout must be positive, got {self.timeout!r}")
+        if self.retries < 0:
+            raise RpcError(f"retries must be >= 0, got {self.retries!r}")
+        if self.backoff < 0 or self.cap < self.backoff:
+            raise RpcError(
+                f"backoff must satisfy 0 <= backoff <= cap, got "
+                f"{self.backoff!r}/{self.cap!r}"
+            )
+        if self.multiplier < 1:
+            raise RpcError(f"multiplier must be >= 1, got {self.multiplier!r}")
+
+    def delays(self):
+        """Yield the backoff pause before each retry, in order."""
+        delay = self.backoff
+        for _ in range(self.retries):
+            yield delay
+            delay = min(delay * self.multiplier, self.cap)
 
 
 class RpcService:
@@ -65,6 +114,8 @@ class RpcService:
         self._jitter_rng = None
         self._jitter_fraction = 0.0
         self._outage_until = None
+        self._slow_until = None
+        self._slow_factor = 1.0
         host.bind(port, self._on_packet)
         self.requests_served = 0
         self.dropped_during_outage = 0
@@ -84,6 +135,24 @@ class RpcService:
     def in_outage(self):
         return self._outage_until is not None and self.sim.now < self._outage_until
 
+    def set_slowdown(self, factor, duration):
+        """Multiply compute times by ``factor`` for ``duration`` seconds.
+
+        Failure injection: models an overloaded or cold-started server that
+        still answers, just slowly.  Clients observe longer round trips
+        (their timeout/retry policy decides whether to wait or back off).
+        """
+        if factor < 1:
+            raise RpcError(f"slowdown factor must be >= 1, got {factor!r}")
+        if duration <= 0:
+            raise RpcError(f"slowdown duration must be positive, got {duration!r}")
+        self._slow_until = self.sim.now + duration
+        self._slow_factor = factor
+
+    @property
+    def in_slowdown(self):
+        return self._slow_until is not None and self.sim.now < self._slow_until
+
     def set_jitter(self, rng, fraction):
         """Perturb compute times by ±``fraction`` using ``rng``.
 
@@ -96,7 +165,11 @@ class RpcService:
         self._jitter_fraction = fraction
 
     def _jittered(self, seconds):
-        if self._jitter_rng is None or seconds <= 0:
+        if seconds <= 0:
+            return seconds
+        if self.in_slowdown:
+            seconds *= self._slow_factor
+        if self._jitter_rng is None:
             return seconds
         spread = self._jitter_fraction
         return seconds * (1.0 + self._jitter_rng.uniform(-spread, spread))
@@ -318,6 +391,8 @@ class RpcConnection:
         self._pending = {}
         self._abandoned = set()  # timed-out seqs whose late replies we drop
         self.late_replies = 0
+        self.timeouts = 0  # RpcTimeouts raised (any operation)
+        self.retries = 0  # attempts re-issued by *_with_retry
         self._port = f"{self.client.name}/rpc:{connection_id}"
         self.client.bind(self._port, self._on_packet)
         self._closed = False
@@ -326,10 +401,20 @@ class RpcConnection:
         return f"<RpcConnection {self.connection_id!r} -> {self.server_name}:{self.server_port}>"
 
     def close(self):
-        """Unbind the client port.  Further operations raise."""
+        """Close the connection.  Further operations raise.
+
+        The client port stays bound — to a sink that just counts — because
+        replies may still be in flight (or queued behind a blackout) when a
+        connection is torn down mid-run; a straggler must land harmlessly,
+        not crash the host with an unbound-port error.
+        """
         if not self._closed:
             self.client.unbind(self._port)
+            self.client.bind(self._port, self._on_packet_after_close)
             self._closed = True
+
+    def _on_packet_after_close(self, packet):
+        self.late_replies += 1
 
     # -- small exchanges -------------------------------------------------------
 
@@ -395,10 +480,57 @@ class RpcConnection:
             # a response to some future sequence number.
             self._pending.pop(seq, None)
             self._abandoned.add(seq)
+            self.timeouts += 1
             raise RpcTimeout(
                 f"{self.connection_id}: {what} timed out after {timeout} s"
             )
         return event.value
+
+    # -- retry-with-backoff ----------------------------------------------------
+
+    def _with_retry(self, attempt, retry):
+        """Drive ``attempt(timeout)`` under ``retry``, backing off between timeouts."""
+        retry = retry or RetryPolicy()
+        delays = retry.delays()
+        while True:
+            try:
+                result = yield from attempt(retry.timeout)
+                return result
+            except RpcTimeout:
+                delay = next(delays, None)
+                if delay is None:
+                    raise
+                self.retries += 1
+                if delay > 0:
+                    yield self.sim.timeout(delay)
+
+    def call_with_retry(self, op, body=None, body_bytes=256, retry=None):
+        """:meth:`call` with timeout/retry-with-backoff (see :class:`RetryPolicy`).
+
+        Generator; returns the reply body.  The recourse against injected
+        link blackouts, loss bursts, and server stalls: instead of hanging
+        forever (no timeout) or failing on the first drop (bare timeout),
+        the caller rides out the fault and resumes when connectivity does.
+        """
+        result = yield from self._with_retry(
+            lambda timeout: self.call(op, body, body_bytes, timeout=timeout),
+            retry,
+        )
+        return result
+
+    def fetch_with_retry(self, op, body=None, body_bytes=256, retry=None):
+        """:meth:`fetch` with timeout/retry-with-backoff.
+
+        Generator; returns ``(reply_body, meta, nbytes)``.  A timed-out
+        transfer is restarted from scratch (the server issues a fresh bulk
+        ticket), so a fault mid-transfer costs the bytes already moved —
+        robustness benchmarks measure exactly this degradation.
+        """
+        result = yield from self._with_retry(
+            lambda timeout: self.fetch(op, body, body_bytes, timeout=timeout),
+            retry,
+        )
+        return result
 
     # -- bulk fetch (receiver-driven) ------------------------------------------
 

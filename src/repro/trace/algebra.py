@@ -10,6 +10,9 @@ from repro.errors import ReproError
 from repro.sim.rng import RngRegistry
 from repro.trace.replay import ReplayTrace, Segment
 
+#: Residual segment time below which slicing stops (floating-point dust).
+SLICE_EPSILON = 1e-9
+
 
 def concat(*traces, name=None):
     """Play traces back to back."""
@@ -84,7 +87,7 @@ def with_fading(trace, amplitude=0.15, period=1.0, seed=0, name=None):
     segments = []
     for segment in trace.segments:
         remaining = segment.duration
-        while remaining > 1e-9:
+        while remaining > SLICE_EPSILON:
             slice_duration = min(period, remaining)
             factor = 1.0 + rng.uniform(-amplitude, amplitude)
             segments.append(Segment(slice_duration,

@@ -20,6 +20,9 @@ from repro.sim.rng import RngRegistry
 from repro.trace.replay import ReplayTrace, Segment
 from repro.trace.waveforms import HIGH_BANDWIDTH, LOW_BANDWIDTH, ONE_WAY_LATENCY
 
+#: Slack allowed when checking that transition probabilities sum to one.
+PROBABILITY_TOLERANCE = 1e-6
+
 
 @dataclass(frozen=True)
 class Zone:
@@ -62,7 +65,7 @@ class MobilityModel:
             raise ReproError("mobility model has no zones")
         for name, successors in self.transitions.items():
             total = sum(successors.values())
-            if abs(total - 1.0) > 1e-6:
+            if abs(total - 1.0) > PROBABILITY_TOLERANCE:
                 raise ReproError(
                     f"zone {name!r}: successor probabilities sum to {total}"
                 )
@@ -100,6 +103,32 @@ class MobilityModel:
                     current = successor
                     break
         return ReplayTrace(segments, name=name or "generated-scenario")
+
+
+def robustness_model(low=LOW_BANDWIDTH, high=HIGH_BANDWIDTH):
+    """Adversarial coverage for fault-injection studies: deep, frequent fades.
+
+    Wide swings with real near-dead stretches — the regime in which the
+    connection-lifecycle machinery (timeout/retry, teardown, failover) is
+    exercised rather than merely present.  Injected faults (blackouts,
+    server stalls; see :mod:`repro.faults`) ride on top of this family in
+    ``benchmarks/test_bench_robustness.py``.
+    """
+    model = MobilityModel()
+    model.add_zone(
+        Zone("connected", high, mean_dwell_seconds=60.0),
+        {"fade": 0.6, "dead-spot": 0.4},
+    )
+    model.add_zone(
+        Zone("fade", low / 2, mean_dwell_seconds=30.0),
+        {"connected": 0.7, "dead-spot": 0.3},
+    )
+    model.add_zone(
+        Zone("dead-spot", low / 8, mean_dwell_seconds=15.0,
+             min_dwell_seconds=3.0),
+        {"connected": 0.5, "fade": 0.5},
+    )
+    return model
 
 
 def urban_model(low=LOW_BANDWIDTH, high=HIGH_BANDWIDTH):
@@ -165,6 +194,7 @@ SCENARIO_MODELS = {
     "urban": urban_model,
     "highway": highway_model,
     "office": office_model,
+    "robustness": robustness_model,
 }
 
 

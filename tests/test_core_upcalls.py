@@ -155,3 +155,43 @@ def test_handler_results_are_returned_to_the_dispatcher(sim, dispatcher):
         ("app", "h", "ack-1"),
         ("app", "h", "ack-2"),
     ]
+
+
+def test_failing_handler_does_not_stall_queue(sim, dispatcher):
+    """A raising handler must not lose the rest of the receiver's queue."""
+    got = []
+
+    def boom(u):
+        raise RuntimeError("handler bug")
+
+    dispatcher.register("app", "bad", boom)
+    dispatcher.register("app", "good", got.append)
+    dispatcher.send("app", "bad", upcall(1))
+    dispatcher.send("app", "good", upcall(2))
+    dispatcher.send("app", "good", upcall(3))
+    sim.run()
+    assert [u.request_id for u in got] == [2, 3]
+
+
+def test_failing_handler_is_recorded(sim, dispatcher):
+    def boom(u):
+        raise RuntimeError("handler bug")
+
+    dispatcher.register("app", "bad", boom)
+    dispatcher.send("app", "bad", upcall(7))
+    sim.run()
+    assert len(dispatcher.failures) == 1
+    app, handler, failed_upcall, exc = dispatcher.failures[0]
+    assert (app, handler, failed_upcall.request_id) == ("app", "bad", 7)
+    assert isinstance(exc, RuntimeError)
+    failures = dispatcher.failures_for("app")
+    assert len(failures) == 1
+    assert failures[0][1] == "bad"
+    # The failed upcall still counts as delivered: exactly-once held.
+    assert [u.request_id for (_, _, u) in dispatcher.delivered_to("app")] == [7]
+
+
+def test_has_receiver(dispatcher):
+    assert not dispatcher.has_receiver("app")
+    dispatcher.register("app", "h", lambda u: None)
+    assert dispatcher.has_receiver("app")

@@ -173,3 +173,57 @@ def test_describe_snapshot(sim, viceroy, wired):
     registration = snapshot["registrations"][0]
     assert registration["app"] == "app"
     assert registration["resource"] == "network-bandwidth"
+
+
+def test_unregister_unknown_connection_raises(viceroy):
+    with pytest.raises(OdysseyError, match="ghost"):
+        viceroy.unregister_connection("ghost")
+
+
+def test_unregister_tears_down_registrations(sim, viceroy, wired):
+    """Registrations keyed on a dead connection must not survive it."""
+    drive_traffic(sim, viceroy, wired, seconds=2.0)
+    cid = wired.primary_connection().connection_id
+    viceroy.request("app", "/odyssey/echo/x", bandwidth_descriptor(0, 1e12))
+    torn_down = viceroy.unregister_connection(cid)
+    assert torn_down == 1
+    assert viceroy.registered_requests("app") == []
+    # A later recheck must not trip over the dead connection id.
+    viceroy.recheck_bandwidth()
+
+
+def test_unregister_notifies_with_teardown_upcall(sim, viceroy, wired):
+    got = []
+    viceroy.upcalls.register("app", "h", got.append)
+    drive_traffic(sim, viceroy, wired, seconds=2.0)
+    cid = wired.primary_connection().connection_id
+    request_id = viceroy.request("app", "/odyssey/echo/x",
+                                 bandwidth_descriptor(0, 1e12))
+    viceroy.unregister_connection(cid)
+    sim.run(until=sim.now + 1.0)
+    assert len(got) == 1
+    assert got[0].request_id == request_id
+    assert got[0].resource is Resource.NETWORK_BANDWIDTH
+    assert got[0].level is None  # the teardown signal
+
+
+def test_unregister_without_notify_drops_silently(sim, viceroy, wired):
+    got = []
+    viceroy.upcalls.register("app", "h", got.append)
+    drive_traffic(sim, viceroy, wired, seconds=2.0)
+    cid = wired.primary_connection().connection_id
+    viceroy.request("app", "/odyssey/echo/x", bandwidth_descriptor(0, 1e12))
+    viceroy.unregister_connection(cid, notify=False)
+    sim.run(until=sim.now + 1.0)
+    assert got == []
+    assert viceroy.registered_requests("app") == []
+
+
+def test_unregister_skips_apps_without_receiver(sim, viceroy, wired):
+    """No receiver registered: teardown drops the registration silently."""
+    drive_traffic(sim, viceroy, wired, seconds=2.0)
+    cid = wired.primary_connection().connection_id
+    viceroy.request("loner", "/odyssey/echo/x", bandwidth_descriptor(0, 1e12))
+    assert viceroy.unregister_connection(cid) == 1
+    sim.run(until=sim.now + 1.0)  # nothing to deliver, nothing to raise
+    assert viceroy.registered_requests("loner") == []

@@ -115,3 +115,47 @@ def test_unregister_removes_connection(sim):
 def test_fair_fraction_validated(sim):
     with pytest.raises(ReproError):
         ClientShares(sim, fair_fraction=0)
+
+
+def test_competing_parameters_validated(sim):
+    with pytest.raises(ReproError):
+        ClientShares(sim, competing_horizon=0.0)
+    with pytest.raises(ReproError):
+        ClientShares(sim, competing_rate_floor=-1.0)
+
+
+def test_competing_defaults_come_from_module_constants(sim):
+    from repro.estimation.share import COMPETING_HORIZON, COMPETING_RATE_FLOOR
+
+    shares = ClientShares(sim)
+    assert shares.competing_horizon == COMPETING_HORIZON
+    assert shares.competing_rate_floor == COMPETING_RATE_FLOOR
+
+
+def test_competing_rate_floor_gates_competition(sim):
+    """A peer below the floor must not flip the estimator into the
+    competing (raw-aggregate) regime; one above it must."""
+    trickle = 100  # bytes moved by the peer during the observed window
+
+    def run_with(floor):
+        shares = ClientShares(sim, competing_rate_floor=floor)
+        a, b = RpcLog(sim, "a"), RpcLog(sim, "b")
+        shares.register(a)
+        shares.register(b)
+        # A round-trip observation gives Eq. 2 a dead time to subtract, so
+        # the non-competing sample genuinely exceeds the raw aggregate.
+        rtt = a.add_round_trip(0.1, 256, 64)
+        shares.on_round_trip(a, rtt)
+        started = sim.now
+        sim.run(until=sim.now + 0.5)
+        b.add_delivery(trickle)
+        b.add_throughput(started, trickle)
+        a.add_delivery(65536)
+        entry = a.add_throughput(started, 65536)
+        return shares.on_throughput(a, entry)
+
+    # Floor above the peer's rate: peer ignored, Eq. 2 correction applies,
+    # yielding a higher capacity sample than the raw aggregate.
+    generous = run_with(floor=1e9)
+    strict = run_with(floor=0.0)
+    assert generous > strict

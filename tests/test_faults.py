@@ -1,0 +1,254 @@
+"""Fault plans, injectors, and the RPC retry machinery that rides them out."""
+
+import pytest
+
+from repro.errors import FaultError, RpcError, RpcTimeout
+from repro.faults import (
+    Blackout,
+    FaultPlan,
+    LossBurst,
+    ServerSlowdown,
+    ServerStall,
+)
+from repro.net.network import Network
+from repro.rpc.connection import RetryPolicy, RpcConnection, RpcService
+from repro.rpc.messages import ServerReply
+from repro.sim.rng import RngRegistry
+from repro.trace.replay import ReplayTrace, Segment
+from repro.trace.waveforms import constant
+
+BANDWIDTH = 100 * 1024
+
+
+# -- plan validation ----------------------------------------------------------
+
+
+def test_fault_windows_validated():
+    with pytest.raises(FaultError):
+        Blackout(start=-1.0, duration=5.0)
+    with pytest.raises(FaultError):
+        Blackout(start=0.0, duration=0.0)
+    with pytest.raises(FaultError):
+        LossBurst(start=0.0, duration=5.0, drop_fraction=0.0)
+    with pytest.raises(FaultError):
+        LossBurst(start=0.0, duration=5.0, drop_fraction=1.5)
+    with pytest.raises(FaultError):
+        ServerSlowdown(start=0.0, duration=5.0, factor=0.5)
+
+
+def test_plan_rejects_unknown_fault_types():
+    with pytest.raises(FaultError):
+        FaultPlan(["not a fault"])
+
+
+def test_plan_sorts_and_classifies():
+    plan = FaultPlan([
+        ServerStall(start=30.0, duration=5.0),
+        Blackout(start=10.0, duration=2.0),
+        LossBurst(start=20.0, duration=2.0),
+    ])
+    assert [f.start for f in plan] == [10.0, 20.0, 30.0]
+    assert len(plan.blackouts) == 1
+    assert len(plan.loss_bursts) == 1
+    assert len(plan.server_faults) == 1
+
+
+# -- trace modulation ---------------------------------------------------------
+
+
+def test_modulate_zeroes_blackout_window():
+    trace = constant(BANDWIDTH, duration=100.0)
+    plan = FaultPlan([Blackout(start=40.0, duration=10.0)])
+    dark = plan.modulate(trace)
+    assert dark.bandwidth_at(39.9) == BANDWIDTH
+    assert dark.bandwidth_at(45.0) == 0.0
+    assert dark.bandwidth_at(50.1) == BANDWIDTH
+    assert dark.latency_at(45.0) == trace.latency_at(45.0)
+    assert dark.duration == trace.duration
+
+
+def test_modulate_preserves_existing_transitions():
+    trace = ReplayTrace(
+        [Segment(50.0, BANDWIDTH, 0.01), Segment(50.0, BANDWIDTH // 2, 0.02)],
+        name="step",
+    )
+    plan = FaultPlan([Blackout(start=45.0, duration=10.0)])
+    dark = plan.modulate(trace)
+    # Blackout straddles the original transition at t=50.
+    assert dark.bandwidth_at(44.0) == BANDWIDTH
+    assert dark.bandwidth_at(47.0) == 0.0
+    assert dark.bandwidth_at(53.0) == 0.0
+    assert dark.bandwidth_at(56.0) == BANDWIDTH // 2
+    # Latency follows the original schedule through the dark window.
+    assert dark.latency_at(47.0) == 0.01
+    assert dark.latency_at(53.0) == 0.02
+
+
+def test_modulate_without_blackouts_returns_trace():
+    trace = constant(BANDWIDTH, duration=10.0)
+    plan = FaultPlan([ServerStall(start=1.0, duration=1.0)])
+    assert plan.modulate(trace) is trace
+
+
+# -- a wired client/server pair ----------------------------------------------
+
+
+@pytest.fixture
+def world(sim):
+    network = Network(sim, constant(BANDWIDTH, duration=3600))
+    server = network.add_host("server")
+    service = RpcService(sim, server, "svc")
+    service.register(
+        "get",
+        lambda body: ServerReply(body={"ok": True}, body_bytes=64,
+                                 bulk=service.make_bulk(16 * 1024)),
+    )
+    conn = RpcConnection(sim, network, "server", "svc", "c0")
+    return network, service, conn
+
+
+# -- runtime injection --------------------------------------------------------
+
+
+def test_loss_burst_drops_packets(sim, world, run_process):
+    network, service, conn = world
+    plan = FaultPlan([LossBurst(start=0.0, duration=3600.0,
+                                drop_fraction=1.0)])
+    injector = plan.arm(sim, network=network, rng=RngRegistry(0))
+
+    def attempt():
+        with pytest.raises(RpcTimeout):
+            yield from conn.call("get", timeout=2.0)
+
+    run_process(attempt())
+    assert injector.packets_dropped > 0
+    assert network.uplink.stats.packets_dropped > 0
+    assert conn.timeouts == 1
+
+
+def test_loss_bursts_require_network_and_rng(sim, world):
+    network, _, _ = world
+    plan = FaultPlan([LossBurst(start=0.0, duration=1.0)])
+    with pytest.raises(FaultError):
+        plan.arm(sim)
+    with pytest.raises(FaultError):
+        plan.arm(sim, network=network)  # no rng
+    plan.arm(sim, network=network, rng=RngRegistry(0))
+    with pytest.raises(FaultError):  # filter already installed
+        plan.arm(sim, network=network, rng=RngRegistry(0))
+
+
+def test_server_fault_needs_matching_service(sim, world):
+    _, service, _ = world
+    plan = FaultPlan([ServerStall(start=1.0, duration=1.0, port="other")])
+    with pytest.raises(FaultError):
+        plan.arm(sim, services=[service])
+
+
+def test_server_stall_fires_and_is_recorded(sim, world, run_process):
+    network, service, conn = world
+    plan = FaultPlan([ServerStall(start=1.0, duration=5.0)])
+    injector = plan.arm(sim, services=[service])
+
+    def attempt():
+        yield sim.timeout(2.0)
+        assert service.in_outage
+        with pytest.raises(RpcTimeout):
+            yield from conn.call("get", timeout=1.0)
+
+    run_process(attempt())
+    assert injector.events == [(1.0, "stall", "svc")]
+    assert service.dropped_during_outage > 0
+
+
+def test_server_slowdown_stretches_compute(sim, world, run_process):
+    network, service, conn = world
+    service.register(
+        "think", lambda body: ServerReply(body_bytes=64, compute_seconds=0.1)
+    )
+    plan = FaultPlan([ServerSlowdown(start=1.0, duration=10.0, factor=5.0)])
+    plan.arm(sim, services=[service])
+
+    def attempt():
+        before = yield from timed_call()
+        yield sim.timeout(1.0)  # into the slowdown window
+        during = yield from timed_call()
+        assert during > before + 0.3  # 0.1 s compute became 0.5 s
+
+    def timed_call():
+        started = sim.now
+        yield from conn.call("think")
+        return sim.now - started
+
+    run_process(attempt())
+
+
+# -- retry-with-backoff -------------------------------------------------------
+
+
+def test_retry_policy_validated():
+    with pytest.raises(RpcError):
+        RetryPolicy(timeout=0.0)
+    with pytest.raises(RpcError):
+        RetryPolicy(retries=-1)
+    with pytest.raises(RpcError):
+        RetryPolicy(multiplier=0.5)
+    with pytest.raises(RpcError):
+        RetryPolicy(backoff=2.0, cap=1.0)
+
+
+def test_retry_policy_delays_grow_to_cap():
+    policy = RetryPolicy(retries=5, backoff=1.0,
+                         multiplier=2.0, cap=4.0)
+    assert list(policy.delays()) == [1.0, 2.0, 4.0, 4.0, 4.0]
+
+
+def test_retry_rides_out_server_stall(sim, world, run_process):
+    network, service, conn = world
+    FaultPlan([ServerStall(start=0.0, duration=4.0)]).arm(
+        sim, services=[service]
+    )
+    retry = RetryPolicy(timeout=1.0, retries=8, backoff=0.5,
+                        multiplier=1.0)
+
+    def attempt():
+        body, _ = yield from conn.call_with_retry("get", retry=retry)
+        return body
+
+    body = run_process(attempt())
+    assert body == {"ok": True}
+    assert conn.timeouts > 0
+    assert conn.retries == conn.timeouts
+    assert sim.now > 4.0  # success only after the stall lifted
+
+
+def test_retry_budget_exhaustion_raises(sim, world, run_process):
+    network, service, conn = world
+    FaultPlan([ServerStall(start=0.0, duration=3600.0)]).arm(
+        sim, services=[service]
+    )
+    retry = RetryPolicy(timeout=0.5, retries=2, backoff=0.1)
+
+    def attempt():
+        with pytest.raises(RpcTimeout):
+            yield from conn.call_with_retry("get", retry=retry)
+
+    run_process(attempt())
+    assert conn.timeouts == 3  # initial attempt + 2 retries
+    assert conn.retries == 2
+
+
+def test_fetch_with_retry_restarts_transfer(sim, world, run_process):
+    network, service, conn = world
+    FaultPlan([ServerStall(start=0.0, duration=2.0)]).arm(
+        sim, services=[service]
+    )
+    retry = RetryPolicy(timeout=1.0, retries=5, backoff=0.2,
+                        multiplier=1.0)
+
+    def attempt():
+        _, _, nbytes = yield from conn.fetch_with_retry("get", retry=retry)
+        return nbytes
+
+    assert run_process(attempt()) == 16 * 1024
+    assert conn.retries > 0

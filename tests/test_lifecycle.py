@@ -1,0 +1,125 @@
+"""Connection lifecycle end to end: connect → transfer → fault → retry →
+unregister → re-register, plus regressions for the teardown bugfixes."""
+
+import pytest
+
+from repro.core.resources import Resource
+from repro.errors import OdysseyError, RpcTimeout
+from repro.experiments.robustness import RobustWarden, run_robustness_trial
+from repro.faults import Blackout, FaultPlan, ServerStall
+from repro.rpc.connection import RetryPolicy, RpcService
+from repro.rpc.messages import ServerReply
+
+OBJECT_BYTES = 16 * 1024
+PATH = "/odyssey/robust/x"
+
+
+@pytest.fixture
+def wired(sim, network, viceroy):
+    server = network.add_host("server")
+    service = RpcService(sim, server, "svc")
+    service.register(
+        "get",
+        lambda body: ServerReply(body_bytes=64,
+                                 bulk=service.make_bulk(OBJECT_BYTES)),
+    )
+    warden = RobustWarden(
+        sim, viceroy, "robust",
+        retry=RetryPolicy(timeout=1.0, retries=6, backoff=0.25,
+                          multiplier=1.0),
+    )
+    viceroy.mount("/odyssey/robust", warden)
+    conn = warden.open_connection("server", "svc")
+    return service, warden, conn
+
+
+def test_transfer_then_clean_close(sim, viceroy, wired, api, run_process):
+    service, warden, conn = wired
+
+    def go():
+        nbytes = yield from api.tsop(PATH, "fetch")
+        assert nbytes == OBJECT_BYTES
+
+    run_process(go())
+    warden.close_connection(conn)
+    assert conn not in warden.connections
+    with pytest.raises(OdysseyError):
+        viceroy.availability_for_connection(conn.connection_id)
+
+
+def test_close_connection_requires_ownership(sim, viceroy, wired):
+    _, _, conn = wired
+    stranger = RobustWarden(sim, viceroy, "stranger")
+    with pytest.raises(OdysseyError):
+        stranger.close_connection(conn)
+
+
+def test_late_reply_after_close_lands_harmlessly(sim, wired, run_process):
+    """A reply in flight when its connection closes must not crash the host."""
+    service, _, conn = wired
+    service.register(
+        "slow", lambda body: ServerReply(body_bytes=64, compute_seconds=0.05)
+    )
+
+    def go():
+        with pytest.raises(RpcTimeout):
+            yield from conn.call("slow", timeout=0.2)
+
+    sim.call_in(0.02, conn.close)  # mid-flight: request sent, reply pending
+    run_process(go())
+    assert conn.late_replies == 1
+
+
+def test_failover_notifies_and_allows_reregistration(sim, viceroy, wired,
+                                                     api, run_process):
+    service, warden, conn = wired
+    notices = []
+    api.on_upcall("w", notices.append)
+
+    def seed():
+        for _ in range(5):
+            yield from api.tsop(PATH, "fetch")
+
+    run_process(seed())
+    api.request(PATH, Resource.NETWORK_BANDWIDTH, 0.0, 1e12, handler="w")
+
+    replacement = warden.failover_connection(conn)
+    assert warden.primary_connection() is replacement
+    assert replacement.connection_id != conn.connection_id
+    assert warden.failovers == 1
+
+    sim.run(until=sim.now + 1.0)
+    # The registration riding the dead connection was torn down with the
+    # level=None teardown upcall...
+    assert [u.level for u in notices] == [None]
+    assert viceroy.registered_requests(api.app) == []
+    # ...and the app can immediately re-register and keep transferring
+    # through the replacement.
+    api.request(PATH, Resource.NETWORK_BANDWIDTH, 0.0, 1e12, handler="w")
+
+    def after():
+        nbytes = yield from api.tsop(PATH, "fetch")
+        assert nbytes == OBJECT_BYTES
+
+    run_process(after())
+    assert len(viceroy.registered_requests(api.app)) == 1
+
+
+def test_full_lifecycle_under_faults():
+    """The whole stack rides out a blackout, a stall, and a failover."""
+    faults = FaultPlan([
+        Blackout(start=20.0, duration=5.0),
+        ServerStall(start=40.0, duration=5.0),
+    ])
+    result = run_robustness_trial(
+        policy="odyssey", seed=3, duration=80.0, faults=faults,
+        failover_at=60.0,
+    )
+    assert result.completed > 0
+    assert result.timeouts > 0
+    assert result.retries > 0
+    assert result.exhausted == 0  # the retry budget outlasts every fault
+    assert result.failovers == 1
+    assert result.teardown_notices == 1
+    assert result.registrations >= 2  # initial + post-teardown
+    assert result.upcall_failures == 0
