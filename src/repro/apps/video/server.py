@@ -18,6 +18,9 @@ class VideoServer:
       metadata dictionary.
     - ``get-frame`` — body ``{"movie", "track", "index"}``; replies with a
       bulk source holding the frame's bytes.
+    - ``save-position`` — body ``{"movie", "position"}``; records the
+      playback position for resume.  A position behind the stored one is a
+      conflict (an older deferred write replayed after a newer one landed).
     """
 
     def __init__(self, sim, host, store, port="video"):
@@ -26,13 +29,35 @@ class VideoServer:
         self.service = RpcService(sim, host, port)
         self.service.register("get-meta", self._get_meta)
         self.service.register("get-frame", self._get_frame)
+        self.service.register("save-position", self._save_position)
         self.frames_served = 0
+        #: movie -> last saved playback position.
+        self.positions = {}
+        self.positions_saved = 0
+        self.position_conflicts = 0
 
     def _get_meta(self, body):
         movie = self.store.get(body["movie"])
         return ServerReply(
             body=movie.meta(),
             body_bytes=512,
+            compute_seconds=META_COMPUTE_SECONDS,
+        )
+
+    def _save_position(self, body):
+        movie, position = body["movie"], body["position"]
+        current = self.positions.get(movie, -1)
+        conflict = position < current
+        if conflict:
+            self.position_conflicts += 1
+        else:
+            self.positions[movie] = position
+            self.positions_saved += 1
+        return ServerReply(
+            body={"movie": movie,
+                  "position": self.positions.get(movie, current),
+                  "conflict": conflict},
+            body_bytes=48,
             compute_seconds=META_COMPUTE_SECONDS,
         )
 

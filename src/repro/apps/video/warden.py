@@ -17,7 +17,7 @@ from collections import deque
 
 from repro.apps.video.codec import track as track_spec
 from repro.core.warden import Warden
-from repro.errors import OdysseyError
+from repro.errors import Disconnected, OdysseyError, RpcTimeout
 
 #: How many frames ahead of the playback position the warden prefetches.
 READAHEAD_DEPTH = 8
@@ -34,13 +34,21 @@ class VideoWarden(Warden):
     TSOPS = {
         "get-meta": "tsop_get_meta",
         "get-frame": "tsop_get_frame",
+        "save-position": "tsop_save_position",
         "cache-stats": "tsop_cache_stats",
     }
     FIDELITIES = {"bw": 0.01, "jpeg50": 0.50, "jpeg99": 1.00}
+    DEFERRABLE_TSOPS = frozenset({"save-position"})
 
     def __init__(self, sim, viceroy, name="video", cache_bytes=4 * 1024 * 1024,
-                 readahead=READAHEAD_DEPTH, pipeline=FETCH_PIPELINE):
-        super().__init__(sim, viceroy, name, cache_bytes=cache_bytes)
+                 readahead=READAHEAD_DEPTH, pipeline=FETCH_PIPELINE,
+                 retry=None, **kwargs):
+        super().__init__(sim, viceroy, name, cache_bytes=cache_bytes, **kwargs)
+        #: Optional RetryPolicy for frame fetches.  None keeps the
+        #: paper-faithful behaviour (fetches wait indefinitely); set one
+        #: with a ``deadline`` so pipeline fetches fail fast into degraded
+        #: service and feed the connectivity tracker.
+        self.retry = retry
         self.readahead = readahead
         self._movie = None  # name of the movie being played
         self._meta = None
@@ -91,6 +99,27 @@ class VideoWarden(Warden):
         if cached is not None:
             self._kick()
             return index, cached
+        tracker = self.connectivity(self.primary_connection(rest))
+        if tracker is not None and tracker.offline:
+            # Degraded service: the pipeline's fetches are dead with the
+            # link, so never wait on them — serve the nearest cached frame
+            # (stale, with its age recorded) or fail fast with a typed
+            # error the player can catch to pause on the last-shown frame.
+            candidate = self._nearest_cached(movie, track_name, index)
+            if candidate is None:
+                self.disconnected_misses += 1
+                raise Disconnected(
+                    f"warden {self.name!r}: no cached frame at or after "
+                    f"{index} on track {track_name!r} while disconnected",
+                    key=key,
+                )
+            ckey = (movie, track_name, candidate)
+            age = self.cache.age(ckey)
+            nbytes = self.cache.get(ckey)
+            self.stale_served += 1
+            self.staleness_served.append(age)
+            self._position = candidate
+            return candidate, nbytes
         if not inbuf.get("exact", False):
             candidate = self._nearest_available(movie, track_name, index)
             if candidate is not None:
@@ -103,6 +132,11 @@ class VideoWarden(Warden):
                 event = self._arrival_event(key)
                 self._kick()
                 nbytes = yield event
+                if nbytes is None:  # the fetch under us timed out
+                    raise Disconnected(
+                        f"warden {self.name!r}: fetch of frame {candidate} "
+                        f"timed out", key=key,
+                    )
                 return candidate, nbytes
             # Nothing at or beyond ``index`` is cached or in flight: the
             # pipeline fell behind (a resync jump, or a cold start at low
@@ -120,7 +154,21 @@ class VideoWarden(Warden):
         event = self._arrival_event(key)
         self._kick()
         nbytes = yield event
+        if nbytes is None:
+            raise Disconnected(
+                f"warden {self.name!r}: fetch of frame {index} timed out",
+                key=key,
+            )
         return key[2], nbytes
+
+    def _nearest_cached(self, movie, track_name, index):
+        """Smallest *cached* frame index >= ``index`` (degraded service)."""
+        best = None
+        for m, t, i in self._list_cached():
+            if m == movie and t == track_name and i >= index:
+                if best is None or i < best:
+                    best = i
+        return best
 
     def _nearest_available(self, movie, track_name, index):
         """Smallest cached or in-flight frame index >= ``index`` on track."""
@@ -153,6 +201,27 @@ class VideoWarden(Warden):
             self._stride = 1
             return
         self._stride = max(1, math.ceil(track_info["bandwidth"] / available))
+
+    def tsop_save_position(self, app, rest, inbuf):
+        """Persist the playback position server-side (resume support).
+
+        The warden's mutating tsop: ``{"movie", "position"}``.  While
+        disconnected these queue to the deferred-op log and *coalesce* —
+        a player saving every few seconds leaves one op, the latest
+        position, to replay at reintegration.
+        """
+        conn = self.primary_connection(rest)
+        reply, _ = yield from conn.call(
+            "save-position",
+            body={"movie": inbuf["movie"], "position": inbuf["position"]},
+            body_bytes=48,
+        )
+        return reply
+
+    def coalesce_key(self, opcode, rest, inbuf):
+        if opcode == "save-position":
+            return f"save-position:{inbuf['movie']}"
+        return None
 
     def tsop_cache_stats(self, app, rest, inbuf):
         """Cache occupancy and hit statistics (diagnostics)."""
@@ -254,11 +323,30 @@ class VideoWarden(Warden):
     def _fetch_one(self, key):
         movie, track_name, index = key
         conn = self.primary_connection()
-        _, _, nbytes = yield from conn.fetch(
-            "get-frame",
-            body={"movie": movie, "track": track_name, "index": index},
-            body_bytes=96,
-        )
+        tracker = self.connectivity(conn)
+        body = {"movie": movie, "track": track_name, "index": index}
+        try:
+            if self.retry is None:
+                _, _, nbytes = yield from conn.fetch(
+                    "get-frame", body=body, body_bytes=96
+                )
+            else:
+                _, _, nbytes = yield from conn.fetch_with_retry(
+                    "get-frame", body=body, body_bytes=96, retry=self.retry
+                )
+        except RpcTimeout:
+            if tracker is not None:
+                tracker.note_failure()
+            # Wake any demand waiter with None (converted to Disconnected
+            # at the tsop layer).  Never ``fail`` the event: an arrival
+            # event with no waiter would propagate the exception out of
+            # the simulator loop.
+            event = self._arrivals.pop(key, None)
+            if event is not None and not event.triggered:
+                event.succeed(None)
+            return
+        if tracker is not None:
+            tracker.note_success()
         self.frames_fetched += 1
         self.cache.put(key, nbytes, nbytes)
         event = self._arrivals.pop(key, None)

@@ -32,6 +32,7 @@ class DistillationServer:
         self.sim = sim
         self.service = RpcService(sim, host, port)
         self.service.register("get-image", self._get_image)
+        self.service.register("post", self._post)
         self.web_connection = RpcConnection(
             sim, network, web_server_name, web_port,
             connection_id=f"{host.name}->{web_server_name}",
@@ -39,6 +40,20 @@ class DistillationServer:
         )
         self.images_distilled = 0
         self.bytes_saved = 0
+        self.posts_forwarded = 0
+
+    def _post(self, body):
+        """Generator handler: forward a form submission to the origin server.
+
+        Distillation never owns writes — the origin's accept/conflict
+        verdict passes through untouched so reintegration reports reflect
+        the authoritative copy.
+        """
+        reply_body, _ = yield from self.web_connection.call(
+            "post", body=body, body_bytes=128
+        )
+        self.posts_forwarded += 1
+        return ServerReply(body=reply_body, body_bytes=48)
 
     def _get_image(self, body):
         """Generator handler: wired fetch, distill, reply with bulk.

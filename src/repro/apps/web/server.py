@@ -16,7 +16,14 @@ class WebServer:
         self.store = store
         self.service = RpcService(sim, host, port)
         self.service.register("get-object", self._get_object)
+        self.service.register("post", self._post)
         self.requests = 0
+        #: Form submissions: name -> accepted version (optimistic
+        #: concurrency — a replayed write older than the accepted version
+        #: is a reintegration conflict, not an overwrite).
+        self.forms = {}
+        self.posts_accepted = 0
+        self.posts_conflicted = 0
 
     def _get_object(self, body):
         image = self.store.get(body["name"])
@@ -26,4 +33,20 @@ class WebServer:
             body_bytes=64,
             compute_seconds=WEB_SERVER_COMPUTE,
             bulk=self.service.make_bulk(image.nbytes, meta={"name": image.name}),
+        )
+
+    def _post(self, body):
+        form, version = body["form"], body["version"]
+        current = self.forms.get(form, 0)
+        conflict = version <= current
+        if conflict:
+            self.posts_conflicted += 1
+        else:
+            self.forms[form] = version
+            self.posts_accepted += 1
+        return ServerReply(
+            body={"form": form, "version": self.forms.get(form, current),
+                  "conflict": conflict},
+            body_bytes=48,
+            compute_seconds=WEB_SERVER_COMPUTE,
         )

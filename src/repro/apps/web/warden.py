@@ -4,11 +4,20 @@ Transforms the cellophane's requests into fetches from the distillation
 server over the mobile connection.  "The warden provides a tsop to set the
 fidelity level."  A ``direct`` mode bypasses distillation and talks straight
 to the web server — the paper's unmodified-Ethernet baseline.
+
+Disconnected operation: every fetched object is write-through cached, so a
+blackout is served from cache (stale, with the staleness recorded) through
+:meth:`~repro.core.warden.Warden.resilient_fetch`; form submissions — the
+warden's mutating tsop — queue to the deferred-op log and reintegrate on
+reconnection.
 """
 
 from repro.apps.web.images import FIDELITY_LEVELS, KIND_LEVELS
 from repro.core.warden import Warden
 from repro.errors import OdysseyError
+
+#: Request bytes for a form submission (name + version + small payload).
+POST_BODY_BYTES = 256
 
 
 class WebWarden(Warden):
@@ -18,15 +27,23 @@ class WebWarden(Warden):
         "set-fidelity": "tsop_set_fidelity",
         "get-fidelity": "tsop_get_fidelity",
         "get-image": "tsop_get_image",
+        "post-form": "tsop_post_form",
     }
     FIDELITIES = {name: level for level, (name, _) in FIDELITY_LEVELS.items()}
+    DEFERRABLE_TSOPS = frozenset({"post-form"})
 
-    def __init__(self, sim, viceroy, name="web", direct=False, **kwargs):
+    def __init__(self, sim, viceroy, name="web", direct=False, retry=None,
+                 **kwargs):
         super().__init__(sim, viceroy, name, **kwargs)
         self.direct = direct
+        #: Optional RetryPolicy.  None keeps the paper-faithful behaviour —
+        #: fetches wait indefinitely; set one (with a ``deadline``) to make
+        #: fetches fail fast into degraded service during outages.
+        self.retry = retry
         #: Per-kind fidelity levels (images and, per §8, text objects).
         self.fidelities = {"image": 1.0, "text": 1.0}
         self.images_fetched = 0
+        self.forms_posted = 0
 
     @property
     def fidelity(self):
@@ -58,26 +75,68 @@ class WebWarden(Warden):
         """Fetch an image at the current fidelity.
 
         Returns ``{"name", "fidelity", "nbytes"}``.  In ``direct`` mode the
-        original is fetched from the web server at full fidelity.
+        original is fetched from the web server at full fidelity.  While
+        the connection is healthy the fetch always goes to the network (the
+        result is cached write-through); while disconnected, the cached
+        copy is served stale or a miss raises
+        :class:`~repro.errors.Disconnected`.
         """
         name = inbuf["name"]
         kind = inbuf.get("kind", "image")
         conn = self.primary_connection(rest)
-        if self.direct:
-            reply, _, nbytes = yield from conn.fetch(
-                "get-object", body={"name": name}, body_bytes=96
+        fidelity = 1.0 if self.direct else self.fidelities[kind]
+        key = ("image", name, kind, fidelity)
+
+        def fetch_op():
+            if self.direct:
+                _, _, nbytes = yield from self._fetch(
+                    conn, "get-object", {"name": name}
+                )
+            else:
+                _, _, nbytes = yield from self._fetch(
+                    conn, "get-image",
+                    {"name": name, "fidelity": fidelity, "kind": kind},
+                )
+            self.images_fetched += 1
+            value = {"name": name, "fidelity": fidelity, "nbytes": nbytes,
+                     "kind": kind}
+            return value, nbytes
+
+        result = yield from self.resilient_fetch(conn, key, fetch_op)
+        return result
+
+    def tsop_post_form(self, app, rest, inbuf):
+        """Submit a form to the origin server — the warden's mutating tsop.
+
+        ``inbuf``: ``{"form": name, "version": int}``.  Returns the
+        server's ``{"form", "version", "conflict"}`` reply; ``conflict``
+        means a newer version already landed (the reintegration report
+        surfaces this as a per-op conflict).  While disconnected the op is
+        queued instead (dispatch returns a ``{"deferred": True}`` marker).
+        """
+        conn = self.primary_connection(rest)
+        body = {"form": inbuf["form"], "version": inbuf.get("version", 1)}
+        if self.retry is None:
+            reply, _ = yield from conn.call(
+                "post", body=body, body_bytes=POST_BODY_BYTES
             )
-            fidelity = 1.0
         else:
-            fidelity = self.fidelities[kind]
-            reply, _, nbytes = yield from conn.fetch(
-                "get-image",
-                body={"name": name, "fidelity": fidelity, "kind": kind},
-                body_bytes=96,
+            reply, _ = yield from conn.call_with_retry(
+                "post", body=body, body_bytes=POST_BODY_BYTES,
+                retry=self.retry,
             )
-        self.images_fetched += 1
-        return {"name": name, "fidelity": fidelity, "nbytes": nbytes,
-                "kind": kind}
+        self.forms_posted += 1
+        return reply
+
+    def _fetch(self, conn, op, body):
+        """One network fetch, retried iff a policy is configured.  Generator."""
+        if self.retry is None:
+            result = yield from conn.fetch(op, body=body, body_bytes=96)
+        else:
+            result = yield from conn.fetch_with_retry(
+                op, body=body, body_bytes=96, retry=self.retry
+            )
+        return result
 
 
 def build_web(sim, viceroy, network, store, direct=False,

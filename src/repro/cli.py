@@ -139,6 +139,34 @@ def _cmd_all(args):
     return 0
 
 
+def _cmd_disconnected(args):
+    from repro.experiments.disconnected import run_disconnected_comparison
+
+    cached, uncached = run_disconnected_comparison(
+        policy=args.policy, seed=args.seed,
+        max_staleness=args.max_staleness,
+    )
+    print(f"disconnected operation (policy {args.policy}, seed {args.seed})")
+    for label, r in (("degraded service", cached), ("no cache", uncached)):
+        print(f"  {label}:")
+        print(f"    blackout reads : {r.blackout_successes}/"
+              f"{r.blackout_attempts} answered "
+              f"({100.0 * r.blackout_success_rate:.0f}%)")
+        print(f"    served stale   : {r.served_stale} "
+              f"(mean staleness {r.mean_staleness:.1f} s)")
+        print(f"    failed fast    : {r.failed_disconnected} disconnected, "
+              f"{r.failed_timeout} timed out")
+        print(f"    writes         : {r.posts_live} live, "
+              f"{r.posts_deferred} deferred")
+        reintegrated = ", ".join(f"{count} {status}" for status, count
+                                 in sorted(r.reintegrated.items())) or "none"
+        order = "in order" if r.replay_in_order else "OUT OF ORDER"
+        print(f"    reintegration  : {reintegrated} ({order})")
+        print(f"    disconnect upcalls: {r.disconnect_upcalls}; "
+              f"final state {r.final_state}")
+    return 0
+
+
 def _cmd_scenario(args):
     from repro.experiments.concurrent import PAPER_FIG14, run_concurrent_trial
 
@@ -218,6 +246,17 @@ def build_parser():
                    p.add_argument("--no-extensions", action="store_true",
                                   help="paper artifacts only")),
     )
+
+    p = sub.add_parser("disconnected",
+                       help="disconnected-operation arc: blackout, degraded "
+                            "service, deferred writes, reintegration")
+    p.add_argument("--policy", default="odyssey",
+                   choices=("odyssey", "laissez-faire", "blind-optimism"))
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--max-staleness", type=float, default=None,
+                   help="staleness bound for degraded reads (seconds; "
+                        "default: serve any cached copy)")
+    p.set_defaults(fn=_cmd_disconnected)
 
     p = sub.add_parser("scenario",
                        help="one urban-walk trial under a chosen policy")

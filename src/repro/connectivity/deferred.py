@@ -1,0 +1,120 @@
+"""The deferred-operation log: write-behind for disconnected operation.
+
+Mutating type-specific operations issued while a connection is disconnected
+are recorded here instead of hanging in retries; on reconnection the warden
+replays them **in enqueue order** (reintegration) and reports each op's
+fate.  The log is deliberately small and bounded — a mobile client that has
+been offline for an hour should refuse new writes loudly
+(:class:`~repro.errors.DeferredLogFull`), not grow without limit.
+
+Coalescing: operations that overwrite each other (a video player saving its
+playback position every few seconds, say) carry a ``coalesce`` key; a new
+append with the same key replaces the queued older op, so reintegration
+replays only the final value.  The replaced op's slot is freed, which is
+what makes a bounded log workable for chatty writers.
+"""
+
+import itertools
+from dataclasses import dataclass, field
+
+from repro.errors import DeferredLogFull, OdysseyError
+
+#: Default queued-op capacity per warden.
+DEFAULT_CAPACITY = 64
+
+_op_seq = itertools.count(1)
+
+
+@dataclass
+class DeferredOp:
+    """One queued mutating operation, replayable via ``Warden.tsop``."""
+
+    app: str
+    rest: str
+    opcode: str
+    inbuf: object
+    queued_at: float
+    #: Ops sharing a coalesce key collapse to the most recent one.
+    coalesce: str = None
+    seq: int = field(default_factory=lambda: next(_op_seq))
+
+
+@dataclass(frozen=True)
+class ReplayReport:
+    """The fate of one deferred op during reintegration.
+
+    ``status`` is one of:
+
+    - ``"applied"`` — the server accepted the operation;
+    - ``"conflict"`` — the server reported a conflicting concurrent update
+      (the reply body carried ``{"conflict": True}``);
+    - ``"failed"`` — the replay itself failed (RPC error mid-reintegration);
+    - ``"requeued"`` — the link died again mid-replay and the op went back
+      into the log.
+    """
+
+    op: DeferredOp
+    status: str
+    detail: object = None
+    replayed_at: float = None
+
+
+class DeferredOpLog:
+    """A bounded, coalescing FIFO of :class:`DeferredOp` entries."""
+
+    def __init__(self, capacity=DEFAULT_CAPACITY):
+        if capacity <= 0:
+            raise OdysseyError(f"deferred-log capacity must be positive, got {capacity!r}")
+        self.capacity = capacity
+        self._ops = []
+        self.enqueued = 0
+        self.coalesced = 0
+        self.replayed = 0
+
+    def __len__(self):
+        return len(self._ops)
+
+    def __iter__(self):
+        return iter(list(self._ops))
+
+    def __bool__(self):
+        return bool(self._ops)
+
+    def append(self, op):
+        """Queue ``op``, coalescing by key; raises :class:`DeferredLogFull`."""
+        if op.coalesce is not None:
+            for queued in self._ops:
+                if queued.coalesce == op.coalesce:
+                    self._ops.remove(queued)
+                    self.coalesced += 1
+                    break
+        if len(self._ops) >= self.capacity:
+            raise DeferredLogFull(
+                f"deferred-op log full ({self.capacity} ops queued); "
+                f"cannot queue {op.opcode!r}"
+            )
+        self._ops.append(op)
+        self.enqueued += 1
+        return op
+
+    def drain(self):
+        """Remove and return every queued op, oldest first (for replay)."""
+        ops, self._ops = self._ops, []
+        self.replayed += len(ops)
+        return ops
+
+    def requeue(self, ops):
+        """Put drained ops back at the *front*, ahead of later arrivals.
+
+        The link died again mid-replay: the unplayed tail must keep its
+        place before any op queued during the replay attempt.  Not a new
+        enqueue (counters untouched) and never raises — a transient
+        overshoot of ``capacity`` beats dropping writes already accepted
+        into the log.
+        """
+        ops = list(ops)
+        self._ops = ops + self._ops
+        self.replayed -= len(ops)
+
+    def clear(self):
+        self._ops = []

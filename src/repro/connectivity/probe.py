@@ -1,0 +1,74 @@
+"""Heartbeat probing: active evidence for the connectivity state machine.
+
+Passive evidence (fetch successes and timeouts) stops flowing the moment a
+warden enters degraded service — it deliberately keeps real traffic off a
+link it believes is dead.  Something must still watch for the link's return;
+that is the :class:`HeartbeatProber`, a tiny simulated process that sends a
+built-in ``__ping__`` RPC (answered by every :class:`~repro.rpc.connection.
+RpcService` with zero compute) whenever the tracker is anything other than
+CONNECTED, and feeds the outcome back as probe evidence.
+
+While CONNECTED the prober just sleeps: fetch traffic itself is the
+heartbeat, and idle pings would pollute the round-trip log the bandwidth
+estimator feeds on.
+"""
+
+from repro.connectivity.state import ConnState
+from repro.errors import RpcError, RpcTimeout
+from repro.rpc.connection import PING_OP
+
+#: The operation name every RpcService answers without registration.
+PROBE_OP = PING_OP
+#: Seconds between probes while the connection is not CONNECTED.
+DEFAULT_PROBE_INTERVAL = 2.0
+#: Per-probe timeout: short — a probe is cheap and the next one is soon.
+DEFAULT_PROBE_TIMEOUT = 1.5
+#: Probe request size on the wire (a bare header's worth of payload).
+PROBE_BODY_BYTES = 16
+
+
+class HeartbeatProber:
+    """Periodically pings one connection while it is unhealthy.
+
+    The prober starts its process at construction and runs until
+    :meth:`stop` is called or its connection is closed (a closed
+    connection's ``call`` raises :class:`~repro.errors.RpcError`, which
+    terminates the loop cleanly).
+    """
+
+    def __init__(self, sim, conn, tracker, interval=DEFAULT_PROBE_INTERVAL,
+                 timeout=DEFAULT_PROBE_TIMEOUT, op=PROBE_OP):
+        self.sim = sim
+        self.conn = conn
+        self.tracker = tracker
+        self.interval = interval
+        self.timeout = timeout
+        self.op = op
+        self.probes_sent = 0
+        self._stopped = False
+        self.process = sim.process(
+            self._run(), name=f"probe:{conn.connection_id}"
+        )
+
+    def stop(self):
+        """Ask the prober to exit at its next wakeup."""
+        self._stopped = True
+
+    def _run(self):
+        while not self._stopped:
+            yield self.sim.timeout(self.interval)
+            if self._stopped:
+                return
+            if self.tracker.state is ConnState.CONNECTED:
+                continue  # fetch traffic is evidence enough
+            self.probes_sent += 1
+            try:
+                yield from self.conn.call(
+                    self.op, body_bytes=PROBE_BODY_BYTES, timeout=self.timeout
+                )
+            except RpcTimeout:
+                self.tracker.note_failure(probe=True)
+            except RpcError:
+                return  # connection closed under us; prober retires
+            else:
+                self.tracker.note_success(probe=True)

@@ -1,0 +1,184 @@
+"""The per-connection connectivity state machine.
+
+Disconnected operation (Kistler & Satyanarayanan's Coda lineage, which the
+paper cites as Odyssey's ancestry) needs the *system* to know when a
+connection has gone away and when it has come back — applications should
+inherit that judgement, not each reimplement it.  :class:`ConnectivityTracker`
+distils RPC success/failure evidence and heartbeat probes into four states::
+
+    CONNECTED --> DEGRADED --> DISCONNECTED --> RECONNECTING --> CONNECTED
+                     \\______________________________/ (recovery)   |
+                                DISCONNECTED  <---------------------+ (relapse)
+
+with hysteresis in both directions: it takes ``degrade_after`` consecutive
+failures to leave CONNECTED, ``disconnect_after`` to declare the link dead,
+and ``recover_after`` consecutive successes to trust it again.  A loss burst
+that eats one packet never flaps the machine; a blackout that eats everything
+marches it to DISCONNECTED within a few failed operations.
+
+The machine never jumps CONNECTED -> RECONNECTING: RECONNECTING is only
+reachable from DISCONNECTED (the first success after a declared outage),
+and only leads back to CONNECTED (sustained success) or DISCONNECTED
+(relapse).  :data:`VALID_TRANSITIONS` encodes the full edge set and
+:meth:`ConnectivityTracker._move` enforces it.
+"""
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import OdysseyError
+
+
+class ConnState(enum.Enum):
+    """Connectivity states, ordered from healthy to dead and back."""
+
+    CONNECTED = "connected"
+    DEGRADED = "degraded"
+    DISCONNECTED = "disconnected"
+    RECONNECTING = "reconnecting"
+
+    def __str__(self):
+        return self.value
+
+
+#: The legal edges of the state machine.  Anything else is a programming
+#: error and raises, so regressions cannot silently corrupt the lifecycle.
+VALID_TRANSITIONS = {
+    ConnState.CONNECTED: frozenset({ConnState.DEGRADED}),
+    ConnState.DEGRADED: frozenset({ConnState.CONNECTED, ConnState.DISCONNECTED}),
+    ConnState.DISCONNECTED: frozenset({ConnState.RECONNECTING}),
+    ConnState.RECONNECTING: frozenset({ConnState.CONNECTED, ConnState.DISCONNECTED}),
+}
+
+#: Consecutive failures before CONNECTED degrades.
+DEFAULT_DEGRADE_AFTER = 2
+#: Consecutive failures before the link is declared DISCONNECTED.
+DEFAULT_DISCONNECT_AFTER = 4
+#: Consecutive successes before a degraded or reconnecting link is trusted.
+DEFAULT_RECOVER_AFTER = 2
+
+
+@dataclass(frozen=True)
+class Transition:
+    """One recorded state change: when, from, to, and why."""
+
+    time: float
+    source: ConnState
+    target: ConnState
+    reason: str
+
+
+class ConnectivityTracker:
+    """Hysteresis-filtered connectivity judgement for one connection.
+
+    Evidence arrives through :meth:`note_success` and :meth:`note_failure`
+    (``probe=True`` marks heartbeat evidence; the machine treats both kinds
+    identically, the flag only feeds the counters).  ``clock`` is a zero-arg
+    callable returning the current time — pass ``lambda: sim.now``.
+
+    Subscribers (``subscribe(fn)``) are called with each
+    :class:`Transition` after the state has changed; this is how the
+    viceroy learns to issue disconnected upcalls and trigger reintegration.
+    """
+
+    def __init__(self, clock, name="connection",
+                 degrade_after=DEFAULT_DEGRADE_AFTER,
+                 disconnect_after=DEFAULT_DISCONNECT_AFTER,
+                 recover_after=DEFAULT_RECOVER_AFTER):
+        if degrade_after < 1:
+            raise OdysseyError(f"degrade_after must be >= 1, got {degrade_after!r}")
+        if disconnect_after <= degrade_after:
+            raise OdysseyError(
+                f"disconnect_after ({disconnect_after!r}) must exceed "
+                f"degrade_after ({degrade_after!r})"
+            )
+        if recover_after < 1:
+            raise OdysseyError(f"recover_after must be >= 1, got {recover_after!r}")
+        self.clock = clock
+        self.name = name
+        self.degrade_after = degrade_after
+        self.disconnect_after = disconnect_after
+        self.recover_after = recover_after
+        self.state = ConnState.CONNECTED
+        self.transitions = []
+        self.successes = 0
+        self.failures = 0
+        self.probe_successes = 0
+        self.probe_failures = 0
+        self._consecutive_failures = 0
+        self._consecutive_successes = 0
+        self._entered_state_at = clock()
+        self._listeners = []
+
+    def __repr__(self):
+        return f"<ConnectivityTracker {self.name!r} {self.state}>"
+
+    # -- queries ------------------------------------------------------------
+
+    @property
+    def offline(self):
+        """True while fetches must not touch the network (degraded service).
+
+        Covers RECONNECTING as well as DISCONNECTED: until recovery is
+        confirmed, real traffic stays off the link (probes re-establish
+        trust) and mutating operations keep queueing so reintegration
+        replays them in order ahead of new writes.
+        """
+        return self.state in (ConnState.DISCONNECTED, ConnState.RECONNECTING)
+
+    def time_in_state(self):
+        """Seconds spent in the current state."""
+        return self.clock() - self._entered_state_at
+
+    def subscribe(self, fn):
+        """Call ``fn(transition)`` after every state change."""
+        self._listeners.append(fn)
+
+    # -- evidence -----------------------------------------------------------
+
+    def note_success(self, probe=False):
+        """An RPC (or heartbeat probe) completed over this connection."""
+        self.successes += 1
+        if probe:
+            self.probe_successes += 1
+        self._consecutive_failures = 0
+        self._consecutive_successes += 1
+        if self.state is ConnState.DISCONNECTED:
+            self._move(ConnState.RECONNECTING, "first success after outage")
+        if (self.state in (ConnState.DEGRADED, ConnState.RECONNECTING)
+                and self._consecutive_successes >= self.recover_after):
+            self._move(ConnState.CONNECTED,
+                       f"{self._consecutive_successes} consecutive successes")
+
+    def note_failure(self, probe=False):
+        """An RPC (or heartbeat probe) timed out over this connection."""
+        self.failures += 1
+        if probe:
+            self.probe_failures += 1
+        self._consecutive_successes = 0
+        self._consecutive_failures += 1
+        if self.state is ConnState.RECONNECTING:
+            self._move(ConnState.DISCONNECTED, "relapse while reconnecting")
+            return
+        if (self.state is ConnState.CONNECTED
+                and self._consecutive_failures >= self.degrade_after):
+            self._move(ConnState.DEGRADED,
+                       f"{self._consecutive_failures} consecutive failures")
+        if (self.state is ConnState.DEGRADED
+                and self._consecutive_failures >= self.disconnect_after):
+            self._move(ConnState.DISCONNECTED,
+                       f"{self._consecutive_failures} consecutive failures")
+
+    # -- machinery ----------------------------------------------------------
+
+    def _move(self, target, reason):
+        if target not in VALID_TRANSITIONS[self.state]:
+            raise OdysseyError(
+                f"illegal connectivity transition {self.state} -> {target}"
+            )
+        transition = Transition(self.clock(), self.state, target, reason)
+        self.state = target
+        self._entered_state_at = transition.time
+        self.transitions.append(transition)
+        for listener in self._listeners:
+            listener(transition)

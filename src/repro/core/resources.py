@@ -81,6 +81,19 @@ class ResourceDescriptor:
 _request_ids = itertools.count(1)
 
 
+def advance_request_ids(minimum):
+    """Ensure freshly minted request ids exceed ``minimum``.
+
+    Checkpoint restore (:meth:`~repro.core.viceroy.Viceroy.restore`)
+    re-creates registrations under their original ids; the shared counter
+    must jump past them, or a later ``request`` would mint a duplicate id
+    and silently clobber a restored registration.  Never moves backwards.
+    """
+    global _request_ids
+    current = next(_request_ids)
+    _request_ids = itertools.count(max(current, minimum + 1))
+
+
 @dataclass
 class Registration:
     """A live ``request``: the viceroy watches its window until violated

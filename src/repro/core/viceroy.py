@@ -16,9 +16,16 @@ application re-registers with a window matching its new fidelity (paper
 §4.3).
 """
 
+from repro.connectivity.state import ConnState, ConnectivityTracker
 from repro.core.namespace import Namespace
 from repro.core.policies import OdysseyPolicy
-from repro.core.resources import Registration, Resource
+from repro.core.resources import (
+    Registration,
+    Resource,
+    ResourceDescriptor,
+    Window,
+    advance_request_ids,
+)
 from repro.core.upcalls import Upcall, UpcallDispatcher
 from repro.errors import (
     BadDescriptor,
@@ -31,7 +38,8 @@ from repro.errors import (
 class Viceroy:
     """Central resource manager for one mobile client."""
 
-    def __init__(self, sim, network, policy=None, upcalls=None, root="/odyssey"):
+    def __init__(self, sim, network, policy=None, upcalls=None, root="/odyssey",
+                 connectivity=None):
         self.sim = sim
         self.network = network
         self.policy = policy or OdysseyPolicy()
@@ -41,7 +49,14 @@ class Viceroy:
         self._registrations = {}
         self._connections = {}  # connection_id -> (conn, warden)
         self._monitors = {}  # Resource -> monitor
+        #: Per-connection connectivity trackers; ``connectivity`` supplies
+        #: shared hysteresis overrides (degrade_after/disconnect_after/
+        #: recover_after) for every tracker this viceroy creates.
+        self._trackers = {}
+        self._tracker_config = dict(connectivity or {})
         self.upcalls_sent = 0
+        #: level=0 "disconnected" upcalls issued (subset of upcalls_sent).
+        self.disconnect_upcalls = 0
 
     # -- wiring -------------------------------------------------------------
 
@@ -50,10 +65,23 @@ class Viceroy:
         self.namespace.mount(prefix, warden)
 
     def register_connection(self, conn, warden=None):
-        """Adopt an RPC connection: subscribe to its log, inform the policy."""
+        """Adopt an RPC connection: subscribe to its log, inform the policy.
+
+        Every adopted connection gets a :class:`ConnectivityTracker`; its
+        transitions drive disconnected upcalls and warden reintegration.
+        """
         if conn.connection_id in self._connections:
             raise OdysseyError(f"connection {conn.connection_id!r} already registered")
         self._connections[conn.connection_id] = (conn, warden)
+        tracker = ConnectivityTracker(
+            clock=lambda: self.sim.now, name=conn.connection_id,
+            **self._tracker_config,
+        )
+        tracker.subscribe(
+            lambda transition, cid=conn.connection_id:
+            self._connectivity_changed(cid, transition)
+        )
+        self._trackers[conn.connection_id] = tracker
         self.policy.register_connection(conn)
         conn.log.subscribe(self)
 
@@ -72,6 +100,7 @@ class Viceroy:
         if connection_id not in self._connections:
             raise OdysseyError(f"unknown connection {connection_id!r}")
         conn, _ = self._connections.pop(connection_id)
+        self._trackers.pop(connection_id, None)
         conn.log.unsubscribe(self)
         self.policy.unregister_connection(connection_id)
         doomed = [r for r in self._registrations.values()
@@ -94,6 +123,115 @@ class Viceroy:
             raise OdysseyError(f"monitor for {monitor.resource} already attached")
         self._monitors[monitor.resource] = monitor
         monitor.attach(self)
+
+    # -- connectivity -----------------------------------------------------------
+
+    def connectivity(self, connection_id):
+        """The connectivity tracker for an adopted connection (or None)."""
+        return self._trackers.get(connection_id)
+
+    def _connectivity_changed(self, connection_id, transition):
+        """A tracker moved: issue disconnected upcalls / trigger reintegration."""
+        if transition.target is ConnState.DISCONNECTED:
+            self._notify_disconnected(connection_id)
+        elif (transition.target is ConnState.CONNECTED
+              and transition.source is ConnState.RECONNECTING):
+            entry = self._connections.get(connection_id)
+            if entry is not None:
+                conn, warden = entry
+                if warden is not None:
+                    warden.on_reconnect(conn)
+
+    def _notify_disconnected(self, connection_id):
+        """Tear down the connection's registrations with level=0 upcalls.
+
+        A disconnected link has zero availability by definition, so every
+        window riding on it is violated at once: the registration is
+        dropped (one-shot, as usual) and the owning application's handler
+        receives an upcall carrying ``level=0.0`` — the "disconnected"
+        signal.  Unlike the teardown notice (``level=None``) the connection
+        object still exists; applications should drop to their lowest
+        fidelity, lean on the warden's cache, and re-register when the
+        degraded-service period ends.
+        """
+        doomed = [r for r in self._registrations.values()
+                  if r.connection_id == connection_id]
+        for registration in doomed:
+            del self._registrations[registration.request_id]
+            if self.upcalls.has_receiver(registration.app):
+                self.upcalls_sent += 1
+                self.disconnect_upcalls += 1
+                self.upcalls.send(
+                    registration.app,
+                    registration.descriptor.handler,
+                    Upcall(registration.request_id,
+                           registration.descriptor.resource, 0.0),
+                )
+
+    # -- checkpoint / restore ----------------------------------------------------
+
+    def checkpoint(self):
+        """Plain-data snapshot of the state a viceroy restart must not lose.
+
+        Covers live window-of-tolerance registrations (with their request
+        ids), upcall counters, and each connection's connectivity state.
+        Everything is JSON-serializable; :meth:`restore` is the inverse.
+        """
+        return {
+            "registrations": [
+                {"request_id": r.request_id, "app": r.app, "path": r.path,
+                 "resource": r.descriptor.resource.label,
+                 "lower": r.descriptor.window.lower,
+                 "upper": r.descriptor.window.upper,
+                 "handler": r.descriptor.handler,
+                 "connection_id": r.connection_id}
+                for r in self._registrations.values()
+            ],
+            "upcalls_sent": self.upcalls_sent,
+            "disconnect_upcalls": self.disconnect_upcalls,
+            "connectivity": {cid: tracker.state.value
+                             for cid, tracker in self._trackers.items()},
+        }
+
+    def restore(self, state):
+        """Rebuild registrations from a :meth:`checkpoint` snapshot.
+
+        Replaces the current registration table.  Registrations bound to a
+        connection id this viceroy no longer knows cannot be re-checked and
+        are dropped; their request ids are returned so the caller can
+        notify the owning applications.  The shared request-id counter is
+        advanced past every restored id, so post-restore ``request`` calls
+        can never mint a duplicate.  Returns ``(restored, dropped_ids)``.
+
+        Connectivity trackers are *not* restored: a restarted viceroy must
+        re-derive link health from fresh evidence, not trust a snapshot
+        from before it went down.
+        """
+        self._registrations = {}
+        dropped = []
+        highest = 0
+        for snap in state["registrations"]:
+            connection_id = snap["connection_id"]
+            highest = max(highest, snap["request_id"])
+            if (connection_id is not None
+                    and connection_id not in self._connections):
+                dropped.append(snap["request_id"])
+                continue
+            descriptor = ResourceDescriptor(
+                resource=Resource.from_label(snap["resource"]),
+                window=Window(snap["lower"], snap["upper"]),
+                handler=snap["handler"],
+            )
+            registration = Registration(
+                app=snap["app"], path=snap["path"], descriptor=descriptor,
+                connection_id=connection_id, request_id=snap["request_id"],
+            )
+            self._registrations[registration.request_id] = registration
+        advance_request_ids(highest)
+        self.upcalls_sent = state.get("upcalls_sent", self.upcalls_sent)
+        self.disconnect_upcalls = state.get("disconnect_upcalls",
+                                            self.disconnect_upcalls)
+        return len(self._registrations), dropped
 
     # -- log observation (RpcLog observer interface) ---------------------------
 
@@ -259,6 +397,9 @@ class Viceroy:
             "connections": connections,
             "monitors": {resource.label: monitor.current()
                          for resource, monitor in self._monitors.items()},
+            "connectivity": {cid: tracker.state.value
+                             for cid, tracker in self._trackers.items()},
+            "disconnect_upcalls": self.disconnect_upcalls,
             "registrations": [
                 {"request_id": r.request_id, "app": r.app, "path": r.path,
                  "resource": r.descriptor.resource.label,

@@ -13,18 +13,39 @@ resource monitor.
 
 from collections import OrderedDict
 
-from repro.errors import NoSuchObject, NoSuchOperation, OdysseyError
+from repro.connectivity.deferred import (
+    DEFAULT_CAPACITY,
+    DeferredOp,
+    DeferredOpLog,
+    ReplayReport,
+)
+from repro.connectivity.probe import HeartbeatProber
+from repro.errors import (
+    Disconnected,
+    NoSuchObject,
+    NoSuchOperation,
+    OdysseyError,
+    RpcError,
+    RpcTimeout,
+)
 from repro.rpc.connection import RpcConnection
 
 
 class WardenCache:
-    """A byte-accounted LRU cache of warden objects."""
+    """A byte-accounted LRU cache of warden objects.
 
-    def __init__(self, capacity_bytes):
+    Each entry remembers when it was stored (``clock`` is a zero-arg
+    callable returning the current time; wardens pass the simulation
+    clock), which is what degraded-service mode's per-entry staleness
+    tracking reads through :meth:`age`.
+    """
+
+    def __init__(self, capacity_bytes, clock=None):
         if capacity_bytes <= 0:
             raise OdysseyError(f"cache capacity must be positive, got {capacity_bytes!r}")
         self.capacity_bytes = capacity_bytes
-        self._entries = OrderedDict()  # key -> (value, nbytes)
+        self.clock = clock or (lambda: 0.0)
+        self._entries = OrderedDict()  # key -> (value, nbytes, stored_at)
         self.used_bytes = 0
         self.hits = 0
         self.misses = 0
@@ -36,6 +57,12 @@ class WardenCache:
     def __len__(self):
         return len(self._entries)
 
+    @property
+    def hit_ratio(self):
+        """Fraction of lookups served from cache (0.0 before any lookup)."""
+        lookups = self.hits + self.misses
+        return self.hits / lookups if lookups else 0.0
+
     def get(self, key):
         """Return the cached value or None, updating recency and stats."""
         entry = self._entries.get(key)
@@ -46,20 +73,39 @@ class WardenCache:
         self.hits += 1
         return entry[0]
 
+    def peek(self, key):
+        """Return the cached value or None — no recency or stat mutation.
+
+        The degraded-service probe: wardens consult the cache without
+        committing to serving from it (and without polluting hit counters
+        that tune adaptation decisions).
+        """
+        entry = self._entries.get(key)
+        return None if entry is None else entry[0]
+
+    def age(self, key):
+        """Seconds since ``key`` was stored, or None if absent."""
+        entry = self._entries.get(key)
+        return None if entry is None else self.clock() - entry[2]
+
     def put(self, key, value, nbytes):
         """Insert ``value``; evicts LRU entries to stay within capacity.
 
-        Objects larger than the whole cache are refused (returns False).
+        Objects larger than the whole cache are refused (returns False);
+        non-positive sizes raise — a zero-byte entry would make occupancy
+        accounting (and the disk-cache-space monitor riding on it) lie.
         """
+        if nbytes <= 0:
+            raise OdysseyError(f"cache entry size must be positive, got {nbytes!r}")
         if nbytes > self.capacity_bytes:
             return False
         if key in self._entries:
             self.discard(key)
         while self.used_bytes + nbytes > self.capacity_bytes:
-            old_key, (_, old_bytes) = self._entries.popitem(last=False)
+            old_key, (_, old_bytes, _) = self._entries.popitem(last=False)
             self.used_bytes -= old_bytes
             self.evictions += 1
-        self._entries[key] = (value, nbytes)
+        self._entries[key] = (value, nbytes, self.clock())
         self.used_bytes += nbytes
         return True
 
@@ -109,13 +155,27 @@ class Warden:
     #: fidelity level name -> numeric fidelity in (0, 1].
     FIDELITIES = {}
 
-    def __init__(self, sim, viceroy, name, cache_bytes=8 * 1024 * 1024):
+    #: tsop opcodes that mutate server state: queued to the deferred-op log
+    #: while their connection is disconnected, replayed on reconnection.
+    DEFERRABLE_TSOPS = frozenset()
+
+    def __init__(self, sim, viceroy, name, cache_bytes=8 * 1024 * 1024,
+                 max_staleness=None, deferred_capacity=DEFAULT_CAPACITY):
         self.sim = sim
         self.viceroy = viceroy
         self.name = name
-        self.cache = WardenCache(cache_bytes)
+        self.cache = WardenCache(cache_bytes, clock=lambda: sim.now)
         self.connections = []
         self.failovers = 0
+        #: Staleness bound for degraded service, seconds (None = serve any
+        #: cached copy, however old).
+        self.max_staleness = max_staleness
+        self.deferred = DeferredOpLog(deferred_capacity)
+        self.reintegration_reports = []
+        self.stale_served = 0
+        self.disconnected_misses = 0
+        self.staleness_served = []  # age (s) of each stale copy served
+        self._probers = {}  # connection_id -> HeartbeatProber
 
     def __repr__(self):
         return f"<{self.__class__.__name__} {self.name!r}>"
@@ -149,6 +209,7 @@ class Warden:
         """
         if conn not in self.connections:
             raise OdysseyError(f"warden {self.name!r} does not own {conn!r}")
+        self._stop_heartbeat(conn)
         self.viceroy.unregister_connection(conn.connection_id, notify=notify)
         conn.close()
         self.connections.remove(conn)
@@ -163,6 +224,7 @@ class Warden:
         Returns the replacement connection.
         """
         index = self.connections.index(conn)  # raises if not ours
+        prober = self._stop_heartbeat(conn)
         self.viceroy.unregister_connection(conn.connection_id, notify=notify)
         conn.close()
         self.failovers += 1
@@ -174,7 +236,44 @@ class Warden:
         )
         self.connections[index] = replacement
         self.viceroy.register_connection(replacement, warden=self)
+        if prober is not None:  # the heartbeat follows the warden, not the socket
+            self.start_heartbeat(replacement, interval=prober.interval,
+                                 timeout=prober.timeout)
         return replacement
+
+    # -- connectivity ---------------------------------------------------------
+
+    def connectivity(self, conn):
+        """The viceroy's connectivity tracker for ``conn`` (or None)."""
+        return self.viceroy.connectivity(conn.connection_id)
+
+    def start_heartbeat(self, conn, **probe_kwargs):
+        """Attach a heartbeat prober to ``conn``; returns it.
+
+        The prober feeds probe evidence into the viceroy's tracker for the
+        connection — without one, a connection that stops carrying fetch
+        traffic (because degraded mode keeps traffic off it) would never
+        produce the success evidence that ends an outage.
+        """
+        tracker = self.connectivity(conn)
+        if tracker is None:
+            raise OdysseyError(
+                f"connection {conn.connection_id!r} has no connectivity "
+                "tracker; register it with the viceroy first"
+            )
+        if conn.connection_id in self._probers:
+            raise OdysseyError(
+                f"connection {conn.connection_id!r} already has a heartbeat"
+            )
+        prober = HeartbeatProber(self.sim, conn, tracker, **probe_kwargs)
+        self._probers[conn.connection_id] = prober
+        return prober
+
+    def _stop_heartbeat(self, conn):
+        prober = self._probers.pop(conn.connection_id, None)
+        if prober is not None:
+            prober.stop()
+        return prober
 
     def primary_connection(self, rest=None):
         """The connection serving ``rest`` (default: the first one)."""
@@ -185,16 +284,173 @@ class Warden:
     # -- tsop dispatch -----------------------------------------------------------
 
     def tsop(self, app, rest, opcode, inbuf):
-        """Dispatch a type-specific operation.  Generator."""
+        """Dispatch a type-specific operation.  Generator.
+
+        Mutating opcodes (listed in :attr:`DEFERRABLE_TSOPS`) issued while
+        the object's connection is disconnected are queued to the
+        deferred-op log instead of dispatched; the caller receives a
+        ``{"deferred": True, "seq": ...}`` marker immediately and the op is
+        replayed during reintegration.
+        """
         method_name = self.TSOPS.get(opcode)
         if method_name is None:
             raise NoSuchOperation(
                 f"warden {self.name!r} has no tsop {opcode!r}; "
                 f"supported: {sorted(self.TSOPS)}"
             )
+        if opcode in self.DEFERRABLE_TSOPS and self._should_defer(rest):
+            op = self.deferred.append(DeferredOp(
+                app=app, rest=rest, opcode=opcode, inbuf=inbuf,
+                queued_at=self.sim.now,
+                coalesce=self.coalesce_key(opcode, rest, inbuf),
+            ))
+            return {"deferred": True, "seq": op.seq, "opcode": opcode}
         method = getattr(self, method_name)
         result = yield from method(app, rest, inbuf)
         return result
+
+    def coalesce_key(self, opcode, rest, inbuf):
+        """Coalescing key for a deferrable op (None = never coalesce).
+
+        Subclasses override for ops where only the latest value matters
+        (e.g. the video warden's playback-position saves).
+        """
+        return None
+
+    def _should_defer(self, rest):
+        if not self.connections:
+            return False
+        # A non-empty log means earlier writes are still waiting to replay:
+        # new writes queue behind them, or they would overtake the backlog
+        # and invert the client's write order at the server.
+        if self.deferred:
+            return True
+        tracker = self.connectivity(self.primary_connection(rest))
+        return tracker is not None and tracker.offline
+
+    # -- degraded service ------------------------------------------------------
+
+    def resilient_fetch(self, conn, key, fetch_op):
+        """Fetch through degraded-service mode.  Generator.
+
+        ``fetch_op`` is a zero-arg callable returning a generator that
+        performs the real network fetch and returns ``(value, nbytes)``.
+        While the connection is healthy the fetch runs normally, feeds
+        success/failure evidence to the connectivity tracker, and caches
+        its result.  While DISCONNECTED (or RECONNECTING) the network is
+        not touched: a cached copy within :attr:`max_staleness` is served
+        (its age recorded in :attr:`staleness_served`), and a miss raises
+        :class:`~repro.errors.Disconnected` instead of hanging in retries.
+        A timeout on the healthy path falls back to the cache the same way,
+        re-raising the timeout on a miss.
+        """
+        tracker = self.connectivity(conn)
+        if tracker is not None and tracker.offline:
+            return self._serve_degraded(key, cause=None)
+        try:
+            value, nbytes = yield from fetch_op()
+        except RpcTimeout as cause:
+            if tracker is not None:
+                tracker.note_failure()
+            return self._serve_degraded(key, cause=cause)
+        if tracker is not None:
+            tracker.note_success()
+        self.cache.put(key, value, nbytes)
+        return value
+
+    def _serve_degraded(self, key, cause):
+        """Serve ``key`` from cache under the staleness bound, or raise.
+
+        ``cause`` is the triggering :class:`~repro.errors.RpcTimeout` when
+        the network was actually tried (and is re-raised on a miss, keeping
+        connected-path semantics); ``None`` means degraded mode skipped the
+        network, where a miss is a typed ``Disconnected`` error.
+        """
+        value = self.cache.peek(key)
+        if value is not None:
+            age = self.cache.age(key)
+            if self.max_staleness is None or age <= self.max_staleness:
+                self.cache.get(key)  # commit: count the hit, refresh recency
+                self.stale_served += 1
+                self.staleness_served.append(age)
+                return value
+            if cause is None:
+                raise Disconnected(
+                    f"warden {self.name!r}: cached {key!r} is {age:.1f} s old, "
+                    f"over the {self.max_staleness:.1f} s staleness bound",
+                    key=key, age=age,
+                )
+        if cause is not None:
+            raise cause
+        self.disconnected_misses += 1
+        raise Disconnected(
+            f"warden {self.name!r}: {key!r} not cached while disconnected",
+            key=key,
+        )
+
+    # -- reintegration ---------------------------------------------------------
+
+    def on_reconnect(self, conn):
+        """Viceroy hook: ``conn`` recovered; replay the deferred-op log."""
+        if self.deferred:
+            self.sim.process(self._reintegrate(conn),
+                             name=f"{self.name}.reintegrate")
+
+    def _requeue_tail(self, ops):
+        """Put unplayed ops back at the front of the log, with reports."""
+        self.deferred.requeue(ops)
+        for op in ops:
+            self.reintegration_reports.append(ReplayReport(
+                op, "requeued", replayed_at=self.sim.now,
+            ))
+
+    def _reintegrate(self, conn):
+        """Replay queued ops in enqueue order, recording each op's fate.
+
+        Dispatches each op's method directly (not through :meth:`tsop`,
+        whose deferral check would send the replay straight back into the
+        log).  Ops deferred *during* replay — writers keep writing — are
+        picked up by draining again until the log stays empty.  If the
+        link dies again mid-replay, the unplayed tail is requeued at the
+        front and replay stops; the next reconnection resumes it.
+
+        A replay attempt that *times out* does not discard the write: the
+        op (and the tail behind it) is requeued and retried on the next
+        pass.  The timeout is also fed to the connectivity tracker, so a
+        link that keeps flaking walks back to DISCONNECTED and ends the
+        replay rather than spinning.  Only non-timeout errors — the op is
+        malformed, the connection was torn down — report ``failed``.
+        """
+        while self.deferred:
+            batch = self.deferred.drain()
+            for position, op in enumerate(batch):
+                tracker = self.connectivity(conn)
+                if tracker is not None and tracker.offline:
+                    self._requeue_tail(batch[position:])
+                    return
+                method = getattr(self, self.TSOPS[op.opcode])
+                try:
+                    result = yield from method(op.app, op.rest, op.inbuf)
+                except RpcTimeout:
+                    if tracker is not None:
+                        tracker.note_failure()
+                    self._requeue_tail(batch[position:])
+                    if tracker is not None and tracker.offline:
+                        return
+                    break  # drain again and retry from this op
+                except (RpcError, OdysseyError) as exc:
+                    status, detail = "failed", exc
+                else:
+                    if tracker is not None:
+                        tracker.note_success()
+                    if isinstance(result, dict) and result.get("conflict"):
+                        status = "conflict"
+                    else:
+                        status = "applied"
+                    detail = result
+                self.reintegration_reports.append(ReplayReport(
+                    op, status, detail=detail, replayed_at=self.sim.now,
+                ))
 
     # -- vfs hooks (subclasses override what they support) ------------------------
 

@@ -63,6 +63,26 @@ class ToleranceError(OdysseyError):
         self.available = available
 
 
+class Disconnected(OdysseyError):
+    """A fetch could not be served while its connection is disconnected.
+
+    Raised by degraded-service mode when the requested object is not in the
+    warden's cache (or its cached copy is older than the warden's staleness
+    bound).  Carries the cache ``key`` and the ``age`` of the too-stale copy
+    (``None`` for a plain miss) so applications can distinguish the cases.
+    """
+
+    def __init__(self, message, key=None, age=None):
+        super().__init__(message)
+        self.key = key
+        self.age = age
+
+
+class DeferredLogFull(OdysseyError):
+    """A mutating operation could not be queued: the deferred-op log is at
+    capacity.  The application must drop the operation or retry later."""
+
+
 class NoSuchObject(OdysseyError):
     """An Odyssey path did not resolve to any warden-managed object."""
 

@@ -41,6 +41,12 @@ DEFAULT_WINDOW_BYTES = 32 * 1024
 #: round-trip response for 200 ms and poison the RTT estimate.
 DEFAULT_FRAGMENT_BYTES = 2048
 
+#: Operation every service answers without registration: the heartbeat
+#: probe (:mod:`repro.connectivity.probe`).  Zero compute, tiny reply —
+#: its only job is proving the path is alive.
+PING_OP = "__ping__"
+PING_REPLY_BYTES = 16
+
 #: Per-attempt timeout for retried operations, seconds.  Long enough to
 #: ride out one LOW_BANDWIDTH window transmission; short enough that a
 #: blacked-out link is detected within a couple of seconds.
@@ -61,6 +67,12 @@ class RetryPolicy:
     :class:`~repro.errors.RpcTimeout` triggers a backoff pause that grows by
     ``multiplier`` up to ``cap`` before the next attempt.  After ``retries``
     failed retries the last timeout propagates to the caller.
+
+    ``deadline`` (seconds, ``None`` = unbounded) is an overall wall-clock
+    budget across every attempt and backoff pause: per-attempt timeouts are
+    clipped to the remaining budget and no retry starts past it.  Degraded
+    service depends on this — a disconnected fetch must fail into the cache
+    within a couple of seconds, not exhaust the full backoff schedule.
     """
 
     timeout: float = DEFAULT_RETRY_TIMEOUT
@@ -68,6 +80,7 @@ class RetryPolicy:
     backoff: float = DEFAULT_BACKOFF_SECONDS
     multiplier: float = DEFAULT_BACKOFF_MULTIPLIER
     cap: float = DEFAULT_BACKOFF_CAP_SECONDS
+    deadline: float = None
 
     def __post_init__(self):
         if self.timeout <= 0:
@@ -81,6 +94,8 @@ class RetryPolicy:
             )
         if self.multiplier < 1:
             raise RpcError(f"multiplier must be >= 1, got {self.multiplier!r}")
+        if self.deadline is not None and self.deadline <= 0:
+            raise RpcError(f"deadline must be positive, got {self.deadline!r}")
 
     def delays(self):
         """Yield the backoff pause before each retry, in order."""
@@ -110,6 +125,9 @@ class RpcService:
         self._bulk_sources = {}
         self._transfer_ids = itertools.count(1)
         self._push_buffers = {}
+        self._handlers[PING_OP] = lambda body: ServerReply(
+            body={"pong": True}, body_bytes=PING_REPLY_BYTES
+        )
         self._cpu = Semaphore(sim, cpus, name=f"{port}.cpu") if cpus else None
         self._jitter_rng = None
         self._jitter_fraction = 0.0
@@ -492,14 +510,27 @@ class RpcConnection:
         """Drive ``attempt(timeout)`` under ``retry``, backing off between timeouts."""
         retry = retry or RetryPolicy()
         delays = retry.delays()
+        deadline_at = None
+        if retry.deadline is not None:
+            deadline_at = self.sim.now + retry.deadline
         while True:
+            timeout = retry.timeout
+            if deadline_at is not None:
+                timeout = min(timeout, deadline_at - self.sim.now)
             try:
-                result = yield from attempt(retry.timeout)
+                result = yield from attempt(timeout)
                 return result
             except RpcTimeout:
                 delay = next(delays, None)
                 if delay is None:
                     raise
+                if (deadline_at is not None
+                        and self.sim.now + delay >= deadline_at):
+                    self.timeouts += 1
+                    raise RpcTimeout(
+                        f"{self.connection_id}: retry deadline "
+                        f"({retry.deadline} s) exhausted"
+                    )
                 self.retries += 1
                 if delay > 0:
                     yield self.sim.timeout(delay)

@@ -147,6 +147,55 @@ def test_watcher_satisfied_by_first_fresh_arrival():
     assert warden._watchers == []  # watcher cleaned up
 
 
+def test_save_position_live_and_conflict():
+    sim, warden, api = build_world()
+    get_meta(sim, api)
+
+    def flow():
+        first = yield from api.tsop("/odyssey/video", "save-position",
+                                    {"movie": "m", "position": 40})
+        second = yield from api.tsop("/odyssey/video", "save-position",
+                                     {"movie": "m", "position": 30})
+        return first, second
+
+    process = sim.process(flow())
+    sim.run(until=5.0)
+    first, second = process.value
+    assert first["conflict"] is False
+    assert second["conflict"] is True  # the position went backwards
+
+
+def test_save_position_defers_coalesces_and_reintegrates():
+    sim, warden, api = build_world()
+    get_meta(sim, api)
+    conn = warden.primary_connection()
+    tracker = warden.connectivity(conn)
+    for _ in range(tracker.disconnect_after):
+        tracker.note_failure()
+    assert tracker.offline
+
+    def queue():
+        a = yield from api.tsop("/odyssey/video", "save-position",
+                                {"movie": "m", "position": 10})
+        b = yield from api.tsop("/odyssey/video", "save-position",
+                                {"movie": "m", "position": 20})
+        return a, b
+
+    process = sim.process(queue())
+    sim.run(until=sim.now + 1.0)
+    a, b = process.value
+    assert a["deferred"] and b["deferred"]
+    # Same movie: the two saves coalesce to the latest position.
+    assert len(warden.deferred) == 1
+    assert warden.deferred.coalesced == 1
+
+    tracker.note_success()
+    tracker.note_success()  # RECONNECTING -> CONNECTED: replay kicks off
+    sim.run(until=sim.now + 5.0)
+    assert [r.status for r in warden.reintegration_reports] == ["applied"]
+    assert warden.reintegration_reports[0].detail["position"] == 20
+
+
 def test_cache_stats_tsop():
     sim, warden, api = build_world()
     get_meta(sim, api)

@@ -1,0 +1,111 @@
+"""The deferred-op log: order, capacity, coalescing, requeue."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.connectivity import DeferredOp, DeferredOpLog
+from repro.errors import DeferredLogFull, OdysseyError
+
+
+def make_op(opcode="post", coalesce=None, **inbuf):
+    return DeferredOp(app="app", rest="x", opcode=opcode, inbuf=inbuf,
+                      queued_at=0.0, coalesce=coalesce)
+
+
+def test_capacity_validated():
+    with pytest.raises(OdysseyError):
+        DeferredOpLog(0)
+
+
+def test_fifo_order_preserved():
+    log = DeferredOpLog()
+    ops = [make_op(n=i) for i in range(5)]
+    for op in ops:
+        log.append(op)
+    assert log.drain() == ops
+    assert len(log) == 0
+    assert log.replayed == 5
+
+
+def test_full_log_refuses_loudly():
+    log = DeferredOpLog(capacity=2)
+    log.append(make_op())
+    log.append(make_op())
+    with pytest.raises(DeferredLogFull):
+        log.append(make_op())
+    assert len(log) == 2  # the refused op was not half-admitted
+
+
+def test_coalescing_keeps_only_the_latest():
+    log = DeferredOpLog(capacity=4)
+    log.append(make_op(coalesce="pos:m1", value=1))
+    log.append(make_op(coalesce=None, value=2))
+    log.append(make_op(coalesce="pos:m1", value=3))
+    ops = log.drain()
+    assert [op.inbuf["value"] for op in ops] == [2, 3]
+    assert log.coalesced == 1
+
+
+def test_coalescing_frees_the_slot():
+    log = DeferredOpLog(capacity=2)
+    log.append(make_op(coalesce="k", value=1))
+    log.append(make_op(value=2))
+    # Full — but a coalescing append replaces, so it still fits.
+    log.append(make_op(coalesce="k", value=3))
+    assert [op.inbuf["value"] for op in log.drain()] == [2, 3]
+
+
+def test_distinct_coalesce_keys_do_not_merge():
+    log = DeferredOpLog()
+    log.append(make_op(coalesce="pos:m1", value=1))
+    log.append(make_op(coalesce="pos:m2", value=2))
+    assert len(log) == 2
+
+
+def test_requeue_goes_to_the_front():
+    log = DeferredOpLog(capacity=8)
+    first, second = make_op(n=1), make_op(n=2)
+    log.append(first)
+    log.append(second)
+    batch = log.drain()
+    # A new op arrives while the replay is failing...
+    late = log.append(make_op(n=3))
+    # ...then the unplayed tail goes back in front of it.
+    log.requeue(batch[1:])
+    assert log.drain() == [second, late]
+    assert log.enqueued == 3  # requeue is not a new enqueue
+
+
+def test_sequence_numbers_are_monotonic():
+    log = DeferredOpLog()
+    ops = [log.append(make_op(n=i)) for i in range(4)]
+    seqs = [op.seq for op in ops]
+    assert seqs == sorted(seqs)
+    assert len(set(seqs)) == len(seqs)
+
+
+@settings(max_examples=100, deadline=None)
+@given(keys=st.lists(
+    st.one_of(st.none(), st.sampled_from(["a", "b", "c"])),
+    min_size=0, max_size=40,
+))
+def test_at_most_one_op_per_coalesce_key(keys):
+    """However appends interleave, each coalesce key occupies one slot and
+    drain order matches (coalesced) arrival order."""
+    log = DeferredOpLog(capacity=100)
+    for i, key in enumerate(keys):
+        log.append(make_op(coalesce=key, value=i))
+    ops = log.drain()
+    seen = [op.coalesce for op in ops if op.coalesce is not None]
+    assert len(seen) == len(set(seen))
+    seqs = [op.seq for op in ops]
+    assert seqs == sorted(seqs)
+    # Every keyed op that survived is the *last* appended for its key.
+    last_for_key = {}
+    for i, key in enumerate(keys):
+        if key is not None:
+            last_for_key[key] = i
+    for op in ops:
+        if op.coalesce is not None:
+            assert op.inbuf["value"] == last_for_key[op.coalesce]

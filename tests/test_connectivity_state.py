@@ -1,0 +1,255 @@
+"""The connectivity state machine: hysteresis, legal edges, recovery.
+
+The property tests pin the two invariants the disconnected-operation
+subsystem leans on: the machine only ever walks edges in
+:data:`VALID_TRANSITIONS` (in particular it never jumps
+CONNECTED -> RECONNECTING), and once faults clear it always returns to
+CONNECTED — under arbitrary evidence streams and under evidence derived
+from blackout plans shaped like the robustness scenario family's.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.connectivity import (
+    VALID_TRANSITIONS,
+    ConnState,
+    ConnectivityTracker,
+)
+from repro.errors import OdysseyError
+from repro.faults import Blackout, FaultPlan
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+def make_tracker(**kwargs):
+    return ConnectivityTracker(FakeClock(), name="t", **kwargs)
+
+
+# -- construction -----------------------------------------------------------
+
+def test_starts_connected():
+    tracker = make_tracker()
+    assert tracker.state is ConnState.CONNECTED
+    assert not tracker.offline
+    assert tracker.transitions == []
+
+
+@pytest.mark.parametrize("kwargs", [
+    {"degrade_after": 0},
+    {"recover_after": 0},
+    {"degrade_after": 3, "disconnect_after": 3},
+    {"degrade_after": 3, "disconnect_after": 2},
+])
+def test_threshold_validation(kwargs):
+    with pytest.raises(OdysseyError):
+        make_tracker(**kwargs)
+
+
+# -- hysteresis down --------------------------------------------------------
+
+def test_single_failure_does_not_degrade():
+    tracker = make_tracker(degrade_after=2)
+    tracker.note_failure()
+    assert tracker.state is ConnState.CONNECTED
+
+
+def test_consecutive_failures_degrade_then_disconnect():
+    tracker = make_tracker(degrade_after=2, disconnect_after=4)
+    tracker.note_failure()
+    tracker.note_failure()
+    assert tracker.state is ConnState.DEGRADED
+    assert not tracker.offline
+    tracker.note_failure()
+    assert tracker.state is ConnState.DEGRADED
+    tracker.note_failure()
+    assert tracker.state is ConnState.DISCONNECTED
+    assert tracker.offline
+
+
+def test_success_resets_the_failure_run():
+    tracker = make_tracker(degrade_after=2)
+    tracker.note_failure()
+    tracker.note_success()
+    tracker.note_failure()
+    assert tracker.state is ConnState.CONNECTED  # never two in a row
+
+
+# -- recovery ---------------------------------------------------------------
+
+def march_to_disconnected(tracker):
+    for _ in range(tracker.disconnect_after):
+        tracker.note_failure()
+    assert tracker.state is ConnState.DISCONNECTED
+
+
+def test_first_success_enters_reconnecting_not_connected():
+    tracker = make_tracker(recover_after=2)
+    march_to_disconnected(tracker)
+    tracker.note_success()
+    assert tracker.state is ConnState.RECONNECTING
+    assert tracker.offline  # still not trusted
+    tracker.note_success()
+    assert tracker.state is ConnState.CONNECTED
+    assert not tracker.offline
+
+
+def test_relapse_while_reconnecting():
+    tracker = make_tracker()
+    march_to_disconnected(tracker)
+    tracker.note_success()
+    tracker.note_failure()
+    assert tracker.state is ConnState.DISCONNECTED
+
+
+def test_degraded_recovers_without_visiting_reconnecting():
+    tracker = make_tracker(degrade_after=2, recover_after=2)
+    tracker.note_failure()
+    tracker.note_failure()
+    tracker.note_success()
+    tracker.note_success()
+    assert tracker.state is ConnState.CONNECTED
+    visited = {t.target for t in tracker.transitions}
+    assert ConnState.RECONNECTING not in visited
+
+
+# -- bookkeeping ------------------------------------------------------------
+
+def test_transitions_record_time_and_reason():
+    clock = FakeClock()
+    tracker = ConnectivityTracker(clock, degrade_after=1, disconnect_after=2)
+    clock.now = 5.0
+    tracker.note_failure()
+    assert tracker.transitions[-1].time == 5.0
+    assert tracker.transitions[-1].source is ConnState.CONNECTED
+    assert tracker.transitions[-1].target is ConnState.DEGRADED
+    assert "failure" in tracker.transitions[-1].reason
+    clock.now = 9.0
+    assert tracker.time_in_state() == pytest.approx(4.0)
+
+
+def test_subscribers_see_every_transition():
+    tracker = make_tracker()
+    seen = []
+    tracker.subscribe(seen.append)
+    march_to_disconnected(tracker)
+    tracker.note_success()
+    tracker.note_success()
+    assert [t.target for t in seen] == [
+        ConnState.DEGRADED, ConnState.DISCONNECTED,
+        ConnState.RECONNECTING, ConnState.CONNECTED,
+    ]
+    assert seen == tracker.transitions
+
+
+def test_probe_evidence_counted_separately():
+    tracker = make_tracker()
+    tracker.note_success(probe=True)
+    tracker.note_failure(probe=True)
+    tracker.note_failure()
+    assert tracker.probe_successes == 1
+    assert tracker.probe_failures == 1
+    assert tracker.successes == 1 and tracker.failures == 2
+
+
+def test_illegal_move_raises():
+    tracker = make_tracker()
+    with pytest.raises(OdysseyError):
+        tracker._move(ConnState.RECONNECTING, "forced")
+
+
+# -- properties -------------------------------------------------------------
+
+EVIDENCE = st.lists(st.booleans(), min_size=0, max_size=200)
+THRESHOLDS = st.tuples(
+    st.integers(min_value=1, max_value=4),   # degrade_after
+    st.integers(min_value=1, max_value=4),   # disconnect_after - degrade_after
+    st.integers(min_value=1, max_value=4),   # recover_after
+)
+
+
+@settings(max_examples=200, deadline=None)
+@given(evidence=EVIDENCE, thresholds=THRESHOLDS)
+def test_only_legal_edges_ever_taken(evidence, thresholds):
+    """Any evidence stream: every transition is a legal edge, and the
+    machine never jumps CONNECTED -> RECONNECTING."""
+    degrade, gap, recover = thresholds
+    tracker = make_tracker(degrade_after=degrade,
+                           disconnect_after=degrade + gap,
+                           recover_after=recover)
+    for ok in evidence:
+        tracker.note_success() if ok else tracker.note_failure()
+    for transition in tracker.transitions:
+        assert transition.target in VALID_TRANSITIONS[transition.source]
+        assert not (transition.source is ConnState.CONNECTED
+                    and transition.target is ConnState.RECONNECTING)
+    # Consecutive transitions chain: each starts where the last ended.
+    states = [ConnState.CONNECTED] + [t.target for t in tracker.transitions]
+    for before, transition in zip(states, tracker.transitions):
+        assert transition.source is before
+
+
+@settings(max_examples=200, deadline=None)
+@given(evidence=EVIDENCE, thresholds=THRESHOLDS)
+def test_always_recovers_once_faults_clear(evidence, thresholds):
+    """After any history, sustained success always reaches CONNECTED."""
+    degrade, gap, recover = thresholds
+    tracker = make_tracker(degrade_after=degrade,
+                           disconnect_after=degrade + gap,
+                           recover_after=recover)
+    for ok in evidence:
+        tracker.note_success() if ok else tracker.note_failure()
+    # Worst case: one success only reaches RECONNECTING, then the run
+    # to recover_after must complete from there.
+    for _ in range(recover + 1):
+        tracker.note_success()
+    assert tracker.state is ConnState.CONNECTED
+
+
+@st.composite
+def blackout_plans(draw):
+    """FaultPlans shaped like the robustness family's outage windows."""
+    n = draw(st.integers(min_value=1, max_value=4))
+    faults, t = [], 0.0
+    for _ in range(n):
+        t += draw(st.floats(min_value=1.0, max_value=30.0))
+        duration = draw(st.floats(min_value=0.5, max_value=40.0))
+        faults.append(Blackout(start=t, duration=duration))
+        t += duration
+    return FaultPlan(faults, name="generated")
+
+
+@settings(max_examples=100, deadline=None)
+@given(plan=blackout_plans(), thresholds=THRESHOLDS,
+       step=st.floats(min_value=0.5, max_value=3.0))
+def test_recovers_after_any_blackout_plan(plan, thresholds, step):
+    """Evidence sampled through any blackout plan: legal edges throughout,
+    and CONNECTED again once the last blackout clears."""
+    degrade, gap, recover = thresholds
+    clock = FakeClock()
+    tracker = ConnectivityTracker(clock, degrade_after=degrade,
+                                  disconnect_after=degrade + gap,
+                                  recover_after=recover)
+
+    def dark(t):
+        return any(f.start <= t < f.start + f.duration for f in plan.faults)
+
+    end = max(f.start + f.duration for f in plan.faults)
+    # Sample evidence on a fixed cadence: a probe/fetch fails while any
+    # blackout covers it, succeeds otherwise.  Run well past the last
+    # fault so recovery hysteresis has the successes it needs.
+    t = 0.0
+    while t < end + step * (recover + 2):
+        clock.now = t
+        tracker.note_failure() if dark(t) else tracker.note_success()
+        t += step
+    assert tracker.state is ConnState.CONNECTED
+    for transition in tracker.transitions:
+        assert transition.target in VALID_TRANSITIONS[transition.source]

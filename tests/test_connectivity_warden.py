@@ -1,0 +1,327 @@
+"""Disconnected operation end to end at the warden/viceroy layer:
+degraded service, write deferral, heartbeat recovery, reintegration,
+disconnected upcalls, and viceroy checkpoint/restore."""
+
+import json
+
+import pytest
+
+from repro.connectivity import ConnState, DeferredOp
+from repro.core.resources import Resource, ResourceDescriptor, Window
+from repro.core.warden import Warden
+from repro.errors import Disconnected, OdysseyError, RpcTimeout
+from repro.rpc.connection import RpcService
+from repro.rpc.messages import ServerReply
+
+
+class StoreWarden(Warden):
+    """A key/value warden: cached reads, deferrable versioned writes."""
+
+    TSOPS = {"read": "tsop_read", "write": "tsop_write"}
+    DEFERRABLE_TSOPS = frozenset({"write"})
+
+    def tsop_read(self, app, rest, inbuf):
+        conn = self.primary_connection(rest)
+        key = inbuf["key"]
+
+        def fetch_op():
+            reply, _ = yield from conn.call("get", body={"key": key},
+                                            timeout=1.0)
+            return reply["value"], 100
+
+        value = yield from self.resilient_fetch(conn, key, fetch_op)
+        return value
+
+    def tsop_write(self, app, rest, inbuf):
+        conn = self.primary_connection(rest)
+        reply, _ = yield from conn.call("put", body=dict(inbuf), timeout=1.0)
+        return reply
+
+    def coalesce_key(self, opcode, rest, inbuf):
+        return inbuf.get("slot")
+
+
+@pytest.fixture
+def world(sim, network, viceroy):
+    server = network.add_host("store-server")
+    service = RpcService(sim, server, "store")
+    values = {"k1": "v1", "k2": "v2"}
+    writes = []
+    accepted = {"version": -1}
+
+    def _get(body):
+        return ServerReply(body={"value": values[body["key"]]}, body_bytes=64)
+
+    def _put(body):
+        writes.append(dict(body))
+        version = body.get("version", 0)
+        conflict = version <= accepted["version"]
+        if not conflict:
+            accepted["version"] = version
+        return ServerReply(body={"conflict": conflict}, body_bytes=32)
+
+    service.register("get", _get)
+    service.register("put", _put)
+    warden = StoreWarden(sim, viceroy, "store")
+    conn = warden.open_connection("store-server", "store")
+    viceroy.mount("/odyssey/store", warden)
+    return sim, service, warden, conn, writes
+
+
+def read(warden, key):
+    return warden.tsop("app", "x", "read", {"key": key})
+
+
+def write(warden, **inbuf):
+    return warden.tsop("app", "x", "write", inbuf)
+
+
+def finish(sim, generator):
+    """Run exactly until ``generator`` completes.
+
+    Unlike the ``run_process`` fixture this works with a live heartbeat
+    prober (whose endless probe loop keeps the event queue non-empty).
+    """
+    return sim.run(until=sim.process(generator))
+
+
+def go_offline(sim, service, warden, outage=3600.0):
+    """Drive the tracker to DISCONNECTED with failed reads during an outage.
+
+    Warm-cached reads serve stale instead of raising, so outcomes are
+    ignored — only the evidence fed to the tracker matters here.
+    """
+    service.set_outage(outage)
+    tracker = warden.connectivity(warden.primary_connection())
+    while not tracker.offline:
+        try:
+            finish(sim, read(warden, "k1"))
+        except (RpcTimeout, Disconnected):
+            pass
+    assert tracker.state is ConnState.DISCONNECTED
+    return tracker
+
+
+# -- degraded service --------------------------------------------------------
+
+def test_healthy_reads_are_write_through(sim, world, run_process):
+    _, service, warden, conn, _ = world
+    assert run_process(read(warden, "k1")) == "v1"
+    assert run_process(read(warden, "k1")) == "v1"
+    # Both reads hit the network (the cache only *serves* when degraded)...
+    assert service.requests_served == 2
+    # ...but the copy is cached, ready for an outage.
+    assert warden.cache.peek("k1") == "v1"
+
+
+def test_timeout_falls_back_to_cache(sim, world, run_process):
+    _, service, warden, conn, _ = world
+    run_process(read(warden, "k1"))
+    service.set_outage(3600.0)
+    assert run_process(read(warden, "k1")) == "v1"
+    assert warden.stale_served == 1
+    assert len(warden.staleness_served) == 1
+    assert warden.connectivity(conn).failures == 1
+
+
+def test_timeout_with_cold_cache_reraises(sim, world, run_process):
+    _, service, warden, conn, _ = world
+    service.set_outage(3600.0)
+    with pytest.raises(RpcTimeout):
+        run_process(read(warden, "k1"))
+
+
+def test_disconnected_reads_never_touch_network(sim, world, run_process):
+    _, service, warden, conn, _ = world
+    run_process(read(warden, "k1"))
+    go_offline(sim, service, warden)
+    attempts = service.requests_served + service.dropped_during_outage
+
+    start = sim.now
+    assert run_process(read(warden, "k1")) == "v1"
+    assert sim.now == start  # served instantly, no network wait
+    assert warden.stale_served >= 1
+    assert warden.staleness_served[-1] > 0
+    assert service.requests_served + service.dropped_during_outage == attempts
+
+
+def test_disconnected_miss_is_typed_error(sim, world, run_process):
+    _, service, warden, conn, _ = world
+    run_process(read(warden, "k1"))
+    go_offline(sim, service, warden)
+    with pytest.raises(Disconnected) as excinfo:
+        run_process(read(warden, "k2"))
+    assert excinfo.value.key == "k2"
+    assert warden.disconnected_misses == 1
+
+
+def test_staleness_bound_enforced(sim, network, viceroy, run_process):
+    server = network.add_host("s2")
+    service = RpcService(sim, server, "svc")
+    service.register("get", lambda body: ServerReply(body={"value": 1},
+                                                     body_bytes=64))
+    warden = StoreWarden(sim, viceroy, "bounded", max_staleness=5.0)
+    warden.open_connection("s2", "svc")
+    run_process(read(warden, "k1"))
+    go_offline(sim, service, warden)
+
+    def wait_then_read():
+        yield sim.timeout(30.0)  # the cached copy ages past the bound
+        value = yield from read(warden, "k1")
+        return value
+
+    with pytest.raises(Disconnected) as excinfo:
+        run_process(wait_then_read())
+    assert excinfo.value.age > 5.0
+
+
+# -- deferral and reintegration ----------------------------------------------
+
+def test_writes_defer_while_offline(sim, world, run_process):
+    _, service, warden, conn, _ = world
+    run_process(read(warden, "k1"))
+    go_offline(sim, service, warden)
+    marker = run_process(write(warden, version=1))
+    assert marker["deferred"] is True
+    assert len(warden.deferred) == 1
+
+
+def test_writes_defer_behind_a_backlog_even_when_connected(world,
+                                                           run_process):
+    """Write ordering: a new write must not overtake queued ones."""
+    sim, service, warden, conn, writes = world
+    warden.deferred.append(DeferredOp(app="app", rest="x", opcode="write",
+                                      inbuf={"version": 1}, queued_at=0.0))
+    marker = run_process(write(warden, version=2))
+    assert marker["deferred"] is True
+    assert [op.inbuf["version"] for op in warden.deferred] == [1, 2]
+    assert writes == []  # nothing reached the server out of order
+
+
+def test_coalesced_writes_keep_only_latest(sim, world, run_process):
+    _, service, warden, conn, _ = world
+    go_offline(sim, service, warden)
+    run_process(write(warden, slot="pos", version=1))
+    run_process(write(warden, slot="pos", version=2))
+    run_process(write(warden, version=3))
+    assert len(warden.deferred) == 2
+    assert warden.deferred.coalesced == 1
+
+
+def test_heartbeat_recovery_triggers_ordered_replay(sim, world, run_process):
+    _, service, warden, conn, writes = world
+    run_process(read(warden, "k1"))
+    warden.start_heartbeat(conn, interval=1.0, timeout=0.5)
+    go_offline(sim, service, warden, outage=12.0)
+    for version in (1, 2, 3):
+        finish(sim, write(warden, version=version))
+
+    sim.run(until=sim.now + 20.0)  # the outage expires; probes find the link
+
+    tracker = warden.connectivity(conn)
+    assert tracker.state is ConnState.CONNECTED
+    assert tracker.probe_successes >= 2
+    assert len(warden.deferred) == 0
+    assert [r.status for r in warden.reintegration_reports] == \
+        ["applied", "applied", "applied"]
+    assert [w["version"] for w in writes] == [1, 2, 3]
+    seqs = [r.op.seq for r in warden.reintegration_reports]
+    assert seqs == sorted(seqs)
+
+
+def test_replayed_conflicts_are_reported(sim, world, run_process):
+    _, service, warden, conn, writes = world
+    run_process(write(warden, version=5))  # live write: server is at 5
+    warden.start_heartbeat(conn, interval=1.0, timeout=0.5)
+    go_offline(sim, service, warden, outage=12.0)
+    finish(sim, write(warden, version=3))  # stale: will conflict on replay
+    finish(sim, write(warden, version=6))
+
+    sim.run(until=sim.now + 20.0)
+    assert [r.status for r in warden.reintegration_reports] == \
+        ["conflict", "applied"]
+
+
+def test_prober_is_silent_while_connected(sim, world, run_process):
+    _, service, warden, conn, _ = world
+    prober = warden.start_heartbeat(conn, interval=0.5, timeout=0.5)
+    sim.run(until=sim.now + 10.0)
+    assert prober.probes_sent == 0
+
+
+def test_duplicate_heartbeat_rejected(sim, world):
+    _, _, warden, conn, _ = world
+    warden.start_heartbeat(conn)
+    with pytest.raises(OdysseyError):
+        warden.start_heartbeat(conn)
+
+
+def test_heartbeat_follows_failover(sim, world):
+    _, _, warden, conn, _ = world
+    warden.start_heartbeat(conn, interval=0.25, timeout=0.5)
+    replacement = warden.failover_connection(conn)
+    prober = warden._probers[replacement.connection_id]
+    assert prober.interval == 0.25
+    assert conn.connection_id not in warden._probers
+
+
+# -- disconnected upcalls ----------------------------------------------------
+
+def test_disconnect_upcall_fires_with_level_zero(sim, world, viceroy,
+                                                 run_process):
+    _, service, warden, conn, _ = world
+    received = []
+    viceroy.upcalls.register("app", "h", received.append)
+    descriptor = ResourceDescriptor(Resource.NETWORK_BANDWIDTH,
+                                    Window(0, 1e12), "h")
+    request_id = viceroy.request("app", "/odyssey/store/x", descriptor)
+    go_offline(sim, service, warden)
+    sim.run(until=sim.now + 1.0)  # let the dispatcher deliver
+
+    assert viceroy.disconnect_upcalls == 1
+    assert [u.level for u in received if u.request_id == request_id] == [0.0]
+    assert viceroy.registered_requests("app") == []  # one-shot, dropped
+
+
+# -- checkpoint / restore ----------------------------------------------------
+
+def test_checkpoint_restore_round_trips(sim, world, viceroy):
+    _, _, warden, conn, _ = world
+    descriptor = ResourceDescriptor(Resource.NETWORK_BANDWIDTH,
+                                    Window(10.0, 99.0), "h")
+    request_id = viceroy.request("app", "/odyssey/store/x", descriptor)
+
+    snapshot = json.loads(json.dumps(viceroy.checkpoint()))
+    restored, dropped = viceroy.restore(snapshot)
+
+    assert (restored, dropped) == (1, [])
+    (reg,) = viceroy.registered_requests("app")
+    assert reg.request_id == request_id
+    assert reg.descriptor.window == Window(10.0, 99.0)
+    assert reg.descriptor.handler == "h"
+    assert reg.connection_id == conn.connection_id
+    assert snapshot["connectivity"][conn.connection_id] == "connected"
+
+
+def test_restore_drops_unknown_connections(sim, world, viceroy):
+    _, _, warden, conn, _ = world
+    descriptor = ResourceDescriptor(Resource.NETWORK_BANDWIDTH,
+                                    Window(0, 1e12), "h")
+    request_id = viceroy.request("app", "/odyssey/store/x", descriptor)
+    snapshot = viceroy.checkpoint()
+    warden.close_connection(conn, notify=False)
+
+    restored, dropped = viceroy.restore(snapshot)
+    assert restored == 0
+    assert dropped == [request_id]
+
+
+def test_restore_advances_request_ids(sim, world, viceroy):
+    _, _, warden, conn, _ = world
+    descriptor = ResourceDescriptor(Resource.NETWORK_BANDWIDTH,
+                                    Window(0, 1e12), "h")
+    request_id = viceroy.request("app", "/odyssey/store/x", descriptor)
+    snapshot = viceroy.checkpoint()
+    viceroy.restore(snapshot)
+    fresh = viceroy.request("app2", "/odyssey/store/y", descriptor)
+    assert fresh > request_id  # no duplicate ids after a restore

@@ -75,6 +75,50 @@ def test_clear():
     assert len(cache) == 0 and cache.used_bytes == 0
 
 
+def test_nonpositive_size_rejected():
+    cache = WardenCache(1000)
+    for bad in (0, -1):
+        with pytest.raises(OdysseyError):
+            cache.put("a", 1, bad)
+    assert len(cache) == 0
+
+
+def test_peek_does_not_mutate():
+    cache = WardenCache(1000)
+    cache.put("a", 1, 400)
+    cache.put("b", 2, 400)
+    assert cache.peek("a") == 1
+    assert cache.peek("missing") is None
+    # No hit/miss accounting and no recency refresh: "a" is still the
+    # least recently *used* entry, so the next insert evicts it.
+    assert cache.hits == 0 and cache.misses == 0
+    cache.put("c", 3, 400)
+    assert cache.peek("a") is None
+    assert cache.peek("b") == 2
+
+
+def test_hit_ratio():
+    cache = WardenCache(1000)
+    assert cache.hit_ratio == 0.0  # no lookups yet
+    cache.put("a", 1, 100)
+    cache.get("a")
+    cache.get("a")
+    cache.get("missing")
+    assert cache.hit_ratio == pytest.approx(2 / 3)
+
+
+def test_age_tracks_clock():
+    now = [0.0]
+    cache = WardenCache(1000, clock=lambda: now[0])
+    cache.put("a", 1, 100)
+    now[0] = 7.5
+    assert cache.age("a") == pytest.approx(7.5)
+    assert cache.age("missing") is None
+    # Re-inserting refreshes the stored-at stamp.
+    cache.put("a", 2, 100)
+    assert cache.age("a") == 0.0
+
+
 @settings(max_examples=60, deadline=None)
 @given(
     operations=st.lists(

@@ -126,6 +126,86 @@ def test_late_reply_after_timeout_is_dropped_not_fatal(world):
     assert connection.late_replies == 1
 
 
+def test_retry_deadline_validated():
+    from repro.rpc.connection import RetryPolicy
+
+    with pytest.raises(RpcError):
+        RetryPolicy(deadline=0)
+    with pytest.raises(RpcError):
+        RetryPolicy(deadline=-1.0)
+    assert RetryPolicy(deadline=None).deadline is None
+
+
+def test_retry_deadline_caps_total_time(world):
+    """A generous retry budget still gives up at the wall-clock deadline."""
+    from repro.rpc.connection import RetryPolicy
+
+    sim, service, connection = world
+    service.set_outage(60.0)
+    # Without the deadline this schedule would run ~20 s (5 x 2 s timeouts
+    # plus backoff); the deadline must cut it at ~3 s.
+    policy = RetryPolicy(timeout=2.0, retries=4, backoff=0.5,
+                         multiplier=2.0, cap=4.0, deadline=3.0)
+
+    def client():
+        try:
+            yield from connection.call_with_retry("ping", retry=policy)
+        except RpcTimeout:
+            return sim.now
+
+    process = sim.process(client())
+    sim.run(until=30.0)
+    assert process.value == pytest.approx(3.0, abs=0.3)
+
+
+def test_retry_deadline_clips_the_last_attempt(world):
+    """A deadline shorter than one attempt bounds that attempt's timeout."""
+    from repro.rpc.connection import RetryPolicy
+
+    sim, service, connection = world
+    service.set_outage(60.0)
+    policy = RetryPolicy(timeout=10.0, retries=3, deadline=1.5)
+
+    def client():
+        try:
+            yield from connection.call_with_retry("ping", retry=policy)
+        except RpcTimeout:
+            return sim.now
+
+    process = sim.process(client())
+    sim.run(until=30.0)
+    assert process.value == pytest.approx(1.5, abs=0.1)
+
+
+def test_retry_deadline_irrelevant_on_success(world):
+    from repro.rpc.connection import RetryPolicy
+
+    sim, service, connection = world
+    policy = RetryPolicy(timeout=2.0, retries=2, deadline=30.0)
+
+    def client():
+        reply, _ = yield from connection.call_with_retry("ping", retry=policy)
+        return reply
+
+    process = sim.process(client())
+    sim.run(until=10.0)
+    assert process.value == "pong"
+    assert connection.retries == 0
+
+
+def test_builtin_ping_op(world):
+    """Every service answers the heartbeat op without registration."""
+    sim, service, connection = world
+
+    def client():
+        reply, _ = yield from connection.call("__ping__", timeout=2.0)
+        return reply
+
+    process = sim.process(client())
+    sim.run(until=10.0)
+    assert process.value == {"pong": True}
+
+
 def test_timeout_does_not_fire_on_fast_replies(world):
     sim, service, connection = world
 
