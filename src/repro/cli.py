@@ -48,11 +48,12 @@ def _cmd_waveform(args):
 
 
 def _cmd_fig8(args):
-    from repro.experiments.report import format_supply_result, series_to_csv
+    from repro.experiments.report import format_supply_result
     from repro.experiments.supply import (
         REFERENCE_WAVEFORMS,
         run_supply_experiment,
     )
+    from repro.telemetry.export import series_to_csv, series_to_jsonl
 
     names = [args.waveform] if args.waveform else list(REFERENCE_WAVEFORMS)
     for name in names:
@@ -60,6 +61,9 @@ def _cmd_fig8(args):
         if args.format == "csv":
             print(series_to_csv(result.merged_series(),
                                 header="time_s,estimate_bytes_per_s"), end="")
+        elif args.format == "jsonl":
+            print(series_to_jsonl(result.merged_series(),
+                                  name="fig8.estimate", waveform=name), end="")
         else:
             print(format_supply_result(result))
     return 0
@@ -167,6 +171,39 @@ def _cmd_disconnected(args):
     return 0
 
 
+#: Scenarios the ``telemetry`` command can drive.
+TELEMETRY_SCENARIOS = ("fig8-supply", "fig9-demand", "adaptation")
+
+
+def _run_telemetry_scenario(args):
+    if args.scenario == "fig8-supply":
+        from repro.experiments.supply import run_supply_trial
+
+        run_supply_trial(args.waveform, seed=args.seed)
+    elif args.scenario == "fig9-demand":
+        from repro.experiments.demand import run_demand_trial
+
+        run_demand_trial(args.utilization, seed=args.seed)
+    else:  # adaptation
+        from repro.experiments.adaptation import run_adaptation_trial
+
+        run_adaptation_trial(args.waveform, seed=args.seed)
+
+
+def _cmd_telemetry(args):
+    from repro import telemetry
+    from repro.telemetry.export import metrics_summary, write_events_jsonl
+
+    with telemetry.enabled() as rec:
+        _run_telemetry_scenario(args)
+    if args.events_out:
+        count = write_events_jsonl(rec.trace.events(), args.events_out)
+        print(f"# wrote {count} events to {args.events_out} "
+              f"({rec.trace.dropped} dropped)", file=sys.stderr)
+    print(metrics_summary(rec.registry.snapshot()), end="")
+    return 0
+
+
 def _cmd_scenario(args):
     from repro.experiments.concurrent import PAPER_FIG14, run_concurrent_trial
 
@@ -215,6 +252,9 @@ def build_parser():
         p = sub.add_parser(name, help=help_text)
         p.add_argument("--trials", type=int, default=3,
                        help="trials per cell (paper uses 5)")
+        p.add_argument("--events-out", metavar="PATH",
+                       help="run with telemetry enabled and write the event "
+                            "trace as JSONL here")
         if extra:
             extra(p)
         p.set_defaults(fn=fn)
@@ -223,7 +263,7 @@ def build_parser():
     experiment_parser(
         "fig8", "supply-estimation agility", _cmd_fig8,
         lambda p: (p.add_argument("--waveform"),
-                   p.add_argument("--format", choices=("text", "csv"),
+                   p.add_argument("--format", choices=("text", "csv", "jsonl"),
                                   default="text")),
     )
     experiment_parser(
@@ -265,12 +305,40 @@ def build_parser():
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(fn=_cmd_scenario)
 
+    p = sub.add_parser("telemetry",
+                       help="run one instrumented trial and print the "
+                            "metrics summary (optionally dumping the "
+                            "event trace as JSONL)")
+    p.add_argument("--scenario", choices=TELEMETRY_SCENARIOS,
+                   default="fig8-supply")
+    p.add_argument("--waveform", default="step-up",
+                   help="waveform for fig8-supply / adaptation scenarios")
+    p.add_argument("--utilization", type=float, default=0.45,
+                   help="offered load for the fig9-demand scenario")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--events-out", metavar="PATH",
+                   help="write the event trace as JSONL here")
+    p.set_defaults(fn=_cmd_telemetry)
+
     return parser
 
 
 def main(argv=None):
     parser = build_parser()
     args = parser.parse_args(argv)
+    events_out = getattr(args, "events_out", None)
+    if events_out and args.fn is not _cmd_telemetry:
+        # Any experiment command gains an event log for free: run it under
+        # a live recorder and dump the trace afterwards.
+        from repro import telemetry
+        from repro.telemetry.export import write_events_jsonl
+
+        with telemetry.enabled() as rec:
+            status = args.fn(args)
+        count = write_events_jsonl(rec.trace.events(), events_out)
+        print(f"# wrote {count} events to {events_out} "
+              f"({rec.trace.dropped} dropped)", file=sys.stderr)
+        return status
     return args.fn(args)
 
 

@@ -26,6 +26,7 @@ and only leads back to CONNECTED (sustained success) or DISCONNECTED
 import enum
 from dataclasses import dataclass
 
+from repro import telemetry
 from repro.errors import OdysseyError
 
 
@@ -180,5 +181,11 @@ class ConnectivityTracker:
         self.state = target
         self._entered_state_at = transition.time
         self.transitions.append(transition)
+        rec = telemetry.RECORDER
+        if rec.enabled:
+            rec.count("connectivity.transitions", target=target.value)
+            rec.event("connectivity.transition", connection=self.name,
+                      source=transition.source.value, target=target.value,
+                      reason=reason)
         for listener in self._listeners:
             listener(transition)

@@ -17,10 +17,16 @@ registrations to a child, mirroring signal-disposition inheritance.
 from collections import deque
 from dataclasses import dataclass
 
+from repro import telemetry
 from repro.errors import OdysseyError
 
 #: Simulated dispatch latency per upcall, seconds.
 UPCALL_LATENCY = 0.0005
+
+#: Histogram buckets (seconds) for queue-to-delivery latency.  The floor is
+#: the dispatch latency itself; the tail covers deliveries held back by a
+#: blocked receiver for whole simulated seconds.
+UPCALL_DELIVERY_BUCKETS = (0.0005, 0.001, 0.005, 0.01, 0.1, 1.0, 10.0)
 
 
 @dataclass(frozen=True)
@@ -136,7 +142,13 @@ class UpcallDispatcher:
         the request was made, so this indicates handler deregistration).
         """
         receiver = self._receiver(app)
-        receiver.queue.append((handler_name, upcall))
+        receiver.queue.append((handler_name, upcall, self.sim.now))
+        rec = telemetry.RECORDER
+        if rec.enabled:
+            rec.count("upcalls.sent", app=app)
+            rec.event("upcall.sent", app=app, handler=handler_name,
+                      request_id=getattr(upcall, "request_id", None),
+                      queued=len(receiver.queue))
         self._pump(receiver)
 
     def broadcast(self, apps, handler_name, upcall):
@@ -156,7 +168,7 @@ class UpcallDispatcher:
         receiver.delivering = False
         if receiver.blocked or not receiver.queue:
             return
-        handler_name, upcall = receiver.queue.popleft()
+        handler_name, upcall, enqueued_at = receiver.queue.popleft()
         try:
             if handler_name not in receiver.ignored:
                 fn = receiver.handlers.get(handler_name)
@@ -165,6 +177,16 @@ class UpcallDispatcher:
                         f"app {receiver.app!r} has no upcall handler {handler_name!r}"
                     )
                 receiver.delivered.append((self.sim.now, handler_name, upcall))
+                rec = telemetry.RECORDER
+                if rec.enabled:
+                    latency = self.sim.now - enqueued_at
+                    rec.observe("upcalls.delivery_seconds", latency,
+                                buckets=UPCALL_DELIVERY_BUCKETS,
+                                app=receiver.app)
+                    rec.event("upcall.delivered", app=receiver.app,
+                              handler=handler_name,
+                              request_id=getattr(upcall, "request_id", None),
+                              latency=latency)
                 # "upcalls allow parameters to be passed to target processes
                 # and results to be returned" (§4.3): keep the handler's
                 # result for the sender's inspection.

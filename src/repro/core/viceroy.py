@@ -16,6 +16,7 @@ application re-registers with a window matching its new fidelity (paper
 §4.3).
 """
 
+from repro import telemetry
 from repro.connectivity.state import ConnState, ConnectivityTracker
 from repro.core.namespace import Namespace
 from repro.core.policies import OdysseyPolicy
@@ -108,13 +109,9 @@ class Viceroy:
         for registration in doomed:
             del self._registrations[registration.request_id]
             if notify and self.upcalls.has_receiver(registration.app):
-                self.upcalls_sent += 1
-                self.upcalls.send(
-                    registration.app,
-                    registration.descriptor.handler,
-                    Upcall(registration.request_id,
-                           registration.descriptor.resource, None),
-                )
+                self._send_upcall(registration,
+                                  registration.descriptor.resource,
+                                  None, kind="teardown")
         return len(doomed)
 
     def attach_monitor(self, monitor):
@@ -159,14 +156,9 @@ class Viceroy:
         for registration in doomed:
             del self._registrations[registration.request_id]
             if self.upcalls.has_receiver(registration.app):
-                self.upcalls_sent += 1
-                self.disconnect_upcalls += 1
-                self.upcalls.send(
-                    registration.app,
-                    registration.descriptor.handler,
-                    Upcall(registration.request_id,
-                           registration.descriptor.resource, 0.0),
-                )
+                self._send_upcall(registration,
+                                  registration.descriptor.resource,
+                                  0.0, kind="disconnect")
 
     # -- checkpoint / restore ----------------------------------------------------
 
@@ -306,12 +298,23 @@ class Viceroy:
             level = self.availability(resource, connection_id=connection_id)
         else:
             level = self.availability(resource)
+        rec = telemetry.RECORDER
         if level is not None and not descriptor.window.contains(level):
+            if rec.enabled:
+                rec.count("viceroy.tolerance_rejections",
+                          resource=resource.label)
             raise ToleranceError(resource, level)
         registration = Registration(
             app=app, path=path, descriptor=descriptor, connection_id=connection_id
         )
         self._registrations[registration.request_id] = registration
+        if rec.enabled:
+            rec.count("viceroy.requests", resource=resource.label)
+            rec.event("viceroy.request", app=app, path=path,
+                      request_id=registration.request_id,
+                      resource=resource.label,
+                      lower=descriptor.window.lower,
+                      upper=descriptor.window.upper)
         return registration.request_id
 
     def cancel(self, request_id):
@@ -319,6 +322,9 @@ class Viceroy:
         if request_id not in self._registrations:
             raise RequestNotFound(f"no registered request {request_id!r}")
         del self._registrations[request_id]
+        rec = telemetry.RECORDER
+        if rec.enabled:
+            rec.count("viceroy.cancels")
 
     def registered_requests(self, app=None):
         """Live registrations, optionally filtered by application."""
@@ -349,12 +355,25 @@ class Viceroy:
                 violated.append((registration, level))
         for registration, level in violated:
             del self._registrations[registration.request_id]
-            self.upcalls_sent += 1
-            self.upcalls.send(
-                registration.app,
-                registration.descriptor.handler,
-                Upcall(registration.request_id, resource, level),
-            )
+            self._send_upcall(registration, resource, level, kind="violation")
+
+    def _send_upcall(self, registration, resource, level, kind):
+        """Issue one upcall for a dropped registration (all three flavours:
+        window ``violation``, connection ``teardown``, link ``disconnect``)."""
+        self.upcalls_sent += 1
+        if kind == "disconnect":
+            self.disconnect_upcalls += 1
+        rec = telemetry.RECORDER
+        if rec.enabled:
+            rec.count("viceroy.upcalls", kind=kind)
+            rec.event("viceroy.upcall", kind=kind, app=registration.app,
+                      request_id=registration.request_id,
+                      resource=resource.label, level=level)
+        self.upcalls.send(
+            registration.app,
+            registration.descriptor.handler,
+            Upcall(registration.request_id, resource, level),
+        )
 
     # -- object operations (delegated through the namespace) --------------------------
 

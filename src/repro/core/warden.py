@@ -13,6 +13,7 @@ resource monitor.
 
 from collections import OrderedDict
 
+from repro import telemetry
 from repro.connectivity.deferred import (
     DEFAULT_CAPACITY,
     DeferredOp,
@@ -30,6 +31,10 @@ from repro.errors import (
 )
 from repro.rpc.connection import RpcConnection
 
+#: Histogram buckets (seconds) for the age of stale copies served in
+#: degraded mode: seconds-old reconnection gaps up to hour-long outages.
+STALENESS_BUCKETS = (1.0, 5.0, 15.0, 60.0, 300.0, 1800.0, 3600.0)
+
 
 class WardenCache:
     """A byte-accounted LRU cache of warden objects.
@@ -40,11 +45,13 @@ class WardenCache:
     tracking reads through :meth:`age`.
     """
 
-    def __init__(self, capacity_bytes, clock=None):
+    def __init__(self, capacity_bytes, clock=None, name=None):
         if capacity_bytes <= 0:
             raise OdysseyError(f"cache capacity must be positive, got {capacity_bytes!r}")
         self.capacity_bytes = capacity_bytes
         self.clock = clock or (lambda: 0.0)
+        #: Label for telemetry series (the owning warden's name).
+        self.name = name or "cache"
         self._entries = OrderedDict()  # key -> (value, nbytes, stored_at)
         self.used_bytes = 0
         self.hits = 0
@@ -66,11 +73,16 @@ class WardenCache:
     def get(self, key):
         """Return the cached value or None, updating recency and stats."""
         entry = self._entries.get(key)
+        rec = telemetry.RECORDER
         if entry is None:
             self.misses += 1
+            if rec.enabled:
+                rec.count("warden.cache_misses", warden=self.name)
             return None
         self._entries.move_to_end(key)
         self.hits += 1
+        if rec.enabled:
+            rec.count("warden.cache_hits", warden=self.name)
         return entry[0]
 
     def peek(self, key):
@@ -101,10 +113,13 @@ class WardenCache:
             return False
         if key in self._entries:
             self.discard(key)
+        rec = telemetry.RECORDER
         while self.used_bytes + nbytes > self.capacity_bytes:
             old_key, (_, old_bytes, _) = self._entries.popitem(last=False)
             self.used_bytes -= old_bytes
             self.evictions += 1
+            if rec.enabled:
+                rec.count("warden.cache_evictions", warden=self.name)
         self._entries[key] = (value, nbytes, self.clock())
         self.used_bytes += nbytes
         return True
@@ -164,7 +179,7 @@ class Warden:
         self.sim = sim
         self.viceroy = viceroy
         self.name = name
-        self.cache = WardenCache(cache_bytes, clock=lambda: sim.now)
+        self.cache = WardenCache(cache_bytes, clock=lambda: sim.now, name=name)
         self.connections = []
         self.failovers = 0
         #: Staleness bound for degraded service, seconds (None = serve any
@@ -304,6 +319,14 @@ class Warden:
                 queued_at=self.sim.now,
                 coalesce=self.coalesce_key(opcode, rest, inbuf),
             ))
+            rec = telemetry.RECORDER
+            if rec.enabled:
+                rec.count("warden.deferred_ops", warden=self.name)
+                rec.gauge("warden.deferred_depth", len(self.deferred),
+                          warden=self.name)
+                rec.event("warden.deferred", warden=self.name,
+                          opcode=opcode, seq=op.seq,
+                          depth=len(self.deferred))
             return {"deferred": True, "seq": op.seq, "opcode": opcode}
         method = getattr(self, method_name)
         result = yield from method(app, rest, inbuf)
@@ -373,6 +396,13 @@ class Warden:
                 self.cache.get(key)  # commit: count the hit, refresh recency
                 self.stale_served += 1
                 self.staleness_served.append(age)
+                rec = telemetry.RECORDER
+                if rec.enabled:
+                    rec.count("warden.stale_served", warden=self.name)
+                    rec.observe("warden.staleness_seconds", age,
+                                buckets=STALENESS_BUCKETS, warden=self.name)
+                    rec.event("warden.stale_serve", warden=self.name,
+                              key=str(key), age=age)
                 return value
             if cause is None:
                 raise Disconnected(
@@ -383,6 +413,9 @@ class Warden:
         if cause is not None:
             raise cause
         self.disconnected_misses += 1
+        rec = telemetry.RECORDER
+        if rec.enabled:
+            rec.count("warden.disconnected_misses", warden=self.name)
         raise Disconnected(
             f"warden {self.name!r}: {key!r} not cached while disconnected",
             key=key,
@@ -399,10 +432,17 @@ class Warden:
     def _requeue_tail(self, ops):
         """Put unplayed ops back at the front of the log, with reports."""
         self.deferred.requeue(ops)
+        rec = telemetry.RECORDER
         for op in ops:
             self.reintegration_reports.append(ReplayReport(
                 op, "requeued", replayed_at=self.sim.now,
             ))
+            if rec.enabled:
+                rec.count("warden.reintegration", warden=self.name,
+                          status="requeued")
+        if rec.enabled:
+            rec.gauge("warden.deferred_depth", len(self.deferred),
+                      warden=self.name)
 
     def _reintegrate(self, conn):
         """Replay queued ops in enqueue order, recording each op's fate.
@@ -451,6 +491,12 @@ class Warden:
                 self.reintegration_reports.append(ReplayReport(
                     op, status, detail=detail, replayed_at=self.sim.now,
                 ))
+                rec = telemetry.RECORDER
+                if rec.enabled:
+                    rec.count("warden.reintegration", warden=self.name,
+                              status=status)
+                    rec.gauge("warden.deferred_depth", len(self.deferred),
+                              warden=self.name)
 
     # -- vfs hooks (subclasses override what they support) ------------------------
 

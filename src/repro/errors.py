@@ -14,6 +14,11 @@ class SimulationError(ReproError):
     """A misuse of the simulation kernel (e.g. rescheduling a fired event)."""
 
 
+class TelemetryError(ReproError):
+    """A misuse of the telemetry subsystem (e.g. re-registering a metric
+    under a different instrument kind, or ending an unknown span)."""
+
+
 class ProcessInterrupt(ReproError):
     """Raised inside a simulated process that another process interrupted.
 

@@ -15,6 +15,7 @@ estimate series exactly as the paper's Fig. 8 does.
 
 from collections import deque
 
+from repro import telemetry
 from repro.estimation.ewma import EwmaFilter
 
 #: Measurement weight for round-trip smoothing (paper §6.2.1).
@@ -88,18 +89,47 @@ class ConnectionEstimator:
 
     def on_round_trip(self, log, entry):
         """Absorb a round-trip log entry."""
+        capped_before = self.rtt_filter.capped_rises
         self.rtt_filter.update(entry.seconds)
         self._rtt_window.append((self.sim.now, entry.seconds))
         horizon = self.sim.now - BASE_RTT_HORIZON
         while self._rtt_window and self._rtt_window[0][0] < horizon:
             self._rtt_window.popleft()
+        rec = telemetry.RECORDER
+        if rec.enabled:
+            rec.count("estimation.rtt_updates", connection=self.connection_id)
+            if self.rtt_filter.capped_rises > capped_before:
+                # An anomalously long round trip (self-congestion queueing)
+                # hit the §6.2.1 rise cap — the clamp is load-bearing for
+                # Eq. 2, so each engagement is worth a trace line.
+                rec.count("estimation.rtt_rise_capped",
+                          connection=self.connection_id)
+                rec.event("estimation.rise_cap",
+                          connection=self.connection_id,
+                          sample=entry.seconds, estimate=self.round_trip)
 
     def on_throughput(self, log, entry):
         """Absorb a throughput log entry; returns the new estimate."""
+        estimate, sample = self._absorb_throughput(log, entry)
+        rec = telemetry.RECORDER
+        if rec.enabled:
+            span = rec.begin("estimator.update", connection=self.connection_id)
+            rec.gauge("estimation.bandwidth_bytes_per_s", estimate,
+                      connection=self.connection_id)
+            rec.end(span, sample=sample, estimate=estimate,
+                    window_bytes=entry.nbytes)
+        return estimate
+
+    def _absorb_throughput(self, log, entry):
+        """The uninstrumented Eq. 1/2 update; returns (estimate, sample).
+
+        Kept separate from :meth:`on_throughput` so the telemetry overhead
+        benchmark can time the pure computation as its baseline.
+        """
         sample = self.bandwidth_sample(entry, log)
         estimate = self.bandwidth_filter.update(sample)
         self.history.append((self.sim.now, estimate))
-        return estimate
+        return estimate, sample
 
     def bandwidth_sample(self, entry, log=None):
         """Eq. 2: instantaneous bandwidth from one window observation.

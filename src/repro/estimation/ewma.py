@@ -30,6 +30,8 @@ class EwmaFilter:
         self.rise_cap = rise_cap
         self._value = initial
         self.updates = 0
+        #: Updates where the rise cap clamped the candidate value.
+        self.capped_rises = 0
 
     @property
     def value(self):
@@ -52,7 +54,9 @@ class EwmaFilter:
         candidate = self.gain * sample + (1.0 - self.gain) * self._value
         if self.rise_cap is not None and self._value > 0:
             ceiling = self._value * (1.0 + self.rise_cap)
-            candidate = min(candidate, ceiling)
+            if candidate > ceiling:
+                candidate = ceiling
+                self.capped_rises += 1
         self._value = candidate
         return self._value
 
@@ -60,3 +64,4 @@ class EwmaFilter:
         """Forget history; optionally seed with ``value``."""
         self._value = value
         self.updates = 0
+        self.capped_rises = 0

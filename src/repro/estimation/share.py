@@ -20,6 +20,7 @@ capacity regardless of how many connections shared it:
 The sample feeds the same Eq. 1 smoothing as per-connection estimates.
 """
 
+from repro import telemetry
 from repro.errors import ReproError
 from repro.estimation.bandwidth import (
     MAX_CORRECTION_FACTOR,
@@ -120,6 +121,22 @@ class ClientShares:
         ``max`` selects the applicable one: competition can only raise the
         aggregate, and solo operation can only make the correction valid.
         """
+        total, sample, competing = self._absorb_throughput(log, entry)
+        rec = telemetry.RECORDER
+        if rec.enabled:
+            span = rec.begin("shares.update", connection=log.connection_id)
+            rec.gauge("estimation.total_bytes_per_s", total)
+            if competing:
+                rec.count("estimation.competing_updates")
+            rec.end(span, sample=sample, total=total, competing=competing)
+        return total
+
+    def _absorb_throughput(self, log, entry):
+        """The uninstrumented total-capacity update (see :meth:`on_throughput`).
+
+        Returns ``(total, sample, competing)``.  Separate so the telemetry
+        overhead benchmark can time the pure computation as its baseline.
+        """
         estimator = self._estimators[log.connection_id]
         estimator.on_throughput(log, entry)  # keep the per-connection view fresh
         aggregate = 0
@@ -142,7 +159,7 @@ class ClientShares:
             sample = max(estimator.bandwidth_sample(entry, log), aggregate_raw)
         total = self.total_filter.update(sample)
         self.total_history.append((self.sim.now, total))
-        return total
+        return total, sample, competing
 
     # -- queries -----------------------------------------------------------------
 

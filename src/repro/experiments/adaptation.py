@@ -16,6 +16,7 @@ the moment the trace transitioned.
 
 from dataclasses import dataclass
 
+from repro import telemetry
 from repro.apps.video.movie import Movie, MovieStore
 from repro.apps.video.player import VideoPlayer
 from repro.apps.video.warden import build_video
@@ -72,9 +73,20 @@ def run_adaptation_trial(waveform_name, seed=0):
             f"{waveform_name}: the step produced no adaptation "
             f"(upcalls={len(upcalls)}, switches={len(switches)})"
         )
+    upcall_latency = upcalls[0] - transition_at
+    switch_latency = switches[0] - transition_at
+    rec = telemetry.RECORDER
+    if rec.enabled:
+        rec.observe("adaptation.upcall_latency_seconds", upcall_latency,
+                    waveform=waveform_name)
+        rec.observe("adaptation.switch_latency_seconds", switch_latency,
+                    waveform=waveform_name)
+        rec.event("adaptation.measured", waveform=waveform_name,
+                  upcall_latency=upcall_latency,
+                  switch_latency=switch_latency)
     return AdaptationTrial(
-        upcall_latency=upcalls[0] - transition_at,
-        switch_latency=switches[0] - transition_at,
+        upcall_latency=upcall_latency,
+        switch_latency=switch_latency,
     )
 
 

@@ -10,6 +10,7 @@ conducted at the higher of our two modulated bandwidths."
 
 from dataclasses import dataclass, field
 
+from repro import telemetry
 from repro.apps.bitstream import build_bitstream
 from repro.estimation.agility import settling_time
 from repro.experiments.harness import DEFAULT_TRIALS, ExperimentWorld, seeded_rngs
@@ -106,6 +107,13 @@ def run_demand_trial(utilization, seed=0, chunk_bytes=32 * 1024):
     world.sim.process(sampler(), name="sampler")
     world.sim.process(launch_second(), name="launch-second")
     world.run_for(SECOND_STREAM_AT + TAIL_SECONDS)
+
+    rec = telemetry.RECORDER
+    if rec.enabled:
+        rec.sample_series("fig9.total", samples["total"],
+                          utilization=utilization, prime=world.prime)
+        rec.sample_series("fig9.second", samples["second"],
+                          utilization=utilization, prime=world.prime)
 
     def rel(series):
         return [(t - world.prime, v) for (t, v) in series]

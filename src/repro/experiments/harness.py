@@ -13,6 +13,7 @@ paper's §6.1.3/§6.2 methodology:
 - measurements are filtered to ``t >= PRIME_SECONDS``.
 """
 
+from repro import telemetry
 from repro.core.policies import (
     BlindOptimismPolicy,
     LaissezFairePolicy,
@@ -60,6 +61,13 @@ class ExperimentWorld:
         self.viceroy = Viceroy(
             self.sim, self.network, policy=self._make_policy(policy)
         )
+        rec = telemetry.RECORDER
+        if rec.enabled:
+            # Each trial builds a fresh simulator; the recorder outlives
+            # them, so point its clock at this world's.
+            rec.bind_clock(lambda: self.sim.now)
+            rec.event("experiment.world", policy=policy,
+                      waveform=getattr(trace, "name", None), prime=prime)
 
     def _make_policy(self, name):
         if name == "odyssey":

@@ -1,5 +1,6 @@
 """Render experiment results as text tables, paper-vs-measured."""
 
+from repro.telemetry.export import series_to_csv  # noqa: F401 - canonical home
 from repro.experiments.concurrent import PAPER_FIG14
 from repro.experiments.speech import PAPER_FIG12, SPEECH_STRATEGIES
 from repro.experiments.supply import REFERENCE_WAVEFORMS
@@ -107,10 +108,3 @@ def format_demand_result(result):
         f"  second stream settling to nominal share: {result.settling_cell} s "
         "(paper: almost immediate at 10%, ~5 s at 100%)"
     )
-
-
-def series_to_csv(series, header="time,value"):
-    """A (time, value) series as CSV text (for external plotting)."""
-    lines = [header]
-    lines.extend(f"{t:.4f},{v:.1f}" for t, v in series)
-    return "\n".join(lines) + "\n"

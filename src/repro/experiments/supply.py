@@ -9,7 +9,11 @@ waveforms."
 
 from dataclasses import dataclass, field
 
+from repro import telemetry
+from repro.apps.base import negotiate
 from repro.apps.bitstream import build_bitstream
+from repro.core.api import OdysseyAPI
+from repro.core.resources import Resource
 from repro.estimation.agility import detection_delay, settling_time, tracking_error
 from repro.experiments.harness import DEFAULT_TRIALS, ExperimentWorld, seeded_rngs
 from repro.experiments.stats import Cell
@@ -22,6 +26,12 @@ from repro.trace.waveforms import (
 
 #: The four §6.1.1 reference waveforms.
 REFERENCE_WAVEFORMS = ("step-up", "step-down", "impulse-up", "impulse-down")
+
+#: Tolerance-window half-width factor for the fig8 supply tracker: each
+#: registration spans [level/FACTOR, level*FACTOR].  The reference
+#: waveforms move bandwidth by ~3x, so every transition violates the
+#: window and produces a genuine upcall in the trial's event trace.
+TRACK_WINDOW_FACTOR = 2.0
 
 
 def _levels(name):
@@ -74,7 +84,43 @@ class SupplyResult:
         return merged
 
 
-def run_supply_trial(waveform_name, seed=0, chunk_bytes=64 * 1024):
+def _register_tracker(world, path, factor=TRACK_WINDOW_FACTOR):
+    """Arm a window-of-tolerance tracker on ``path`` after priming.
+
+    Registers a bandwidth window around the current estimate and, on each
+    violation upcall, re-registers around the level the upcall delivered —
+    the paper's negotiate-again protocol, run purely for observation.  The
+    registration itself is a read-only check, so the estimate series the
+    trial measures is unchanged; the upcalls it provokes are what give the
+    fig8 event trace its application-visible notifications.
+    """
+    api = OdysseyAPI(world.viceroy, "fig8-tracker")
+
+    def window_for(level):
+        if level is None or level <= 0:
+            return (0.0, float("inf"))
+        return (level / factor, level * factor)
+
+    def handler(upcall):
+        if upcall.level is None:
+            return None  # connection torn down; nothing to track any more
+        return negotiate(api, path, Resource.NETWORK_BANDWIDTH, window_for,
+                         lambda level: None, level_hint=upcall.level,
+                         handler="bandwidth")
+
+    api.on_upcall("bandwidth", handler)
+    world.sim.call_at(
+        world.prime,
+        lambda: negotiate(api, path, Resource.NETWORK_BANDWIDTH, window_for,
+                          lambda level: None,
+                          level_hint=api.availability(path),
+                          handler="bandwidth"),
+    )
+    return api
+
+
+def run_supply_trial(waveform_name, seed=0, chunk_bytes=64 * 1024,
+                     track_window=True):
     """One bitstream run over one waveform; returns a :class:`SupplyTrial`."""
     world = ExperimentWorld(waveform_name, seed=seed)
     app, warden, server = build_bitstream(
@@ -82,8 +128,17 @@ def run_supply_trial(waveform_name, seed=0, chunk_bytes=64 * 1024):
     )
     world.jitter_service(server.service)
     app.start()
+    if track_window:
+        _register_tracker(world, app.path)
     world.run_for(WAVEFORM_DURATION)
     series = world.relative(world.viceroy.policy.shares.total_history)
+    rec = telemetry.RECORDER
+    if rec.enabled:
+        # Absolute sim times keep the trace monotonic; ``prime`` lets
+        # consumers shift to waveform-relative time themselves.
+        rec.sample_series("fig8.estimate",
+                          world.viceroy.policy.shares.total_history,
+                          waveform=waveform_name, prime=world.prime)
     initial, target, transition = _levels(waveform_name)
     settling = detection = None
     if transition is not None:

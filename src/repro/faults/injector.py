@@ -15,6 +15,7 @@ Every episode that actually fires is appended to :attr:`FaultInjector.events`
 faults they asked for really happened.
 """
 
+from repro import telemetry
 from repro.errors import FaultError
 from repro.faults.plan import LossBurst, ServerSlowdown, ServerStall
 from repro.sim.rng import RngRegistry
@@ -69,12 +70,19 @@ class FaultInjector:
                 raise FaultError(f"link {link.name!r} already has a drop filter")
             injector = LinkFaultInjector(
                 bursts, rng,
-                on_drop=lambda when, packet, _name=link.name: self.events.append(
-                    (when, "loss", _name)
+                on_drop=lambda when, packet, _name=link.name: self._note_drop(
+                    when, _name
                 ),
             )
             link.drop_filter = injector
             self.link_injectors.append(injector)
+
+    def _note_drop(self, when, link_name):
+        self.events.append((when, "loss", link_name))
+        rec = telemetry.RECORDER
+        if rec.enabled:
+            rec.count("faults.activations", kind="loss")
+            rec.event("fault.loss", link=link_name)
 
     # -- servers ---------------------------------------------------------------
 
@@ -96,12 +104,21 @@ class FaultInjector:
                                  fault, service)
 
     def _fire_server_fault(self, fault, service):
+        rec = telemetry.RECORDER
         if isinstance(fault, ServerStall):
             service.set_outage(fault.duration)
             self.events.append((self.sim.now, "stall", service.port))
+            if rec.enabled:
+                rec.count("faults.activations", kind="stall")
+                rec.event("fault.stall", port=service.port,
+                          duration=fault.duration)
         elif isinstance(fault, ServerSlowdown):
             service.set_slowdown(fault.factor, fault.duration)
             self.events.append((self.sim.now, "slowdown", service.port))
+            if rec.enabled:
+                rec.count("faults.activations", kind="slowdown")
+                rec.event("fault.slowdown", port=service.port,
+                          factor=fault.factor, duration=fault.duration)
 
     # -- inspection -------------------------------------------------------------
 

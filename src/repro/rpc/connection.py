@@ -17,6 +17,7 @@ agility.
 import itertools
 from dataclasses import dataclass
 
+from repro import telemetry
 from repro.errors import RpcError, RpcTimeout
 from repro.sim.events import AnyOf
 from repro.net.packet import HEADER_BYTES, Packet
@@ -57,6 +58,10 @@ DEFAULT_RETRY_LIMIT = 5
 DEFAULT_BACKOFF_SECONDS = 0.5
 DEFAULT_BACKOFF_MULTIPLIER = 2.0
 DEFAULT_BACKOFF_CAP_SECONDS = 8.0
+
+#: Histogram buckets (seconds) for RPC round trips and fetch windows: from
+#: LAN-scale exchanges to retried degraded-mode operations.
+RPC_SECONDS_BUCKETS = (0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.0, 5.0)
 
 
 @dataclass(frozen=True)
@@ -433,6 +438,9 @@ class RpcConnection:
 
     def _on_packet_after_close(self, packet):
         self.late_replies += 1
+        rec = telemetry.RECORDER
+        if rec.enabled:
+            rec.count("rpc.late_replies", connection=self.connection_id)
 
     # -- small exchanges -------------------------------------------------------
 
@@ -449,10 +457,25 @@ class RpcConnection:
         partitioned server.  There is no retransmission; retries are the
         caller's policy.
         """
-        response = yield from self._exchange(op, body, body_bytes, timeout)
+        rec = telemetry.RECORDER
+        span = None
+        if rec.enabled:
+            rec.count("rpc.calls", connection=self.connection_id)
+            span = rec.begin("rpc.call", connection=self.connection_id, op=op)
+        try:
+            response = yield from self._exchange(op, body, body_bytes, timeout)
+        except RpcTimeout:
+            if span is not None:
+                rec.end(span, status="timeout")
+            raise
         started, reply = response
         elapsed = self.sim.now - started
         observed = max(elapsed - reply.server_seconds, 1e-6)
+        if span is not None:
+            rec.observe("rpc.round_trip_seconds", observed,
+                        buckets=RPC_SECONDS_BUCKETS,
+                        connection=self.connection_id)
+            rec.end(span, status="ok", observed=observed)
         self.log.add_round_trip(observed, body_bytes + HEADER_BYTES,
                                 reply.body_bytes + HEADER_BYTES)
         self.log.add_delivery(reply.body_bytes)
@@ -499,6 +522,11 @@ class RpcConnection:
             self._pending.pop(seq, None)
             self._abandoned.add(seq)
             self.timeouts += 1
+            rec = telemetry.RECORDER
+            if rec.enabled:
+                rec.count("rpc.timeouts", connection=self.connection_id)
+                rec.event("rpc.timeout", connection=self.connection_id,
+                          what=what, timeout=timeout)
             raise RpcTimeout(
                 f"{self.connection_id}: {what} timed out after {timeout} s"
             )
@@ -527,11 +555,21 @@ class RpcConnection:
                 if (deadline_at is not None
                         and self.sim.now + delay >= deadline_at):
                     self.timeouts += 1
+                    rec = telemetry.RECORDER
+                    if rec.enabled:
+                        rec.count("rpc.timeouts", connection=self.connection_id)
+                        rec.event("rpc.timeout", connection=self.connection_id,
+                                  what="retry deadline", timeout=retry.deadline)
                     raise RpcTimeout(
                         f"{self.connection_id}: retry deadline "
                         f"({retry.deadline} s) exhausted"
                     )
                 self.retries += 1
+                rec = telemetry.RECORDER
+                if rec.enabled:
+                    rec.count("rpc.retries", connection=self.connection_id)
+                    rec.event("rpc.retry", connection=self.connection_id,
+                              backoff=delay)
                 if delay > 0:
                     yield self.sim.timeout(delay)
 
@@ -607,6 +645,11 @@ class RpcConnection:
         state = {"received": 0, "event": event}
         started = self.sim.now
         self._pending[seq] = state
+        rec = telemetry.RECORDER
+        span = None
+        if rec.enabled:
+            span = rec.begin("rpc.window", connection=self.connection_id,
+                             offset=offset, window_bytes=window)
         self.client.send(
             Packet(
                 src=self.client.name,
@@ -616,7 +659,17 @@ class RpcConnection:
                 payload=request,
             )
         )
-        yield from self._await(event, seq, timeout, f"window @{offset}")
+        try:
+            yield from self._await(event, seq, timeout, f"window @{offset}")
+        except RpcTimeout:
+            if span is not None:
+                rec.end(span, status="timeout")
+            raise
+        if span is not None:
+            rec.observe("rpc.window_seconds", self.sim.now - started,
+                        buckets=RPC_SECONDS_BUCKETS,
+                        connection=self.connection_id)
+            rec.end(span, status="ok", received=state["received"])
         self.log.add_throughput(started, state["received"])
         return state["received"]
 
@@ -690,6 +743,9 @@ class RpcConnection:
             # A reply outliving its timeout: drop it (the exchange's state
             # is gone) but account for it.
             self.late_replies += 1
+            rec = telemetry.RECORDER
+            if rec.enabled:
+                rec.count("rpc.late_replies", connection=self.connection_id)
             if isinstance(message, (CallResponse, WindowAck)) or (
                     isinstance(message, Fragment) and message.last_in_window):
                 self._abandoned.discard(message.seq)

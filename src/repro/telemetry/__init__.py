@@ -1,0 +1,98 @@
+"""Telemetry: sim-time tracing and metrics across every layer.
+
+Odyssey's thesis is that the system *observes* supply and demand and
+reports it faithfully; this subsystem is the shared spine that makes our
+reproduction's own behaviour observable the same way.  It has three parts:
+
+- a :class:`~repro.telemetry.registry.MetricsRegistry` of counters, gauges,
+  and fixed-bucket histograms keyed by name + labels;
+- an :class:`~repro.telemetry.trace.EventTrace` of spans (begin/end with
+  sim timestamps and parent ids) and point events in a bounded ring buffer;
+- exporters (:mod:`repro.telemetry.export`): JSONL event logs, metrics
+  summary tables, and the CSV/JSONL series bridge experiments plot through.
+
+Telemetry is **off by default** and costs hot paths one attribute check:
+
+    from repro import telemetry
+    ...
+    rec = telemetry.RECORDER          # the module-level current recorder
+    if rec.enabled:                   # False on the shipped NullRecorder
+        rec.count("rpc.calls", connection=cid)
+
+Enable it around a run (the CLI does this for ``--events-out`` and the
+``telemetry`` command)::
+
+    with telemetry.enabled(sim=sim) as rec:
+        ...run scenario...
+    print(metrics_summary(rec.registry.snapshot()))
+
+Instrumented modules must read ``telemetry.RECORDER`` through the module at
+call time (never ``from repro.telemetry import RECORDER``), since
+:func:`enable`/:func:`disable` rebind it.
+"""
+
+from contextlib import contextmanager
+
+from repro.telemetry.export import (
+    events_to_jsonl,
+    events_to_series,
+    metrics_summary,
+    series_to_csv,
+    series_to_jsonl,
+    write_events_jsonl,
+)
+from repro.telemetry.recorder import NULL_RECORDER, NullRecorder, TelemetryRecorder
+from repro.telemetry.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    format_series,
+)
+from repro.telemetry.trace import DEFAULT_TRACE_CAPACITY, EventTrace
+
+__all__ = [
+    "RECORDER", "enable", "disable", "enabled",
+    "TelemetryRecorder", "NullRecorder", "NULL_RECORDER",
+    "MetricsRegistry", "Counter", "Gauge", "Histogram", "format_series",
+    "EventTrace", "DEFAULT_TRACE_CAPACITY",
+    "events_to_jsonl", "events_to_series", "write_events_jsonl",
+    "metrics_summary", "series_to_csv", "series_to_jsonl",
+]
+
+#: The current recorder.  The shipped default is the no-op
+#: :data:`NULL_RECORDER`; :func:`enable` swaps in a live one.
+RECORDER = NULL_RECORDER
+
+
+def enable(clock=None, sim=None, trace_capacity=DEFAULT_TRACE_CAPACITY):
+    """Install a live :class:`TelemetryRecorder` as :data:`RECORDER`.
+
+    ``sim`` is a convenience for ``clock=lambda: sim.now``.  Worlds built
+    later rebind the clock themselves (see
+    :class:`~repro.experiments.harness.ExperimentWorld`).  Returns the
+    recorder.
+    """
+    global RECORDER
+    if sim is not None:
+        clock = lambda: sim.now  # noqa: E731 - the obvious adapter
+    RECORDER = TelemetryRecorder(clock=clock, trace_capacity=trace_capacity)
+    return RECORDER
+
+
+def disable():
+    """Restore the no-op recorder; returns the recorder that was active."""
+    global RECORDER
+    previous, RECORDER = RECORDER, NULL_RECORDER
+    return previous
+
+
+@contextmanager
+def enabled(clock=None, sim=None, trace_capacity=DEFAULT_TRACE_CAPACITY):
+    """Context manager: telemetry on inside, restored to off after."""
+    recorder = enable(clock=clock, sim=sim, trace_capacity=trace_capacity)
+    try:
+        yield recorder
+    finally:
+        if RECORDER is recorder:
+            disable()

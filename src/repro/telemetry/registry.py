@@ -1,0 +1,164 @@
+"""The metrics registry: counters, gauges, and fixed-bucket histograms.
+
+Every instrument is keyed by ``(name, labels)`` — the same name with
+different labels is a different time series, exactly as in Prometheus-style
+systems.  Instruments are created lazily on first touch and snapshot to
+plain dicts, so exporters and tests never need to know the classes here.
+
+Histograms use *fixed* bucket boundaries chosen at creation: observation is
+a bisect into a short tuple, O(log buckets), with no allocation — cheap
+enough for per-window RPC paths.
+"""
+
+from bisect import bisect_left
+
+from repro.errors import TelemetryError
+
+#: Default histogram buckets (seconds): spans sub-millisecond upcall
+#: latencies through multi-second degraded fetches.
+DEFAULT_BUCKETS = (0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0)
+
+
+def _label_key(labels):
+    """Canonical, hashable form of a labels dict."""
+    return tuple(sorted(labels.items()))
+
+
+def format_series(name, labels):
+    """Render ``name{k=v, ...}`` the way summaries and exports do."""
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={v}" for k, v in sorted(labels.items()))
+    return f"{name}{{{inner}}}"
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    kind = "counter"
+
+    def __init__(self):
+        self.value = 0.0
+
+    def inc(self, amount=1.0):
+        if amount < 0:
+            raise TelemetryError(f"counter increment must be >= 0, got {amount!r}")
+        self.value += amount
+
+    def snapshot(self):
+        return self.value
+
+
+class Gauge:
+    """A value that can go up and down; remembers its observed extremes."""
+
+    kind = "gauge"
+
+    def __init__(self):
+        self.value = None
+        self.min = None
+        self.max = None
+        self.updates = 0
+
+    def set(self, value):
+        self.value = value
+        self.updates += 1
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+
+    def add(self, delta):
+        self.set((self.value or 0.0) + delta)
+
+    def snapshot(self):
+        return {"value": self.value, "min": self.min, "max": self.max,
+                "updates": self.updates}
+
+
+class Histogram:
+    """Fixed-bucket histogram with sum/min/max for mean and range."""
+
+    kind = "histogram"
+
+    def __init__(self, buckets=DEFAULT_BUCKETS):
+        if not buckets or list(buckets) != sorted(buckets):
+            raise TelemetryError(
+                f"histogram buckets must be a sorted, non-empty sequence, "
+                f"got {buckets!r}"
+            )
+        self.buckets = tuple(float(b) for b in buckets)
+        # counts[i] observes values <= buckets[i]; counts[-1] is overflow.
+        self.counts = [0] * (len(self.buckets) + 1)
+        self.count = 0
+        self.sum = 0.0
+        self.min = None
+        self.max = None
+
+    def observe(self, value):
+        self.counts[bisect_left(self.buckets, value)] += 1
+        self.count += 1
+        self.sum += value
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+
+    @property
+    def mean(self):
+        return self.sum / self.count if self.count else None
+
+    def snapshot(self):
+        buckets = [{"le": le, "count": count}
+                   for le, count in zip(self.buckets, self.counts)]
+        buckets.append({"le": "inf", "count": self.counts[-1]})
+        return {"count": self.count, "sum": self.sum, "mean": self.mean,
+                "min": self.min, "max": self.max, "buckets": buckets}
+
+
+class MetricsRegistry:
+    """Lazily-created instruments keyed by name + labels."""
+
+    def __init__(self):
+        self._instruments = {}  # (name, label_key) -> instrument
+
+    def __len__(self):
+        return len(self._instruments)
+
+    def _get(self, cls, name, labels, **kwargs):
+        key = (name, _label_key(labels))
+        instrument = self._instruments.get(key)
+        if instrument is None:
+            instrument = self._instruments[key] = cls(**kwargs)
+        elif not isinstance(instrument, cls):
+            raise TelemetryError(
+                f"metric {format_series(name, labels)!r} is a "
+                f"{instrument.kind}, not a {cls.kind}"
+            )
+        return instrument
+
+    def counter(self, name, **labels):
+        return self._get(Counter, name, labels)
+
+    def gauge(self, name, **labels):
+        return self._get(Gauge, name, labels)
+
+    def histogram(self, name, buckets=None, **labels):
+        return self._get(Histogram, name, labels,
+                         **({"buckets": buckets} if buckets else {}))
+
+    def snapshot(self):
+        """Every instrument as plain data, grouped by kind.
+
+        ``{"counters": [...], "gauges": [...], "histograms": [...]}`` where
+        each entry carries ``name``, ``labels``, and the instrument's own
+        snapshot — JSON-serializable throughout.
+        """
+        out = {"counters": [], "gauges": [], "histograms": []}
+        section = {"counter": "counters", "gauge": "gauges",
+                   "histogram": "histograms"}
+        for (name, label_key), instrument in sorted(
+                self._instruments.items(), key=lambda item: item[0]):
+            entry = {"name": name, "labels": dict(label_key)}
+            if instrument.kind == "counter":
+                entry["value"] = instrument.snapshot()
+            else:
+                entry.update(instrument.snapshot())
+            out[section[instrument.kind]].append(entry)
+        return out

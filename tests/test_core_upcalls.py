@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro import telemetry
 from repro.core.resources import Resource
 from repro.core.upcalls import Upcall, UpcallDispatcher
 from repro.errors import OdysseyError
@@ -189,6 +190,28 @@ def test_failing_handler_is_recorded(sim, dispatcher):
     assert failures[0][1] == "bad"
     # The failed upcall still counts as delivered: exactly-once held.
     assert [u.request_id for (_, _, u) in dispatcher.delivered_to("app")] == [7]
+
+
+def test_blocked_delivery_latency_accounted_in_trace(sim, dispatcher):
+    """Delivery latency spans the blocked wait: upcalls queued while the
+    receiver is blocked trace exactly once, in order, with latencies
+    measured from enqueue — not from unblock."""
+    got = []
+    with telemetry.enabled(sim=sim) as rec:
+        dispatcher.register("app", "h", lambda u: got.append(u.request_id))
+        dispatcher.block("app")
+        for i in range(3):
+            dispatcher.send("app", "h", upcall(i))
+        sim.call_in(1.0, dispatcher.unblock, "app")
+        sim.run()
+    assert got == [0, 1, 2]  # exactly once, in order
+    delivered = rec.trace.events(name="upcall.delivered")
+    assert [e["fields"]["request_id"] for e in delivered] == [0, 1, 2]
+    times = [e["t"] for e in delivered]
+    assert times == sorted(times)
+    # All three were enqueued at t=0 and held until the unblock at t=1.
+    assert all(e["fields"]["latency"] >= 1.0 for e in delivered)
+    assert rec.registry.histogram("upcalls.delivery_seconds", app="app").count == 3
 
 
 def test_has_receiver(dispatcher):

@@ -107,6 +107,15 @@ def test_hit_ratio():
     assert cache.hit_ratio == pytest.approx(2 / 3)
 
 
+def test_hit_ratio_zero_lookups_regression():
+    """hit_ratio must not divide by zero before any lookup happens."""
+    cache = WardenCache(1000)
+    assert cache.hit_ratio == 0.0
+    cache.put("a", 1, 100)  # puts alone are not lookups
+    cache.peek("a")  # nor are peeks
+    assert cache.hit_ratio == 0.0
+
+
 def test_age_tracks_clock():
     now = [0.0]
     cache = WardenCache(1000, clock=lambda: now[0])

@@ -1,0 +1,75 @@
+"""Exporters: JSONL event logs, series bridges, metrics summaries."""
+
+import json
+
+from repro.telemetry.export import (
+    events_to_jsonl,
+    events_to_series,
+    metrics_summary,
+    series_to_csv,
+    series_to_jsonl,
+    write_events_jsonl,
+)
+from repro.telemetry.registry import MetricsRegistry
+from repro.telemetry.trace import EventTrace
+
+
+def _trace_with_events():
+    trace = EventTrace(lambda: 1.0)
+    trace.point("tick", detail="x")
+    span = trace.begin("work")
+    trace.end(span)
+    return trace
+
+
+def test_events_to_jsonl_round_trips():
+    text = events_to_jsonl(_trace_with_events().events())
+    lines = text.strip().split("\n")
+    parsed = [json.loads(line) for line in lines]
+    assert [e["kind"] for e in parsed] == ["point", "begin", "end"]
+    assert parsed[0]["fields"] == {"detail": "x"}
+
+
+def test_events_to_jsonl_stringifies_unserializable_fields():
+    trace = EventTrace(lambda: 0.0)
+    trace.point("odd", obj=object())
+    json.loads(events_to_jsonl(trace.events()).strip())  # must not raise
+
+
+def test_write_events_jsonl(tmp_path):
+    path = tmp_path / "events.jsonl"
+    count = write_events_jsonl(_trace_with_events().events(), path)
+    assert count == 3
+    lines = path.read_text(encoding="utf-8").strip().split("\n")
+    assert len(lines) == 3
+    assert json.loads(lines[-1])["kind"] == "end"
+
+
+def test_series_to_csv_format():
+    text = series_to_csv([(0.5, 100.0), (1.25, 250.5)])
+    assert text == "time,value\n0.5000,100.0\n1.2500,250.5\n"
+
+
+def test_series_jsonl_round_trips_through_events():
+    series = [(0.1, 5.0), (0.2, 6.5)]
+    text = series_to_jsonl(series, name="fig8.estimate", waveform="step-up")
+    events = [json.loads(line) for line in text.strip().split("\n")]
+    assert events_to_series(events, "fig8.estimate") == series
+    assert events_to_series(events, "other") == []
+    assert events[0]["fields"] == {"waveform": "step-up"}
+
+
+def test_metrics_summary_renders_all_sections():
+    registry = MetricsRegistry()
+    registry.counter("rpc.calls", connection="a").inc(3)
+    registry.gauge("warden.deferred_depth").set(2.0)
+    registry.histogram("rpc.round_trip_seconds").observe(0.02)
+    text = metrics_summary(registry.snapshot())
+    assert "counters" in text and "gauges" in text and "histograms" in text
+    assert "rpc.calls{connection=a}" in text
+    assert "warden.deferred_depth" in text
+    assert "rpc.round_trip_seconds" in text
+
+
+def test_metrics_summary_empty():
+    assert metrics_summary(MetricsRegistry().snapshot()) == "no metrics recorded\n"

@@ -1,0 +1,90 @@
+"""End-to-end: instrumented experiment trials and the telemetry CLI."""
+
+import json
+
+import pytest
+
+from repro import telemetry
+from repro.cli import main
+from repro.experiments.supply import run_supply_trial
+from repro.telemetry.export import events_to_series
+from repro.telemetry.recorder import NULL_RECORDER
+
+
+@pytest.fixture(scope="module")
+def fig8_recorder():
+    """One instrumented fig8 supply trial, shared across this module."""
+    with telemetry.enabled() as rec:
+        run_supply_trial("step-up", seed=0)
+    return rec
+
+
+def test_estimator_update_spans_recorded(fig8_recorder):
+    trace = fig8_recorder.trace
+    begins = trace.events(name="estimator.update", kind="begin")
+    ends = trace.events(name="estimator.update", kind="end")
+    assert begins and len(begins) == len(ends)
+    # Only RPC operations in flight when the run was cut off may stay open.
+    by_span = {e["span"]: e["name"] for e in trace.events(kind="begin")}
+    assert all(by_span[s].startswith("rpc.") for s in trace.open_spans)
+
+
+def test_upcall_events_recorded(fig8_recorder):
+    trace = fig8_recorder.trace
+    sent = trace.events(name="upcall.sent")
+    delivered = trace.events(name="upcall.delivered")
+    assert sent and delivered
+    assert all(e["fields"]["latency"] >= 0.0 for e in delivered)
+
+
+def test_live_events_have_monotonic_sim_timestamps(fig8_recorder):
+    # Samples carry historical, caller-supplied timestamps; every *live*
+    # event (point/begin/end) must appear in sim-time order.
+    times = [e["t"] for e in fig8_recorder.trace.events()
+             if e["kind"] != "sample"]
+    assert times == sorted(times)
+
+
+def test_estimate_series_bridged_into_trace(fig8_recorder):
+    series = fig8_recorder.trace.series("fig8.estimate")
+    assert len(series) > 10
+    times = [t for t, _ in series]
+    assert times == sorted(times)
+
+
+def test_metrics_cover_rpc_upcalls_and_estimation(fig8_recorder):
+    snap = fig8_recorder.registry.snapshot()
+    counters = {c["name"] for c in snap["counters"]}
+    histograms = {h["name"] for h in snap["histograms"]}
+    assert {"rpc.calls", "upcalls.sent", "viceroy.upcalls",
+            "estimation.rtt_updates"} <= counters
+    assert {"rpc.round_trip_seconds", "upcalls.delivery_seconds"} <= histograms
+
+
+def test_cli_telemetry_command(tmp_path, capsys):
+    events_path = tmp_path / "events.jsonl"
+    status = main(["telemetry", "--scenario", "fig8-supply",
+                   "--waveform", "step-up", "--events-out", str(events_path)])
+    assert status == 0
+    assert telemetry.RECORDER is NULL_RECORDER  # no leak past the command
+    captured = capsys.readouterr()
+    assert "counters" in captured.out
+    assert "upcalls.sent" in captured.out
+    assert "# wrote" in captured.err
+    events = [json.loads(line)
+              for line in events_path.read_text().strip().split("\n")]
+    assert any(e["kind"] == "begin" and e["name"] == "estimator.update"
+               for e in events)
+    assert events_to_series(events, "fig8.estimate")
+
+
+def test_cli_events_out_wraps_experiment_commands(tmp_path, capsys):
+    events_path = tmp_path / "fig8-events.jsonl"
+    status = main(["fig8", "--waveform", "step-up", "--trials", "1",
+                   "--events-out", str(events_path)])
+    assert status == 0
+    assert telemetry.RECORDER is NULL_RECORDER
+    assert "# wrote" in capsys.readouterr().err
+    events = [json.loads(line)
+              for line in events_path.read_text().strip().split("\n")]
+    assert any(e["name"] == "upcall.delivered" for e in events)

@@ -1,0 +1,96 @@
+"""Metrics registry: counters, gauges, histograms keyed by name + labels."""
+
+import json
+
+import pytest
+
+from repro.errors import TelemetryError
+from repro.telemetry.registry import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    format_series,
+)
+
+
+def test_counter_increments_and_rejects_negative():
+    counter = Counter()
+    counter.inc()
+    counter.inc(2.5)
+    assert counter.value == 3.5
+    with pytest.raises(TelemetryError):
+        counter.inc(-1)
+
+
+def test_gauge_tracks_extremes_and_updates():
+    gauge = Gauge()
+    gauge.set(5.0)
+    gauge.set(1.0)
+    gauge.add(2.0)
+    snap = gauge.snapshot()
+    assert snap == {"value": 3.0, "min": 1.0, "max": 5.0, "updates": 3}
+
+
+def test_histogram_buckets_observations():
+    hist = Histogram(buckets=(1.0, 10.0))
+    for value in (0.5, 1.0, 5.0, 100.0):
+        hist.observe(value)
+    snap = hist.snapshot()
+    assert snap["count"] == 4
+    assert snap["min"] == 0.5 and snap["max"] == 100.0
+    assert snap["mean"] == pytest.approx(106.5 / 4)
+    # bisect_left: a value equal to a boundary lands in that bucket.
+    assert [b["count"] for b in snap["buckets"]] == [2, 1, 1]
+    assert snap["buckets"][-1]["le"] == "inf"
+
+
+def test_histogram_rejects_unsorted_or_empty_buckets():
+    with pytest.raises(TelemetryError):
+        Histogram(buckets=())
+    with pytest.raises(TelemetryError):
+        Histogram(buckets=(2.0, 1.0))
+
+
+def test_registry_labels_split_series():
+    registry = MetricsRegistry()
+    registry.counter("rpc.calls", connection="a").inc()
+    registry.counter("rpc.calls", connection="b").inc(2)
+    registry.counter("rpc.calls", connection="a").inc()
+    snap = registry.snapshot()
+    values = {format_series(c["name"], c["labels"]): c["value"]
+              for c in snap["counters"]}
+    assert values == {"rpc.calls{connection=a}": 2.0,
+                      "rpc.calls{connection=b}": 2.0}
+
+
+def test_registry_rejects_kind_mismatch():
+    registry = MetricsRegistry()
+    registry.counter("metric")
+    with pytest.raises(TelemetryError, match="counter"):
+        registry.gauge("metric")
+
+
+def test_registry_histogram_keeps_first_buckets():
+    registry = MetricsRegistry()
+    hist = registry.histogram("latency", buckets=(1.0, 2.0))
+    assert registry.histogram("latency") is hist
+    assert hist.buckets == (1.0, 2.0)
+    assert registry.histogram("other").buckets == DEFAULT_BUCKETS
+
+
+def test_snapshot_is_json_serializable_and_sorted():
+    registry = MetricsRegistry()
+    registry.gauge("b.gauge").set(1.0)
+    registry.counter("a.counter", z="1", a="2").inc()
+    registry.histogram("c.hist").observe(0.25)
+    snap = registry.snapshot()
+    json.dumps(snap)  # must not raise
+    assert [c["name"] for c in snap["counters"]] == ["a.counter"]
+    assert snap["counters"][0]["labels"] == {"a": "2", "z": "1"}
+
+
+def test_format_series_without_labels():
+    assert format_series("plain", {}) == "plain"
+    assert format_series("m", {"b": 1, "a": 2}) == "m{a=2,b=1}"

@@ -1,0 +1,98 @@
+"""Event trace: spans, points, samples, and the bounded ring buffer."""
+
+import pytest
+
+from repro.errors import TelemetryError
+from repro.telemetry.trace import EventTrace
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture
+def trace(clock):
+    return EventTrace(clock)
+
+
+def test_capacity_validated(clock):
+    with pytest.raises(TelemetryError):
+        EventTrace(clock, capacity=0)
+
+
+def test_point_event_stamped_with_clock(trace, clock):
+    clock.now = 1.5
+    trace.point("tick", detail="x")
+    (event,) = trace.events()
+    assert event == {"t": 1.5, "kind": "point", "name": "tick",
+                     "fields": {"detail": "x"}}
+
+
+def test_span_records_duration_and_clears_open(trace, clock):
+    span = trace.begin("work", connection="c")
+    clock.now = 2.0
+    assert trace.open_spans == (span,)
+    trace.end(span, status="ok")
+    assert trace.open_spans == ()
+    begin, end = trace.events()
+    assert begin["kind"] == "begin" and begin["span"] == span
+    assert end["kind"] == "end" and end["duration"] == 2.0
+    assert end["name"] == "work"
+
+
+def test_nested_spans_carry_parent(trace):
+    outer = trace.begin("outer")
+    inner = trace.begin("inner", parent=outer)
+    trace.end(inner)
+    trace.end(outer)
+    begin_inner = trace.events(name="inner", kind="begin")[0]
+    assert begin_inner["parent"] == outer
+
+
+def test_end_of_unknown_span_raises(trace):
+    with pytest.raises(TelemetryError):
+        trace.end(99)
+
+
+def test_ring_buffer_drops_oldest_and_counts(clock):
+    trace = EventTrace(clock, capacity=3)
+    for i in range(5):
+        trace.point(f"e{i}")
+    assert len(trace) == 3
+    assert trace.dropped == 2
+    assert [e["name"] for e in trace.events()] == ["e2", "e3", "e4"]
+
+
+def test_sample_uses_caller_time_and_series_round_trips(trace, clock):
+    clock.now = 100.0  # the trace clock is *not* what samples record
+    trace.sample("bw", 1.0, 10.0)
+    trace.sample("bw", 2.0, 20.0)
+    trace.sample("other", 1.5, 99.0)
+    assert trace.series("bw") == [(1.0, 10.0), (2.0, 20.0)]
+
+
+def test_events_filters_by_name_and_kind(trace):
+    trace.point("a")
+    span = trace.begin("b")
+    trace.end(span)
+    assert len(trace.events(name="b")) == 2
+    assert len(trace.events(kind="end")) == 1
+    assert trace.events(name="a", kind="begin") == []
+
+
+def test_clear_resets_everything(trace):
+    trace.begin("open")
+    trace.point("p")
+    trace.clear()
+    assert len(trace) == 0
+    assert trace.open_spans == ()
+    assert trace.dropped == 0
