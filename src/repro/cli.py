@@ -11,9 +11,16 @@ Examples::
 """
 
 import argparse
+import os
 import sys
 
 from repro.version import __version__
+
+#: The source tree this CLI runs from (no build step: src/repro/cli.py).
+#: ``repro bench`` anchors its benchmark-file and baseline defaults here
+#: so the command works from any working directory.
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))))
 
 
 def _cmd_calibration(args):
@@ -171,6 +178,96 @@ def _cmd_disconnected(args):
     return 0
 
 
+#: Benchmark files ``repro bench`` runs by default: the substrate
+#: microbenchmarks whose speed every figure regeneration rides on.
+BENCH_DEFAULT_PATHS = (
+    os.path.join(_REPO_ROOT, "benchmarks", "test_bench_kernel.py"),
+    os.path.join(_REPO_ROOT, "benchmarks", "test_bench_estimation_micro.py"),
+)
+
+BENCH_DEFAULT_BASELINE = os.path.join(_REPO_ROOT, "benchmarks",
+                                      "baseline.json")
+
+
+def _cmd_bench(args):
+    import datetime
+    import subprocess
+    import tempfile
+
+    from repro.bench.baseline import (
+        capture_baseline,
+        compare_metrics,
+        format_report,
+        headline_metrics,
+        load_baseline,
+        load_report,
+        write_baseline,
+    )
+    from repro.errors import BenchmarkError
+
+    today = datetime.date.today().isoformat()
+    try:
+        if args.json:
+            run_json = args.json
+        else:
+            fd, run_json = tempfile.mkstemp(prefix="repro-bench-",
+                                            suffix=".json")
+            os.close(fd)
+            paths = args.paths or list(BENCH_DEFAULT_PATHS)
+            command = [
+                sys.executable, "-m", "pytest", "-q", "--benchmark-only",
+                f"--benchmark-json={run_json}", *paths,
+            ]
+            print(f"# running: {' '.join(command)}", file=sys.stderr)
+            env = dict(os.environ)
+            env["PYTHONPATH"] = os.pathsep.join(
+                p for p in (os.path.join(_REPO_ROOT, "src"),
+                            env.get("PYTHONPATH")) if p
+            )
+            proc = subprocess.run(command, env=env)
+            if proc.returncode != 0:
+                print(f"error: benchmark run failed (exit {proc.returncode})",
+                      file=sys.stderr)
+                return proc.returncode
+        metrics = headline_metrics(load_report(run_json))
+        if not metrics:
+            raise BenchmarkError(f"no metrics found in {run_json!r}")
+        # Record the perf trajectory: one BENCH_<date>.json per capture,
+        # in the same schema as the baseline so a good run can be promoted
+        # to benchmarks/baseline.json by copying it.
+        trajectory = os.path.join(args.out_dir, f"BENCH_{today}.json")
+        write_baseline(
+            capture_baseline(metrics, captured_at=today,
+                             notes="captured by `repro bench`"),
+            trajectory,
+        )
+        print(f"# wrote {len(metrics)} metrics to {trajectory}",
+              file=sys.stderr)
+        if args.update_baseline:
+            write_baseline(
+                capture_baseline(metrics, captured_at=today,
+                                 notes="refreshed by `repro bench "
+                                       "--update-baseline`"),
+                args.baseline,
+            )
+            print(f"# refreshed baseline {args.baseline}", file=sys.stderr)
+            return 0
+        try:
+            baseline = load_baseline(args.baseline)
+        except BenchmarkError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            print("hint: seed one with `repro bench --update-baseline`",
+                  file=sys.stderr)
+            return 2
+        report = compare_metrics(current=metrics, baseline_doc=baseline,
+                                 tolerance_scale=args.tolerance_scale)
+        print(format_report(report))
+        return 0 if report.ok else 1
+    except BenchmarkError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
 #: Scenarios the ``telemetry`` command can drive.
 TELEMETRY_SCENARIOS = ("fig8-supply", "fig9-demand", "adaptation")
 
@@ -319,6 +416,29 @@ def build_parser():
     p.add_argument("--events-out", metavar="PATH",
                    help="write the event trace as JSONL here")
     p.set_defaults(fn=_cmd_telemetry)
+
+    p = sub.add_parser(
+        "bench",
+        help="run the substrate benchmarks, record BENCH_<date>.json, and "
+             "compare against benchmarks/baseline.json (exit 1 on "
+             "regression)")
+    p.add_argument("paths", nargs="*",
+                   help="benchmark files to run (default: the kernel and "
+                        "estimation microbenchmarks)")
+    p.add_argument("--json", metavar="REPORT",
+                   help="compare an existing pytest-benchmark JSON report "
+                        "instead of running the suite")
+    p.add_argument("--baseline", default=BENCH_DEFAULT_BASELINE,
+                   help="baseline document to compare against "
+                        "(default: benchmarks/baseline.json)")
+    p.add_argument("--out-dir", default=".",
+                   help="directory for the BENCH_<date>.json capture")
+    p.add_argument("--tolerance-scale", type=float, default=1.0,
+                   help="multiply every tolerance band")
+    p.add_argument("--update-baseline", action="store_true",
+                   help="refresh the baseline from this run instead of "
+                        "comparing")
+    p.set_defaults(fn=_cmd_bench)
 
     return parser
 

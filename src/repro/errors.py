@@ -102,3 +102,7 @@ class BadDescriptor(OdysseyError):
 
 class RequestNotFound(OdysseyError):
     """``cancel`` named a request identifier that is not registered."""
+
+
+class BenchmarkError(ReproError):
+    """A benchmark baseline document or run report is malformed or missing."""

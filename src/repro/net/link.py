@@ -6,17 +6,23 @@ simple linear model combining latency and bandwidth-induced delays"
 behind each other), then experience the propagation latency in effect when
 serialization finishes.  Delivery order is forced FIFO even across latency
 drops, matching in-order modulation of a single radio.
+
+The transmitter is event-driven rather than a generator process: every
+fragment of every bulk transfer crosses a link, and the callback chain
+(finish-transmission → begin-next) costs two scheduled events per packet
+where the old process loop cost three plus two generator switches.
 """
 
 import math
+from collections import deque
 from dataclasses import dataclass, field
 
 from repro.errors import LinkDown
-from repro.sim.queues import Store
+from repro.sim.events import Event
 from repro.trace.integrate import transmission_finish_time
 
 
-@dataclass
+@dataclass(slots=True)
 class LinkStats:
     """Counters a link keeps for evaluation and tests."""
 
@@ -36,10 +42,12 @@ class LinkStats:
 class SimplexLink:
     """One direction of the modulated wireless link.
 
-    ``send(packet)`` enqueues; a background transmitter process drains the
-    queue.  When a packet's serialization finishes, delivery is scheduled
-    ``latency_at(finish)`` later via ``deliver`` (a callable set by the
-    network).  Completion times are exact across trace transitions.
+    ``send(packet)`` either begins serializing immediately (idle link) or
+    queues behind the packet in service.  When a packet's serialization
+    finishes, delivery is scheduled ``latency_at(finish)`` later via
+    ``deliver`` (a callable set by the network) and the next queued packet
+    begins serializing.  Completion times are exact across trace
+    transitions.
     """
 
     def __init__(self, sim, trace, name, deliver=None, record_deliveries=False):
@@ -54,41 +62,59 @@ class SimplexLink:
         #: mechanism behind injected loss bursts (:mod:`repro.faults`).
         self.drop_filter = None
         self._record_deliveries = record_deliveries
-        self._queue = Store(sim, name=f"{name}.queue")
+        self._waiting = deque()
+        self._busy = False
         self._last_delivery = 0.0
-        self._transmitter = sim.process(self._transmit_loop(), name=f"{name}.tx")
 
     @property
     def queue_depth(self):
         """Packets waiting or in service (approximate, for inspection)."""
-        return len(self._queue)
+        return len(self._waiting) + (1 if self._busy else 0)
 
     def send(self, packet):
         """Enqueue ``packet`` for transmission."""
         packet.enqueued_at = self.sim.now
-        self._queue.put(packet)
-        self.stats.max_queue_depth = max(self.stats.max_queue_depth, len(self._queue))
+        if self._busy:
+            waiting = self._waiting
+            waiting.append(packet)
+            stats = self.stats
+            if len(waiting) > stats.max_queue_depth:
+                stats.max_queue_depth = len(waiting)
+        else:
+            self._busy = True
+            self._begin_transmission(packet)
 
-    def _transmit_loop(self):
-        while True:
-            packet = yield self._queue.get()
-            start = self.sim.now
-            finish = transmission_finish_time(self.trace, start, packet.size)
-            if math.isinf(finish):
-                raise LinkDown(
-                    f"link {self.name!r}: bandwidth pinned at zero forever; "
-                    f"cannot transmit {packet!r}"
-                )
-            yield self.sim.timeout(finish - start)
-            self.stats.record(packet, finish - start)
-            if self.drop_filter is not None and self.drop_filter(packet, finish):
-                self.stats.packets_dropped += 1
-                continue
+    def _begin_transmission(self, packet):
+        sim = self.sim
+        start = sim.now
+        finish = transmission_finish_time(self.trace, start, packet.size)
+        if math.isinf(finish):
+            # Surface at run(), exactly as the old transmitter process did:
+            # an unwaited failing event propagates out of the kernel.
+            Event(sim, name=f"{self.name}.down").fail(LinkDown(
+                f"link {self.name!r}: bandwidth pinned at zero forever; "
+                f"cannot transmit {packet!r}"
+            ))
+            return
+        sim.call_at(finish, self._finish_transmission, packet, start)
+
+    def _finish_transmission(self, packet, start):
+        sim = self.sim
+        finish = sim.now
+        self.stats.record(packet, finish - start)
+        if self.drop_filter is not None and self.drop_filter(packet, finish):
+            self.stats.packets_dropped += 1
+        else:
             deliver_at = finish + self.trace.latency_at(finish)
             # Enforce FIFO delivery even if latency drops mid-flight.
-            deliver_at = max(deliver_at, self._last_delivery)
+            if deliver_at < self._last_delivery:
+                deliver_at = self._last_delivery
             self._last_delivery = deliver_at
-            self.sim.call_at(deliver_at, self._deliver, packet)
+            sim.call_at(deliver_at, self._deliver, packet)
+        if self._waiting:
+            self._begin_transmission(self._waiting.popleft())
+        else:
+            self._busy = False
 
     def _deliver(self, packet):
         packet.delivered_at = self.sim.now

@@ -11,12 +11,13 @@ HEADER_BYTES = 64
 _packet_ids = itertools.count(1)
 
 
-@dataclass
+@dataclass(slots=True)
 class Packet:
     """One datagram in flight.
 
     ``size`` is the on-the-wire size in bytes including headers; ``payload``
     is an arbitrary message object (never serialized — this is a simulation).
+    Slotted: experiments push millions of these through the links.
     """
 
     src: str

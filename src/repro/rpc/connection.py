@@ -64,7 +64,7 @@ DEFAULT_BACKOFF_CAP_SECONDS = 8.0
 RPC_SECONDS_BUCKETS = (0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.0, 5.0)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class RetryPolicy:
     """Timeout/retry-with-backoff parameters for RPC operations.
 
@@ -385,6 +385,20 @@ def _host_of(reply_port):
     return reply_port.split("/", 1)[0]
 
 
+class _WindowState:
+    """Receive-side accounting for one in-flight bulk window.
+
+    A slotted pair instead of a dict: one is allocated per window and its
+    ``received`` field is bumped once per arriving fragment.
+    """
+
+    __slots__ = ("received", "event")
+
+    def __init__(self, event):
+        self.received = 0
+        self.event = event
+
+
 class RpcConnection:
     """Client half: one logged endpoint to one service.
 
@@ -494,7 +508,7 @@ class RpcConnection:
             body_bytes=body_bytes,
             reply_port=self._port,
         )
-        event = self.sim.event(name=f"rpc:{self.connection_id}:{seq}")
+        event = self.sim.event(name="rpc")
         started = self.sim.now
         self._pending[seq] = event
         self.client.send(
@@ -538,6 +552,7 @@ class RpcConnection:
         """Drive ``attempt(timeout)`` under ``retry``, backing off between timeouts."""
         retry = retry or RetryPolicy()
         delays = retry.delays()
+        rec = telemetry.RECORDER  # one lookup for the whole retry loop
         deadline_at = None
         if retry.deadline is not None:
             deadline_at = self.sim.now + retry.deadline
@@ -555,7 +570,6 @@ class RpcConnection:
                 if (deadline_at is not None
                         and self.sim.now + delay >= deadline_at):
                     self.timeouts += 1
-                    rec = telemetry.RECORDER
                     if rec.enabled:
                         rec.count("rpc.timeouts", connection=self.connection_id)
                         rec.event("rpc.timeout", connection=self.connection_id,
@@ -565,7 +579,6 @@ class RpcConnection:
                         f"({retry.deadline} s) exhausted"
                     )
                 self.retries += 1
-                rec = telemetry.RECORDER
                 if rec.enabled:
                     rec.count("rpc.retries", connection=self.connection_id)
                     rec.event("rpc.retry", connection=self.connection_id,
@@ -622,15 +635,21 @@ class RpcConnection:
     def fetch_ticket(self, transfer_id, nbytes, timeout=None):
         """Fetch ``nbytes`` of a known bulk source, window by window."""
         self._check_open()
+        # One recorder lookup per transfer, not per window: the module
+        # attribute cannot change mid-operation (enable/disable happens
+        # between runs, never inside one).
+        rec = telemetry.RECORDER
         offset = 0
         while offset < nbytes:
             window = min(self.window_bytes, nbytes - offset)
             received = yield from self._fetch_window(transfer_id, offset,
-                                                     window, timeout)
+                                                     window, timeout, rec)
             offset += received
         return nbytes
 
-    def _fetch_window(self, transfer_id, offset, window, timeout=None):
+    def _fetch_window(self, transfer_id, offset, window, timeout=None, rec=None):
+        if rec is None:
+            rec = telemetry.RECORDER
         seq = next(self._seq)
         request = WindowRequest(
             connection_id=self.connection_id,
@@ -641,11 +660,10 @@ class RpcConnection:
             fragment_bytes=self.fragment_bytes,
             reply_port=self._port,
         )
-        event = self.sim.event(name=f"window:{self.connection_id}:{seq}")
-        state = {"received": 0, "event": event}
+        event = self.sim.event(name="window")
+        state = _WindowState(event)
         started = self.sim.now
         self._pending[seq] = state
-        rec = telemetry.RECORDER
         span = None
         if rec.enabled:
             span = rec.begin("rpc.window", connection=self.connection_id,
@@ -669,9 +687,9 @@ class RpcConnection:
             rec.observe("rpc.window_seconds", self.sim.now - started,
                         buckets=RPC_SECONDS_BUCKETS,
                         connection=self.connection_id)
-            rec.end(span, status="ok", received=state["received"])
-        self.log.add_throughput(started, state["received"])
-        return state["received"]
+            rec.end(span, status="ok", received=state.received)
+        self.log.add_throughput(started, state.received)
+        return state.received
 
     # -- bulk push (sender-driven) ---------------------------------------------
 
@@ -689,14 +707,14 @@ class RpcConnection:
             raise RpcError(f"push: nbytes must be positive, got {nbytes}")
         transfer_id = next(self._seq)
         response_seq = next(self._seq)
-        response_event = self.sim.event(name=f"pushresp:{self.connection_id}")
+        response_event = self.sim.event(name="pushresp")
         self._pending[response_seq] = response_event
         offset = 0
         while offset < nbytes:
             window = min(self.window_bytes, nbytes - offset)
             started = self.sim.now
             seq = next(self._seq)
-            event = self.sim.event(name=f"push:{self.connection_id}:{seq}")
+            event = self.sim.event(name="push")
             self._pending[seq] = event
             last_in_transfer = offset + window >= nbytes
             sent = 0
@@ -739,7 +757,9 @@ class RpcConnection:
 
     def _on_packet(self, packet):
         message = packet.payload
-        if getattr(message, "seq", None) in self._abandoned:
+        # The abandoned set is empty except around timeouts, so test it
+        # before paying for the getattr — this dispatch runs per packet.
+        if self._abandoned and getattr(message, "seq", None) in self._abandoned:
             # A reply outliving its timeout: drop it (the exchange's state
             # is gone) but account for it.
             self.late_replies += 1
@@ -750,20 +770,20 @@ class RpcConnection:
                     isinstance(message, Fragment) and message.last_in_window):
                 self._abandoned.discard(message.seq)
             return
-        if isinstance(message, CallResponse):
+        if isinstance(message, Fragment):
+            state = self._pending.get(message.seq)
+            if state is None:
+                raise RpcError(f"{self!r}: fragment for unknown seq {message.seq}")
+            state.received += message.nbytes
+            self.log.add_delivery(message.nbytes)
+            if message.last_in_window:
+                del self._pending[message.seq]
+                state.event.succeed()
+        elif isinstance(message, CallResponse):
             waiter = self._pending.pop(message.seq, None)
             if waiter is None:
                 raise RpcError(f"{self!r}: response for unknown seq {message.seq}")
             waiter.succeed(message)
-        elif isinstance(message, Fragment):
-            state = self._pending.get(message.seq)
-            if state is None:
-                raise RpcError(f"{self!r}: fragment for unknown seq {message.seq}")
-            state["received"] += message.nbytes
-            self.log.add_delivery(message.nbytes)
-            if message.last_in_window:
-                del self._pending[message.seq]
-                state["event"].succeed()
         elif isinstance(message, WindowAck):
             waiter = self._pending.pop(message.seq, None)
             if waiter is None:

@@ -20,7 +20,7 @@ from dataclasses import dataclass
 DELIVERY_HISTORY_SECONDS = 30.0
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class RoundTripEntry:
     """One small exchange: elapsed wall time minus server compute time."""
 
@@ -30,7 +30,7 @@ class RoundTripEntry:
     response_bytes: int
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ThroughputEntry:
     """One bulk-transfer window: request-to-last-byte elapsed time."""
 

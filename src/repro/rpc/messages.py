@@ -1,13 +1,14 @@
 """Message types exchanged by the RPC protocol.
 
 These are payload objects carried inside :class:`~repro.net.Packet`; they
-are never serialized, only sized.
+are never serialized, only sized.  All are slotted: fragments and acks are
+allocated per packet on the bulk-transfer hot path.
 """
 
 from dataclasses import dataclass, field
 
 
-@dataclass
+@dataclass(slots=True)
 class CallRequest:
     """A small-exchange request (paper: 'conventional RPC protocol')."""
 
@@ -19,7 +20,7 @@ class CallRequest:
     reply_port: str
 
 
-@dataclass
+@dataclass(slots=True)
 class CallResponse:
     """Reply to a :class:`CallRequest`.
 
@@ -35,7 +36,7 @@ class CallResponse:
     error: object = None
 
 
-@dataclass
+@dataclass(slots=True)
 class WindowRequest:
     """Receiver-driven request for the next window of a bulk transfer."""
 
@@ -48,7 +49,7 @@ class WindowRequest:
     reply_port: str
 
 
-@dataclass
+@dataclass(slots=True)
 class Fragment:
     """One packet's worth of a bulk-transfer window."""
 
@@ -61,7 +62,7 @@ class Fragment:
     last_in_transfer: bool
 
 
-@dataclass
+@dataclass(slots=True)
 class BulkPush:
     """Sender-side bulk transfer: a window of data offered to the server.
 
@@ -82,7 +83,7 @@ class BulkPush:
     response_seq: int = None
 
 
-@dataclass
+@dataclass(slots=True)
 class WindowAck:
     """Acknowledgement completing a pushed window."""
 
@@ -92,7 +93,7 @@ class WindowAck:
     next_offset: int
 
 
-@dataclass
+@dataclass(slots=True)
 class ServerReply:
     """What an operation handler returns to the RPC service.
 
@@ -109,7 +110,7 @@ class ServerReply:
     bulk: object = None
 
 
-@dataclass
+@dataclass(slots=True)
 class BulkSource:
     """Server-side descriptor of fetchable bulk data."""
 

@@ -10,6 +10,8 @@ Composite events (:class:`AnyOf`, :class:`AllOf`) let a process wait for the
 first or for all of several events, which the RPC layer uses for timeouts.
 """
 
+from heapq import heappush
+
 from repro.errors import SimulationError
 
 _PENDING = object()
@@ -24,7 +26,14 @@ class Event:
         The owning simulator.  Triggering the event enqueues it there.
     name:
         Optional label used in ``repr`` for debugging.
+
+    Events are the kernel's unit of allocation — every timeout, process
+    switch, and queue operation creates at least one — so the class is
+    slotted and its hot subclasses keep construction allocation-free
+    beyond the instance itself.
     """
+
+    __slots__ = ("sim", "name", "callbacks", "_value", "_ok", "_defused")
 
     def __init__(self, sim, name=None):
         self.sim = sim
@@ -65,11 +74,14 @@ class Event:
 
     def succeed(self, value=None, delay=0.0):
         """Trigger the event successfully with ``value`` after ``delay``."""
-        if self.triggered:
+        if self._value is not _PENDING:
             raise SimulationError(f"{self!r} already triggered")
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay!r})")
         self._ok = True
         self._value = value
-        self.sim._enqueue(self, delay)
+        sim = self.sim
+        heappush(sim._heap, (sim._now + delay, next(sim._sequence), self))
         return self
 
     def fail(self, exception, delay=0.0):
@@ -81,11 +93,14 @@ class Event:
         """
         if not isinstance(exception, BaseException):
             raise TypeError(f"fail() needs an exception, got {exception!r}")
-        if self.triggered:
+        if self._value is not _PENDING:
             raise SimulationError(f"{self!r} already triggered")
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay!r})")
         self._ok = False
         self._value = exception
-        self.sim._enqueue(self, delay)
+        sim = self.sim
+        heappush(sim._heap, (sim._now + delay, next(sim._sequence), self))
         return self
 
     def defuse(self):
@@ -98,10 +113,11 @@ class Event:
         If the event has already been processed the callback runs
         immediately; this makes late waiters safe.
         """
-        if self.processed:
+        callbacks = self.callbacks
+        if callbacks is None:
             callback(self)
         else:
-            self.callbacks.append(callback)
+            callbacks.append(callback)
 
     def _process(self):
         """Run callbacks.  Called exactly once, by the simulator."""
@@ -117,19 +133,36 @@ class Timeout(Event):
 
     Processes obtain these via :meth:`Simulator.timeout`; yielding one
     suspends the process for the given duration.
+
+    This is the hottest allocation site in the kernel, so the constructor
+    inlines both ``Event.__init__`` and the enqueue: a timeout is born
+    triggered, and its label is derived lazily in ``repr`` instead of
+    formatting a string per instance.
     """
+
+    __slots__ = ("delay",)
 
     def __init__(self, sim, delay, value=None):
         if delay < 0:
             raise SimulationError(f"negative timeout delay {delay!r}")
-        super().__init__(sim, name=f"Timeout({delay:g})")
-        self._ok = True
+        self.sim = sim
+        self.name = None
+        self.callbacks = []
         self._value = value
-        sim._enqueue(self, delay)
+        self._ok = True
+        self._defused = False
+        self.delay = delay
+        heappush(sim._heap, (sim._now + delay, next(sim._sequence), self))
+
+    def __repr__(self):
+        state = "processed" if self.callbacks is None else "ok"
+        return f"<Timeout({self.delay:g}) {state} at t={self.sim.now:.6f}>"
 
 
 class _Condition(Event):
     """Shared machinery for :class:`AnyOf` / :class:`AllOf`."""
+
+    __slots__ = ("events", "_unfired")
 
     def __init__(self, sim, events):
         super().__init__(sim, name=self.__class__.__name__)
@@ -169,6 +202,8 @@ class AnyOf(_Condition):
     (normally a single entry).  Fails if any child fails first.
     """
 
+    __slots__ = ()
+
     def _child_fired(self):
         self.succeed(self._results())
 
@@ -179,6 +214,8 @@ class AllOf(_Condition):
     The value is a dict mapping every event to its value.  Fails as soon as
     any child fails.
     """
+
+    __slots__ = ()
 
     def _child_fired(self):
         if self._unfired == 0:

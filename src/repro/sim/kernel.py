@@ -3,14 +3,42 @@
 A :class:`Simulator` owns virtual time and a priority queue of triggered
 events.  ``run()`` pops events in (time, sequence) order and processes them;
 processing an event resumes any processes waiting on it.
+
+This module is the hot path under every figure in the paper — millions of
+events flow through ``run()`` per experiment — so the loop bodies inline
+the pop-advance-process step instead of dispatching through :meth:`step`,
+and scheduled calls carry their callback in slots instead of allocating a
+closure per call.
 """
 
-import heapq
 import itertools
+from heapq import heappop, heappush
 
 from repro.errors import SimulationError
 from repro.sim.events import Event, Timeout
 from repro.sim.process import Process
+
+
+class _ScheduledCall(Timeout):
+    """A timeout that invokes ``fn(*args)`` when it fires.
+
+    Backing for :meth:`Simulator.call_at`: the callback rides in slots on
+    the event itself, so scheduling a call allocates no closure and no
+    callback-list entry — one object per call, total.
+    """
+
+    __slots__ = ("_fn", "_args")
+
+    def __init__(self, sim, delay, fn, args):
+        Timeout.__init__(self, sim, delay)
+        self._fn = fn
+        self._args = args
+
+    def _process(self):
+        callbacks, self.callbacks = self.callbacks, None
+        self._fn(*self._args)
+        for callback in callbacks:
+            callback(self)
 
 
 class Simulator:
@@ -28,6 +56,8 @@ class Simulator:
         sim.run()
         assert sim.now == 1.5 and proc.value == "done"
     """
+
+    __slots__ = ("_now", "_heap", "_sequence")
 
     def __init__(self):
         self._now = 0.0
@@ -59,7 +89,7 @@ class Simulator:
         """Place a triggered event on the heap ``delay`` seconds from now."""
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past (delay={delay!r})")
-        heapq.heappush(self._heap, (self._now + delay, next(self._sequence), event))
+        heappush(self._heap, (self._now + delay, next(self._sequence), event))
 
     def call_at(self, when, callback, *args):
         """Run ``callback(*args)`` at absolute time ``when``.
@@ -69,9 +99,7 @@ class Simulator:
         """
         if when < self._now:
             raise SimulationError(f"call_at({when!r}) is in the past (now={self._now!r})")
-        event = Timeout(self, when - self._now)
-        event.add_callback(lambda _: callback(*args))
-        return event
+        return _ScheduledCall(self, when - self._now, callback, args)
 
     def call_in(self, delay, callback, *args):
         """Run ``callback(*args)`` after ``delay`` seconds."""
@@ -90,8 +118,7 @@ class Simulator:
         """
         if not self._heap:
             raise SimulationError("step() on an empty event queue")
-        when, _, event = heapq.heappop(self._heap)
-        self._now = when
+        self._now, _, event = heappop(self._heap)
         event._process()
 
     def run(self, until=None):
@@ -105,27 +132,34 @@ class Simulator:
         - an :class:`Event` — run until that event has been processed, and
           return its value.
         """
+        heap = self._heap
+        pop = heappop
         if until is None:
-            while self._heap:
-                self.step()
+            while heap:
+                self._now, _, event = pop(heap)
+                event._process()
             return None
         if isinstance(until, Event):
             return self._run_until_event(until)
         deadline = float(until)
         if deadline < self._now:
             raise SimulationError(f"run(until={deadline!r}) is in the past (now={self._now!r})")
-        while self._heap and self._heap[0][0] <= deadline:
-            self.step()
+        while heap and heap[0][0] <= deadline:
+            self._now, _, event = pop(heap)
+            event._process()
         self._now = deadline
         return None
 
     def _run_until_event(self, event):
         done = []
         event.add_callback(done.append)
+        heap = self._heap
+        pop = heappop
         while not done:
-            if not self._heap:
+            if not heap:
                 raise SimulationError(f"queue drained before {event!r} was processed")
-            self.step()
+            self._now, _, popped = pop(heap)
+            popped._process()
         if not event.ok:
             event.defuse()
             raise event.value

@@ -8,7 +8,7 @@ processes can wait on each other.
 """
 
 from repro.errors import ProcessInterrupt, SimulationError
-from repro.sim.events import Event
+from repro.sim.events import _PENDING, Event
 
 
 class Process(Event):
@@ -25,6 +25,8 @@ class Process(Event):
     with any exception that escapes the generator.
     """
 
+    __slots__ = ("_generator", "_waiting_on")
+
     def __init__(self, sim, generator, name=None):
         if not hasattr(generator, "send") or not hasattr(generator, "throw"):
             raise SimulationError(f"Process needs a generator, got {generator!r}")
@@ -32,8 +34,9 @@ class Process(Event):
         self._generator = generator
         self._waiting_on = None
         # Kick off on the next scheduler tick so construction order does not
-        # matter within a time step.
-        start = Event(sim, name=f"start:{self.name}")
+        # matter within a time step.  The start event carries a static name:
+        # servers spawn a process per request, so this runs per-RPC.
+        start = Event(sim, name="start")
         self._waiting_on = start
         start.add_callback(self._resume)
         start.succeed()
@@ -55,7 +58,7 @@ class Process(Event):
             raise SimulationError(f"cannot interrupt finished {self!r}")
         if self._waiting_on is self:
             raise SimulationError("a process cannot interrupt itself")
-        poke = Event(self.sim, name=f"interrupt:{self.name}")
+        poke = Event(self.sim, name="interrupt")
 
         def deliver(_):
             if not self.alive:
@@ -69,20 +72,21 @@ class Process(Event):
     # -- internal ------------------------------------------------------------
 
     def _resume(self, event):
-        stale = self._waiting_on is not event
-        if stale or not self.alive:
+        # Direct slot reads instead of the alive/ok/value properties: this
+        # runs once per process switch, the kernel's commonest operation.
+        if self._waiting_on is not event or self._value is not _PENDING:
             # Wake-up from an event abandoned by an interrupt, or delivered
             # after the process finished.  Swallow failures: the process was
             # nominally responsible for this event.
-            if event is not self and not event.ok:
+            if event is not self and not event._ok:
                 event.defuse()
             return
         self._waiting_on = None
-        if event.ok:
-            self._step(send=event.value)
+        if event._ok:
+            self._step(send=event._value)
         else:
             event.defuse()
-            self._step(throw=event.value)
+            self._step(throw=event._value)
 
     def _step(self, send=None, throw=None):
         try:

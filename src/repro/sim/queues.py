@@ -20,6 +20,8 @@ class Store:
     when one arrives.  Waiters are served in FIFO order.
     """
 
+    __slots__ = ("sim", "capacity", "name", "_items", "_getters", "_get_name")
+
     def __init__(self, sim, capacity=None, name=None):
         if capacity is not None and capacity <= 0:
             raise SimulationError(f"capacity must be positive, got {capacity!r}")
@@ -28,6 +30,9 @@ class Store:
         self.name = name
         self._items = deque()
         self._getters = deque()
+        # Precomputed once: get() runs per packet on every link, and an
+        # f-string per event was measurable there.
+        self._get_name = f"get:{name or 'store'}"
 
     def __len__(self):
         return len(self._items)
@@ -49,7 +54,7 @@ class Store:
 
     def get(self):
         """Return an event that fires with the next item."""
-        event = Event(self.sim, name=f"get:{self.name or 'store'}")
+        event = Event(self.sim, name=self._get_name)
         if self._items:
             event.succeed(self._items.popleft())
         else:
@@ -75,6 +80,8 @@ class Semaphore:
     server CPU.
     """
 
+    __slots__ = ("sim", "capacity", "name", "_in_use", "_waiters", "_acquire_name")
+
     def __init__(self, sim, capacity=1, name=None):
         if capacity <= 0:
             raise SimulationError(f"capacity must be positive, got {capacity!r}")
@@ -83,6 +90,7 @@ class Semaphore:
         self.name = name
         self._in_use = 0
         self._waiters = deque()
+        self._acquire_name = f"acquire:{name or 'sem'}"
 
     @property
     def available(self):
@@ -96,7 +104,7 @@ class Semaphore:
 
     def acquire(self):
         """Return an event firing when a unit of the semaphore is held."""
-        event = Event(self.sim, name=f"acquire:{self.name or 'sem'}")
+        event = Event(self.sim, name=self._acquire_name)
         if self._in_use < self.capacity:
             self._in_use += 1
             event.succeed()

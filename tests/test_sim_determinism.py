@@ -1,0 +1,131 @@
+"""Determinism regression net for the hot-path optimization work.
+
+The sim substrate is allowed to get faster, never different: a seeded
+experiment must emit byte-identical series before and after any kernel,
+event, or link change.  The golden sha256 fingerprints below were
+captured from the seed implementation and re-verified after the
+event-driven link rewrite; if one of these fails, an optimization
+changed event ordering or arithmetic, not just speed.
+
+The second half guards the memory layout itself: the hot-path classes
+promise ``__slots__`` all the way up their MRO, so a future edit that
+quietly reintroduces per-instance ``__dict__`` (and its allocation cost)
+fails here instead of only showing up as a benchmark regression.
+"""
+
+import hashlib
+
+import pytest
+
+from repro.experiments.demand import run_demand_trial
+from repro.experiments.supply import run_supply_trial
+from repro.net.link import LinkStats
+from repro.net.packet import Packet
+from repro.rpc.connection import RetryPolicy
+from repro.rpc.logs import RoundTripEntry, ThroughputEntry
+from repro.rpc.messages import (
+    BulkPush,
+    BulkSource,
+    CallRequest,
+    CallResponse,
+    Fragment,
+    ServerReply,
+    WindowAck,
+    WindowRequest,
+)
+from repro.sim.events import AllOf, AnyOf, Event, Timeout
+from repro.sim.kernel import Simulator
+from repro.sim.process import Process
+from repro.sim.queues import Semaphore, Store
+
+GOLDEN_FIG8_STEP_UP_SEED0 = (
+    "42409d4ba6fa78d7992e9a394772431e91bb5c0011fe7328005cdaaa4aafbfa7"
+)
+GOLDEN_FIG8_STEP_DOWN_SEED1 = (
+    "ce688e8b37639f7aa36a87b5e10c0c3c5523c67dcb299bf0b7dd11ccdf3082a6"
+)
+GOLDEN_FIG9_TOTAL_SEED0 = (
+    "43dd89b6cd363a4fe446291d47a6ea3b01764db9c5f5997c9468aff506f44dac"
+)
+GOLDEN_FIG9_SECOND_SEED0 = (
+    "4c24d44dc97b796dc5c5d4b7b176063acaacd6abc9a58eeed1c372f9c7729ccc"
+)
+
+
+def fingerprint(series):
+    """sha256 over the rounded (time, value) pairs of one series."""
+    rounded = [(round(t, 9), round(v, 6)) for t, v in series]
+    return hashlib.sha256(repr(rounded).encode()).hexdigest()
+
+
+def test_fig8_supply_series_match_golden_fingerprints():
+    assert fingerprint(run_supply_trial("step-up", seed=0).series) \
+        == GOLDEN_FIG8_STEP_UP_SEED0
+    assert fingerprint(run_supply_trial("step-down", seed=1).series) \
+        == GOLDEN_FIG8_STEP_DOWN_SEED1
+
+
+def test_fig9_demand_series_match_golden_fingerprints():
+    trial = run_demand_trial(0.45, seed=0)
+    assert fingerprint(trial.total_series) == GOLDEN_FIG9_TOTAL_SEED0
+    assert fingerprint(trial.second_series) == GOLDEN_FIG9_SECOND_SEED0
+
+
+def test_same_seed_same_fingerprint_within_one_process():
+    first = run_supply_trial("step-up", seed=3)
+    second = run_supply_trial("step-up", seed=3)
+    assert fingerprint(first.series) == fingerprint(second.series)
+
+
+def _noop():
+    yield
+
+
+def _hot_path_instances():
+    """One live instance of every class promised to be slotted."""
+    sim = Simulator()
+    yield sim
+    yield Event(sim, name="e")
+    yield Timeout(sim, 1.0)
+    yield AnyOf(sim, [sim.timeout(1.0)])
+    yield AllOf(sim, [sim.timeout(1.0)])
+    yield Process(sim, _noop())
+    yield Store(sim, name="s")
+    yield Semaphore(sim, capacity=2)
+    yield sim.call_at(5.0, lambda: None)
+    yield Packet(src="a", dst="b", port="p", size=100)
+    yield LinkStats()
+    yield RetryPolicy()
+    yield CallRequest(connection_id="c", seq=1, op="op", body=None,
+                      body_bytes=10, reply_port="p")
+    yield CallResponse(connection_id="c", seq=1, body=None, body_bytes=10,
+                       server_seconds=0.0)
+    yield WindowRequest(connection_id="c", seq=1, transfer_id=1, offset=0,
+                        window_bytes=1024, fragment_bytes=256, reply_port="p")
+    yield Fragment(connection_id="c", seq=1, transfer_id=1, offset=0,
+                   nbytes=256, last_in_window=False, last_in_transfer=False)
+    yield BulkPush(connection_id="c", seq=1, transfer_id=1, offset=0,
+                   nbytes=256, last_in_window=True, last_in_transfer=False,
+                   reply_port="p")
+    yield WindowAck(connection_id="c", seq=1, transfer_id=1, next_offset=256)
+    yield ServerReply()
+    yield BulkSource(transfer_id=1, nbytes=1024)
+    yield RoundTripEntry(at=1.0, seconds=0.1, request_bytes=64,
+                         response_bytes=64)
+    yield ThroughputEntry(at=1.0, started=0.5, nbytes=1024, seconds=0.5)
+
+
+@pytest.mark.parametrize(
+    "obj", list(_hot_path_instances()),
+    ids=lambda obj: type(obj).__name__,
+)
+def test_hot_path_classes_stay_slotted(obj):
+    cls = type(obj)
+    assert not hasattr(obj, "__dict__"), (
+        f"{cls.__name__} instances grew a __dict__ — some class in its MRO "
+        "dropped __slots__, reintroducing per-event allocation overhead"
+    )
+    for klass in cls.__mro__[:-1]:  # every ancestor except object
+        assert "__slots__" in vars(klass), (
+            f"{klass.__name__} (base of {cls.__name__}) lacks __slots__"
+        )
