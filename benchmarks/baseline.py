@@ -29,6 +29,7 @@ from repro.bench.baseline import (  # noqa: E402 - path bootstrap above
     DEFAULT_TOLERANCE,
     capture_baseline,
     compare_metrics,
+    default_tolerances,
     format_report,
     headline_metrics,
     load_baseline,
@@ -49,10 +50,26 @@ def _cmd_capture(args):
         tolerance=args.tolerance,
         captured_at=datetime.date.today().isoformat(),
         notes=args.notes,
+        tolerances=default_tolerances(metrics),
     )
     write_baseline(doc, args.out)
     print(f"captured {len(metrics)} metrics to {args.out}")
     return 0
+
+
+def _cmd_speedup(args):
+    """Gate the parallel sweep's measured speedup (CI's --jobs check)."""
+    current = headline_metrics(load_report(args.json))
+    observed = current.get(args.metric)
+    if observed is None:
+        raise BenchmarkError(
+            f"metric {args.metric!r} absent from {args.json!r} — was the "
+            "benchmark run with --repro-jobs > 1?"
+        )
+    verdict = "PASS" if observed >= args.min else "FAIL"
+    print(f"{verdict}: {args.metric} = {observed:.2f}x "
+          f"(required >= {args.min:.2f}x)")
+    return 0 if observed >= args.min else 1
 
 
 def _cmd_compare(args):
@@ -88,6 +105,16 @@ def build_parser():
     p.add_argument("--tolerance-scale", type=float, default=1.0,
                    help="multiply every tolerance band")
     p.set_defaults(fn=_cmd_compare)
+
+    p = sub.add_parser("speedup",
+                       help="require a minimum parallel speedup from a run")
+    p.add_argument("--json", required=True,
+                   help="pytest-benchmark JSON run report")
+    p.add_argument("--metric", default="test_suite_sweep.suite_speedup",
+                   help="speedup metric to check")
+    p.add_argument("--min", type=float, default=2.0,
+                   help="minimum acceptable speedup (default 2.0)")
+    p.set_defaults(fn=_cmd_speedup)
 
     return parser
 

@@ -24,11 +24,35 @@ def pytest_addoption(parser):
         "--repro-trials", type=int, default=DEFAULT_BENCH_TRIALS,
         help="trials per experiment cell (paper uses 5)",
     )
+    parser.addoption(
+        "--repro-jobs", type=int, default=1,
+        help="worker processes for trial execution (0 = all cores)",
+    )
 
 
 @pytest.fixture
 def trials(request):
     return request.config.getoption("--repro-trials")
+
+
+@pytest.fixture
+def jobs(request):
+    from repro.parallel import resolve_jobs
+
+    return resolve_jobs(request.config.getoption("--repro-jobs"))
+
+
+@pytest.fixture(autouse=True)
+def _parallel_overrides(jobs):
+    """Route every benchmarked experiment through the configured jobs.
+
+    The result cache is always off here: a benchmark that answered from
+    disk would time the cache, not the code.
+    """
+    from repro.parallel import overrides
+
+    with overrides(jobs=jobs, cache=None):
+        yield
 
 
 def run_once(benchmark, fn, *args, **kwargs):

@@ -1,0 +1,41 @@
+"""The evaluation sweep end to end: ``suite_wall_seconds``.
+
+One benchmark runs the representative experiment sweep
+(:func:`repro.parallel.sweep.sweep_units` — fig8 across all four
+waveforms, a fig9 panel, fig10/fig11/fig12 adaptive cells, adaptation,
+and the turbulence boundary) through the trial runner at the configured
+``--repro-jobs``.  The wall time lands in ``extra_info`` as the
+``suite_wall_seconds`` headline metric the baseline gates; with
+``--repro-jobs > 1`` the serial sweep is timed once more and the ratio
+recorded as ``suite_speedup``, which CI's perf gate holds to >= 2x at
+four jobs (``benchmarks/baseline.py speedup``).
+
+Determinism is asserted here too, not just in tier-1: the parallel and
+serial sweeps must produce identical result lists.
+"""
+
+import time
+
+from conftest import run_once
+
+from repro.parallel import run_units, sweep_units
+
+
+def _wall(fn, *args, **kwargs):
+    start = time.perf_counter()
+    value = fn(*args, **kwargs)
+    return value, time.perf_counter() - start
+
+
+def test_suite_sweep(benchmark, trials, jobs):
+    units = sweep_units(trials=trials)
+    results, wall = _wall(run_once, benchmark, run_units, units,
+                          jobs=jobs, cache=None)
+    assert len(results) == len(units)
+    benchmark.extra_info["suite_wall_seconds"] = wall
+    benchmark.extra_info["suite_units"] = len(units)
+    if jobs > 1:
+        serial_results, serial_wall = _wall(run_units, units,
+                                            jobs=1, cache=None)
+        assert repr(serial_results) == repr(results)
+        benchmark.extra_info["suite_speedup"] = serial_wall / wall

@@ -7,10 +7,12 @@ documents (one per capture) and enforced against a committed
 
 from repro.bench.baseline import (
     DEFAULT_TOLERANCE,
+    MIN_SECONDS_TOLERANCE,
     ComparisonReport,
     MetricCheck,
     capture_baseline,
     compare_metrics,
+    default_tolerances,
     format_report,
     headline_metrics,
     load_baseline,
@@ -19,10 +21,12 @@ from repro.bench.baseline import (
 
 __all__ = [
     "DEFAULT_TOLERANCE",
+    "MIN_SECONDS_TOLERANCE",
     "ComparisonReport",
     "MetricCheck",
     "capture_baseline",
     "compare_metrics",
+    "default_tolerances",
     "format_report",
     "headline_metrics",
     "load_baseline",

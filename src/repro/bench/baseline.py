@@ -40,6 +40,12 @@ from repro.errors import BenchmarkError
 #: Default multiplicative tolerance band captured into new baselines.
 DEFAULT_TOLERANCE = 2.0
 
+#: Tighter band for ``.min_seconds`` metrics: min-of-rounds is the stable
+#: stat (least scheduler noise), and two independent captures agreeing
+#: justify holding it to 1.5x.  ``.mean_seconds`` keeps the 2x band for
+#: CI noise.
+MIN_SECONDS_TOLERANCE = 1.5
+
 #: Baseline document schema tag (bump on incompatible changes).
 SCHEMA = "repro-bench-baseline/1"
 
@@ -104,16 +110,35 @@ def load_report(path):
     return report
 
 
+def default_tolerances(metrics):
+    """Per-metric tolerance overrides for a capture: tighter ``min_seconds``.
+
+    Returns ``{name: MIN_SECONDS_TOLERANCE}`` for every ``.min_seconds``
+    metric in ``metrics``; everything else keeps the capture's default
+    band.
+    """
+    return {name: MIN_SECONDS_TOLERANCE for name in metrics
+            if name.endswith(".min_seconds")}
+
+
 def capture_baseline(metrics, tolerance=DEFAULT_TOLERANCE, captured_at=None,
-                     directions=None, notes=None):
+                     directions=None, notes=None, tolerances=None):
     """Freeze ``metrics`` into a baseline document.
 
     ``directions`` optionally maps metric names (exact) to ``"higher"`` for
     metrics where bigger is better; everything else defaults to
-    ``"lower"``.
+    ``"lower"``.  ``tolerances`` optionally maps metric names (exact) to a
+    per-metric band overriding ``tolerance`` — see
+    :func:`default_tolerances`.
     """
     if tolerance < _MIN_TOLERANCE:
         raise BenchmarkError(f"tolerance must be >= 1, got {tolerance!r}")
+    tolerances = tolerances or {}
+    for name, band in tolerances.items():
+        if band < _MIN_TOLERANCE:
+            raise BenchmarkError(
+                f"tolerance for {name!r} must be >= 1, got {band!r}"
+            )
     directions = directions or {}
     doc = {
         "schema": SCHEMA,
@@ -121,7 +146,7 @@ def capture_baseline(metrics, tolerance=DEFAULT_TOLERANCE, captured_at=None,
         "metrics": {
             name: {
                 "value": float(value),
-                "tolerance": float(tolerance),
+                "tolerance": float(tolerances.get(name, tolerance)),
                 "direction": directions.get(name, "lower"),
             }
             for name, value in sorted(metrics.items())

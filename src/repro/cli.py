@@ -178,15 +178,48 @@ def _cmd_disconnected(args):
     return 0
 
 
+def _cmd_cache(args):
+    from repro.parallel import ResultCache
+
+    cache = ResultCache()
+    if args.action == "clear":
+        removed = cache.clear()
+        print(f"removed {removed} entries from {cache.root}")
+        return 0
+    stats = cache.stats()
+    print(f"cache root : {stats['root']}")
+    print(f"entries    : {stats['entries']} ({stats['bytes']} bytes)")
+    for experiment, count in sorted(stats["experiments"].items()):
+        print(f"  {experiment:14s} {count}")
+    return 0
+
+
 #: Benchmark files ``repro bench`` runs by default: the substrate
-#: microbenchmarks whose speed every figure regeneration rides on.
+#: microbenchmarks whose speed every figure regeneration rides on, plus
+#: the end-to-end suite sweep that records ``suite_wall_seconds``.
 BENCH_DEFAULT_PATHS = (
     os.path.join(_REPO_ROOT, "benchmarks", "test_bench_kernel.py"),
     os.path.join(_REPO_ROOT, "benchmarks", "test_bench_estimation_micro.py"),
+    os.path.join(_REPO_ROOT, "benchmarks", "test_bench_suite.py"),
 )
 
 BENCH_DEFAULT_BASELINE = os.path.join(_REPO_ROOT, "benchmarks",
                                       "baseline.json")
+
+
+def _unique_path(path):
+    """``path`` if free, else the first ``stem-2``, ``stem-3``, ... that is.
+
+    ``repro bench`` records one capture per invocation; a same-day rerun
+    must not silently clobber the earlier trajectory point.
+    """
+    if not os.path.exists(path):
+        return path
+    stem, ext = os.path.splitext(path)
+    n = 2
+    while os.path.exists(f"{stem}-{n}{ext}"):
+        n += 1
+    return f"{stem}-{n}{ext}"
 
 
 def _cmd_bench(args):
@@ -197,6 +230,7 @@ def _cmd_bench(args):
     from repro.bench.baseline import (
         capture_baseline,
         compare_metrics,
+        default_tolerances,
         format_report,
         headline_metrics,
         load_baseline,
@@ -218,6 +252,8 @@ def _cmd_bench(args):
                 sys.executable, "-m", "pytest", "-q", "--benchmark-only",
                 f"--benchmark-json={run_json}", *paths,
             ]
+            if args.jobs != 1:
+                command.append(f"--repro-jobs={args.jobs}")
             print(f"# running: {' '.join(command)}", file=sys.stderr)
             env = dict(os.environ)
             env["PYTHONPATH"] = os.pathsep.join(
@@ -234,11 +270,15 @@ def _cmd_bench(args):
             raise BenchmarkError(f"no metrics found in {run_json!r}")
         # Record the perf trajectory: one BENCH_<date>.json per capture,
         # in the same schema as the baseline so a good run can be promoted
-        # to benchmarks/baseline.json by copying it.
-        trajectory = os.path.join(args.out_dir, f"BENCH_{today}.json")
+        # to benchmarks/baseline.json by copying it.  Never clobber an
+        # earlier capture: same-day reruns get a ``-2``/``-3`` suffix.
+        trajectory = _unique_path(
+            args.out or os.path.join(args.out_dir, f"BENCH_{today}.json")
+        )
         write_baseline(
             capture_baseline(metrics, captured_at=today,
-                             notes="captured by `repro bench`"),
+                             notes="captured by `repro bench`",
+                             tolerances=default_tolerances(metrics)),
             trajectory,
         )
         print(f"# wrote {len(metrics)} metrics to {trajectory}",
@@ -247,7 +287,8 @@ def _cmd_bench(args):
             write_baseline(
                 capture_baseline(metrics, captured_at=today,
                                  notes="refreshed by `repro bench "
-                                       "--update-baseline`"),
+                                       "--update-baseline`",
+                                 tolerances=default_tolerances(metrics)),
                 args.baseline,
             )
             print(f"# refreshed baseline {args.baseline}", file=sys.stderr)
@@ -324,6 +365,12 @@ def build_parser():
     )
     parser.add_argument("--version", action="version",
                         version=f"repro {__version__}")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker processes for trial execution "
+                             "(default 1 = serial; 0 = all cores)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="bypass the on-disk result cache "
+                             "(.repro-cache/)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("calibration",
@@ -345,6 +392,17 @@ def build_parser():
                    help="duration for generated scenario families (seconds)")
     p.set_defaults(fn=_cmd_waveform)
 
+    def parallel_options(p):
+        # Mirrors of the global options, so they also parse after the
+        # subcommand; SUPPRESS keeps the subparser from clobbering a
+        # value the main parser already set.
+        p.add_argument("--jobs", type=int, default=argparse.SUPPRESS,
+                       metavar="N",
+                       help="worker processes (default 1; 0 = all cores)")
+        p.add_argument("--no-cache", action="store_true",
+                       default=argparse.SUPPRESS,
+                       help="bypass the on-disk result cache")
+
     def experiment_parser(name, help_text, fn, extra=None):
         p = sub.add_parser(name, help=help_text)
         p.add_argument("--trials", type=int, default=3,
@@ -352,6 +410,7 @@ def build_parser():
         p.add_argument("--events-out", metavar="PATH",
                        help="run with telemetry enabled and write the event "
                             "trace as JSONL here")
+        parallel_options(p)
         if extra:
             extra(p)
         p.set_defaults(fn=fn)
@@ -393,7 +452,14 @@ def build_parser():
     p.add_argument("--max-staleness", type=float, default=None,
                    help="staleness bound for degraded reads (seconds; "
                         "default: serve any cached copy)")
+    parallel_options(p)
     p.set_defaults(fn=_cmd_disconnected)
+
+    p = sub.add_parser("cache",
+                       help="inspect or clear the on-disk result cache")
+    p.add_argument("action", choices=("stats", "clear"), nargs="?",
+                   default="stats")
+    p.set_defaults(fn=_cmd_cache)
 
     p = sub.add_parser("scenario",
                        help="one urban-walk trial under a chosen policy")
@@ -433,6 +499,12 @@ def build_parser():
                         "(default: benchmarks/baseline.json)")
     p.add_argument("--out-dir", default=".",
                    help="directory for the BENCH_<date>.json capture")
+    p.add_argument("--out", metavar="PATH",
+                   help="exact path for the capture (overrides --out-dir; "
+                        "still never overwrites an existing file)")
+    p.add_argument("--jobs", type=int, default=1, metavar="N",
+                   help="worker processes inside the benchmarked sweeps "
+                        "(passed to pytest as --repro-jobs)")
     p.add_argument("--tolerance-scale", type=float, default=1.0,
                    help="multiply every tolerance band")
     p.add_argument("--update-baseline", action="store_true",
@@ -443,13 +515,13 @@ def build_parser():
     return parser
 
 
-def main(argv=None):
-    parser = build_parser()
-    args = parser.parse_args(argv)
+def _run_command(args):
     events_out = getattr(args, "events_out", None)
     if events_out and args.fn is not _cmd_telemetry:
         # Any experiment command gains an event log for free: run it under
-        # a live recorder and dump the trace afterwards.
+        # a live recorder and dump the trace afterwards.  With --jobs > 1
+        # the runner merges per-worker event shards into this recorder in
+        # unit order, labelling each event with the worker's pid.
         from repro import telemetry
         from repro.telemetry.export import write_events_jsonl
 
@@ -460,6 +532,19 @@ def main(argv=None):
               f"({rec.trace.dropped} dropped)", file=sys.stderr)
         return status
     return args.fn(args)
+
+
+def main(argv=None):
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    from repro.parallel import ResultCache, overrides, resolve_jobs
+
+    jobs = resolve_jobs(getattr(args, "jobs", 1))
+    cache = None if getattr(args, "no_cache", False) else ResultCache()
+    # Scoped, not global: repeated main() calls (tests, embedding) must
+    # not leak one invocation's settings into the next.
+    with overrides(jobs=jobs, cache=cache):
+        return _run_command(args)
 
 
 if __name__ == "__main__":

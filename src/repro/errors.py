@@ -104,5 +104,9 @@ class RequestNotFound(OdysseyError):
     """``cancel`` named a request identifier that is not registered."""
 
 
+class ParallelError(ReproError):
+    """A trial unit could not be scheduled, executed, or cached."""
+
+
 class BenchmarkError(ReproError):
     """A benchmark baseline document or run report is malformed or missing."""

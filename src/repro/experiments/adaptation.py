@@ -21,8 +21,9 @@ from repro.apps.video.movie import Movie, MovieStore
 from repro.apps.video.player import VideoPlayer
 from repro.apps.video.warden import build_video
 from repro.core.api import OdysseyAPI
-from repro.experiments.harness import DEFAULT_TRIALS, ExperimentWorld, seeded_rngs
+from repro.experiments.harness import DEFAULT_TRIALS, ExperimentWorld
 from repro.experiments.stats import Cell
+from repro.parallel.runner import run_trials
 from repro.trace.waveforms import WAVEFORM_DURATION
 
 TRANSITION = WAVEFORM_DURATION / 2
@@ -92,9 +93,9 @@ def run_adaptation_trial(waveform_name, seed=0):
 
 def run_adaptation_experiment(waveform_name, trials=DEFAULT_TRIALS,
                               master_seed=0):
-    """Adaptation agility over one step waveform."""
-    collected = [run_adaptation_trial(waveform_name, seed=rng)
-                 for rng in seeded_rngs(trials, master_seed)]
+    """Adaptation agility over one step waveform (trials via the runner)."""
+    collected = run_trials("adaptation", {"waveform_name": waveform_name},
+                           trials, master_seed)
     return AdaptationResult(waveform_name, collected)
 
 

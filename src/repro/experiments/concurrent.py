@@ -23,9 +23,9 @@ from repro.experiments.harness import (
     DEFAULT_TRIALS,
     POLICIES,
     ExperimentWorld,
-    seeded_rngs,
 )
 from repro.experiments.stats import Cell
+from repro.parallel.runner import TrialUnit, chunked, run_units, trial_seeds
 from repro.trace.waveforms import urban_walk
 
 #: Fig. 14's published values: policy -> (video drops, video fidelity,
@@ -112,33 +112,60 @@ def run_concurrent_trial(policy, seed=0, trace=None):
     return ConcurrentTrialResult(video=player, web=browser, speech=front_end)
 
 
+@dataclass
+class ConcurrentTrialOutcome:
+    """One trial's Fig. 14 numbers, detached from the live apps (picklable)."""
+
+    video_drops: float
+    video_fidelity: float
+    web_seconds: float
+    web_fidelity: float
+    speech_seconds: float
+
+
+def concurrent_trial_outcome(policy, seed=0, trace=None):
+    """One 15-minute run reduced to its reported row values."""
+    result = run_concurrent_trial(policy, seed=seed, trace=trace)
+    return ConcurrentTrialOutcome(
+        video_drops=result.video.stats.drops,
+        video_fidelity=result.video.fidelity,
+        web_seconds=result.web.stats.mean_seconds,
+        web_fidelity=result.web.stats.mean_fidelity,
+        speech_seconds=result.speech.stats.mean_seconds,
+    )
+
+
+def _concurrent_row(policy, outcomes):
+    return ConcurrentRow(
+        policy=policy,
+        video_drops=Cell([o.video_drops for o in outcomes], precision=0),
+        video_fidelity=Cell([o.video_fidelity for o in outcomes]),
+        web_seconds=Cell([o.web_seconds for o in outcomes]),
+        web_fidelity=Cell([o.web_fidelity for o in outcomes]),
+        speech_seconds=Cell([o.speech_seconds for o in outcomes]),
+    )
+
+
 def run_concurrent_experiment(policy, trials=DEFAULT_TRIALS, master_seed=0,
                               trace=None):
     """One row of Fig. 14."""
-    drops, vfid, wsec, wfid, ssec = [], [], [], [], []
-    for rng in seeded_rngs(trials, master_seed):
-        result = run_concurrent_trial(policy, seed=rng, trace=trace)
-        drops.append(result.video.stats.drops)
-        vfid.append(result.video.fidelity)
-        wsec.append(result.web.stats.mean_seconds)
-        wfid.append(result.web.stats.mean_fidelity)
-        ssec.append(result.speech.stats.mean_seconds)
-    return ConcurrentRow(
-        policy=policy,
-        video_drops=Cell(drops, precision=0),
-        video_fidelity=Cell(vfid),
-        web_seconds=Cell(wsec),
-        web_fidelity=Cell(wfid),
-        speech_seconds=Cell(ssec),
-    )
+    seeds = trial_seeds(trials, master_seed)
+    params = {"policy": policy}
+    if trace is not None:
+        params["trace"] = trace
+    units = [TrialUnit("concurrent", params, seed) for seed in seeds]
+    return _concurrent_row(policy, run_units(units))
 
 
 def run_concurrent_table(trials=DEFAULT_TRIALS, master_seed=0, trace=None,
                          policies=POLICIES):
-    """The full Fig. 14 table (all three policies)."""
+    """The full Fig. 14 table, fanned out policy x trial."""
+    seeds = trial_seeds(trials, master_seed)
+    base = {} if trace is None else {"trace": trace}
+    units = [TrialUnit("concurrent", {"policy": policy, **base}, seed)
+             for policy in policies for seed in seeds]
+    outcomes = run_units(units)
     table = ConcurrentTable()
-    for policy in policies:
-        table.rows[policy] = run_concurrent_experiment(
-            policy, trials, master_seed, trace
-        )
+    for policy, chunk in zip(policies, chunked(outcomes, trials)):
+        table.rows[policy] = _concurrent_row(policy, chunk)
     return table

@@ -13,8 +13,9 @@ from dataclasses import dataclass, field
 from repro import telemetry
 from repro.apps.bitstream import build_bitstream
 from repro.estimation.agility import settling_time
-from repro.experiments.harness import DEFAULT_TRIALS, ExperimentWorld, seeded_rngs
+from repro.experiments.harness import DEFAULT_TRIALS, ExperimentWorld
 from repro.experiments.stats import Cell
+from repro.parallel.runner import TrialUnit, chunked, run_trials, run_units, trial_seeds
 from repro.trace.waveforms import HIGH_BANDWIDTH, constant
 
 #: The paper's three offered loads.
@@ -139,13 +140,19 @@ def run_demand_trial(utilization, seed=0, chunk_bytes=32 * 1024):
 
 
 def run_demand_experiment(utilization, trials=DEFAULT_TRIALS, master_seed=0):
-    """Fig. 9 for one utilization level."""
-    result = DemandResult(utilization)
-    for rng in seeded_rngs(trials, master_seed):
-        result.trials.append(run_demand_trial(utilization, seed=rng))
-    return result
+    """Fig. 9 for one utilization level (trials via the runner)."""
+    collected = run_trials("demand", {"utilization": utilization},
+                           trials, master_seed)
+    return DemandResult(utilization, collected)
 
 
 def run_all_demand(trials=DEFAULT_TRIALS, master_seed=0):
-    """All three panels of Fig. 9."""
-    return {u: run_demand_experiment(u, trials, master_seed) for u in UTILIZATIONS}
+    """All three panels of Fig. 9, fanned out as one flat unit list."""
+    seeds = trial_seeds(trials, master_seed)
+    units = [TrialUnit("demand", {"utilization": u}, seed)
+             for u in UTILIZATIONS for seed in seeds]
+    collected = run_units(units)
+    return {
+        u: DemandResult(u, chunk)
+        for u, chunk in zip(UTILIZATIONS, chunked(collected, trials))
+    }

@@ -39,6 +39,7 @@ from repro.core.resources import Resource
 from repro.errors import Disconnected, RpcError, RpcTimeout, ToleranceError
 from repro.experiments.harness import ExperimentWorld
 from repro.faults import Blackout, FaultPlan
+from repro.parallel.runner import TrialUnit, run_units
 from repro.rpc.connection import RetryPolicy
 from repro.trace.scenarios import generate_scenario
 
@@ -300,12 +301,10 @@ def run_disconnected_comparison(policy="odyssey", seed=0,
     success-rate gap inside the blackout window is the measured value of
     degraded-service mode.
     """
-    cached = run_disconnected_trial(
-        policy=policy, seed=seed, duration=duration, faults=faults,
-        cache_enabled=True, max_staleness=max_staleness,
-    )
-    uncached = run_disconnected_trial(
-        policy=policy, seed=seed, duration=duration, faults=faults,
-        cache_enabled=False, max_staleness=max_staleness,
-    )
+    base = {"policy": policy, "duration": duration, "faults": faults,
+            "max_staleness": max_staleness}
+    cached, uncached = run_units([
+        TrialUnit("disconnected", {**base, "cache_enabled": True}, seed),
+        TrialUnit("disconnected", {**base, "cache_enabled": False}, seed),
+    ])
     return cached, uncached

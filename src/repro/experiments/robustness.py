@@ -25,6 +25,7 @@ from repro.core.warden import Warden
 from repro.errors import RpcError, RpcTimeout, ToleranceError
 from repro.experiments.harness import ExperimentWorld
 from repro.faults import Blackout, FaultPlan, LossBurst, ServerSlowdown, ServerStall
+from repro.parallel.runner import TrialUnit, run_units
 from repro.rpc.connection import RetryPolicy, RpcService
 from repro.rpc.messages import ServerReply
 from repro.trace.scenarios import generate_scenario
@@ -253,12 +254,10 @@ def run_robustness_comparison(policy="odyssey", seed=0,
     jitter streams and the delta is attributable to the faults alone.
     """
     faults = faults or default_fault_plan(duration)
-    clean = run_robustness_trial(
-        policy=policy, seed=seed, duration=duration,
-        failover_at=failover_at, retry=retry,
-    )
-    faulted = run_robustness_trial(
-        policy=policy, seed=seed, duration=duration, faults=faults,
-        failover_at=failover_at, retry=retry,
-    )
+    base = {"policy": policy, "duration": duration,
+            "failover_at": failover_at, "retry": retry}
+    clean, faulted = run_units([
+        TrialUnit("robustness", base, seed),
+        TrialUnit("robustness", {**base, "faults": faults}, seed),
+    ])
     return clean, faulted

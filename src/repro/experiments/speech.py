@@ -9,9 +9,10 @@ from dataclasses import dataclass, field
 from repro.apps.speech.recognizer import SpeechFrontEnd
 from repro.apps.speech.warden import build_speech
 from repro.core.api import OdysseyAPI
-from repro.experiments.harness import DEFAULT_TRIALS, ExperimentWorld, seeded_rngs
+from repro.experiments.harness import DEFAULT_TRIALS, ExperimentWorld
 from repro.experiments.stats import Cell
 from repro.experiments.supply import REFERENCE_WAVEFORMS
+from repro.parallel.runner import TrialUnit, chunked, run_trials, run_units, trial_seeds
 from repro.trace.waveforms import WAVEFORM_DURATION
 
 #: The strategies of Fig. 12, in column order.
@@ -49,24 +50,36 @@ def run_speech_trial(waveform_name, strategy, seed=0):
     return front_end
 
 
+def speech_trial_outcome(waveform_name, strategy, seed=0):
+    """One recognition run reduced to its mean recognition time (picklable)."""
+    front_end = run_speech_trial(waveform_name, strategy, seed=seed)
+    return front_end.stats.mean_seconds
+
+
 def run_speech_experiment(waveform_name, strategy, trials=DEFAULT_TRIALS,
                           master_seed=0):
     """One cell of Fig. 12: mean (σ) recognition time."""
-    times = []
-    for rng in seeded_rngs(trials, master_seed):
-        front_end = run_speech_trial(waveform_name, strategy, seed=rng)
-        times.append(front_end.stats.mean_seconds)
+    times = run_trials(
+        "speech", {"waveform_name": waveform_name, "strategy": strategy},
+        trials, master_seed,
+    )
     return Cell(times)
 
 
 def run_speech_table(trials=DEFAULT_TRIALS, master_seed=0,
                      waveforms=REFERENCE_WAVEFORMS,
                      strategies=SPEECH_STRATEGIES):
-    """The full Fig. 12 table."""
+    """The full Fig. 12 table, fanned out cell x trial."""
+    seeds = trial_seeds(trials, master_seed)
+    cells = [(waveform_name, strategy)
+             for waveform_name in waveforms for strategy in strategies]
+    units = [
+        TrialUnit("speech", {"waveform_name": waveform_name,
+                             "strategy": strategy}, seed)
+        for waveform_name, strategy in cells for seed in seeds
+    ]
+    times = run_units(units)
     table = SpeechTable()
-    for waveform_name in waveforms:
-        for strategy in strategies:
-            table.cells[(waveform_name, strategy)] = run_speech_experiment(
-                waveform_name, strategy, trials, master_seed
-            )
+    for cell, chunk in zip(cells, chunked(times, trials)):
+        table.cells[cell] = Cell(chunk)
     return table

@@ -15,8 +15,9 @@ from repro.apps.bitstream import build_bitstream
 from repro.core.api import OdysseyAPI
 from repro.core.resources import Resource
 from repro.estimation.agility import detection_delay, settling_time, tracking_error
-from repro.experiments.harness import DEFAULT_TRIALS, ExperimentWorld, seeded_rngs
+from repro.experiments.harness import DEFAULT_TRIALS, ExperimentWorld
 from repro.experiments.stats import Cell
+from repro.parallel.runner import TrialUnit, chunked, run_trials, run_units, trial_seeds
 from repro.trace.waveforms import (
     HIGH_BANDWIDTH,
     LOW_BANDWIDTH,
@@ -151,18 +152,22 @@ def run_supply_trial(waveform_name, seed=0, chunk_bytes=64 * 1024,
 
 
 def run_supply_experiment(waveform_name, trials=DEFAULT_TRIALS, master_seed=0):
-    """Fig. 8 for one waveform: ``trials`` seeded runs."""
-    result = SupplyResult(waveform_name)
-    for rng in seeded_rngs(trials, master_seed):
-        result.trials.append(run_supply_trial(waveform_name, seed=rng))
-    return result
+    """Fig. 8 for one waveform: ``trials`` seeded runs (via the runner)."""
+    collected = run_trials("supply", {"waveform_name": waveform_name},
+                           trials, master_seed)
+    return SupplyResult(waveform_name, collected)
 
 
 def run_all_supply(trials=DEFAULT_TRIALS, master_seed=0):
-    """All four panels of Fig. 8."""
+    """All four panels of Fig. 8, fanned out as one flat unit list."""
+    seeds = trial_seeds(trials, master_seed)
+    units = [TrialUnit("supply", {"waveform_name": name}, seed)
+             for name in REFERENCE_WAVEFORMS for seed in seeds]
+    collected = run_units(units)
     return {
-        name: run_supply_experiment(name, trials, master_seed)
-        for name in REFERENCE_WAVEFORMS
+        name: SupplyResult(name, chunk)
+        for name, chunk in zip(REFERENCE_WAVEFORMS,
+                               chunked(collected, trials))
     }
 
 

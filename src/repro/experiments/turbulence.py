@@ -17,8 +17,9 @@ crosses one half.
 from dataclasses import dataclass, field
 
 from repro.apps.bitstream import build_bitstream
-from repro.experiments.harness import DEFAULT_TRIALS, ExperimentWorld, seeded_rngs
+from repro.experiments.harness import DEFAULT_TRIALS, ExperimentWorld
 from repro.experiments.stats import Cell
+from repro.parallel.runner import TrialUnit, chunked, run_units, trial_seeds
 from repro.trace.waveforms import (
     HIGH_BANDWIDTH,
     LOW_BANDWIDTH,
@@ -72,11 +73,14 @@ def impulse_visibility(width, seed=0, low=LOW_BANDWIDTH, high=HIGH_BANDWIDTH):
 def run_turbulence_sweep(widths=DEFAULT_WIDTHS, trials=DEFAULT_TRIALS,
                          master_seed=0):
     """Visibility across impulse widths; returns a TurbulenceResult."""
-    result = TurbulenceResult(tuple(widths))
-    for width in widths:
-        values = [impulse_visibility(width, seed=rng)
-                  for rng in seeded_rngs(trials, master_seed)]
-        result.visibility[width] = Cell(values)
+    widths = tuple(widths)
+    seeds = trial_seeds(trials, master_seed)
+    units = [TrialUnit("turbulence", {"width": width}, seed)
+             for width in widths for seed in seeds]
+    values = run_units(units)
+    result = TurbulenceResult(widths)
+    for width, chunk in zip(widths, chunked(values, trials)):
+        result.visibility[width] = Cell(chunk)
     return result
 
 

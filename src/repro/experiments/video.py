@@ -11,9 +11,10 @@ from repro.apps.video.movie import Movie, MovieStore
 from repro.apps.video.player import VideoPlayer
 from repro.apps.video.warden import build_video
 from repro.core.api import OdysseyAPI
-from repro.experiments.harness import DEFAULT_TRIALS, ExperimentWorld, seeded_rngs
+from repro.experiments.harness import DEFAULT_TRIALS, ExperimentWorld
 from repro.experiments.stats import Cell
 from repro.experiments.supply import REFERENCE_WAVEFORMS
+from repro.parallel.runner import TrialUnit, chunked, run_trials, run_units, trial_seeds
 from repro.trace.waveforms import WAVEFORM_DURATION
 
 #: The strategies of Fig. 10, in column order.
@@ -76,28 +77,59 @@ def run_video_trial(waveform_name, strategy, seed=0, movie_frames=None):
     return player
 
 
+@dataclass
+class VideoTrialOutcome:
+    """One trial's numbers, detached from the live player (picklable)."""
+
+    drops: float  # normalized to exactly 600 measured frames
+    fidelity: float
+
+
+def video_trial_outcome(waveform_name, strategy, seed=0, movie_frames=None):
+    """One playback reduced to its reported cell values.
+
+    This is the parallel/cache boundary: the live player holds simulator
+    state no worker could ship back, so the normalization happens here
+    and only the two numbers travel.
+    """
+    player = run_video_trial(waveform_name, strategy, seed=seed,
+                             movie_frames=movie_frames)
+    measured = player.stats.frames_displayed + player.stats.drops
+    # Normalize to exactly 600 measured frames (start offsets can shift
+    # a frame or two across the measurement boundary).
+    scale = 600.0 / measured if measured else 1.0
+    return VideoTrialOutcome(drops=player.stats.drops * scale,
+                             fidelity=player.fidelity)
+
+
+def _video_cell(outcomes):
+    return VideoCell(drops=Cell([o.drops for o in outcomes], precision=0),
+                     fidelity=Cell([o.fidelity for o in outcomes]))
+
+
 def run_video_experiment(waveform_name, strategy, trials=DEFAULT_TRIALS,
                          master_seed=0):
     """One cell of Fig. 10: mean (σ) drops and fidelity."""
-    drops, fidelities = [], []
-    for rng in seeded_rngs(trials, master_seed):
-        player = run_video_trial(waveform_name, strategy, seed=rng)
-        measured = player.stats.frames_displayed + player.stats.drops
-        # Normalize to exactly 600 measured frames (start offsets can shift
-        # a frame or two across the measurement boundary).
-        scale = 600.0 / measured if measured else 1.0
-        drops.append(player.stats.drops * scale)
-        fidelities.append(player.fidelity)
-    return VideoCell(drops=Cell(drops, precision=0), fidelity=Cell(fidelities))
+    outcomes = run_trials(
+        "video", {"waveform_name": waveform_name, "strategy": strategy},
+        trials, master_seed,
+    )
+    return _video_cell(outcomes)
 
 
 def run_video_table(trials=DEFAULT_TRIALS, master_seed=0,
                     waveforms=REFERENCE_WAVEFORMS, strategies=VIDEO_STRATEGIES):
-    """The full Fig. 10 table."""
+    """The full Fig. 10 table, fanned out cell x trial."""
+    seeds = trial_seeds(trials, master_seed)
+    cells = [(waveform_name, strategy)
+             for waveform_name in waveforms for strategy in strategies]
+    units = [
+        TrialUnit("video", {"waveform_name": waveform_name,
+                            "strategy": strategy}, seed)
+        for waveform_name, strategy in cells for seed in seeds
+    ]
+    outcomes = run_units(units)
     table = VideoTable()
-    for waveform_name in waveforms:
-        for strategy in strategies:
-            table.cells[(waveform_name, strategy)] = run_video_experiment(
-                waveform_name, strategy, trials, master_seed
-            )
+    for cell, chunk in zip(cells, chunked(outcomes, trials)):
+        table.cells[cell] = _video_cell(chunk)
     return table

@@ -10,9 +10,10 @@ from repro.apps.web.browser import CellophaneBrowser
 from repro.apps.web.images import ImageStore
 from repro.apps.web.warden import build_web
 from repro.core.api import OdysseyAPI
-from repro.experiments.harness import DEFAULT_TRIALS, ExperimentWorld, seeded_rngs
+from repro.experiments.harness import DEFAULT_TRIALS, ExperimentWorld
 from repro.experiments.stats import Cell
 from repro.experiments.supply import REFERENCE_WAVEFORMS
+from repro.parallel.runner import TrialUnit, chunked, run_trials, run_units, trial_seeds
 from repro.trace.waveforms import WAVEFORM_DURATION, ethernet
 
 #: The strategies of Fig. 11, in column order.
@@ -79,27 +80,56 @@ def run_web_trial(waveform_name, strategy, seed=0):
     return browser
 
 
+@dataclass
+class WebTrialOutcome:
+    """One trial's numbers, detached from the live browser (picklable)."""
+
+    seconds: float
+    fidelity: float
+
+
+def web_trial_outcome(waveform_name, strategy, seed=0):
+    """One browsing run reduced to its reported cell values."""
+    browser = run_web_trial(waveform_name, strategy, seed=seed)
+    return WebTrialOutcome(seconds=browser.stats.mean_seconds,
+                           fidelity=browser.stats.mean_fidelity)
+
+
+def _web_cell(outcomes):
+    return WebCell(seconds=Cell([o.seconds for o in outcomes]),
+                   fidelity=Cell([o.fidelity for o in outcomes]))
+
+
 def run_web_experiment(waveform_name, strategy, trials=DEFAULT_TRIALS,
                        master_seed=0):
     """One cell of Fig. 11."""
-    seconds, fidelities = [], []
-    for rng in seeded_rngs(trials, master_seed):
-        browser = run_web_trial(waveform_name, strategy, seed=rng)
-        seconds.append(browser.stats.mean_seconds)
-        fidelities.append(browser.stats.mean_fidelity)
-    return WebCell(seconds=Cell(seconds), fidelity=Cell(fidelities))
+    outcomes = run_trials(
+        "web", {"waveform_name": waveform_name, "strategy": strategy},
+        trials, master_seed,
+    )
+    return _web_cell(outcomes)
 
 
 def run_web_table(trials=DEFAULT_TRIALS, master_seed=0,
                   waveforms=REFERENCE_WAVEFORMS, strategies=WEB_STRATEGIES):
-    """The full Fig. 11 table, including the Ethernet baseline row."""
+    """The full Fig. 11 table, fanned out cell x trial.
+
+    The Ethernet baseline row rides in the same unit list as the
+    modulated cells.
+    """
+    seeds = trial_seeds(trials, master_seed)
+    cells = [("ethernet", 1.0)]
+    cells.extend((waveform_name, strategy)
+                 for waveform_name in waveforms for strategy in strategies)
+    units = [
+        TrialUnit("web", {"waveform_name": waveform_name,
+                          "strategy": strategy}, seed)
+        for waveform_name, strategy in cells for seed in seeds
+    ]
+    outcomes = run_units(units)
     table = WebTable()
-    table.cells[("ethernet", "baseline")] = run_web_experiment(
-        "ethernet", 1.0, trials, master_seed
-    )
-    for waveform_name in waveforms:
-        for strategy in strategies:
-            table.cells[(waveform_name, strategy)] = run_web_experiment(
-                waveform_name, strategy, trials, master_seed
-            )
+    for (waveform_name, strategy), chunk in zip(cells,
+                                                chunked(outcomes, trials)):
+        label = "baseline" if waveform_name == "ethernet" else strategy
+        table.cells[(waveform_name, label)] = _web_cell(chunk)
     return table

@@ -1,0 +1,183 @@
+"""On-disk result cache for experiment trials.
+
+Every trial the runner executes is a pure function of its unit —
+``(experiment, params, seed)`` — and of the code that interprets it, so
+its result can be memoized on disk.  The cache key folds all four in:
+
+- the experiment name (the :data:`~repro.parallel.runner.TRIAL_FUNCTIONS`
+  registry key),
+- the canonicalized parameter mapping (JSON with sorted keys; non-JSON
+  values such as fault plans hash through their pickle bytes, so two
+  structurally different plans never collide on a pretty ``repr``),
+- the trial's integer master seed,
+- a :func:`code_fingerprint` over every ``.py`` file under ``src/repro``
+  — editing *any* source file changes the key, so a stale result can
+  never satisfy a lookup after the code that produced it changed.
+
+Entries are individual pickle files under the cache root (default
+``.repro-cache/``, overridable via ``$REPRO_CACHE_DIR``), written to a
+temporary name and atomically renamed so concurrent runs never observe a
+torn entry.  Unreadable or stale entries are treated as misses; nothing
+here can fail an experiment, only re-run it.
+"""
+
+import hashlib
+import json
+import os
+import pickle
+
+CACHE_SCHEMA = "repro-result-cache/1"
+
+#: Cache directory created next to wherever experiments are run.
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+_SUFFIX = ".pkl"
+
+
+def default_cache_dir():
+    """``$REPRO_CACHE_DIR`` if set, else ``.repro-cache/`` under the cwd."""
+    return os.environ.get("REPRO_CACHE_DIR") \
+        or os.path.join(os.getcwd(), DEFAULT_CACHE_DIR)
+
+
+def code_fingerprint(root=None):
+    """Digest of every ``.py`` file (path + contents) under ``root``.
+
+    ``root`` defaults to the installed ``repro`` package directory.  The
+    walk is sorted so the digest is stable across filesystems, and
+    ``__pycache__`` is skipped so byte-compilation cannot perturb it.
+    """
+    if root is None:
+        import repro
+
+        root = os.path.dirname(os.path.abspath(repro.__file__))
+    root = os.path.abspath(root)
+    digest = hashlib.blake2b(digest_size=16)
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = sorted(d for d in dirnames if d != "__pycache__")
+        for fname in sorted(filenames):
+            if not fname.endswith(".py"):
+                continue
+            path = os.path.join(dirpath, fname)
+            digest.update(os.path.relpath(path, root).encode("utf-8"))
+            with open(path, "rb") as fh:
+                digest.update(fh.read())
+    return digest.hexdigest()
+
+
+def canonical_params(params):
+    """Deterministic text form of a parameter mapping, for hashing.
+
+    JSON-native values serialize directly (sorted keys); anything else —
+    fault plans, retry policies, replay traces — contributes a digest of
+    its pickle bytes, which encode actual field values rather than
+    whatever ``repr`` chooses to show.
+    """
+
+    def _opaque(obj):
+        blob = pickle.dumps(obj, protocol=4)
+        return {
+            "__opaque__": type(obj).__qualname__,
+            "blake2b": hashlib.blake2b(blob, digest_size=16).hexdigest(),
+        }
+
+    return json.dumps(params, sort_keys=True, default=_opaque)
+
+
+class ResultCache:
+    """Memoized trial results under one directory, one code fingerprint.
+
+    ``fingerprint`` is computed once at construction; a long-lived cache
+    object therefore represents "the code as it was when this run
+    started", which is exactly the invalidation unit we want — the next
+    invocation recomputes it and stops hitting stale entries.
+    """
+
+    def __init__(self, root=None, fingerprint=None):
+        self.root = os.path.abspath(root or default_cache_dir())
+        self.fingerprint = fingerprint or code_fingerprint()
+        self.hits = 0
+        self.misses = 0
+
+    def key(self, experiment, params, seed):
+        """Hex digest naming the entry for one trial unit."""
+        digest = hashlib.blake2b(digest_size=16)
+        digest.update(json.dumps({
+            "schema": CACHE_SCHEMA,
+            "experiment": experiment,
+            "seed": seed,
+            "code": self.fingerprint,
+        }, sort_keys=True).encode("utf-8"))
+        digest.update(canonical_params(params).encode("utf-8"))
+        return digest.hexdigest()
+
+    def _path(self, experiment, key):
+        return os.path.join(self.root, f"{experiment}-{key}{_SUFFIX}")
+
+    def get(self, experiment, params, seed):
+        """``(hit, value)`` — a corrupt or missing entry is just a miss."""
+        path = self._path(experiment, self.key(experiment, params, seed))
+        try:
+            with open(path, "rb") as fh:
+                value = pickle.load(fh)
+        except (OSError, pickle.UnpicklingError, EOFError, ValueError,
+                AttributeError, ImportError, IndexError):
+            self.misses += 1
+            return False, None
+        self.hits += 1
+        return True, value
+
+    def put(self, experiment, params, seed, value):
+        """Store one trial result (atomic rename; last writer wins)."""
+        path = self._path(experiment, self.key(experiment, params, seed))
+        os.makedirs(self.root, exist_ok=True)
+        tmp = f"{path}.tmp.{os.getpid()}"
+        try:
+            with open(tmp, "wb") as fh:
+                pickle.dump(value, fh, protocol=4)
+            os.replace(tmp, path)
+        finally:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+
+    def _entries(self):
+        try:
+            names = os.listdir(self.root)
+        except OSError:
+            return
+        for name in sorted(names):
+            if name.endswith(_SUFFIX):
+                yield name
+
+    def stats(self):
+        """Entry/byte counts on disk plus this object's hit/miss tallies."""
+        entries = 0
+        nbytes = 0
+        by_experiment = {}
+        for name in self._entries():
+            entries += 1
+            try:
+                nbytes += os.path.getsize(os.path.join(self.root, name))
+            except OSError:
+                pass
+            experiment = name[:-len(_SUFFIX)].rsplit("-", 1)[0]
+            by_experiment[experiment] = by_experiment.get(experiment, 0) + 1
+        return {
+            "root": self.root,
+            "entries": entries,
+            "bytes": nbytes,
+            "experiments": by_experiment,
+            "hits": self.hits,
+            "misses": self.misses,
+        }
+
+    def clear(self):
+        """Delete every cached entry; returns how many were removed."""
+        removed = 0
+        for name in list(self._entries()):
+            try:
+                os.unlink(os.path.join(self.root, name))
+                removed += 1
+            except OSError:
+                pass
+        return removed

@@ -1,0 +1,61 @@
+"""The representative evaluation sweep, as one flat unit list.
+
+``benchmarks/test_bench_suite.py`` times this sweep to produce the
+``suite_wall_seconds`` headline metric — the wall-clock cost of the
+evaluation pipeline itself, the quantity parallel trial execution
+exists to shrink.  The sweep samples every fast experiment family
+(supply, demand, speech, web, video, adaptation, turbulence) across
+waveforms and seeds; the 15-minute concurrent-scenario trials are
+deliberately excluded because a single ~4 s unit would dominate the
+parallel critical path and turn the benchmark into a measurement of one
+trial rather than of the fan-out.
+"""
+
+from repro.parallel.runner import TrialUnit, run_units, trial_seeds
+
+#: Waveforms the web cells sweep (a fast, contrasting pair).
+_WEB_WAVEFORMS = ("step-up", "impulse-down")
+
+#: Impulse widths the turbulence cells sweep (sharpest + reference).
+_TURBULENCE_WIDTHS = (0.5, 2.0)
+
+
+def sweep_units(trials=3, master_seed=0):
+    """Build the sweep's trial units, in deterministic order."""
+    from repro.experiments.supply import REFERENCE_WAVEFORMS
+
+    seeds = trial_seeds(trials, master_seed)
+    units = []
+    for waveform in REFERENCE_WAVEFORMS:
+        units.extend(TrialUnit("supply", {"waveform_name": waveform}, seed)
+                     for seed in seeds)
+    units.extend(TrialUnit("demand", {"utilization": 0.45}, seed)
+                 for seed in seeds)
+    for waveform in REFERENCE_WAVEFORMS:
+        units.extend(
+            TrialUnit("speech",
+                      {"waveform_name": waveform, "strategy": "adaptive"},
+                      seed)
+            for seed in seeds)
+    for waveform in _WEB_WAVEFORMS:
+        units.extend(
+            TrialUnit("web",
+                      {"waveform_name": waveform, "strategy": "adaptive"},
+                      seed)
+            for seed in seeds)
+    units.extend(
+        TrialUnit("video",
+                  {"waveform_name": "step-up", "strategy": "adaptive"},
+                  seed)
+        for seed in seeds)
+    units.extend(TrialUnit("adaptation", {"waveform_name": "step-up"}, seed)
+                 for seed in seeds)
+    for width in _TURBULENCE_WIDTHS:
+        units.extend(TrialUnit("turbulence", {"width": width}, seed)
+                     for seed in seeds)
+    return units
+
+
+def run_sweep(trials=3, master_seed=0, jobs=None, cache=None):
+    """Execute the sweep; returns the flat result list (unit order)."""
+    return run_units(sweep_units(trials, master_seed), jobs=jobs, cache=cache)

@@ -41,9 +41,20 @@ class RngRegistry:
             self._streams[name] = random.Random(_derive_seed(self.master_seed, name))
         return self._streams[name]
 
+    def spawn_seed(self, name):
+        """The child master seed :meth:`spawn` would use for ``name``.
+
+        Derivation depends only on ``(master_seed, name)`` — never on how
+        many streams or children were created before — so child seeds can
+        be computed in any order, or in another process, and still agree.
+        That independence is what lets parallel trial execution hand each
+        worker a bare integer instead of a registry.
+        """
+        return _derive_seed(self.master_seed, f"spawn:{name}")
+
     def spawn(self, name):
         """Create a child registry whose master seed is derived from ``name``.
 
         Used to give each experiment trial its own seed universe.
         """
-        return RngRegistry(_derive_seed(self.master_seed, f"spawn:{name}"))
+        return RngRegistry(self.spawn_seed(name))

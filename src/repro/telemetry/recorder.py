@@ -47,6 +47,9 @@ class NullRecorder:
     def sample_series(self, name, series, **fields):
         pass
 
+    def absorb(self, events, worker=None):
+        return 0
+
     def begin(self, name, parent=None, **fields):
         return None
 
@@ -111,6 +114,20 @@ class TelemetryRecorder:
         """Record a whole (time, value) series through the trace."""
         for t, value in series:
             self.trace.sample(name, t, value, **fields)
+
+    def absorb(self, events, worker=None):
+        """Merge a worker's event shard into this recorder's trace.
+
+        ``worker`` (typically the worker process's pid) is stamped onto
+        every absorbed event as a top-level ``"worker"`` key so a merged
+        ``--events-out`` stream records which process ran each trial.
+        Shard order is preserved; returns the number of events absorbed.
+        """
+        if worker is None:
+            return self.trace.extend(events)
+        return self.trace.extend(
+            {**event, "worker": worker} for event in events
+        )
 
     def begin(self, name, parent=None, **fields):
         return self.trace.begin(name, parent=parent, **fields)

@@ -82,6 +82,21 @@ class EventTrace:
                              "span": span_id, "duration": now - began,
                              "fields": fields})
 
+    def extend(self, events):
+        """Append pre-stamped event dicts; returns how many were added.
+
+        This is the shard-merge path: a worker process records a trial
+        under its own trace, ships ``trace.events()`` back, and the
+        parent splices the shard in here.  Events keep their recorded
+        timestamps and order; the ring buffer's capacity accounting
+        (:attr:`dropped`) applies as usual.
+        """
+        count = 0
+        for event in events:
+            self._append(event)
+            count += 1
+        return count
+
     # -- inspection ----------------------------------------------------------
 
     @property

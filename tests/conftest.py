@@ -9,6 +9,16 @@ from repro.sim.kernel import Simulator
 from repro.trace.waveforms import HIGH_BANDWIDTH, constant
 
 
+@pytest.fixture(autouse=True)
+def _isolated_result_cache(tmp_path, monkeypatch):
+    """Point the on-disk result cache at a per-test directory.
+
+    CLI invocations build a ResultCache by default; without this, a test
+    run would scatter ``.repro-cache/`` entries into the repo root.
+    """
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "repro-cache"))
+
+
 @pytest.fixture
 def sim():
     return Simulator()

@@ -16,6 +16,7 @@ import pytest
 
 from repro.bench import (
     DEFAULT_TOLERANCE,
+    MIN_SECONDS_TOLERANCE,
     capture_baseline,
     compare_metrics,
     format_report,
@@ -163,8 +164,13 @@ def test_committed_baseline_is_valid():
     doc = load_baseline(os.path.join(REPO_ROOT, "benchmarks", "baseline.json"))
     assert doc["schema"] == "repro-bench-baseline/1"
     assert doc["metrics"], "committed baseline must gate at least one metric"
-    for entry in doc["metrics"].values():
-        assert entry["tolerance"] >= DEFAULT_TOLERANCE
+    for name, entry in doc["metrics"].items():
+        if name.endswith(".min_seconds"):
+            # min-of-N is the low-noise statistic: two independent captures
+            # agreed within a few percent, so it earns the tighter band.
+            assert entry["tolerance"] >= MIN_SECONDS_TOLERANCE
+        else:
+            assert entry["tolerance"] >= DEFAULT_TOLERANCE
 
 
 def _run_script(args, cwd):
@@ -209,3 +215,23 @@ def test_script_exit_codes_match_gate_semantics(tmp_path):
     )
     assert broken.returncode == 2
     assert "error:" in broken.stderr
+
+
+def test_capture_per_metric_tolerances():
+    from repro.bench.baseline import (
+        MIN_SECONDS_TOLERANCE,
+        capture_baseline,
+        default_tolerances,
+    )
+
+    metrics = {"bench_a.min_seconds": 0.1, "bench_a.mean_seconds": 0.12,
+               "bench_a.custom": 5.0}
+    tolerances = default_tolerances(metrics)
+    assert tolerances == {"bench_a.min_seconds": MIN_SECONDS_TOLERANCE}
+    doc = capture_baseline(metrics, tolerances=tolerances)
+    assert doc["metrics"]["bench_a.min_seconds"]["tolerance"] \
+        == MIN_SECONDS_TOLERANCE
+    assert doc["metrics"]["bench_a.mean_seconds"]["tolerance"] == 2.0
+    assert doc["metrics"]["bench_a.custom"]["tolerance"] == 2.0
+    with pytest.raises(BenchmarkError):
+        capture_baseline(metrics, tolerances={"bench_a.custom": 0.5})

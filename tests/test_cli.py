@@ -96,3 +96,73 @@ def test_all_report(capsys, tmp_path):
     assert "Reproduction report" in out
     assert "Fig. 10" in out and "Fig. 14" in out
     assert out_file.read_text() == out
+
+
+def test_jobs_flag_global_and_per_command(capsys):
+    code_global, out_global = run_cli(
+        capsys, "--jobs", "2", "fig8", "--waveform", "step-up",
+        "--trials", "2")
+    code_sub, out_sub = run_cli(
+        capsys, "fig8", "--waveform", "step-up", "--trials", "2",
+        "--jobs", "2", "--no-cache")
+    assert code_global == code_sub == 0
+    assert out_global == out_sub  # parallel output identical to serial
+
+
+def test_jobs_zero_means_all_cores(capsys):
+    code, out = run_cli(capsys, "--jobs", "0", "fig8",
+                        "--waveform", "step-up", "--trials", "1")
+    assert code == 0
+    assert "settling time" in out
+
+
+def test_second_run_is_cache_hit(capsys, tmp_path, monkeypatch):
+    import time
+
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    start = time.perf_counter()
+    run_cli(capsys, "fig8", "--waveform", "step-up", "--trials", "1")
+    cold = time.perf_counter() - start
+    start = time.perf_counter()
+    code, out = run_cli(capsys, "fig8", "--waveform", "step-up",
+                        "--trials", "1")
+    warm = time.perf_counter() - start
+    assert code == 0
+    assert warm < cold  # the hit never rebuilds the simulation
+    code, out = run_cli(capsys, "cache")
+    assert "supply" in out
+
+
+def test_cache_stats_and_clear(capsys, tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    run_cli(capsys, "turbulence", "--trials", "1")
+    code, out = run_cli(capsys, "cache", "stats")
+    assert code == 0
+    assert "turbulence" in out
+    code, out = run_cli(capsys, "cache", "clear")
+    assert code == 0
+    assert "removed" in out
+    code, out = run_cli(capsys, "cache")
+    assert "entries    : 0" in out
+
+
+def test_no_cache_leaves_cache_empty(capsys, tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    code, _ = run_cli(capsys, "--no-cache", "fig8", "--waveform", "step-up",
+                      "--trials", "1")
+    assert code == 0
+    code, out = run_cli(capsys, "cache")
+    assert "entries    : 0" in out
+
+
+def test_bench_capture_never_clobbers(tmp_path):
+    from repro.cli import _unique_path
+
+    target = tmp_path / "BENCH_2026-08-05.json"
+    assert _unique_path(str(target)) == str(target)
+    target.write_text("{}")
+    second = _unique_path(str(target))
+    assert second == str(tmp_path / "BENCH_2026-08-05-2.json")
+    (tmp_path / "BENCH_2026-08-05-2.json").write_text("{}")
+    assert _unique_path(str(target)) \
+        == str(tmp_path / "BENCH_2026-08-05-3.json")

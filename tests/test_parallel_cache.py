@@ -1,0 +1,142 @@
+"""The on-disk result cache: keys, invalidation, and escape hatches."""
+
+import pytest
+
+from repro.faults import Blackout, FaultPlan
+from repro.parallel import (
+    ResultCache,
+    TrialUnit,
+    canonical_params,
+    code_fingerprint,
+    register_trial_function,
+    run_units,
+)
+
+_CALLS = []
+
+
+def _counted(tag, seed=0):
+    _CALLS.append((tag, seed))
+    return (tag, seed)
+
+
+@pytest.fixture
+def counted_experiment():
+    _CALLS.clear()
+    previous = register_trial_function("counted", f"{__name__}:_counted")
+    yield "counted"
+    if previous is None:
+        from repro.parallel.runner import TRIAL_FUNCTIONS
+
+        TRIAL_FUNCTIONS.pop("counted", None)
+    else:
+        register_trial_function("counted", previous)
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return ResultCache(root=tmp_path / "cache", fingerprint="test-fp")
+
+
+def test_roundtrip(cache):
+    cache.put("supply", {"waveform_name": "step-up"}, 3, {"value": [1, 2]})
+    hit, value = cache.get("supply", {"waveform_name": "step-up"}, 3)
+    assert hit and value == {"value": [1, 2]}
+
+
+def test_missing_entry_is_miss(cache):
+    hit, value = cache.get("supply", {"waveform_name": "step-up"}, 3)
+    assert not hit and value is None
+    assert cache.misses == 1
+
+
+def test_hit_skips_execution(cache, counted_experiment):
+    unit = TrialUnit("counted", {"tag": "a"}, 7)
+    first = run_units([unit], jobs=1, cache=cache)
+    second = run_units([unit], jobs=1, cache=cache)
+    assert first == second == [("a", 7)]
+    assert _CALLS == [("a", 7)]  # the second run never executed
+    assert cache.hits == 1 and cache.misses == 1
+
+
+def test_key_varies_by_every_component(cache):
+    base = cache.key("supply", {"w": "step-up"}, 0)
+    assert cache.key("demand", {"w": "step-up"}, 0) != base
+    assert cache.key("supply", {"w": "step-down"}, 0) != base
+    assert cache.key("supply", {"w": "step-up"}, 1) != base
+    other = ResultCache(root=cache.root, fingerprint="other-fp")
+    assert other.key("supply", {"w": "step-up"}, 0) != base
+
+
+def test_code_fingerprint_invalidates_on_edit(tmp_path):
+    """Editing any .py file under the fingerprinted tree changes the key."""
+    src = tmp_path / "src"
+    src.mkdir()
+    (src / "mod.py").write_text("X = 1\n")
+    before = code_fingerprint(root=src)
+    cache = ResultCache(root=tmp_path / "cache", fingerprint=before)
+    cache.put("supply", {}, 0, "stale")
+    (src / "mod.py").write_text("X = 2\n")
+    after = code_fingerprint(root=src)
+    assert after != before
+    edited = ResultCache(root=tmp_path / "cache", fingerprint=after)
+    hit, _ = edited.get("supply", {}, 0)
+    assert not hit
+
+
+def test_code_fingerprint_ignores_pycache(tmp_path):
+    src = tmp_path / "src"
+    (src / "__pycache__").mkdir(parents=True)
+    (src / "mod.py").write_text("X = 1\n")
+    before = code_fingerprint(root=src)
+    (src / "__pycache__" / "mod.cpython-311.pyc").write_bytes(b"\x00")
+    assert code_fingerprint(root=src) == before
+
+
+def test_default_fingerprint_covers_repro_sources(tmp_path, monkeypatch):
+    """The real cache key moves when any file under src/repro changes."""
+    import repro
+
+    assert ResultCache(root=tmp_path).fingerprint == code_fingerprint()
+    import os
+
+    root = os.path.dirname(os.path.abspath(repro.__file__))
+    assert code_fingerprint() == code_fingerprint(root=root)
+
+
+def test_corrupt_entry_is_miss(cache):
+    cache.put("supply", {}, 0, "good")
+    path = cache._path("supply", cache.key("supply", {}, 0))
+    with open(path, "wb") as fh:
+        fh.write(b"not a pickle")
+    hit, value = cache.get("supply", {}, 0)
+    assert not hit and value is None
+
+
+def test_stats_and_clear(cache):
+    cache.put("supply", {"w": "a"}, 0, 1)
+    cache.put("supply", {"w": "b"}, 0, 2)
+    cache.put("demand", {"u": 0.45}, 0, 3)
+    stats = cache.stats()
+    assert stats["entries"] == 3
+    assert stats["experiments"] == {"supply": 2, "demand": 1}
+    assert stats["bytes"] > 0
+    assert cache.clear() == 3
+    assert cache.stats()["entries"] == 0
+
+
+def test_canonical_params_is_order_insensitive():
+    assert canonical_params({"a": 1, "b": 2}) \
+        == canonical_params({"b": 2, "a": 1})
+
+
+def test_canonical_params_hashes_object_fields_not_repr():
+    """Two structurally different fault plans must not share a key."""
+    plan_a = FaultPlan([Blackout(start=10.0, duration=5.0)], name="same")
+    plan_b = FaultPlan([Blackout(start=20.0, duration=5.0)], name="same")
+    assert repr(plan_a) == repr(plan_b)  # the trap canonical_params avoids
+    assert canonical_params({"faults": plan_a}) \
+        != canonical_params({"faults": plan_b})
+    plan_c = FaultPlan([Blackout(start=10.0, duration=5.0)], name="same")
+    assert canonical_params({"faults": plan_a}) \
+        == canonical_params({"faults": plan_c})

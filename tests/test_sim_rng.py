@@ -46,3 +46,41 @@ def test_spawn_is_deterministic():
     a = RngRegistry(5).spawn("t").stream("s").random()
     b = RngRegistry(5).spawn("t").stream("s").random()
     assert a == b
+
+
+def test_spawn_is_order_independent():
+    """trial-i streams are identical whatever order trials spawn in.
+
+    The parallel runner hands workers bare spawn seeds; nothing may
+    depend on which trial spawned (or finished) first.
+    """
+    forward = RngRegistry(3)
+    children = [forward.spawn(f"trial-{i}") for i in range(4)]
+    forward_values = [c.stream("jitter").random() for c in children]
+
+    backward = RngRegistry(3)
+    reversed_children = {i: backward.spawn(f"trial-{i}")
+                         for i in reversed(range(4))}
+    backward_values = [reversed_children[i].stream("jitter").random()
+                       for i in range(4)]
+    assert forward_values == backward_values
+
+
+def test_spawn_seed_rebuilds_spawned_registry():
+    """RngRegistry(spawn_seed(name)) == spawn(name), stream for stream."""
+    parent = RngRegistry(11)
+    spawned = parent.spawn("trial-2")
+    rebuilt = RngRegistry(parent.spawn_seed("trial-2"))
+    for stream in ("jitter", "start", "noise"):
+        assert [rebuilt.stream(stream).random() for _ in range(5)] \
+            == [spawned.stream(stream).random() for _ in range(5)]
+
+
+def test_spawn_seed_unaffected_by_consumed_streams():
+    """Draining parent streams must not perturb child seeds."""
+    clean = RngRegistry(7).spawn_seed("trial-0")
+    noisy = RngRegistry(7)
+    for _ in range(100):
+        noisy.stream("noisy").random()
+    noisy.spawn("other")
+    assert noisy.spawn_seed("trial-0") == clean
