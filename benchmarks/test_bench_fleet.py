@@ -1,0 +1,38 @@
+"""Fleet scale end to end: ``fleet_*`` headline metrics.
+
+One benchmark runs a mid-sized fleet (256 clients over 4 shards) through
+the trial runner at the configured ``--repro-jobs`` and records the
+headline numbers the baseline gates: wall seconds, client throughput, and
+the simulated QoE aggregates whose drift would signal an estimation or
+registration-path regression.  Determinism is asserted in the same run:
+with ``--repro-jobs > 1`` the serial fleet must merge to the identical
+fingerprint.
+"""
+
+from conftest import run_once
+
+from repro.fleet import run_fleet
+
+#: Big enough that the O(registrations) paths dominate, small enough for
+#: the perf gate: 64 clients per shard, one minute simulated.
+FLEET_CLIENTS = 256
+FLEET_SHARDS = 4
+FLEET_DURATION = 30.0
+
+
+def test_fleet_scale(benchmark, jobs):
+    report = run_once(
+        benchmark, run_fleet, FLEET_CLIENTS, shards=FLEET_SHARDS,
+        duration=FLEET_DURATION, jobs=jobs, cache=None,
+    )
+    assert len(report.records) == FLEET_CLIENTS
+    benchmark.extra_info["fleet_wall_seconds"] = report.wall_seconds
+    benchmark.extra_info["fleet_clients_per_second"] = \
+        FLEET_CLIENTS / report.wall_seconds
+    benchmark.extra_info["fleet_mean_fidelity"] = report.mean_fidelity
+    benchmark.extra_info["fleet_fairness"] = report.fairness
+    benchmark.extra_info["fleet_upcalls"] = report.total_upcalls
+    if jobs > 1:
+        serial = run_fleet(FLEET_CLIENTS, shards=FLEET_SHARDS,
+                           duration=FLEET_DURATION, jobs=1, cache=None)
+        assert serial.fingerprint() == report.fingerprint()

@@ -55,6 +55,18 @@ _TIMING_STATS = ("min", "mean")
 
 _DIRECTIONS = ("lower", "higher")
 
+#: Metric-name suffixes where bigger is better.  Everything else in a
+#: capture defaults to ``"lower"`` (timings, counts whose growth signals
+#: a regression).  A "lower" gate on these would fail a run for being
+#: *too fast* (clients/s on a quicker CI runner) and never catch the
+#: real regression (a fidelity or fairness drop).
+HIGHER_IS_BETTER_SUFFIXES = (
+    "_speedup",
+    "_clients_per_second",
+    "_mean_fidelity",
+    "_fairness",
+)
+
 #: Tolerances are multiplicative bands around the baseline value; below
 #: unity they would demand the run beat its own baseline.
 _MIN_TOLERANCE = 1.0
@@ -119,6 +131,17 @@ def default_tolerances(metrics):
     """
     return {name: MIN_SECONDS_TOLERANCE for name in metrics
             if name.endswith(".min_seconds")}
+
+
+def default_directions(metrics):
+    """Per-metric direction overrides for a capture.
+
+    Returns ``{name: "higher"}`` for every metric whose name ends in one
+    of :data:`HIGHER_IS_BETTER_SUFFIXES`; everything else keeps the
+    capture's default ``"lower"``.
+    """
+    return {name: "higher" for name in metrics
+            if name.endswith(HIGHER_IS_BETTER_SUFFIXES)}
 
 
 def capture_baseline(metrics, tolerance=DEFAULT_TOLERANCE, captured_at=None,

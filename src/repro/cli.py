@@ -178,6 +178,27 @@ def _cmd_disconnected(args):
     return 0
 
 
+def _cmd_fleet(args):
+    from repro.fleet import (
+        format_fleet_report,
+        format_scaling_curve,
+        run_fleet,
+        run_scaling_curve,
+    )
+
+    common = {
+        "shards": args.shards, "duration": args.duration,
+        "policy": args.policy, "family": args.family,
+        "master_seed": args.seed,
+    }
+    if args.curve:
+        points = [int(p) for p in args.curve.split(",") if p.strip()]
+        print(format_scaling_curve(run_scaling_curve(points, **common)))
+    else:
+        print(format_fleet_report(run_fleet(args.clients, **common)))
+    return 0
+
+
 def _cmd_cache(args):
     from repro.parallel import ResultCache
 
@@ -201,6 +222,7 @@ BENCH_DEFAULT_PATHS = (
     os.path.join(_REPO_ROOT, "benchmarks", "test_bench_kernel.py"),
     os.path.join(_REPO_ROOT, "benchmarks", "test_bench_estimation_micro.py"),
     os.path.join(_REPO_ROOT, "benchmarks", "test_bench_suite.py"),
+    os.path.join(_REPO_ROOT, "benchmarks", "test_bench_fleet.py"),
 )
 
 BENCH_DEFAULT_BASELINE = os.path.join(_REPO_ROOT, "benchmarks",
@@ -230,6 +252,7 @@ def _cmd_bench(args):
     from repro.bench.baseline import (
         capture_baseline,
         compare_metrics,
+        default_directions,
         default_tolerances,
         format_report,
         headline_metrics,
@@ -278,6 +301,7 @@ def _cmd_bench(args):
         write_baseline(
             capture_baseline(metrics, captured_at=today,
                              notes="captured by `repro bench`",
+                             directions=default_directions(metrics),
                              tolerances=default_tolerances(metrics)),
             trajectory,
         )
@@ -288,6 +312,7 @@ def _cmd_bench(args):
                 capture_baseline(metrics, captured_at=today,
                                  notes="refreshed by `repro bench "
                                        "--update-baseline`",
+                                 directions=default_directions(metrics),
                                  tolerances=default_tolerances(metrics)),
                 args.baseline,
             )
@@ -454,6 +479,28 @@ def build_parser():
                         "default: serve any cached copy)")
     parallel_options(p)
     p.set_defaults(fn=_cmd_disconnected)
+
+    p = sub.add_parser(
+        "fleet",
+        help="fleet-scale sharded simulation: thousands of adaptive "
+             "clients across per-region viceroys, merged deterministically")
+    p.add_argument("--clients", type=int, default=1000,
+                   help="total simulated clients (default 1000)")
+    p.add_argument("--shards", type=int, default=8,
+                   help="per-region shards, one simulator each (default 8)")
+    p.add_argument("--duration", type=float, default=60.0,
+                   help="measured window per shard, simulated seconds")
+    p.add_argument("--policy", default="odyssey",
+                   choices=("odyssey", "laissez-faire", "blind-optimism"))
+    p.add_argument("--family", default="urban",
+                   choices=("urban", "highway", "office", "robustness"),
+                   help="scenario family each shard draws its trace from")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--curve", metavar="N,N,...",
+                   help="run a scaling curve over these client counts "
+                        "instead of one fleet (e.g. 250,500,1000)")
+    parallel_options(p)
+    p.set_defaults(fn=_cmd_fleet)
 
     p = sub.add_parser("cache",
                        help="inspect or clear the on-disk result cache")

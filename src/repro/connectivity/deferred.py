@@ -14,20 +14,25 @@ replays only the final value.  The replaced op's slot is freed, which is
 what makes a bounded log workable for chatty writers.
 """
 
-import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.errors import DeferredLogFull, OdysseyError
 
 #: Default queued-op capacity per warden.
 DEFAULT_CAPACITY = 64
 
-_op_seq = itertools.count(1)
-
 
 @dataclass
 class DeferredOp:
-    """One queued mutating operation, replayable via ``Warden.tsop``."""
+    """One queued mutating operation, replayable via ``Warden.tsop``.
+
+    ``seq`` is assigned by the owning :class:`DeferredOpLog` on append —
+    never by a process-wide counter.  A module-global counter restarts in
+    every worker process and after checkpoint/restore, so seq values would
+    collide across shards and a restored log could not reconstruct its
+    replay order.  Per-log sequencing survives both (the log checkpoints
+    its own counter).
+    """
 
     app: str
     rest: str
@@ -36,7 +41,7 @@ class DeferredOp:
     queued_at: float
     #: Ops sharing a coalesce key collapse to the most recent one.
     coalesce: str = None
-    seq: int = field(default_factory=lambda: next(_op_seq))
+    seq: int = None
 
 
 @dataclass(frozen=True)
@@ -67,6 +72,7 @@ class DeferredOpLog:
             raise OdysseyError(f"deferred-log capacity must be positive, got {capacity!r}")
         self.capacity = capacity
         self._ops = []
+        self._next_seq = 1
         self.enqueued = 0
         self.coalesced = 0
         self.replayed = 0
@@ -81,7 +87,17 @@ class DeferredOpLog:
         return bool(self._ops)
 
     def append(self, op):
-        """Queue ``op``, coalescing by key; raises :class:`DeferredLogFull`."""
+        """Queue ``op``, coalescing by key; raises :class:`DeferredLogFull`.
+
+        Assigns ``op.seq`` from this log's own counter when unset, so seq
+        values are unique and monotonic *per log* regardless of how many
+        logs (or worker processes) exist.
+        """
+        if op.seq is None:
+            op.seq = self._next_seq
+            self._next_seq += 1
+        else:
+            self._next_seq = max(self._next_seq, op.seq + 1)
         if op.coalesce is not None:
             for queued in self._ops:
                 if queued.coalesce == op.coalesce:
@@ -118,3 +134,46 @@ class DeferredOpLog:
 
     def clear(self):
         self._ops = []
+
+    # -- checkpoint / restore -------------------------------------------------
+
+    def checkpoint(self):
+        """JSON-safe snapshot: queued ops, counters, and the seq counter.
+
+        The counter matters as much as the ops: a restored log that re-minted
+        seq 1 would collide with ops already replayed (or still queued
+        elsewhere), making the replay order unreconstructible.
+        """
+        return {
+            "next_seq": self._next_seq,
+            "enqueued": self.enqueued,
+            "coalesced": self.coalesced,
+            "replayed": self.replayed,
+            "ops": [
+                {"app": op.app, "rest": op.rest, "opcode": op.opcode,
+                 "inbuf": op.inbuf, "queued_at": op.queued_at,
+                 "coalesce": op.coalesce, "seq": op.seq}
+                for op in self._ops
+            ],
+        }
+
+    def restore(self, state):
+        """Rebuild the queue from a :meth:`checkpoint` snapshot.
+
+        Replaces the current queue.  The seq counter resumes past both the
+        snapshot's counter and every restored op, so post-restore appends
+        can never mint a duplicate seq.  Returns the number of restored ops.
+        """
+        self._ops = [
+            DeferredOp(app=snap["app"], rest=snap["rest"],
+                       opcode=snap["opcode"], inbuf=snap["inbuf"],
+                       queued_at=snap["queued_at"],
+                       coalesce=snap.get("coalesce"), seq=snap["seq"])
+            for snap in state["ops"]
+        ]
+        highest = max((op.seq for op in self._ops), default=0)
+        self._next_seq = max(state.get("next_seq", 1), highest + 1)
+        self.enqueued = state.get("enqueued", self.enqueued)
+        self.coalesced = state.get("coalesced", self.coalesced)
+        self.replayed = state.get("replayed", self.replayed)
+        return len(self._ops)

@@ -56,14 +56,24 @@ class _Receiver:
         self.delivering = False
         self.delivered = []  # (time, handler_name, upcall) for inspection
         self.failed = []  # (time, handler_name, upcall, exception)
+        self.latencies = []  # queue-to-delivery seconds, in delivery order
 
 
 class UpcallDispatcher:
     """Exactly-once, in-order upcall delivery to registered applications."""
 
-    def __init__(self, sim, latency=UPCALL_LATENCY):
+    def __init__(self, sim, latency=UPCALL_LATENCY, batch=False):
         self.sim = sim
         self.latency = latency
+        #: With ``batch=True`` everything queued for a receiver when its
+        #: dispatch timer fires is delivered in one callback (all at the
+        #: same simulated instant, FIFO order preserved) instead of one
+        #: scheduled event per upcall at ``latency`` intervals.  At fleet
+        #: scale the per-delivery events dominate the kernel's event queue;
+        #: batching trades per-upcall timing granularity for one event per
+        #: burst.  Off by default — the fine-grained schedule is part of
+        #: the golden event ordering of the single-client experiments.
+        self.batch = batch
         self._receivers = {}
         #: Handler return values: (app, handler, result), in delivery order.
         self.results = []
@@ -131,6 +141,13 @@ class UpcallDispatcher:
         """Handler failures for ``app``: (time, handler, upcall, exception)."""
         return list(self._receiver(app, create=True).failed)
 
+    def delivery_latencies(self):
+        """Queue-to-delivery seconds for every delivered upcall, grouped by
+        receiver in registration order.  The fleet report distributes these
+        without needing a live telemetry recorder."""
+        return [latency for receiver in self._receivers.values()
+                for latency in receiver.latencies]
+
     # -- sending ------------------------------------------------------------------
 
     def send(self, app, handler_name, upcall):
@@ -162,42 +179,69 @@ class UpcallDispatcher:
         if receiver.delivering or receiver.blocked or not receiver.queue:
             return
         receiver.delivering = True
-        self.sim.call_in(self.latency, self._deliver_next, receiver)
+        if self.batch:
+            self.sim.call_in(self.latency, self._deliver_batch, receiver)
+        else:
+            self.sim.call_in(self.latency, self._deliver_next, receiver)
 
     def _deliver_next(self, receiver):
         receiver.delivering = False
         if receiver.blocked or not receiver.queue:
             return
-        handler_name, upcall, enqueued_at = receiver.queue.popleft()
         try:
-            if handler_name not in receiver.ignored:
-                fn = receiver.handlers.get(handler_name)
-                if fn is None:
-                    raise OdysseyError(
-                        f"app {receiver.app!r} has no upcall handler {handler_name!r}"
-                    )
-                receiver.delivered.append((self.sim.now, handler_name, upcall))
-                rec = telemetry.RECORDER
-                if rec.enabled:
-                    latency = self.sim.now - enqueued_at
-                    rec.observe("upcalls.delivery_seconds", latency,
-                                buckets=UPCALL_DELIVERY_BUCKETS,
-                                app=receiver.app)
-                    rec.event("upcall.delivered", app=receiver.app,
-                              handler=handler_name,
-                              request_id=getattr(upcall, "request_id", None),
-                              latency=latency)
-                # "upcalls allow parameters to be passed to target processes
-                # and results to be returned" (§4.3): keep the handler's
-                # result for the sender's inspection.
-                try:
-                    result = fn(upcall)
-                except Exception as exc:  # noqa: BLE001 - a handler fault is the receiver's bug, not the queue's
-                    receiver.failed.append((self.sim.now, handler_name, upcall, exc))
-                    self.failures.append((receiver.app, handler_name, upcall, exc))
-                else:
-                    self.results.append((receiver.app, handler_name, result))
+            self._deliver_one(receiver)
         finally:
             # Deliver the rest of the queue even when this delivery blew up —
             # exactly-once semantics cover the remaining entries too.
             self._pump(receiver)
+
+    def _deliver_batch(self, receiver):
+        """Deliver everything queued when the dispatch timer fires.
+
+        The queue length is snapshotted before the first delivery, so
+        upcalls queued *by the handlers themselves* wait for the next
+        batch (they still see a fresh dispatch latency, as they would
+        unbatched).  Blocking mid-batch stops delivery immediately.
+        """
+        receiver.delivering = False
+        count = len(receiver.queue)
+        try:
+            for _ in range(count):
+                if receiver.blocked or not receiver.queue:
+                    break
+                self._deliver_one(receiver)
+        finally:
+            self._pump(receiver)
+
+    def _deliver_one(self, receiver):
+        """Pop and deliver the receiver's oldest queued upcall (no re-pump)."""
+        handler_name, upcall, enqueued_at = receiver.queue.popleft()
+        if handler_name in receiver.ignored:
+            return
+        fn = receiver.handlers.get(handler_name)
+        if fn is None:
+            raise OdysseyError(
+                f"app {receiver.app!r} has no upcall handler {handler_name!r}"
+            )
+        receiver.delivered.append((self.sim.now, handler_name, upcall))
+        receiver.latencies.append(self.sim.now - enqueued_at)
+        rec = telemetry.RECORDER
+        if rec.enabled:
+            latency = self.sim.now - enqueued_at
+            rec.observe("upcalls.delivery_seconds", latency,
+                        buckets=UPCALL_DELIVERY_BUCKETS,
+                        app=receiver.app)
+            rec.event("upcall.delivered", app=receiver.app,
+                      handler=handler_name,
+                      request_id=getattr(upcall, "request_id", None),
+                      latency=latency)
+        # "upcalls allow parameters to be passed to target processes
+        # and results to be returned" (§4.3): keep the handler's
+        # result for the sender's inspection.
+        try:
+            result = fn(upcall)
+        except Exception as exc:  # noqa: BLE001 - a handler fault is the receiver's bug, not the queue's
+            receiver.failed.append((self.sim.now, handler_name, upcall, exc))
+            self.failures.append((receiver.app, handler_name, upcall, exc))
+        else:
+            self.results.append((receiver.app, handler_name, result))

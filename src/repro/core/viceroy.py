@@ -48,6 +48,14 @@ class Viceroy:
         self.namespace = Namespace(root)
         self.upcalls = upcalls or UpcallDispatcher(sim)
         self._registrations = {}
+        #: Secondary indexes over ``_registrations`` so per-resource and
+        #: per-connection rechecks scan only the registrations that can
+        #: match.  With thousands of fleet clients the flat table makes
+        #: every round-trip recheck O(all registrations); the indexes make
+        #: it O(matching ones).  Insertion order within each index matches
+        #: the flat table, so violation/upcall order is unchanged.
+        self._by_resource = {}  # Resource -> {request_id: Registration}
+        self._by_connection = {}  # connection_id -> {request_id: Registration}
         self._connections = {}  # connection_id -> (conn, warden)
         self._monitors = {}  # Resource -> monitor
         #: Per-connection connectivity trackers; ``connectivity`` supplies
@@ -104,10 +112,9 @@ class Viceroy:
         self._trackers.pop(connection_id, None)
         conn.log.unsubscribe(self)
         self.policy.unregister_connection(connection_id)
-        doomed = [r for r in self._registrations.values()
-                  if r.connection_id == connection_id]
+        doomed = list(self._by_connection.get(connection_id, {}).values())
         for registration in doomed:
-            del self._registrations[registration.request_id]
+            self._drop_registration(registration)
             if notify and self.upcalls.has_receiver(registration.app):
                 self._send_upcall(registration,
                                   registration.descriptor.resource,
@@ -151,14 +158,48 @@ class Viceroy:
         fidelity, lean on the warden's cache, and re-register when the
         degraded-service period ends.
         """
-        doomed = [r for r in self._registrations.values()
-                  if r.connection_id == connection_id]
+        doomed = list(self._by_connection.get(connection_id, {}).values())
         for registration in doomed:
-            del self._registrations[registration.request_id]
+            self._drop_registration(registration)
             if self.upcalls.has_receiver(registration.app):
                 self._send_upcall(registration,
                                   registration.descriptor.resource,
                                   0.0, kind="disconnect")
+
+    # -- registration bookkeeping -------------------------------------------
+
+    def _add_registration(self, registration):
+        self._registrations[registration.request_id] = registration
+        resource = registration.descriptor.resource
+        self._by_resource.setdefault(resource, {})[
+            registration.request_id] = registration
+        if registration.connection_id is not None:
+            self._by_connection.setdefault(registration.connection_id, {})[
+                registration.request_id] = registration
+
+    def _drop_registration(self, registration):
+        del self._registrations[registration.request_id]
+        resource = registration.descriptor.resource
+        bucket = self._by_resource.get(resource)
+        if bucket is not None:
+            bucket.pop(registration.request_id, None)
+            if not bucket:
+                del self._by_resource[resource]
+        if registration.connection_id is not None:
+            bucket = self._by_connection.get(registration.connection_id)
+            if bucket is not None:
+                bucket.pop(registration.request_id, None)
+                if not bucket:
+                    del self._by_connection[registration.connection_id]
+
+    def _distinct_wardens(self):
+        """Each mounted warden once, in mount order (a warden may back
+        several prefixes)."""
+        seen = []
+        for warden in self.namespace.mounts.values():
+            if warden not in seen:
+                seen.append(warden)
+        return seen
 
     # -- checkpoint / restore ----------------------------------------------------
 
@@ -166,10 +207,15 @@ class Viceroy:
         """Plain-data snapshot of the state a viceroy restart must not lose.
 
         Covers live window-of-tolerance registrations (with their request
-        ids), upcall counters, and each connection's connectivity state.
+        ids), upcall counters, each connection's connectivity state, and
+        every mounted warden's deferred-op log (keyed by warden name) —
+        the queued disconnected-mode writes, their per-log seq counter
+        included, so a restored viceroy replays them in the original order.
         Everything is JSON-serializable; :meth:`restore` is the inverse.
         """
         return {
+            "deferred": {warden.name: warden.deferred.checkpoint()
+                         for warden in self._distinct_wardens()},
             "registrations": [
                 {"request_id": r.request_id, "app": r.app, "path": r.path,
                  "resource": r.descriptor.resource.label,
@@ -197,9 +243,13 @@ class Viceroy:
 
         Connectivity trackers are *not* restored: a restarted viceroy must
         re-derive link health from fresh evidence, not trust a snapshot
-        from before it went down.
+        from before it went down.  Deferred-op logs are restored into the
+        warden with the matching name; snapshots for wardens this viceroy
+        does not mount are ignored.
         """
         self._registrations = {}
+        self._by_resource = {}
+        self._by_connection = {}
         dropped = []
         highest = 0
         for snap in state["registrations"]:
@@ -218,8 +268,13 @@ class Viceroy:
                 app=snap["app"], path=snap["path"], descriptor=descriptor,
                 connection_id=connection_id, request_id=snap["request_id"],
             )
-            self._registrations[registration.request_id] = registration
+            self._add_registration(registration)
         advance_request_ids(highest)
+        wardens = {warden.name: warden for warden in self._distinct_wardens()}
+        for name, snapshot in state.get("deferred", {}).items():
+            warden = wardens.get(name)
+            if warden is not None:
+                warden.deferred.restore(snapshot)
         self.upcalls_sent = state.get("upcalls_sent", self.upcalls_sent)
         self.disconnect_upcalls = state.get("disconnect_upcalls",
                                             self.disconnect_upcalls)
@@ -307,7 +362,7 @@ class Viceroy:
         registration = Registration(
             app=app, path=path, descriptor=descriptor, connection_id=connection_id
         )
-        self._registrations[registration.request_id] = registration
+        self._add_registration(registration)
         if rec.enabled:
             rec.count("viceroy.requests", resource=resource.label)
             rec.event("viceroy.request", app=app, path=path,
@@ -321,7 +376,7 @@ class Viceroy:
         """Discard a registration (paper Fig. 3a)."""
         if request_id not in self._registrations:
             raise RequestNotFound(f"no registered request {request_id!r}")
-        del self._registrations[request_id]
+        self._drop_registration(self._registrations[request_id])
         rec = telemetry.RECORDER
         if rec.enabled:
             rec.count("viceroy.cancels")
@@ -338,13 +393,14 @@ class Viceroy:
         self._recheck(Resource.NETWORK_BANDWIDTH)
 
     def _recheck(self, resource, connection_id=None):
+        if connection_id is not None:
+            candidates = self._by_connection.get(connection_id, {})
+        else:
+            candidates = self._by_resource.get(resource, {})
         violated = []
-        for registration in self._registrations.values():
+        for registration in candidates.values():
             descriptor = registration.descriptor
             if descriptor.resource is not resource:
-                continue
-            if (connection_id is not None
-                    and registration.connection_id != connection_id):
                 continue
             level = self.availability(
                 resource, connection_id=registration.connection_id
@@ -354,7 +410,7 @@ class Viceroy:
             if not descriptor.window.contains(level):
                 violated.append((registration, level))
         for registration, level in violated:
-            del self._registrations[registration.request_id]
+            self._drop_registration(registration)
             self._send_upcall(registration, resource, level, kind="violation")
 
     def _send_upcall(self, registration, resource, level, kind):

@@ -16,18 +16,29 @@ class EwmaFilter:
         update ("we cap the percentage rise possible at each estimate").
         Falls are never capped — erring toward underestimation is the safe
         direction for bandwidth.
+    rise_floor:
+        Additive floor for the rise-cap base when the current value is at
+        (or below) zero.  A multiplicative cap on a zero base is no cap at
+        all — an estimate that hit 0 during a blackout would jump straight
+        to the first post-recovery sample — so recovery is capped at
+        ``max(value, rise_floor) * (1 + rise_cap)`` instead.  Only
+        consulted when ``rise_cap`` is set and the value is <= 0; positive
+        values cap exactly as before.
     initial:
         Starting value; if None, the first sample initializes the filter
         directly (uncapped).
     """
 
-    def __init__(self, gain, rise_cap=None, initial=None):
+    def __init__(self, gain, rise_cap=None, rise_floor=1.0, initial=None):
         if not 0 < gain <= 1:
             raise ReproError(f"gain must be in (0, 1], got {gain!r}")
         if rise_cap is not None and rise_cap <= 0:
             raise ReproError(f"rise_cap must be positive, got {rise_cap!r}")
+        if rise_floor <= 0:
+            raise ReproError(f"rise_floor must be positive, got {rise_floor!r}")
         self.gain = gain
         self.rise_cap = rise_cap
+        self.rise_floor = rise_floor
         self._value = initial
         self.updates = 0
         #: Updates where the rise cap clamped the candidate value.
@@ -52,8 +63,10 @@ class EwmaFilter:
             self._value = float(sample)
             return self._value
         candidate = self.gain * sample + (1.0 - self.gain) * self._value
-        if self.rise_cap is not None and self._value > 0:
-            ceiling = self._value * (1.0 + self.rise_cap)
+        if self.rise_cap is not None:
+            base = self._value if self._value > 0 \
+                else max(self._value, self.rise_floor)
+            ceiling = base * (1.0 + self.rise_cap)
             if candidate > ceiling:
                 candidate = ceiling
                 self.capped_rises += 1

@@ -71,6 +71,16 @@ class ClientShares:
         self.total_history = []  # (time, total estimate)
         self._logs = {}  # connection_id -> RpcLog
         self._estimators = {}  # connection_id -> ConnectionEstimator
+        #: Usage-split memo for :meth:`availability`.  Re-checking every
+        #: bandwidth registration after a throughput entry calls
+        #: ``availability`` once per registration, and each call recomputed
+        #: every connection's recent rate — O(n²) per entry at fleet scale.
+        #: The usages only change when sim time advances, a delivery lands,
+        #: or the membership changes, so the split is computed once per
+        #: such version and the values stay bit-identical.
+        self._usage_version = 0
+        self._usage_memo = None  # (now, version) -> (usages, denominator)
+        self._usage_memo_key = None
         #: Forwarded to each ConnectionEstimator (ablation studies vary
         #: gains and the rise cap here).
         self.estimator_kwargs = estimator_kwargs or {}
@@ -85,11 +95,20 @@ class ClientShares:
         self._estimators[log.connection_id] = ConnectionEstimator(
             self.sim, log.connection_id, **self.estimator_kwargs
         )
+        log.delivery_listener = self._note_delivery
+        self._usage_version += 1
 
     def unregister(self, connection_id):
         """Stop tracking a connection."""
-        self._logs.pop(connection_id, None)
+        log = self._logs.pop(connection_id, None)
+        if log is not None and log.delivery_listener == self._note_delivery:
+            log.delivery_listener = None
         self._estimators.pop(connection_id, None)
+        self._usage_version += 1
+
+    def _note_delivery(self):
+        """Hot-path delivery signal from a tracked log (invalidates memos)."""
+        self._usage_version += 1
 
     @property
     def connection_count(self):
@@ -143,7 +162,9 @@ class ClientShares:
         competing = False
         for other in self._logs.values():
             aggregate += other.bytes_delivered_between(entry.started, entry.at)
-            if (other is not log
+            # One competing peer settles the boolean; skipping further rate
+            # queries cannot change it (any-of is order-independent).
+            if (not competing and other is not log
                     and other.recent_rate(self.competing_horizon)
                     > self.competing_rate_floor):
                 competing = True
@@ -172,6 +193,15 @@ class ClientShares:
         """Recent consumption rate of one connection (bytes/s)."""
         return self._logs[connection_id].recent_rate(self.usage_horizon)
 
+    def _usage_split(self):
+        """``(usages, denominator)``, memoized per (sim time, log version)."""
+        key = (self.sim.now, self._usage_version)
+        if key != self._usage_memo_key:
+            usages = {cid: self.usage(cid) for cid in self._logs}
+            self._usage_memo = (usages, sum(usages.values()))
+            self._usage_memo_key = key
+        return self._usage_memo
+
     def availability(self, connection_id):
         """Bandwidth likely available to ``connection_id`` (bytes/s).
 
@@ -187,8 +217,7 @@ class ClientShares:
             return None
         n = len(self._logs)
         fair = self.fair_fraction * total / n
-        usages = {cid: self.usage(cid) for cid in self._logs}
-        denominator = sum(usages.values())
+        usages, denominator = self._usage_split()
         if denominator <= 0:
             weight = 1.0 / n
         else:

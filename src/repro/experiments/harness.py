@@ -19,6 +19,7 @@ from repro.core.policies import (
     LaissezFairePolicy,
     OdysseyPolicy,
 )
+from repro.core.upcalls import UpcallDispatcher
 from repro.core.viceroy import Viceroy
 from repro.errors import ReproError
 from repro.net.network import Network
@@ -46,7 +47,8 @@ def seeded_rngs(trials, master_seed=0):
 class ExperimentWorld:
     """Simulator + modulated network + viceroy, ready for apps and servers."""
 
-    def __init__(self, waveform, policy="odyssey", prime=PRIME_SECONDS, seed=0):
+    def __init__(self, waveform, policy="odyssey", prime=PRIME_SECONDS, seed=0,
+                 upcall_batch=False):
         if isinstance(waveform, ReplayTrace):
             trace = waveform
         else:
@@ -58,8 +60,15 @@ class ExperimentWorld:
         self.sim = Simulator()
         self.network = Network(self.sim, self.trace)
         self.policy_name = policy
+        # ``upcall_batch`` trades per-upcall timing granularity for one
+        # event per burst (see UpcallDispatcher); the fleet worlds turn it
+        # on, the single-application figures keep the golden fine-grained
+        # schedule.
+        upcalls = UpcallDispatcher(self.sim, batch=True) if upcall_batch \
+            else None
         self.viceroy = Viceroy(
-            self.sim, self.network, policy=self._make_policy(policy)
+            self.sim, self.network, policy=self._make_policy(policy),
+            upcalls=upcalls,
         )
         rec = telemetry.RECORDER
         if rec.enabled:

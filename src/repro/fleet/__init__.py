@@ -1,0 +1,61 @@
+"""Fleet-scale sharded simulation: thousands of adaptive clients.
+
+The fleet model (architecture doc §13) spawns 1k-10k simulated adaptive
+clients against a pool of servers, sharded across per-region viceroys.
+Each shard is one deterministic simulation; shards fan across cores via
+the trial runner with its submission-order merge, so the merged report is
+byte-identical at any ``--jobs``.
+"""
+
+from repro.fleet.client import (
+    DEFAULT_CHUNK_BYTES,
+    DEFAULT_PERIOD,
+    FIDELITY_LEVELS,
+    FleetClient,
+)
+from repro.fleet.harness import (
+    DEFAULT_DURATION,
+    DEFAULT_SHARDS,
+    FleetReport,
+    ScalingPoint,
+    fleet_units,
+    jain_fairness,
+    run_fleet,
+    run_scaling_curve,
+    shard_populations,
+    shard_seeds,
+)
+from repro.fleet.report import format_fleet_report, format_scaling_curve
+from repro.fleet.shard import (
+    CLIENTS_PER_LINK,
+    CLIENTS_PER_SERVER,
+    ClientRecord,
+    ShardResult,
+    build_shard_world,
+    run_fleet_shard,
+)
+
+__all__ = [
+    "CLIENTS_PER_LINK",
+    "CLIENTS_PER_SERVER",
+    "ClientRecord",
+    "DEFAULT_CHUNK_BYTES",
+    "DEFAULT_DURATION",
+    "DEFAULT_PERIOD",
+    "DEFAULT_SHARDS",
+    "FIDELITY_LEVELS",
+    "FleetClient",
+    "FleetReport",
+    "ScalingPoint",
+    "ShardResult",
+    "build_shard_world",
+    "fleet_units",
+    "format_fleet_report",
+    "format_scaling_curve",
+    "jain_fairness",
+    "run_fleet",
+    "run_fleet_shard",
+    "run_scaling_curve",
+    "shard_populations",
+    "shard_seeds",
+]

@@ -1,0 +1,238 @@
+"""The fleet harness: shards fanned across cores, merged in shard order.
+
+:func:`run_fleet` splits a client population across per-region shards,
+derives each shard's seed with :meth:`RngRegistry.spawn_seed` (a pure
+function of the master seed and the shard's *name*, never of execution
+order), and routes the shards through :func:`repro.parallel.run_units` —
+inheriting its submission-order merge, process-pool fan-out, telemetry
+shard absorption, and on-disk result cache.  The merged
+:class:`FleetReport` is therefore byte-identical at any ``--jobs``; its
+:meth:`~FleetReport.fingerprint` covers every deterministic field and
+excludes the harness-level wall-clock measurement.
+"""
+
+import hashlib
+import time
+from dataclasses import dataclass, field
+
+from repro.errors import ReproError
+from repro.experiments.harness import PRIME_SECONDS
+from repro.fleet.client import DEFAULT_CHUNK_BYTES, DEFAULT_PERIOD
+from repro.fleet.shard import percentile
+from repro.parallel.runner import CONFIGURED, TrialUnit, run_units
+from repro.sim.rng import RngRegistry
+
+#: Default shard count: enough regions to exercise the pool at the default
+#: population without starving any shard of clients.
+DEFAULT_SHARDS = 8
+#: Default simulated measurement window per shard, seconds.
+DEFAULT_DURATION = 60.0
+
+
+def shard_populations(clients, shards):
+    """Split ``clients`` across ``shards`` as evenly as possible.
+
+    The remainder lands on the first shards, so the split is a pure
+    function of the two counts.
+    """
+    if clients < 1:
+        raise ReproError(f"clients must be >= 1, got {clients!r}")
+    if shards < 1:
+        raise ReproError(f"shards must be >= 1, got {shards!r}")
+    if clients < shards:
+        raise ReproError(
+            f"cannot spread {clients} clients across {shards} shards"
+        )
+    base, extra = divmod(clients, shards)
+    return [base + (1 if i < extra else 0) for i in range(shards)]
+
+
+def shard_seeds(shards, master_seed=0):
+    """Order-independent per-shard seeds: ``spawn_seed(f"shard-{i}")``."""
+    registry = RngRegistry(master_seed)
+    return [registry.spawn_seed(f"shard-{i}") for i in range(shards)]
+
+
+def jain_fairness(values):
+    """Jain's fairness index ``(Σx)² / (n·Σx²)`` (1.0 = perfectly fair)."""
+    values = list(values)
+    if not values:
+        return 1.0
+    square_sum = sum(v * v for v in values)
+    if square_sum == 0:
+        return 1.0
+    total = sum(values)
+    return (total * total) / (len(values) * square_sum)
+
+
+@dataclass
+class FleetReport:
+    """Cross-shard merge of a fleet run (shard order, deterministic)."""
+
+    clients: int
+    shards: int
+    duration: float
+    policy: str
+    family: str
+    master_seed: int
+    shard_results: tuple  # ShardResult per shard, in shard order
+    #: Harness-level wall time around ``run_units`` — measured, not
+    #: simulated, so NOT part of the fingerprint (and near zero when every
+    #: shard answered from the result cache).
+    wall_seconds: float = field(default=0.0, compare=False)
+
+    # -- merged views ----------------------------------------------------------
+
+    @property
+    def records(self):
+        """Every client record, in shard order then client order."""
+        return [record for result in self.shard_results
+                for record in result.records]
+
+    @property
+    def total_bytes(self):
+        return sum(record.bytes for record in self.records)
+
+    @property
+    def total_stalls(self):
+        return sum(record.stalls for record in self.records)
+
+    @property
+    def total_upcalls(self):
+        return sum(result.upcall_count for result in self.shard_results)
+
+    @property
+    def mean_fidelity(self):
+        records = self.records
+        if not records:
+            return 0.0
+        return sum(record.mean_fidelity for record in records) / len(records)
+
+    def fidelity_distribution(self):
+        """(p5, p50, p95) of per-client time-weighted mean fidelity."""
+        values = sorted(record.mean_fidelity for record in self.records)
+        return (percentile(values, 0.05), percentile(values, 0.50),
+                percentile(values, 0.95))
+
+    def latency_distribution(self):
+        """(p50, p95, max) of per-client mean chunk latency, seconds."""
+        values = sorted(record.mean_latency for record in self.records)
+        return (percentile(values, 0.50), percentile(values, 0.95),
+                values[-1] if values else 0.0)
+
+    def upcall_latency(self):
+        """(count, mean, p95, max) of upcall delivery latency, pooled
+        across shards by shard-count weighting."""
+        count = self.total_upcalls
+        if count == 0:
+            return (0, 0.0, 0.0, 0.0)
+        mean = sum(r.upcall_latency_mean * r.upcall_count
+                   for r in self.shard_results) / count
+        return (count,
+                mean,
+                max(r.upcall_latency_p95 for r in self.shard_results),
+                max(r.upcall_latency_max for r in self.shard_results))
+
+    @property
+    def fairness(self):
+        """Jain index over per-client delivered bytes (ClientShares' job)."""
+        return jain_fairness(record.bytes for record in self.records)
+
+    # -- determinism -----------------------------------------------------------
+
+    def fingerprint(self):
+        """sha256 over every deterministic field, at fixed rounding.
+
+        Byte-identical across ``--jobs`` settings and cache hits; the
+        wall-clock measurement is deliberately excluded.
+        """
+        digest = hashlib.sha256()
+        header = (self.clients, self.shards, round(self.duration, 9),
+                  self.policy, self.family, self.master_seed)
+        digest.update(repr(header).encode())
+        for result in self.shard_results:
+            meta = (result.shard, result.seed, result.n_clients,
+                    result.n_servers, result.trace_name, result.upcall_count,
+                    round(result.upcall_latency_mean, 9),
+                    round(result.upcall_latency_p95, 9),
+                    round(result.upcall_latency_max, 9))
+            digest.update(repr(meta).encode())
+            for record in result.records:
+                row = (record.name, record.bytes, record.chunks,
+                       record.stalls, record.failures,
+                       round(record.mean_latency, 9),
+                       round(record.max_latency, 9),
+                       round(record.mean_fidelity, 9),
+                       record.upcalls, record.renegotiations)
+                digest.update(repr(row).encode())
+        return digest.hexdigest()
+
+
+def fleet_units(clients, shards=DEFAULT_SHARDS, duration=DEFAULT_DURATION,
+                policy="odyssey", family="urban", prime=PRIME_SECONDS,
+                chunk_bytes=DEFAULT_CHUNK_BYTES, period=DEFAULT_PERIOD,
+                master_seed=0):
+    """The run's :class:`TrialUnit` list, one hermetic unit per shard."""
+    populations = shard_populations(clients, shards)
+    seeds = shard_seeds(shards, master_seed)
+    return [
+        TrialUnit(
+            "fleet",
+            {
+                "clients": population, "duration": duration,
+                "policy": policy, "family": family, "prime": prime,
+                "chunk_bytes": chunk_bytes, "period": period,
+                "shard": index,
+            },
+            seed,
+        )
+        for index, (population, seed) in enumerate(zip(populations, seeds))
+    ]
+
+
+def run_fleet(clients, shards=DEFAULT_SHARDS, duration=DEFAULT_DURATION,
+              policy="odyssey", family="urban", prime=PRIME_SECONDS,
+              chunk_bytes=DEFAULT_CHUNK_BYTES, period=DEFAULT_PERIOD,
+              master_seed=0, jobs=None, cache=CONFIGURED):
+    """Run the whole fleet; returns the merged :class:`FleetReport`."""
+    units = fleet_units(clients, shards=shards, duration=duration,
+                        policy=policy, family=family, prime=prime,
+                        chunk_bytes=chunk_bytes, period=period,
+                        master_seed=master_seed)
+    started = time.perf_counter()
+    results = run_units(units, jobs=jobs, cache=cache)
+    wall = time.perf_counter() - started
+    return FleetReport(
+        clients=clients, shards=shards, duration=duration, policy=policy,
+        family=family, master_seed=master_seed,
+        shard_results=tuple(results), wall_seconds=wall,
+    )
+
+
+@dataclass(frozen=True)
+class ScalingPoint:
+    """One point of the scaling curve."""
+
+    clients: int
+    wall_seconds: float
+    mean_fidelity: float
+    report: FleetReport
+
+
+def run_scaling_curve(points, shards=DEFAULT_SHARDS,
+                      duration=DEFAULT_DURATION, policy="odyssey",
+                      family="urban", prime=PRIME_SECONDS,
+                      chunk_bytes=DEFAULT_CHUNK_BYTES, period=DEFAULT_PERIOD,
+                      master_seed=0, jobs=None, cache=CONFIGURED):
+    """Clients vs. wall-seconds vs. per-client fidelity, one run per point."""
+    curve = []
+    for clients in points:
+        report = run_fleet(clients, shards=shards, duration=duration,
+                           policy=policy, family=family, prime=prime,
+                           chunk_bytes=chunk_bytes, period=period,
+                           master_seed=master_seed, jobs=jobs, cache=cache)
+        curve.append(ScalingPoint(clients=clients,
+                                  wall_seconds=report.wall_seconds,
+                                  mean_fidelity=report.mean_fidelity,
+                                  report=report))
+    return curve

@@ -1,0 +1,55 @@
+"""Text rendering of fleet runs (the ``repro fleet`` command's output)."""
+
+
+def format_fleet_report(report):
+    """Human-readable summary of one :class:`FleetReport`."""
+    lines = []
+    lines.append(
+        f"fleet: {report.clients} clients x {report.shards} shards "
+        f"({report.family} scenarios, policy {report.policy}, "
+        f"{report.duration:g} s measured, seed {report.master_seed})"
+    )
+    lines.append(
+        f"  wall time      : {report.wall_seconds:.2f} s "
+        f"({report.clients / report.wall_seconds:.0f} clients/s)"
+        if report.wall_seconds > 0 else "  wall time      : (cached)"
+    )
+    fid5, fid50, fid95 = report.fidelity_distribution()
+    lines.append(
+        f"  fidelity       : mean {report.mean_fidelity:.3f} "
+        f"(p5 {fid5:.3f}, p50 {fid50:.3f}, p95 {fid95:.3f})"
+    )
+    lat50, lat95, lat_max = report.latency_distribution()
+    lines.append(
+        f"  chunk latency  : p50 {lat50 * 1000:.1f} ms, "
+        f"p95 {lat95 * 1000:.1f} ms, max {lat_max * 1000:.1f} ms"
+    )
+    records = report.records
+    chunks = sum(r.chunks for r in records)
+    lines.append(
+        f"  chunks         : {chunks} ({report.total_stalls} stalled, "
+        f"{sum(r.failures for r in records)} failed)"
+    )
+    lines.append(f"  bytes delivered: {report.total_bytes}")
+    lines.append(f"  fairness (Jain): {report.fairness:.4f}")
+    count, mean, p95, peak = report.upcall_latency()
+    lines.append(
+        f"  upcalls        : {count} delivered "
+        f"(mean {mean * 1000:.2f} ms, p95 {p95 * 1000:.2f} ms, "
+        f"max {peak * 1000:.2f} ms)"
+    )
+    lines.append(f"  fingerprint    : {report.fingerprint()}")
+    return "\n".join(lines)
+
+
+def format_scaling_curve(curve):
+    """Table of clients vs. wall-seconds vs. per-client fidelity."""
+    lines = ["clients  wall_s  clients_per_s  mean_fidelity"]
+    for point in curve:
+        rate = point.clients / point.wall_seconds \
+            if point.wall_seconds > 0 else float("inf")
+        lines.append(
+            f"{point.clients:7d}  {point.wall_seconds:6.2f}  "
+            f"{rate:13.0f}  {point.mean_fidelity:13.3f}"
+        )
+    return "\n".join(lines)

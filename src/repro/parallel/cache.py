@@ -65,17 +65,53 @@ def code_fingerprint(root=None):
     return digest.hexdigest()
 
 
+def _canonical(obj):
+    """Insertion-order-independent form of ``obj``, fit for hashing.
+
+    Raw pickle bytes encode dict insertion order, so two semantically
+    equal objects whose nested dicts were built in different orders would
+    hash differently — a silent cache miss.  Mappings are therefore
+    rewritten as key-sorted pairs (recursively, including inside object
+    ``__dict__``/``__slots__`` state), sets are sorted, and sequences keep
+    their order but canonicalize their elements.  Anything else pickles
+    as-is — atoms have no insertion order to scrub.
+    """
+    if isinstance(obj, dict):
+        pairs = sorted(
+            ((repr(key), _canonical(key), _canonical(value))
+             for key, value in obj.items()),
+            key=lambda pair: pair[0],
+        )
+        return ("__mapping__", type(obj).__qualname__, tuple(pairs))
+    if isinstance(obj, (list, tuple)):
+        return ("__sequence__", type(obj).__qualname__,
+                tuple(_canonical(item) for item in obj))
+    if isinstance(obj, (set, frozenset)):
+        members = sorted((repr(item), _canonical(item)) for item in obj)
+        return ("__set__", type(obj).__qualname__, tuple(members))
+    state = getattr(obj, "__dict__", None)
+    if state:
+        return ("__object__", type(obj).__qualname__, _canonical(state))
+    slots = getattr(type(obj), "__slots__", None)
+    if slots and not isinstance(obj, (str, bytes, int, float, bool, complex)):
+        fields = {name: getattr(obj, name)
+                  for name in slots if hasattr(obj, name)}
+        return ("__object__", type(obj).__qualname__, _canonical(fields))
+    return obj
+
+
 def canonical_params(params):
     """Deterministic text form of a parameter mapping, for hashing.
 
     JSON-native values serialize directly (sorted keys); anything else —
     fault plans, retry policies, replay traces — contributes a digest of
-    its pickle bytes, which encode actual field values rather than
-    whatever ``repr`` chooses to show.
+    the pickle bytes of its :func:`_canonical` form, which encodes actual
+    field values (rather than whatever ``repr`` chooses to show) and is
+    independent of dict insertion order.
     """
 
     def _opaque(obj):
-        blob = pickle.dumps(obj, protocol=4)
+        blob = pickle.dumps(_canonical(obj), protocol=4)
         return {
             "__opaque__": type(obj).__qualname__,
             "blake2b": hashlib.blake2b(blob, digest_size=16).hexdigest(),

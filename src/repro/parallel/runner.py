@@ -56,6 +56,7 @@ TRIAL_FUNCTIONS = {
     "turbulence": "repro.experiments.turbulence:impulse_visibility",
     "robustness": "repro.experiments.robustness:run_robustness_trial",
     "disconnected": "repro.experiments.disconnected:run_disconnected_trial",
+    "fleet": "repro.fleet.shard:run_fleet_shard",
 }
 
 #: Sentinel distinguishing "use the configured cache" from "no cache".

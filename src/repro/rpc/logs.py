@@ -11,13 +11,27 @@ Beyond the two entry kinds the paper names, the log also records raw
 these to compute aggregate link throughput across all connections during any
 interval — the mechanism behind "the viceroy collects information from all
 logs to estimate the total bandwidth available to the client".
+
+Deliveries are kept in time order (simulation time never goes backwards),
+so interval queries bisect into a prefix-sum index instead of scanning the
+whole retained window; with thousands of fleet connections each throughput
+observation triggers one such query per peer log, which made the linear
+scan the dominant cost of estimation at scale.
 """
 
-from collections import deque
+from bisect import bisect_right
 from dataclasses import dataclass
 
 #: How much delivery history each log retains, seconds.
 DELIVERY_HISTORY_SECONDS = 30.0
+
+#: Round-trip / throughput entries retained per log.  Estimators only ever
+#: read the newest entry (plus the delivery window above), so with
+#: thousands of fleet connections the unbounded lists were pure memory
+#: growth.  Compaction keeps the most recent ``HISTORY_LIMIT`` entries and
+#: runs only once the list doubles past the cap, so the amortized cost per
+#: append is O(1).
+HISTORY_LIMIT = 512
 
 
 @dataclass(frozen=True, slots=True)
@@ -48,14 +62,35 @@ class ThroughputEntry:
 class RpcLog:
     """The observation log of one RPC endpoint (connection)."""
 
+    #: Entry-history cap; a class attribute so tests can tighten it.
+    history_limit = HISTORY_LIMIT
+
     def __init__(self, sim, connection_id):
         self.sim = sim
         self.connection_id = connection_id
         self.round_trips = []
         self.throughputs = []
-        self._deliveries = deque()  # (time, payload_bytes)
+        #: Delivery index: parallel, time-sorted lists.  ``_delivery_cums``
+        #: holds the running byte total *including pruned entries*, so an
+        #: interval sum is one subtraction of two bisected positions.
+        #: ``_delivery_head`` marks the first live (un-pruned) index; the
+        #: dead prefix is physically removed only in chunks, keeping
+        #: pruning amortized O(1) like the old deque's ``popleft``.
+        self._delivery_times = []
+        self._delivery_cums = []
+        self._delivery_head = 0
+        #: Running total as of the last *physically removed* entry, so a
+        #: query bisecting to index 0 subtracts the pruned prefix.
+        self._delivery_cum_base = 0
         self._delivered_total = 0
         self._observers = []
+        #: Single hot-path callback invoked (with no arguments) after every
+        #: delivery.  The observer protocol above deliberately excludes
+        #: deliveries — they are far too frequent for a fan-out list — but
+        #: the centralized share estimator needs a change signal to keep
+        #: its usage memo exact.  One attribute check per delivery, the
+        #: same discipline as the telemetry recorder's ``enabled`` gate.
+        self.delivery_listener = None
 
     def subscribe(self, observer):
         """Register ``observer``; it must expose ``on_round_trip(log, entry)``
@@ -67,9 +102,14 @@ class RpcLog:
 
     # -- appends (called by the protocol) -----------------------------------
 
+    def _compact(self, entries):
+        if len(entries) > 2 * self.history_limit:
+            del entries[:len(entries) - self.history_limit]
+
     def add_round_trip(self, seconds, request_bytes, response_bytes):
         entry = RoundTripEntry(self.sim.now, seconds, request_bytes, response_bytes)
         self.round_trips.append(entry)
+        self._compact(self.round_trips)
         for observer in list(self._observers):
             observer.on_round_trip(self, entry)
         return entry
@@ -79,17 +119,29 @@ class RpcLog:
             self.sim.now, started, nbytes, self.sim.now - started
         )
         self.throughputs.append(entry)
+        self._compact(self.throughputs)
         for observer in list(self._observers):
             observer.on_throughput(self, entry)
         return entry
 
     def add_delivery(self, nbytes):
         """Record ``nbytes`` of payload arriving now (fragment or response)."""
-        self._deliveries.append((self.sim.now, nbytes))
         self._delivered_total += nbytes
+        self._delivery_times.append(self.sim.now)
+        self._delivery_cums.append(self._delivered_total)
         horizon = self.sim.now - DELIVERY_HISTORY_SECONDS
-        while self._deliveries and self._deliveries[0][0] < horizon:
-            self._deliveries.popleft()
+        times = self._delivery_times
+        head = self._delivery_head
+        while head < len(times) and times[head] < horizon:
+            head += 1
+        if head > 4096 and head * 2 > len(times):
+            self._delivery_cum_base = self._delivery_cums[head - 1]
+            del self._delivery_times[:head]
+            del self._delivery_cums[:head]
+            head = 0
+        self._delivery_head = head
+        if self.delivery_listener is not None:
+            self.delivery_listener()
 
     # -- queries (used by estimators) ----------------------------------------
 
@@ -104,7 +156,15 @@ class RpcLog:
         Only ``DELIVERY_HISTORY_SECONDS`` of history is retained; asking
         about older intervals undercounts, which estimators tolerate.
         """
-        return sum(n for (t, n) in self._deliveries if start < t <= end)
+        times = self._delivery_times
+        head = self._delivery_head
+        lo = bisect_right(times, start, head)
+        hi = bisect_right(times, end, head)
+        if hi <= lo:
+            return 0
+        cums = self._delivery_cums
+        base = cums[lo - 1] if lo > 0 else self._delivery_cum_base
+        return cums[hi - 1] - base
 
     def recent_rate(self, horizon):
         """Mean delivery rate over the last ``horizon`` seconds (bytes/s)."""
@@ -120,6 +180,6 @@ class RpcLog:
             times.append(self.round_trips[-1].at)
         if self.throughputs:
             times.append(self.throughputs[-1].at)
-        if self._deliveries:
-            times.append(self._deliveries[-1][0])
+        if len(self._delivery_times) > self._delivery_head:
+            times.append(self._delivery_times[-1])
         return max(times) if times else None

@@ -235,3 +235,36 @@ def test_capture_per_metric_tolerances():
     assert doc["metrics"]["bench_a.custom"]["tolerance"] == 2.0
     with pytest.raises(BenchmarkError):
         capture_baseline(metrics, tolerances={"bench_a.custom": 0.5})
+
+
+def test_capture_default_directions_flip_quality_metrics():
+    """QoE-style metrics gate drops, not rises: a ``"lower"`` band on
+    clients/s would fail a faster runner and never catch a fidelity
+    regression."""
+    from repro.bench.baseline import capture_baseline, default_directions
+
+    metrics = {"fleet.fleet_clients_per_second": 100.0,
+               "fleet.fleet_mean_fidelity": 0.5,
+               "fleet.fleet_fairness": 0.8,
+               "suite.suite_speedup": 2.5,
+               "fleet.fleet_wall_seconds": 2.0,
+               "fleet.fleet_upcalls": 400.0}
+    directions = default_directions(metrics)
+    assert directions == {"fleet.fleet_clients_per_second": "higher",
+                          "fleet.fleet_mean_fidelity": "higher",
+                          "fleet.fleet_fairness": "higher",
+                          "suite.suite_speedup": "higher"}
+    doc = capture_baseline(metrics, directions=directions)
+    assert doc["metrics"]["fleet.fleet_wall_seconds"]["direction"] == "lower"
+    assert doc["metrics"]["fleet.fleet_upcalls"]["direction"] == "lower"
+    report = compare_metrics(
+        current={**metrics, "fleet.fleet_mean_fidelity": 0.2},
+        baseline_doc=doc,
+    )
+    assert [c.metric for c in report.regressions] \
+        == ["fleet.fleet_mean_fidelity"]
+    # Being faster than baseline is never a regression.
+    assert compare_metrics(
+        current={**metrics, "fleet.fleet_clients_per_second": 500.0},
+        baseline_doc=doc,
+    ).ok

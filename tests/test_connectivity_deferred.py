@@ -85,6 +85,50 @@ def test_sequence_numbers_are_monotonic():
     assert len(set(seqs)) == len(seqs)
 
 
+def test_sequences_are_per_log_not_global():
+    """Two logs mint independent seq streams starting at 1.
+
+    The old module-global counter restarted per worker process, so seq
+    values collided across shards; per-log counters make each log's
+    stream self-contained.
+    """
+    first, second = DeferredOpLog(), DeferredOpLog()
+    first_seqs = [first.append(make_op(n=i)).seq for i in range(3)]
+    second_seqs = [second.append(make_op(n=i)).seq for i in range(3)]
+    assert first_seqs == [1, 2, 3]
+    assert second_seqs == [1, 2, 3]
+
+
+def test_checkpoint_restore_preserves_seq_and_order():
+    import json
+
+    log = DeferredOpLog(capacity=8)
+    log.append(make_op(n=1, coalesce="k"))
+    log.append(make_op(n=2))
+    log.append(make_op(n=3, coalesce="k"))  # coalesces away op 1
+    snapshot = json.loads(json.dumps(log.checkpoint()))  # must be JSON-safe
+
+    clone = DeferredOpLog(capacity=8)
+    assert clone.restore(snapshot) == 2
+    assert [(op.seq, op.inbuf["n"]) for op in clone] \
+        == [(op.seq, op.inbuf["n"]) for op in log]
+    assert (clone.enqueued, clone.coalesced) == (log.enqueued, log.coalesced)
+    # Post-restore appends continue past every restored seq — no duplicates.
+    appended = clone.append(make_op(n=4))
+    assert appended.seq > max(op.seq for op in clone if op is not appended)
+
+
+def test_restore_advances_counter_past_snapshot():
+    log = DeferredOpLog()
+    for i in range(5):
+        log.append(make_op(n=i))
+    log.drain()  # queue empty, but counter must survive in the snapshot
+    snapshot = log.checkpoint()
+    clone = DeferredOpLog()
+    clone.restore(snapshot)
+    assert clone.append(make_op(n=99)).seq == 6
+
+
 @settings(max_examples=100, deadline=None)
 @given(keys=st.lists(
     st.one_of(st.none(), st.sampled_from(["a", "b", "c"])),

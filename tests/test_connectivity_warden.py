@@ -316,6 +316,29 @@ def test_restore_drops_unknown_connections(sim, world, viceroy):
     assert dropped == [request_id]
 
 
+def test_checkpoint_restore_preserves_deferred_ops(sim, world, viceroy):
+    _, _, warden, conn, _ = world
+    first = warden.deferred.append(DeferredOp(
+        app="app", rest="x", opcode="write",
+        inbuf={"slot": "a", "version": 1}, queued_at=sim.now, coalesce="a"))
+    second = warden.deferred.append(DeferredOp(
+        app="app", rest="x", opcode="write",
+        inbuf={"slot": "b", "version": 2}, queued_at=sim.now, coalesce="b"))
+    saved = [(op.seq, op.inbuf) for op in warden.deferred]
+
+    snapshot = json.loads(json.dumps(viceroy.checkpoint()))
+    assert warden.name in snapshot["deferred"]
+    warden.deferred.clear()
+    viceroy.restore(snapshot)
+
+    assert [(op.seq, op.inbuf) for op in warden.deferred] == saved
+    # The seq counter survives too: new appends never reuse a restored seq.
+    third = warden.deferred.append(DeferredOp(
+        app="app", rest="x", opcode="write",
+        inbuf={"slot": "c"}, queued_at=sim.now))
+    assert third.seq > max(first.seq, second.seq)
+
+
 def test_restore_advances_request_ids(sim, world, viceroy):
     _, _, warden, conn, _ = world
     descriptor = ResourceDescriptor(Resource.NETWORK_BANDWIDTH,

@@ -55,6 +55,54 @@ def test_delivery_is_asynchronous(sim, dispatcher):
     assert got and got[0] > 0
 
 
+def test_batched_delivery_preserves_fifo_in_one_event(sim):
+    """batch=True drains the whole pending queue at one simulated instant,
+    in FIFO order — one event per burst instead of one per upcall."""
+    dispatcher = UpcallDispatcher(sim, batch=True)
+    got = []
+    dispatcher.register("app", "h",
+                        lambda u: got.append((sim.now, u.request_id)))
+    for i in range(5):
+        dispatcher.send("app", "h", upcall(i))
+    sim.run()
+    assert [request_id for _, request_id in got] == list(range(5))
+    times = {at for at, _ in got}
+    assert times == {dispatcher.latency}  # the burst lands together
+
+
+def test_batched_delivery_defers_handler_sent_upcalls(sim):
+    """Upcalls a handler sends mid-batch go to the *next* batch, with a
+    fresh dispatch latency — the snapshot count bounds each drain."""
+    dispatcher = UpcallDispatcher(sim, batch=True)
+    got = []
+
+    def handler(u):
+        got.append((sim.now, u.request_id))
+        if u.request_id == 1:
+            dispatcher.send("app", "h", upcall(99))
+
+    dispatcher.register("app", "h", handler)
+    dispatcher.send("app", "h", upcall(1))
+    dispatcher.send("app", "h", upcall(2))
+    sim.run()
+    assert [request_id for _, request_id in got] == [1, 2, 99]
+    assert got[2][0] == pytest.approx(got[0][0] + dispatcher.latency)
+
+
+def test_batched_delivery_respects_block(sim):
+    dispatcher = UpcallDispatcher(sim, batch=True)
+    got = []
+    dispatcher.register("app", "h", lambda u: got.append(u.request_id))
+    dispatcher.block("app")
+    dispatcher.send("app", "h", upcall(1))
+    dispatcher.send("app", "h", upcall(2))
+    sim.run()
+    assert got == []
+    dispatcher.unblock("app")
+    sim.run()
+    assert got == [1, 2]
+
+
 def test_unknown_receiver_rejected(dispatcher):
     with pytest.raises(OdysseyError):
         dispatcher.send("ghost", "h", upcall(1))

@@ -14,6 +14,7 @@ from repro.estimation.agility import (
     time_in_band,
     tracking_error,
 )
+from repro.estimation.ewma import EwmaFilter
 from repro.trace.replay import ReplayTrace, Segment
 
 
@@ -109,6 +110,29 @@ def test_tracking_error_scales_with_deviation():
 def test_time_in_band():
     series = [(0, 100), (1, 100), (2, 50), (3, 100)]
     assert time_in_band(series, 100, tolerance=0.10) == pytest.approx(0.75)
+
+
+def test_blackout_recovery_is_agile_but_capped():
+    """Blackout→recovery agility: an estimate driven to 0 during a blackout
+    climbs back under the rise cap (no uncapped jump) yet still settles
+    near the recovered level within a bounded number of updates."""
+    filt = EwmaFilter(0.875, rise_cap=0.10, rise_floor=1024.0, initial=2e5)
+    for _ in range(20):  # blackout: zero-byte samples collapse the estimate
+        filt.update(0.0)
+    assert filt.value < 1.0
+    filt.reset(0.0)  # link declared dead: estimate pinned to zero
+    series = []
+    for step in range(200):  # recovery: link back at 2e5
+        series.append((float(step), filt.update(2e5)))
+    # First recovery step is floor-capped, not a jump to the sample.
+    assert series[0][1] <= 1024.0 * 1.10 + 1e-9
+    assert filt.capped_rises > 0
+    # Each step rises at most rise_cap — the paper's agility/stability knob.
+    for (_, previous), (_, current) in zip(series, series[1:]):
+        assert current <= previous * 1.10 + 1e-9
+    # And recovery still settles: within 10% of the true level, and stays.
+    settle = settling_time(series, 0.0, 2e5, tolerance=0.10)
+    assert settle < series[-1][0]
 
 
 @settings(max_examples=60, deadline=None)

@@ -93,6 +93,36 @@ def test_rise_cap_invariant(gain, cap, samples):
         previous = current
 
 
+def test_recovery_from_zero_is_capped():
+    """An estimate that hit 0 must not jump uncapped on the first
+    post-recovery sample — the cap base falls back to ``rise_floor``."""
+    filt = EwmaFilter(0.875, rise_cap=0.10, rise_floor=100.0, initial=0.0)
+    filt.update(1e6)
+    assert filt.value == pytest.approx(110.0)  # max(0, floor) * (1 + cap)
+    assert filt.capped_rises == 1
+
+
+def test_recovery_climbs_multiplicatively_after_floor():
+    filt = EwmaFilter(0.875, rise_cap=0.10, rise_floor=100.0, initial=0.0)
+    values = [filt.update(1e6) for _ in range(4)]
+    for previous, current in zip(values, values[1:]):
+        assert current == pytest.approx(previous * 1.10)
+    assert filt.capped_rises == 4
+
+
+def test_rise_floor_validation():
+    with pytest.raises(ReproError):
+        EwmaFilter(0.5, rise_cap=0.1, rise_floor=0)
+
+
+def test_rise_floor_irrelevant_for_positive_values():
+    """A floor above the current value must not loosen the cap while the
+    value is positive — positive-value behavior is unchanged."""
+    filt = EwmaFilter(0.875, rise_cap=0.10, rise_floor=1e9, initial=100.0)
+    filt.update(1e6)
+    assert filt.value == pytest.approx(110.0)
+
+
 @settings(max_examples=50, deadline=None)
 @given(gain=st.floats(min_value=0.1, max_value=1.0),
        target=st.floats(min_value=1, max_value=1e5))

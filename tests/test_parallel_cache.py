@@ -130,6 +130,31 @@ def test_canonical_params_is_order_insensitive():
         == canonical_params({"b": 2, "a": 1})
 
 
+class _Config:
+    """A non-JSON param carrying a nested dict (insertion-order trap)."""
+
+    def __init__(self, table):
+        self.table = table
+
+
+def test_opaque_nested_dicts_hash_order_insensitively(cache):
+    """Semantically equal params whose nested dicts were built in a
+    different insertion order must produce the same cache key — raw
+    pickle bytes encode insertion order, canonicalization scrubs it."""
+    forward = _Config({"alpha": 1, "beta": {"x": 1, "y": 2}})
+    backward = _Config({"beta": {"y": 2, "x": 1}, "alpha": 1})
+    assert canonical_params({"config": forward}) \
+        == canonical_params({"config": backward})
+    cache.put("supply", {"config": forward}, 0, "cached")
+    hit, value = cache.get("supply", {"config": backward}, 0)
+    assert hit and value == "cached"
+
+
+def test_opaque_dicts_with_different_values_still_differ():
+    assert canonical_params({"config": _Config({"a": 1})}) \
+        != canonical_params({"config": _Config({"a": 2})})
+
+
 def test_canonical_params_hashes_object_fields_not_repr():
     """Two structurally different fault plans must not share a key."""
     plan_a = FaultPlan([Blackout(start=10.0, duration=5.0)], name="same")
