@@ -28,6 +28,10 @@ def pytest_addoption(parser):
         "--repro-jobs", type=int, default=1,
         help="worker processes for trial execution (0 = all cores)",
     )
+    parser.addoption(
+        "--repro-timeout", type=float, default=None,
+        help="wall-clock watchdog per trial unit (seconds; default: none)",
+    )
 
 
 @pytest.fixture
@@ -43,15 +47,18 @@ def jobs(request):
 
 
 @pytest.fixture(autouse=True)
-def _parallel_overrides(jobs):
+def _parallel_overrides(jobs, request):
     """Route every benchmarked experiment through the configured jobs.
 
     The result cache is always off here: a benchmark that answered from
-    disk would time the cache, not the code.
+    disk would time the cache, not the code.  ``--repro-timeout`` arms the
+    per-unit wall-clock watchdog so a hung trial aborts the run instead of
+    stalling CI until the job-level timeout.
     """
-    from repro.parallel import overrides
+    from repro.parallel import overrides, resolve_timeout
 
-    with overrides(jobs=jobs, cache=None):
+    timeout = resolve_timeout(request.config.getoption("--repro-timeout"))
+    with overrides(jobs=jobs, cache=None, timeout=timeout):
         yield
 
 

@@ -1,0 +1,49 @@
+"""Chaos harness end to end: ``chaos_*`` headline metrics.
+
+One benchmark storms the same mid-sized fleet the ``fleet_*`` gate uses
+(256 clients over 4 shards) with the regional-blackout profile and the
+mid-run crash–recovery drill, then records the graceful-degradation
+scorecard.  Two of the gated metrics are *hard zero* gates: the baseline
+pins ``chaos_violations`` and ``chaos_ops_lost`` at 0 with direction
+``lower``, so a single auditor violation or lost deferred op fails the
+perf gate outright.  Determinism is asserted in the same run: with
+``--repro-jobs > 1`` the serial storm must merge to the identical
+fingerprint.
+"""
+
+from conftest import run_once
+
+from repro.chaos import run_chaos_fleet
+
+CHAOS_CLIENTS = 256
+CHAOS_SHARDS = 4
+CHAOS_DURATION = 30.0
+CHAOS_PROFILE = "regional-blackout"
+
+
+def test_chaos_storm(benchmark, jobs):
+    report = run_once(
+        benchmark, run_chaos_fleet, CHAOS_CLIENTS, shards=CHAOS_SHARDS,
+        duration=CHAOS_DURATION, profile=CHAOS_PROFILE, jobs=jobs,
+        cache=None,
+    )
+    assert len(report.fleet.records) == CHAOS_CLIENTS
+    assert report.total_violations == 0, report.violations
+    assert report.ops_lost == 0
+    # The drill must have carried live deferred state through the
+    # crash–restore cycle, or it tested nothing.
+    assert report.drill_deferred_ops > 0
+    card = report.scorecard()
+    benchmark.extra_info["chaos_wall_seconds"] = report.wall_seconds
+    benchmark.extra_info["chaos_clients_per_second"] = \
+        CHAOS_CLIENTS / report.wall_seconds
+    for key in ("chaos_violations", "chaos_ops_lost", "chaos_marks_deferred",
+                "chaos_fidelity_floor", "chaos_recovery_seconds",
+                "chaos_mean_fidelity", "chaos_drill_deferred_ops",
+                "chaos_drill_dropped_registrations"):
+        benchmark.extra_info[key] = card[key]
+    if jobs > 1:
+        serial = run_chaos_fleet(CHAOS_CLIENTS, shards=CHAOS_SHARDS,
+                                 duration=CHAOS_DURATION,
+                                 profile=CHAOS_PROFILE, jobs=1, cache=None)
+        assert serial.fingerprint() == report.fingerprint()

@@ -65,6 +65,8 @@ HIGHER_IS_BETTER_SUFFIXES = (
     "_clients_per_second",
     "_mean_fidelity",
     "_fairness",
+    "_fidelity_floor",
+    "_drill_deferred_ops",
 )
 
 #: Tolerances are multiplicative bands around the baseline value; below

@@ -1,0 +1,54 @@
+"""Fleet-scale chaos: correlated fault storms, crash–recovery drills, and
+a continuous invariant auditor.
+
+The package layers on top of :mod:`repro.faults` (single-fault windows),
+:mod:`repro.fleet` (sharded populations), and the viceroy's
+checkpoint/restore machinery:
+
+- :mod:`repro.chaos.storms` — fleet-aware storm primitives and seeded,
+  per-shard-deterministic :class:`ChaosProfile` compilation;
+- :mod:`repro.chaos.warden` — the evidence-bearing chaos warden with the
+  deferrable ``save-mark`` write;
+- :mod:`repro.chaos.drill` — the mid-run viceroy crash–restore drill;
+- :mod:`repro.chaos.auditor` — the continuous invariant auditor
+  (deferred-op conservation, connectivity legality, upcalls answered,
+  recovery/settling SLOs);
+- :mod:`repro.chaos.arm` — wiring a compiled schedule into a live shard;
+- :mod:`repro.chaos.harness` — the fleet-level runner and scorecard.
+
+See ``docs/architecture.md`` §14 for the failure-drill and auditor model.
+"""
+
+from repro.chaos.arm import ChaosController, ChaosShardStats, arm_chaos
+from repro.chaos.auditor import InvariantAuditor, Violation
+from repro.chaos.drill import DrillOutcome, reset_in_flight, run_crash_drill
+from repro.chaos.harness import (
+    ChaosReport,
+    chaos_units,
+    run_chaos_fleet,
+)
+from repro.chaos.report import format_chaos_report
+from repro.chaos.storms import (
+    ChaosProfile,
+    ClientChurn,
+    FlappingLink,
+    PROFILE_NAMES,
+    RegionalBlackout,
+    ServerPoolOutage,
+    ShardChaos,
+    resolve_profile,
+    standard_profile,
+)
+from repro.chaos.warden import ChaosStreamWarden, install_mark_op
+
+__all__ = [
+    "ChaosController", "ChaosShardStats", "arm_chaos",
+    "InvariantAuditor", "Violation",
+    "DrillOutcome", "reset_in_flight", "run_crash_drill",
+    "ChaosReport", "chaos_units", "run_chaos_fleet",
+    "format_chaos_report",
+    "ChaosProfile", "ClientChurn", "FlappingLink", "PROFILE_NAMES",
+    "RegionalBlackout", "ServerPoolOutage", "ShardChaos",
+    "resolve_profile", "standard_profile",
+    "ChaosStreamWarden", "install_mark_op",
+]

@@ -1,0 +1,156 @@
+"""The fleet-scale chaos harness: storm a fleet, audit it, score it.
+
+:func:`run_chaos_fleet` is the chaos twin of
+:func:`repro.fleet.harness.run_fleet`: same sharding, same seeding, same
+deterministic merge through :func:`repro.parallel.run_units` — plus a
+:class:`~repro.chaos.storms.ChaosProfile` riding inside every shard's
+trial unit, so each worker compiles and arms its own storm schedule from
+the shard seed alone.  The merged :class:`ChaosReport` wraps the ordinary
+:class:`~repro.fleet.harness.FleetReport` with the graceful-degradation
+scorecard: auditor violations, deferred-op conservation, the fleet-wide
+fidelity floor, worst-case recovery time, and the drill ledger.
+
+Because the profile is plain frozen data and every sampled choice draws
+from named per-shard RNG streams, the report's fingerprint is
+byte-identical at any ``--jobs`` and across cache hits — chaos runs are
+replayable evidence, not weather.
+"""
+
+import time
+from dataclasses import dataclass, field
+
+from repro.chaos.storms import resolve_profile
+from repro.fleet.harness import (
+    DEFAULT_DURATION,
+    DEFAULT_SHARDS,
+    FleetReport,
+    fleet_units,
+)
+from repro.parallel.runner import CONFIGURED, TrialUnit, run_units
+
+
+def chaos_units(clients, shards=DEFAULT_SHARDS, duration=DEFAULT_DURATION,
+                profile="regional-blackout", drill=True, master_seed=0,
+                **fleet_kwargs):
+    """Per-shard trial units with the resolved profile in their params."""
+    profile = resolve_profile(profile, duration)
+    if not drill:
+        profile = profile.without_drill()
+    units = fleet_units(clients, shards=shards, duration=duration,
+                        master_seed=master_seed, **fleet_kwargs)
+    return [
+        TrialUnit(unit.experiment, {**unit.params, "chaos": profile},
+                  unit.seed)
+        for unit in units
+    ], profile
+
+
+@dataclass
+class ChaosReport:
+    """The fleet report plus the chaos scorecard."""
+
+    profile: object  #: the resolved ChaosProfile
+    fleet: FleetReport
+    wall_seconds: float = field(default=0.0, compare=False)
+
+    @property
+    def shard_stats(self):
+        """Per-shard :class:`~repro.chaos.arm.ChaosShardStats`, shard order."""
+        return [result.chaos for result in self.fleet.shard_results
+                if result.chaos is not None]
+
+    @property
+    def violations(self):
+        """Every auditor violation row, shard order then detection order."""
+        return [(result.shard,) + violation
+                for result in self.fleet.shard_results
+                if result.chaos is not None
+                for violation in result.chaos.violations]
+
+    @property
+    def total_violations(self):
+        return len(self.violations)
+
+    @property
+    def ops_lost(self):
+        return sum(stats.ops_lost for stats in self.shard_stats)
+
+    @property
+    def marks_deferred(self):
+        return sum(stats.marks_deferred for stats in self.shard_stats)
+
+    @property
+    def fidelity_floor(self):
+        """The worst fidelity any client in the fleet was pushed to."""
+        floors = [stats.fidelity_floor for stats in self.shard_stats]
+        return min(floors) if floors else 0.0
+
+    @property
+    def recovery_max_seconds(self):
+        """Slowest observed post-storm reconnection, fleet-wide."""
+        return max((stats.recovery_max_seconds for stats in self.shard_stats),
+                   default=0.0)
+
+    @property
+    def drills(self):
+        """Per-shard drill outcomes (shards without a drill omitted)."""
+        return [stats.drill for stats in self.shard_stats
+                if stats.drill is not None]
+
+    @property
+    def drill_deferred_ops(self):
+        """Deferred ops carried through snapshot→crash→restore, summed."""
+        return sum(drill.deferred_restored for drill in self.drills)
+
+    @property
+    def drill_dropped_registrations(self):
+        return sum(len(drill.registrations_dropped) for drill in self.drills)
+
+    def scorecard(self):
+        """The graceful-degradation scorecard as a flat metrics dict."""
+        return {
+            "chaos_violations": self.total_violations,
+            "chaos_ops_lost": self.ops_lost,
+            "chaos_marks_deferred": self.marks_deferred,
+            "chaos_fidelity_floor": self.fidelity_floor,
+            "chaos_recovery_seconds": self.recovery_max_seconds,
+            "chaos_mean_fidelity": self.fleet.mean_fidelity,
+            "chaos_drill_deferred_ops": self.drill_deferred_ops,
+            "chaos_drill_dropped_registrations":
+                self.drill_dropped_registrations,
+        }
+
+    def fingerprint(self):
+        """sha256 over the profile name and the chaos-extended fleet hash."""
+        import hashlib
+
+        digest = hashlib.sha256()
+        digest.update(repr((self.profile.name, self.profile.drill_at)).encode())
+        digest.update(self.fleet.fingerprint().encode())
+        return digest.hexdigest()
+
+
+def run_chaos_fleet(clients, shards=DEFAULT_SHARDS, duration=DEFAULT_DURATION,
+                    profile="regional-blackout", drill=True, master_seed=0,
+                    jobs=None, cache=CONFIGURED, **fleet_kwargs):
+    """Storm a fleet and return the merged :class:`ChaosReport`.
+
+    ``profile`` is a profile name (see
+    :data:`~repro.chaos.storms.PROFILE_NAMES`) or a ready
+    :class:`~repro.chaos.storms.ChaosProfile`; ``drill=False`` strips the
+    crash–recovery drill from the schedule.
+    """
+    units, resolved = chaos_units(
+        clients, shards=shards, duration=duration, profile=profile,
+        drill=drill, master_seed=master_seed, **fleet_kwargs,
+    )
+    started = time.perf_counter()
+    results = run_units(units, jobs=jobs, cache=cache)
+    wall = time.perf_counter() - started
+    fleet = FleetReport(
+        clients=clients, shards=shards, duration=duration,
+        policy=units[0].params["policy"], family=units[0].params["family"],
+        master_seed=master_seed, shard_results=tuple(results),
+        wall_seconds=wall,
+    )
+    return ChaosReport(profile=resolved, fleet=fleet, wall_seconds=wall)

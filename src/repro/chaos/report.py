@@ -1,0 +1,48 @@
+"""Human-readable rendering of a chaos run (CLI and experiment docs)."""
+
+
+def format_chaos_report(report, verbose=False):
+    """Render a :class:`~repro.chaos.harness.ChaosReport` as text lines."""
+    fleet = report.fleet
+    profile = report.profile
+    lines = []
+    lines.append(
+        f"chaos profile {profile.name!r}: {fleet.clients} clients / "
+        f"{fleet.shards} shards / {fleet.duration:g} s "
+        f"(seed {fleet.master_seed})"
+    )
+    storms = ", ".join(type(s).__name__ for s in profile.storms)
+    drill = (f"drill at t={profile.drill_at:g}s" if profile.drill_at is not None
+             else "no drill")
+    lines.append(f"  storms: {storms or 'none'}; {drill}; "
+                 f"recovery SLO {profile.recovery_slo:g} s")
+    card = report.scorecard()
+    lines.append(
+        f"  auditor: {card['chaos_violations']} violations, "
+        f"{card['chaos_ops_lost']} deferred ops lost"
+    )
+    lines.append(
+        f"  degradation: fidelity floor {card['chaos_fidelity_floor']:.3f}, "
+        f"mean fidelity {card['chaos_mean_fidelity']:.3f}, "
+        f"max recovery {card['chaos_recovery_seconds']:.2f} s"
+    )
+    lines.append(
+        f"  deferred writes: {card['chaos_marks_deferred']} marks queued "
+        f"offline"
+    )
+    for drill_outcome in report.drills:
+        lines.append(
+            f"  drill @ t={drill_outcome.time:g}s: "
+            f"{drill_outcome.in_flight_killed} in-flight killed, "
+            f"{drill_outcome.registrations_restored}/"
+            f"{drill_outcome.registrations_before} registrations restored "
+            f"({len(drill_outcome.registrations_dropped)} dropped), "
+            f"{drill_outcome.deferred_restored} deferred ops carried through"
+        )
+    if verbose or report.total_violations:
+        for shard, at, invariant, subject, detail in report.violations:
+            lines.append(f"  VIOLATION shard {shard} t={at:g} "
+                         f"[{invariant}] {subject}: {detail}")
+    lines.append(f"  fingerprint {report.fingerprint()}")
+    lines.append(f"  wall {report.wall_seconds:.2f} s")
+    return lines

@@ -1,0 +1,368 @@
+"""Correlated fault storms: fleet-aware chaos primitives and profiles.
+
+The :mod:`repro.faults` layer speaks in single faults — one blackout
+window, one server stall.  Production mobility fails in *correlated*
+bursts: a region's radio coverage collapses for every client at once, a
+cell edge flaps the whole link, a datacenter rollout stalls half the
+server pool, and users churn through tunnels in waves.  This module
+expresses those episodes once, fleet-wide, and compiles them into the
+existing single-shard fault machinery:
+
+- storm primitives (:class:`RegionalBlackout`, :class:`FlappingLink`,
+  :class:`ServerPoolOutage`, :class:`ClientChurn`) are frozen, picklable
+  descriptions in **measurement-relative** seconds (0 = end of priming),
+  optionally scoped to a subset of shards;
+- a :class:`ChaosProfile` composes primitives with the drill schedule
+  and the auditor's SLOs;
+- :meth:`ChaosProfile.for_shard` compiles the profile into one shard's
+  concrete :class:`ShardChaos` — every sampled choice (which servers
+  stall, which clients churn and when) drawn from named
+  :class:`~repro.sim.rng.RngRegistry` streams of the *shard's* seed, so
+  the schedule is a pure function of ``(profile, shard, seed)`` and the
+  fleet fingerprint stays byte-identical at any ``--jobs``.
+
+The compiled :class:`ShardChaos` feeds the two existing fault channels:
+:meth:`ShardChaos.link_plan` folds blackout windows into the shard's
+scenario trace (before the world shifts it by the priming prefix), and
+:meth:`ShardChaos.runtime_plan` arms server-pool stalls at absolute
+simulation times.
+"""
+
+from dataclasses import dataclass, replace
+
+from repro.errors import FaultError
+from repro.faults.plan import Blackout, FaultPlan, ServerStall
+from repro.sim.rng import RngRegistry
+
+#: Default recovery SLO: a tracker offline when a storm clears must be
+#: CONNECTED again within this many seconds (see InvariantAuditor).
+DEFAULT_RECOVERY_SLO = 15.0
+#: Default grace for the upcall-answered invariant: an application that
+#: received a violation/disconnect upcall must re-register (or depart)
+#: within this many seconds.
+DEFAULT_UPCALL_GRACE = 10.0
+
+
+def _require(condition, message):
+    if not condition:
+        raise FaultError(message)
+
+
+def _check_shards(shards):
+    if shards is None:
+        return None
+    shards = tuple(sorted(set(int(s) for s in shards)))
+    _require(all(s >= 0 for s in shards),
+             f"storm shard indices must be >= 0, got {shards!r}")
+    return shards
+
+
+@dataclass(frozen=True)
+class RegionalBlackout:
+    """Total connectivity loss for every client in the affected shards.
+
+    One storm, one region: the shard's single modulated link goes dark,
+    so all of its clients disconnect together — the correlated failure
+    mode a per-connection fault cannot express.
+    """
+
+    start: float
+    duration: float
+    shards: tuple = None  #: shard indices hit, or None for every shard
+
+    def __post_init__(self):
+        _require(self.start >= 0, f"blackout start must be >= 0, got {self.start!r}")
+        _require(self.duration > 0,
+                 f"blackout duration must be positive, got {self.duration!r}")
+        object.__setattr__(self, "shards", _check_shards(self.shards))
+
+    def windows(self):
+        return ((self.start, self.duration),)
+
+
+@dataclass(frozen=True)
+class FlappingLink:
+    """A link that cycles dark/bright ``flaps`` times (cell-edge flutter)."""
+
+    start: float
+    flaps: int
+    down_seconds: float
+    up_seconds: float
+    shards: tuple = None
+
+    def __post_init__(self):
+        _require(self.start >= 0, f"flap start must be >= 0, got {self.start!r}")
+        _require(self.flaps >= 1, f"flaps must be >= 1, got {self.flaps!r}")
+        _require(self.down_seconds > 0,
+                 f"down_seconds must be positive, got {self.down_seconds!r}")
+        _require(self.up_seconds > 0,
+                 f"up_seconds must be positive, got {self.up_seconds!r}")
+        object.__setattr__(self, "shards", _check_shards(self.shards))
+
+    def windows(self):
+        period = self.down_seconds + self.up_seconds
+        return tuple((self.start + i * period, self.down_seconds)
+                     for i in range(self.flaps))
+
+
+@dataclass(frozen=True)
+class ServerPoolOutage:
+    """A seeded fraction of the shard's server pool stalls for a window."""
+
+    start: float
+    duration: float
+    fraction: float = 0.5
+    shards: tuple = None
+
+    def __post_init__(self):
+        _require(self.start >= 0, f"outage start must be >= 0, got {self.start!r}")
+        _require(self.duration > 0,
+                 f"outage duration must be positive, got {self.duration!r}")
+        _require(0 < self.fraction <= 1,
+                 f"outage fraction must be in (0, 1], got {self.fraction!r}")
+        object.__setattr__(self, "shards", _check_shards(self.shards))
+
+
+@dataclass(frozen=True)
+class ClientChurn:
+    """A seeded wave of clients leaves and rejoins (tunnels, app restarts).
+
+    Each sampled client departs at ``start + U(0, spread)`` and returns
+    ``downtime`` seconds later; departures cancel the client's window
+    registrations (the auditor treats departure as answering any pending
+    upcall).
+    """
+
+    start: float
+    fraction: float = 0.25
+    downtime: float = 8.0
+    spread: float = 4.0
+    shards: tuple = None
+
+    def __post_init__(self):
+        _require(self.start >= 0, f"churn start must be >= 0, got {self.start!r}")
+        _require(0 < self.fraction <= 1,
+                 f"churn fraction must be in (0, 1], got {self.fraction!r}")
+        _require(self.downtime > 0,
+                 f"churn downtime must be positive, got {self.downtime!r}")
+        _require(self.spread >= 0,
+                 f"churn spread must be >= 0, got {self.spread!r}")
+        object.__setattr__(self, "shards", _check_shards(self.shards))
+
+
+STORM_TYPES = (RegionalBlackout, FlappingLink, ServerPoolOutage, ClientChurn)
+
+
+@dataclass(frozen=True)
+class ShardChaos:
+    """One shard's compiled chaos schedule (picklable, deterministic).
+
+    All schedule times are measurement-relative; ``offset`` (the world's
+    priming prefix) converts them to absolute simulation seconds via
+    :meth:`absolute`.
+    """
+
+    shard: int
+    offset: float  #: priming prefix, seconds (measurement t=0 is here)
+    duration: float
+    blackouts: tuple = ()  #: ((start, duration), ...)
+    server_stalls: tuple = ()  #: ((start, duration, port), ...)
+    churn: tuple = ()  #: ((leave, rejoin, client_index), ...)
+    drill_at: float = None  #: crash-drill instant, or None for no drill
+    recovery_slo: float = DEFAULT_RECOVERY_SLO
+    upcall_grace: float = DEFAULT_UPCALL_GRACE
+
+    def absolute(self, t):
+        return self.offset + t
+
+    def link_plan(self):
+        """Blackouts as a :class:`FaultPlan` in the *measurement* timeline.
+
+        Apply to the shard's scenario trace **before** it is handed to the
+        world (which prepends the priming prefix): the raw trace's t=0 is
+        measurement t=0, so the windows map through directly.
+        """
+        return FaultPlan([Blackout(start, duration)
+                          for start, duration in self.blackouts],
+                         name=f"storm-{self.shard}")
+
+    def runtime_plan(self):
+        """Server stalls as a :class:`FaultPlan` at absolute sim times."""
+        return FaultPlan([ServerStall(self.absolute(start), duration, port=port)
+                          for start, duration, port in self.server_stalls],
+                         name=f"stalls-{self.shard}")
+
+    def storm_windows(self):
+        """Absolute (start, end) spans of every storm, sorted by start.
+
+        The auditor's recovery SLO runs relative to these ends; the
+        windows include server stalls because a stalled server takes its
+        clients' trackers offline exactly like a dark link does.
+        """
+        windows = [(self.absolute(s), self.absolute(s) + d)
+                   for s, d in self.blackouts]
+        windows += [(self.absolute(s), self.absolute(s) + d)
+                    for s, d, _ in self.server_stalls]
+        return tuple(sorted(windows))
+
+
+@dataclass(frozen=True)
+class ChaosProfile:
+    """A named, composable storm schedule plus the drill and audit knobs.
+
+    Frozen and picklable: a profile rides inside each shard's
+    :class:`~repro.parallel.runner.TrialUnit` params, so the on-disk
+    result cache keys on it and worker processes receive it verbatim.
+    """
+
+    name: str
+    storms: tuple
+    drill_at: float = None  #: measurement-relative crash-drill time
+    recovery_slo: float = DEFAULT_RECOVERY_SLO
+    upcall_grace: float = DEFAULT_UPCALL_GRACE
+
+    def __post_init__(self):
+        storms = tuple(self.storms)
+        for storm in storms:
+            if not isinstance(storm, STORM_TYPES):
+                raise FaultError(
+                    f"unknown storm type {storm!r}; known: "
+                    f"{[t.__name__ for t in STORM_TYPES]}"
+                )
+        object.__setattr__(self, "storms", storms)
+
+    def without_drill(self):
+        return replace(self, drill_at=None)
+
+    def shard_storms(self, shard):
+        return [storm for storm in self.storms
+                if storm.shards is None or shard in storm.shards]
+
+    def for_shard(self, shard, clients, server_ports, duration, seed,
+                  offset=0.0):
+        """Compile this profile into one shard's :class:`ShardChaos`.
+
+        Every sampled decision draws from a named stream of the shard's
+        own ``RngRegistry(seed)``, so the schedule depends only on the
+        arguments — never on execution order, jobs count, or which other
+        shards exist.
+        """
+        registry = RngRegistry(seed)
+        blackouts = []
+        stalls = []
+        churn = []
+        for index, storm in enumerate(self.shard_storms(shard)):
+            if isinstance(storm, (RegionalBlackout, FlappingLink)):
+                for start, window in storm.windows():
+                    _require(
+                        start + window < duration,
+                        f"{type(storm).__name__} window "
+                        f"[{start}, {start + window}) must end before the "
+                        f"run does ({duration} s): a blackout reaching the "
+                        "end of the trace pins the link dark forever"
+                    )
+                    blackouts.append((start, window))
+            elif isinstance(storm, ServerPoolOutage):
+                _require(
+                    storm.start + storm.duration < duration,
+                    f"ServerPoolOutage window must end before the run does "
+                    f"({duration} s), got "
+                    f"[{storm.start}, {storm.start + storm.duration})"
+                )
+                count = max(1, round(storm.fraction * len(server_ports)))
+                rng = registry.stream(f"chaos-servers-{index}")
+                victims = sorted(rng.sample(list(server_ports), count))
+                stalls.extend((storm.start, storm.duration, port)
+                              for port in victims)
+            elif isinstance(storm, ClientChurn):
+                _require(
+                    storm.start + storm.spread + storm.downtime < duration,
+                    "ClientChurn must rejoin before the run ends "
+                    f"({duration} s); last possible rejoin is "
+                    f"{storm.start + storm.spread + storm.downtime}"
+                )
+                count = max(1, round(storm.fraction * clients))
+                rng = registry.stream(f"chaos-churn-{index}")
+                victims = sorted(rng.sample(range(clients), min(count, clients)))
+                for client_index in victims:
+                    leave = storm.start + rng.uniform(0.0, storm.spread)
+                    churn.append((leave, leave + storm.downtime, client_index))
+        if self.drill_at is not None:
+            _require(0 < self.drill_at < duration,
+                     f"drill_at must fall inside the run (0, {duration}), "
+                     f"got {self.drill_at!r}")
+        return ShardChaos(
+            shard=shard,
+            offset=offset,
+            duration=duration,
+            blackouts=tuple(sorted(blackouts)),
+            server_stalls=tuple(sorted(stalls)),
+            churn=tuple(sorted(churn)),
+            drill_at=self.drill_at,
+            recovery_slo=self.recovery_slo,
+            upcall_grace=self.upcall_grace,
+        )
+
+
+#: Named storm-profile builders, each a function of the run duration so
+#: the same profile name scales from smoke tests to full fleet runs.
+def standard_profile(name, duration):
+    """Build a named :class:`ChaosProfile` scaled to ``duration`` seconds."""
+    d = float(duration)
+    _require(d > 0, f"profile duration must be positive, got {duration!r}")
+    slo = min(DEFAULT_RECOVERY_SLO, 0.3 * d)
+    if name == "regional-blackout":
+        return ChaosProfile(
+            name=name,
+            storms=(RegionalBlackout(start=0.25 * d, duration=0.40 * d),),
+            drill_at=0.55 * d,
+            recovery_slo=slo,
+        )
+    if name == "flapping":
+        return ChaosProfile(
+            name=name,
+            storms=(FlappingLink(start=0.2 * d, flaps=3,
+                                 down_seconds=0.08 * d, up_seconds=0.10 * d),),
+            recovery_slo=slo,
+        )
+    if name == "server-outage":
+        return ChaosProfile(
+            name=name,
+            storms=(ServerPoolOutage(start=0.3 * d, duration=0.3 * d,
+                                     fraction=0.5),),
+            recovery_slo=slo,
+        )
+    if name == "churn":
+        return ChaosProfile(
+            name=name,
+            storms=(ClientChurn(start=0.2 * d, fraction=0.25,
+                                downtime=0.25 * d, spread=0.15 * d),),
+            recovery_slo=slo,
+        )
+    if name == "full-storm":
+        return ChaosProfile(
+            name=name,
+            storms=(
+                ClientChurn(start=0.15 * d, fraction=0.2,
+                            downtime=0.2 * d, spread=0.1 * d),
+                RegionalBlackout(start=0.2 * d, duration=0.25 * d),
+                ServerPoolOutage(start=0.55 * d, duration=0.2 * d,
+                                 fraction=0.5),
+            ),
+            drill_at=0.3 * d,
+            recovery_slo=slo,
+        )
+    raise FaultError(
+        f"unknown chaos profile {name!r}; known: {sorted(PROFILE_NAMES)}"
+    )
+
+
+PROFILE_NAMES = ("regional-blackout", "flapping", "server-outage", "churn",
+                 "full-storm")
+
+
+def resolve_profile(profile, duration):
+    """Accept a profile name or a ready :class:`ChaosProfile`."""
+    if isinstance(profile, ChaosProfile):
+        return profile
+    return standard_profile(profile, duration)

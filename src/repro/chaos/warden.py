@@ -1,0 +1,104 @@
+"""The chaos fleet warden: evidence-bearing fetches plus a deferrable write.
+
+The plain fleet :class:`~repro.apps.bitstream.StreamWarden` fetches with
+no timeout and feeds the connectivity tracker no evidence — fine for
+steady-state throughput runs, useless under storms: a dark link would
+just wedge every fetch forever and the lifecycle machinery would never
+fire.  Chaos shards swap in this warden:
+
+- ``get-chunk`` carries a timeout and reports each outcome to the
+  connection's tracker; while the tracker says offline the warden fails
+  fast with :class:`~repro.errors.Disconnected` instead of feeding
+  doomed traffic to a dead link;
+- ``save-mark`` is a small *mutating* op (the client persisting its
+  stream position) registered in :attr:`Warden.DEFERRABLE_TSOPS`, so
+  disconnected-mode marks queue in the deferred log, coalesce per
+  client, and reintegrate on reconnection — the workload the drill and
+  the auditor's conservation invariant bite on.
+"""
+
+from repro.apps.bitstream import DEFAULT_CHUNK_BYTES, StreamWarden
+from repro.errors import Disconnected, RpcTimeout
+from repro.rpc.messages import ServerReply
+
+#: Per-RPC timeout under chaos, seconds.  Shorter than the client pacing
+#: period so a dead link turns into tracker evidence within a couple of
+#: fetch attempts rather than a wedged cadence.
+DEFAULT_FETCH_TIMEOUT = 2.0
+
+
+class ChaosStreamWarden(StreamWarden):
+    """A streaming warden whose ops produce connectivity evidence."""
+
+    TSOPS = {"get-chunk": "tsop_get_chunk", "save-mark": "tsop_save_mark"}
+    DEFERRABLE_TSOPS = frozenset({"save-mark"})
+
+    def __init__(self, sim, viceroy, name, fetch_timeout=DEFAULT_FETCH_TIMEOUT,
+                 **kwargs):
+        super().__init__(sim, viceroy, name, **kwargs)
+        self.fetch_timeout = fetch_timeout
+        self.marks_applied = 0
+
+    def coalesce_key(self, opcode, rest, inbuf):
+        # A client's queued position marks overwrite each other; only the
+        # latest needs to survive reintegration.
+        if opcode == "save-mark":
+            return f"mark:{inbuf.get('client', rest)}"
+        return None
+
+    def _note(self, conn, ok):
+        tracker = self.connectivity(conn)
+        if tracker is not None:
+            if ok:
+                tracker.note_success()
+            else:
+                tracker.note_failure()
+
+    def tsop_get_chunk(self, app, rest, inbuf):
+        conn = self.primary_connection(rest)
+        tracker = self.connectivity(conn)
+        if tracker is not None and tracker.offline:
+            raise Disconnected(
+                f"warden {self.name!r}: link offline, chunk fetch refused")
+        nbytes = int(inbuf.get("nbytes", DEFAULT_CHUNK_BYTES))
+        try:
+            _, _, fetched = yield from conn.fetch(
+                "get-chunk", body={"nbytes": nbytes}, body_bytes=64,
+                timeout=self.fetch_timeout,
+            )
+        except RpcTimeout:
+            self._note(conn, ok=False)
+            raise
+        self._note(conn, ok=True)
+        return fetched
+
+    def tsop_save_mark(self, app, rest, inbuf):
+        """Persist a client's stream position (deferrable, replay-safe)."""
+        conn = self.primary_connection(rest)
+        try:
+            reply = yield from conn.call(
+                "save-mark", body=dict(inbuf), body_bytes=64,
+                timeout=self.fetch_timeout,
+            )
+        except RpcTimeout:
+            self._note(conn, ok=False)
+            raise
+        self._note(conn, ok=True)
+        self.marks_applied += 1
+        return reply
+
+
+def install_mark_op(service):
+    """Register the ``save-mark`` handler on a server's RPC service.
+
+    Returns the mark store (client name -> last saved position) so tests
+    can assert on what actually reached the server.
+    """
+    marks = {}
+
+    def _save_mark(body):
+        marks[body.get("client")] = body.get("position")
+        return ServerReply(body={"saved": True}, body_bytes=32)
+
+    service.register("save-mark", _save_mark)
+    return marks

@@ -199,6 +199,49 @@ def _cmd_fleet(args):
     return 0
 
 
+def _chaos_profile_names():
+    from repro.chaos import PROFILE_NAMES
+
+    return PROFILE_NAMES
+
+
+def _cmd_chaos(args):
+    from repro.chaos import format_chaos_report, run_chaos_fleet
+
+    if args.sweep:
+        from repro.experiments.chaos import (
+            format_chaos_matrix,
+            run_chaos_matrix,
+        )
+
+        matrix = run_chaos_matrix(
+            clients=args.clients, shards=args.shards,
+            duration=args.duration, family=args.family, policy=args.policy,
+            master_seed=args.seed, drill=not args.no_drill,
+        )
+        for line in format_chaos_matrix(matrix):
+            print(line)
+        if matrix.total_violations or matrix.total_ops_lost:
+            print(f"error: {matrix.total_violations} invariant violations, "
+                  f"{matrix.total_ops_lost} deferred ops lost",
+                  file=sys.stderr)
+            return 1
+        return 0
+
+    report = run_chaos_fleet(
+        args.clients, shards=args.shards, duration=args.duration,
+        profile=args.profile, drill=not args.no_drill,
+        policy=args.policy, family=args.family, master_seed=args.seed,
+    )
+    for line in format_chaos_report(report, verbose=args.verbose):
+        print(line)
+    if report.total_violations or report.ops_lost:
+        print(f"error: {report.total_violations} invariant violations, "
+              f"{report.ops_lost} deferred ops lost", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_cache(args):
     from repro.parallel import ResultCache
 
@@ -223,6 +266,7 @@ BENCH_DEFAULT_PATHS = (
     os.path.join(_REPO_ROOT, "benchmarks", "test_bench_estimation_micro.py"),
     os.path.join(_REPO_ROOT, "benchmarks", "test_bench_suite.py"),
     os.path.join(_REPO_ROOT, "benchmarks", "test_bench_fleet.py"),
+    os.path.join(_REPO_ROOT, "benchmarks", "test_bench_chaos.py"),
 )
 
 BENCH_DEFAULT_BASELINE = os.path.join(_REPO_ROOT, "benchmarks",
@@ -396,6 +440,11 @@ def build_parser():
     parser.add_argument("--no-cache", action="store_true",
                         help="bypass the on-disk result cache "
                              "(.repro-cache/)")
+    parser.add_argument("--timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="wall-clock watchdog per trial unit; a unit "
+                             "that exceeds it aborts the run with a "
+                             "ParallelError naming the unit (default: none)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("calibration",
@@ -427,6 +476,9 @@ def build_parser():
         p.add_argument("--no-cache", action="store_true",
                        default=argparse.SUPPRESS,
                        help="bypass the on-disk result cache")
+        p.add_argument("--timeout", type=float, default=argparse.SUPPRESS,
+                       metavar="SECONDS",
+                       help="wall-clock watchdog per trial unit")
 
     def experiment_parser(name, help_text, fn, extra=None):
         p = sub.add_parser(name, help=help_text)
@@ -501,6 +553,36 @@ def build_parser():
                         "instead of one fleet (e.g. 250,500,1000)")
     parallel_options(p)
     p.set_defaults(fn=_cmd_fleet)
+
+    p = sub.add_parser(
+        "chaos",
+        help="fleet-scale chaos harness: correlated fault storms, a "
+             "mid-run crash–recovery drill, and a continuous "
+             "invariant auditor")
+    p.add_argument("--clients", type=int, default=256,
+                   help="total simulated clients (default 256)")
+    p.add_argument("--shards", type=int, default=4,
+                   help="per-region shards, one simulator each (default 4)")
+    p.add_argument("--duration", type=float, default=30.0,
+                   help="measured window per shard, simulated seconds")
+    p.add_argument("--profile", default="regional-blackout",
+                   choices=_chaos_profile_names(),
+                   help="storm profile (default regional-blackout)")
+    p.add_argument("--no-drill", action="store_true",
+                   help="skip the mid-run viceroy crash–restore drill")
+    p.add_argument("--sweep", action="store_true",
+                   help="run every profile into a scorecard matrix "
+                        "(ignores --profile)")
+    p.add_argument("--policy", default="odyssey",
+                   choices=("odyssey", "laissez-faire", "blind-optimism"))
+    p.add_argument("--family", default="urban",
+                   choices=("urban", "highway", "office", "robustness"),
+                   help="scenario family each shard draws its trace from")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--verbose", action="store_true",
+                   help="list every auditor violation row")
+    parallel_options(p)
+    p.set_defaults(fn=_cmd_chaos)
 
     p = sub.add_parser("cache",
                        help="inspect or clear the on-disk result cache")
@@ -584,13 +666,16 @@ def _run_command(args):
 def main(argv=None):
     parser = build_parser()
     args = parser.parse_args(argv)
-    from repro.parallel import ResultCache, overrides, resolve_jobs
+    from repro.parallel import (
+        ResultCache, overrides, resolve_jobs, resolve_timeout,
+    )
 
     jobs = resolve_jobs(getattr(args, "jobs", 1))
     cache = None if getattr(args, "no_cache", False) else ResultCache()
+    timeout = resolve_timeout(getattr(args, "timeout", None))
     # Scoped, not global: repeated main() calls (tests, embedding) must
     # not leak one invocation's settings into the next.
-    with overrides(jobs=jobs, cache=cache):
+    with overrides(jobs=jobs, cache=cache, timeout=timeout):
         return _run_command(args)
 
 

@@ -76,6 +76,11 @@ class DeferredOpLog:
         self.enqueued = 0
         self.coalesced = 0
         self.replayed = 0
+        #: Optional ``fn(op, replaced_seq)`` called on every successful
+        #: append (``replaced_seq`` is the seq the append coalesced away,
+        #: or ``None``) — the seam the chaos auditor's op accounting
+        #: hangs off.
+        self.observer = None
 
     def __len__(self):
         return len(self._ops)
@@ -98,11 +103,13 @@ class DeferredOpLog:
             self._next_seq += 1
         else:
             self._next_seq = max(self._next_seq, op.seq + 1)
+        replaced = None
         if op.coalesce is not None:
             for queued in self._ops:
                 if queued.coalesce == op.coalesce:
                     self._ops.remove(queued)
                     self.coalesced += 1
+                    replaced = queued.seq
                     break
         if len(self._ops) >= self.capacity:
             raise DeferredLogFull(
@@ -111,6 +118,8 @@ class DeferredOpLog:
             )
         self._ops.append(op)
         self.enqueued += 1
+        if self.observer is not None:
+            self.observer(op, replaced)
         return op
 
     def drain(self):

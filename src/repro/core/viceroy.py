@@ -66,8 +66,26 @@ class Viceroy:
         self.upcalls_sent = 0
         #: level=0 "disconnected" upcalls issued (subset of upcalls_sent).
         self.disconnect_upcalls = 0
+        #: Observers called as ``fn(event, **info)`` on registration
+        #: activity ("request", "upcall", "connection") — the seam the
+        #: chaos auditor hangs off without a live telemetry recorder.
+        self._observers = []
 
     # -- wiring -------------------------------------------------------------
+
+    def add_observer(self, fn):
+        """Subscribe ``fn(event, **info)`` to registration-path activity.
+
+        Events: ``"request"`` (app, path, request_id, time), ``"upcall"``
+        (kind, app, request_id, level, time), ``"connection"``
+        (connection_id, tracker, time).  The list is empty in ordinary
+        runs, so the hot path pays one truthiness check.
+        """
+        self._observers.append(fn)
+
+    def _notify_observers(self, event, **info):
+        for fn in self._observers:
+            fn(event, **info)
 
     def mount(self, prefix, warden):
         """Mount ``warden`` into the Odyssey namespace."""
@@ -93,6 +111,10 @@ class Viceroy:
         self._trackers[conn.connection_id] = tracker
         self.policy.register_connection(conn)
         conn.log.subscribe(self)
+        if self._observers:
+            self._notify_observers("connection",
+                                   connection_id=conn.connection_id,
+                                   tracker=tracker, time=self.sim.now)
 
     def unregister_connection(self, connection_id, notify=True):
         """Drop an adopted connection and tear down everything keyed on it.
@@ -370,6 +392,10 @@ class Viceroy:
                       resource=resource.label,
                       lower=descriptor.window.lower,
                       upper=descriptor.window.upper)
+        if self._observers:
+            self._notify_observers("request", app=app, path=path,
+                                   request_id=registration.request_id,
+                                   time=self.sim.now)
         return registration.request_id
 
     def cancel(self, request_id):
@@ -425,6 +451,10 @@ class Viceroy:
             rec.event("viceroy.upcall", kind=kind, app=registration.app,
                       request_id=registration.request_id,
                       resource=resource.label, level=level)
+        if self._observers:
+            self._notify_observers("upcall", kind=kind, app=registration.app,
+                                   request_id=registration.request_id,
+                                   level=level, time=self.sim.now)
         self.upcalls.send(
             registration.app,
             registration.descriptor.handler,

@@ -1,0 +1,94 @@
+"""The chaos experiment family: graceful degradation under fault storms.
+
+The paper measures agility against *gentle* bandwidth waveforms; this
+family measures what the same adaptation machinery does when the
+environment turns hostile — regional blackouts, flapping links, server
+pool outages, and client churn, each compiled into a seeded
+:class:`~repro.chaos.storms.ChaosProfile` and fanned across a sharded
+fleet by :func:`~repro.chaos.harness.run_chaos_fleet`.
+
+One row of the resulting matrix is one profile's graceful-degradation
+scorecard: auditor violations (must be zero), deferred-op conservation,
+the fleet-wide fidelity floor, worst-case post-storm recovery time, and
+the crash-drill ledger.  The sweep shares its client population, seed,
+and scenario family across rows, so the profiles are directly
+comparable — the only independent variable is the storm.
+"""
+
+from dataclasses import dataclass, field
+
+from repro.chaos.harness import run_chaos_fleet
+from repro.chaos.storms import PROFILE_NAMES
+
+#: Sweep defaults: a small fleet that still exercises every mechanism
+#: (multiple shards, enough clients per shard for churn to sample from).
+DEFAULT_CLIENTS = 128
+DEFAULT_SHARDS = 4
+DEFAULT_DURATION = 30.0
+
+
+@dataclass
+class ChaosMatrix:
+    """One scorecard row per profile, in sweep order."""
+
+    clients: int
+    shards: int
+    duration: float
+    family: str
+    master_seed: int
+    #: Profile name -> ChaosReport, insertion-ordered by the sweep.
+    reports: dict = field(default_factory=dict)
+
+    @property
+    def total_violations(self):
+        return sum(r.total_violations for r in self.reports.values())
+
+    @property
+    def total_ops_lost(self):
+        return sum(r.ops_lost for r in self.reports.values())
+
+    def rows(self):
+        """(profile name, scorecard dict) per profile, sweep order."""
+        return [(name, report.scorecard())
+                for name, report in self.reports.items()]
+
+
+def run_chaos_matrix(profiles=PROFILE_NAMES, clients=DEFAULT_CLIENTS,
+                     shards=DEFAULT_SHARDS, duration=DEFAULT_DURATION,
+                     family="urban", policy="odyssey", master_seed=0,
+                     drill=True, jobs=None):
+    """Sweep ``profiles`` over one fleet configuration; returns the matrix."""
+    matrix = ChaosMatrix(clients=clients, shards=shards, duration=duration,
+                         family=family, master_seed=master_seed)
+    for name in profiles:
+        matrix.reports[name] = run_chaos_fleet(
+            clients, shards=shards, duration=duration, profile=name,
+            drill=drill, master_seed=master_seed, family=family,
+            policy=policy, jobs=jobs,
+        )
+    return matrix
+
+
+def format_chaos_matrix(matrix):
+    """Render the sweep as aligned text lines (one row per profile)."""
+    lines = [
+        f"chaos sweep: {matrix.clients} clients / {matrix.shards} shards / "
+        f"{matrix.duration:g} s, family {matrix.family!r} "
+        f"(seed {matrix.master_seed})",
+        f"{'profile':<18} {'viol':>5} {'lost':>5} {'deferred':>9} "
+        f"{'floor':>6} {'mean':>6} {'recov s':>8} {'drill ops':>10}",
+    ]
+    for name, card in matrix.rows():
+        lines.append(
+            f"{name:<18} {card['chaos_violations']:>5} "
+            f"{card['chaos_ops_lost']:>5} {card['chaos_marks_deferred']:>9} "
+            f"{card['chaos_fidelity_floor']:>6.3f} "
+            f"{card['chaos_mean_fidelity']:>6.3f} "
+            f"{card['chaos_recovery_seconds']:>8.2f} "
+            f"{card['chaos_drill_deferred_ops']:>10}"
+        )
+    lines.append(
+        f"total: {matrix.total_violations} violations, "
+        f"{matrix.total_ops_lost} deferred ops lost"
+    )
+    return lines

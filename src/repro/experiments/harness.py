@@ -48,7 +48,7 @@ class ExperimentWorld:
     """Simulator + modulated network + viceroy, ready for apps and servers."""
 
     def __init__(self, waveform, policy="odyssey", prime=PRIME_SECONDS, seed=0,
-                 upcall_batch=False):
+                 upcall_batch=False, connectivity=None):
         if isinstance(waveform, ReplayTrace):
             trace = waveform
         else:
@@ -66,9 +66,13 @@ class ExperimentWorld:
         # schedule.
         upcalls = UpcallDispatcher(self.sim, batch=True) if upcall_batch \
             else None
+        # ``connectivity`` forwards hysteresis overrides (degrade_after /
+        # disconnect_after / recover_after) to every tracker this world's
+        # viceroy creates; chaos worlds tighten them so a storm shorter
+        # than the default thresholds still drives the state machine.
         self.viceroy = Viceroy(
             self.sim, self.network, policy=self._make_policy(policy),
-            upcalls=upcalls,
+            upcalls=upcalls, connectivity=connectivity,
         )
         rec = telemetry.RECORDER
         if rec.enabled:

@@ -112,12 +112,66 @@ def _check_window(fault):
 CUT_EPSILON = 1e-9
 
 
+def _merge_blackouts(blackouts):
+    """Coalesce overlapping or adjacent blackout windows into single spans.
+
+    Every plan's link faults land on the same modulated trace, so two
+    blackouts covering the same instant are one outage, not two; merging
+    keeps ``modulate`` and the injector from arming the window twice.
+    The result is sorted and pairwise disjoint.
+    """
+    merged = []
+    for blackout in sorted(blackouts, key=lambda b: (b.start, b.end)):
+        if merged and blackout.start <= merged[-1].end + CUT_EPSILON:
+            last = merged[-1]
+            if blackout.end > last.end:
+                merged[-1] = Blackout(last.start, blackout.end - last.start)
+        else:
+            merged.append(blackout)
+    return merged
+
+
+def _check_server_faults(server_faults):
+    """Reject overlapping same-kind server faults aimed at the same target.
+
+    ``RpcService.set_outage`` / ``set_slowdown`` keep a single deadline, so
+    a second overlapping window would silently overwrite the first (a later
+    inner stall could even *shorten* the outage).  A ``port=None`` fault
+    targets every armed service, so it conflicts with any port.
+    """
+    by_kind = {}
+    for fault in server_faults:
+        by_kind.setdefault(type(fault), []).append(fault)
+    for kind, faults in by_kind.items():
+        faults.sort(key=lambda f: (f.start, f.start + f.duration))
+        for i, fault in enumerate(faults):
+            for other in faults[i + 1:]:
+                if other.start >= fault.start + fault.duration:
+                    break
+                if fault.port is None or other.port is None \
+                        or fault.port == other.port:
+                    raise FaultError(
+                        f"overlapping {kind.__name__} windows on port "
+                        f"{(fault.port if other.port is None else other.port)!r}: "
+                        f"[{fault.start}, {fault.start + fault.duration}) and "
+                        f"[{other.start}, {other.start + other.duration}) — "
+                        "the second would silently overwrite the first; "
+                        "merge them into one window"
+                    )
+
+
 class FaultPlan:
     """An ordered collection of fault episodes.
 
     Times are absolute simulation seconds (the same clock the armed world
     runs on); when a plan modulates a primed trace, express blackouts in
     the primed timeline.
+
+    Validation: zero-width and negative windows are rejected by each fault
+    type; overlapping/adjacent blackouts are merged into single spans (one
+    link, one outage); overlapping same-kind server faults on the same
+    port raise :class:`~repro.errors.FaultError` instead of silently
+    arming twice.
     """
 
     def __init__(self, faults=(), name=None):
@@ -126,7 +180,12 @@ class FaultPlan:
             if not isinstance(fault, (Blackout, LossBurst, ServerStall,
                                       ServerSlowdown)):
                 raise FaultError(f"unknown fault type {fault!r}")
-        self.faults = tuple(sorted(faults, key=lambda f: f.start))
+        blackouts = _merge_blackouts(
+            [f for f in faults if isinstance(f, Blackout)])
+        others = [f for f in faults if not isinstance(f, Blackout)]
+        _check_server_faults(
+            [f for f in others if isinstance(f, (ServerStall, ServerSlowdown))])
+        self.faults = tuple(sorted(blackouts + others, key=lambda f: f.start))
         self.name = name or "faults"
 
     def __repr__(self):

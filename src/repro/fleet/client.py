@@ -41,13 +41,22 @@ class FleetClient(Application):
 
     def __init__(self, sim, api, name, path, chunk_bytes=DEFAULT_CHUNK_BYTES,
                  period=DEFAULT_PERIOD, levels=FIDELITY_LEVELS,
-                 measure_from=0.0):
+                 measure_from=0.0, mark_every=0):
         super().__init__(sim, api, name)
         self.path = path
         self.chunk_bytes = chunk_bytes
         self.period = period
         self.levels = tuple(sorted(levels))
         self.measure_from = measure_from
+        #: Issue a ``save-mark`` write every N chunk cycles (0 = never).
+        #: Chaos fleets turn this on so disconnected periods exercise the
+        #: deferred-op log; the plain fleet path stays write-free.
+        self.mark_every = mark_every
+        self.marks_attempted = 0
+        self.marks_deferred = 0
+        self.marks_acked = 0
+        self.mark_failures = 0
+        self._cycles = 0
         self.fidelity = None
         self.fidelity_log = []  # (time, fidelity) at each change
         self.bytes_consumed = 0  # within the measurement window
@@ -150,6 +159,9 @@ class FleetClient(Application):
                         self.stalls += 1
                     if fetched == 0:
                         self.failures += 1
+                self._cycles += 1
+                if self.mark_every and self._cycles % self.mark_every == 0:
+                    yield from self._save_mark()
                 next_due += self.period
                 if next_due > self.sim.now:
                     yield self.sim.timeout(next_due - self.sim.now)
@@ -157,6 +169,27 @@ class FleetClient(Application):
                     next_due = self.sim.now
         except ProcessInterrupt:
             return self.bytes_consumed
+
+    def _save_mark(self):
+        """Persist the stream position; disconnected marks defer, not fail.
+
+        The warden queues the op when the link is down (the result dict
+        carries ``deferred``); an RPC/connectivity error just counts — the
+        client never retries inline, reintegration owns the replay.
+        """
+        self.marks_attempted += 1
+        try:
+            result = yield from self.api.tsop(
+                self.path, "save-mark",
+                {"client": self.name, "position": self._cycles},
+            )
+        except (RpcError, OdysseyError):
+            self.mark_failures += 1
+            return
+        if isinstance(result, dict) and result.get("deferred"):
+            self.marks_deferred += 1
+        else:
+            self.marks_acked += 1
 
     # -- reductions ------------------------------------------------------------
 
@@ -184,3 +217,24 @@ class FleetClient(Application):
             current = value
         weighted += current * (end - cursor)
         return weighted / (end - start)
+
+    def min_fidelity(self, start, end):
+        """Lowest fidelity in force at any point during [start, end].
+
+        The chaos scorecard's *fidelity floor*: how far a client was
+        pushed down the ladder at its worst moment.
+        """
+        if end <= start or not self.fidelity_log:
+            return 0.0
+        log = self.fidelity_log
+        current = log[0][1]
+        floor = None
+        for at, value in log:
+            if at <= start:
+                current = value
+                continue
+            if at >= end:
+                break
+            floor = current if floor is None else min(floor, current)
+            current = value
+        return current if floor is None else min(floor, current)

@@ -165,6 +165,21 @@ class FleetReport:
                        round(record.mean_fidelity, 9),
                        record.upcalls, record.renegotiations)
                 digest.update(repr(row).encode())
+            chaos = getattr(result, "chaos", None)
+            if chaos is not None:
+                # Chaos scorecards are deterministic reductions too; plain
+                # fleet runs skip this block so their fingerprints are
+                # unchanged from the pre-chaos harness.
+                digest.update(repr((
+                    chaos.profile, chaos.blackouts, chaos.server_stalls,
+                    chaos.churn_left, chaos.churn_rejoined,
+                    chaos.marks_attempted, chaos.marks_deferred,
+                    chaos.marks_applied, chaos.ops_enqueued,
+                    chaos.ops_coalesced, chaos.ops_queued_at_end,
+                    chaos.ops_lost, round(chaos.fidelity_floor, 9),
+                    round(chaos.recovery_max_seconds, 9), chaos.violations,
+                    chaos.drill,
+                )).encode())
         return digest.hexdigest()
 
 

@@ -71,6 +71,8 @@ class ShardResult:
     upcall_latency_mean: float
     upcall_latency_p95: float
     upcall_latency_max: float
+    #: ChaosShardStats when the shard ran under a chaos profile, else None.
+    chaos: object = None
 
 
 def percentile(sorted_values, fraction):
@@ -82,35 +84,75 @@ def percentile(sorted_values, fraction):
     return sorted_values[rank]
 
 
+#: Tracker hysteresis for chaos shards: storms are short relative to the
+#: default thresholds, so chaos worlds detect a dead link on the second
+#: failed fetch and reconnect on the second healthy probe.
+CHAOS_CONNECTIVITY = {"degrade_after": 1, "disconnect_after": 2,
+                      "recover_after": 2}
+
+
 def build_shard_world(clients, duration, policy="odyssey", family="urban",
                       prime=PRIME_SECONDS, chunk_bytes=DEFAULT_CHUNK_BYTES,
-                      period=DEFAULT_PERIOD, seed=0):
+                      period=DEFAULT_PERIOD, seed=0, shard=0, chaos=None):
     """Construct (but do not run) a shard: world, servers, clients.
 
     Returns ``(world, fleet, servers)`` where ``fleet`` is the client list
     in creation order.  Split from :func:`run_fleet_shard` so tests and
     benchmarks can inspect the wiring.
+
+    ``chaos`` (a :class:`~repro.chaos.storms.ChaosProfile`) compiles to
+    this shard's storm schedule: blackouts are folded into the scenario
+    trace, wardens become evidence-bearing
+    :class:`~repro.chaos.warden.ChaosStreamWarden` instances with
+    heartbeats, trackers get the tightened :data:`CHAOS_CONNECTIVITY`
+    hysteresis, servers learn the ``save-mark`` op, and clients mark
+    their position every cycle.  The compiled schedule is left on
+    ``world.shard_chaos`` for :func:`repro.chaos.arm.arm_chaos`.  With
+    ``chaos=None`` the built world is bit-identical to the pre-chaos
+    fleet.
     """
     trace = generate_scenario(family, duration_seconds=duration, seed=seed)
     factor = max(1.0, clients / CLIENTS_PER_LINK)
     if factor > 1.0:
         trace = scale_bandwidth(trace, factor,
                                 name=f"{trace.name}x{clients}c")
-    world = ExperimentWorld(trace, policy=policy, prime=prime, seed=seed,
-                            upcall_batch=True)
     n_servers = max(1, -(-clients // CLIENTS_PER_SERVER))
+    shard_chaos = None
+    if chaos is not None:
+        from repro.chaos.warden import ChaosStreamWarden, install_mark_op
+
+        ports = [f"fleet-{i}" for i in range(n_servers)]
+        shard_chaos = chaos.for_shard(
+            shard, clients=clients, server_ports=ports, duration=duration,
+            seed=seed, offset=prime,
+        )
+        trace = shard_chaos.link_plan().modulate(trace)
+    world = ExperimentWorld(
+        trace, policy=policy, prime=prime, seed=seed, upcall_batch=True,
+        connectivity=CHAOS_CONNECTIVITY if chaos is not None else None,
+    )
+    world.shard_chaos = shard_chaos
     servers = []
     for index in range(n_servers):
         host = world.network.add_host(f"fleet-server-{index}")
         server = BitstreamServer(world.sim, host, port=f"fleet-{index}")
         world.jitter_service(server.service)
+        if chaos is not None:
+            install_mark_op(server.service)
         servers.append(server)
 
     fleet = []
     for index in range(clients):
         server = servers[index % n_servers]
-        warden = StreamWarden(world.sim, world.viceroy, f"fleet-{index}")
-        warden.open_connection(server.service.host.name, server.service.port)
+        if chaos is not None:
+            warden = ChaosStreamWarden(world.sim, world.viceroy,
+                                       f"fleet-{index}")
+        else:
+            warden = StreamWarden(world.sim, world.viceroy, f"fleet-{index}")
+        conn = warden.open_connection(server.service.host.name,
+                                      server.service.port)
+        if chaos is not None:
+            warden.start_heartbeat(conn)
         path = f"/odyssey/fleet/{index}"
         world.viceroy.mount(path, warden)
         api = OdysseyAPI(world.viceroy, f"fleet-client-{index}")
@@ -118,6 +160,7 @@ def build_shard_world(clients, duration, policy="odyssey", family="urban",
             world.sim, api, f"fleet-client-{index}", path,
             chunk_bytes=chunk_bytes, period=period,
             measure_from=world.prime,
+            mark_every=1 if chaos is not None else 0,
         )
         fleet.append(client)
     return world, fleet, servers
@@ -125,16 +168,25 @@ def build_shard_world(clients, duration, policy="odyssey", family="urban",
 
 def run_fleet_shard(clients, duration, policy="odyssey", family="urban",
                     prime=PRIME_SECONDS, chunk_bytes=DEFAULT_CHUNK_BYTES,
-                    period=DEFAULT_PERIOD, shard=0, seed=0):
+                    period=DEFAULT_PERIOD, shard=0, seed=0, chaos=None):
     """Run one shard to completion and reduce it to a :class:`ShardResult`.
 
     Registered as the ``"fleet"`` trial function: hermetic, keyword-driven,
-    picklable result, deterministic for a given argument tuple.
+    picklable result, deterministic for a given argument tuple.  With a
+    ``chaos`` profile the shard runs its compiled storm schedule under the
+    invariant auditor and the result carries the chaos scorecard.
     """
     world, fleet, servers = build_shard_world(
         clients, duration, policy=policy, family=family, prime=prime,
-        chunk_bytes=chunk_bytes, period=period, seed=seed,
+        chunk_bytes=chunk_bytes, period=period, seed=seed, shard=shard,
+        chaos=chaos,
     )
+    controller = None
+    if chaos is not None:
+        from repro.chaos.arm import arm_chaos
+
+        controller = arm_chaos(world, fleet, servers, world.shard_chaos,
+                               profile_name=chaos.name)
     for client in fleet:
         # Stagger starts across one pacing period so a shard's first
         # deadline does not arrive as a thundering herd.
@@ -173,4 +225,6 @@ def run_fleet_shard(clients, duration, policy="odyssey", family="urban",
         upcall_latency_mean=sum(latencies) / count if count else 0.0,
         upcall_latency_p95=percentile(latencies, 0.95),
         upcall_latency_max=latencies[-1] if latencies else 0.0,
+        chaos=(controller.finish(start, end)
+               if controller is not None else None),
     )

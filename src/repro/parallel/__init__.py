@@ -35,8 +35,10 @@ from repro.parallel.config import (
     configure,
     current_cache,
     current_jobs,
+    current_timeout,
     overrides,
     resolve_jobs,
+    resolve_timeout,
 )
 from repro.parallel.runner import (
     CONFIGURED,
@@ -54,8 +56,8 @@ from repro.parallel.sweep import run_sweep, sweep_units
 __all__ = [
     "ResultCache", "canonical_params", "code_fingerprint",
     "default_cache_dir",
-    "configure", "current_cache", "current_jobs", "overrides",
-    "resolve_jobs",
+    "configure", "current_cache", "current_jobs", "current_timeout",
+    "overrides", "resolve_jobs", "resolve_timeout",
     "CONFIGURED", "TRIAL_FUNCTIONS", "TrialUnit", "chunked",
     "register_trial_function", "resolve_trial_function",
     "run_trials", "run_units", "trial_seeds",

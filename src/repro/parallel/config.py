@@ -24,7 +24,7 @@ _UNSET = object()
 #: and safe inside processes that cannot fork worker pools.
 DEFAULT_JOBS = 1
 
-_state = {"jobs": DEFAULT_JOBS, "cache": None}
+_state = {"jobs": DEFAULT_JOBS, "cache": None, "timeout": None}
 
 
 def resolve_jobs(jobs):
@@ -38,12 +38,29 @@ def resolve_jobs(jobs):
     return jobs
 
 
-def configure(jobs=_UNSET, cache=_UNSET):
+def resolve_timeout(timeout):
+    """Normalize a per-unit watchdog: ``None``/``0`` disable it."""
+    if timeout is None:
+        return None
+    try:
+        timeout = float(timeout)
+    except (TypeError, ValueError):
+        raise ParallelError(
+            f"timeout must be a number of seconds, got {timeout!r}"
+        ) from None
+    if timeout < 0:
+        raise ParallelError(f"timeout must be >= 0, got {timeout!r}")
+    return timeout or None
+
+
+def configure(jobs=_UNSET, cache=_UNSET, timeout=_UNSET):
     """Install new process-wide settings (omitted fields keep their value)."""
     if jobs is not _UNSET:
         _state["jobs"] = resolve_jobs(jobs)
     if cache is not _UNSET:
         _state["cache"] = cache
+    if timeout is not _UNSET:
+        _state["timeout"] = resolve_timeout(timeout)
 
 
 def current_jobs():
@@ -56,12 +73,17 @@ def current_cache():
     return _state["cache"]
 
 
+def current_timeout():
+    """The configured per-unit wall-clock watchdog in seconds, or ``None``."""
+    return _state["timeout"]
+
+
 @contextmanager
-def overrides(jobs=_UNSET, cache=_UNSET):
+def overrides(jobs=_UNSET, cache=_UNSET, timeout=_UNSET):
     """Apply settings inside a ``with`` block, restoring the old ones after."""
     saved = dict(_state)
     try:
-        configure(jobs=jobs, cache=cache)
+        configure(jobs=jobs, cache=cache, timeout=timeout)
         yield
     finally:
         _state.clear()

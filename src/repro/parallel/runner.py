@@ -32,6 +32,7 @@ observability run must actually execute to emit its events.
 import importlib
 import os
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as _FutureTimeout
 from dataclasses import dataclass, field
 
 from repro import telemetry
@@ -125,18 +126,41 @@ def _execute_payload(payload):
     return value, list(rec.trace.events()), os.getpid()
 
 
-def run_units(units, jobs=None, cache=CONFIGURED):
+def _abort_pool(pool):
+    """Tear down a pool whose worker is hung.
+
+    ``shutdown(wait=True)`` (what the ``with`` block does) would join the
+    stuck worker forever, so terminate the processes first; the joins then
+    return immediately.
+    """
+    processes = getattr(pool, "_processes", None) or {}
+    for process in list(processes.values()):
+        process.terminate()
+    pool.shutdown(wait=False, cancel_futures=True)
+
+
+def run_units(units, jobs=None, cache=CONFIGURED, timeout=CONFIGURED):
     """Execute ``units``; return their results **in unit order**.
 
-    ``jobs=None`` and ``cache=CONFIGURED`` defer to the process-wide
-    settings (:mod:`repro.parallel.config`); pass ``jobs=1`` /
-    ``cache=None`` to force the serial, uncached path regardless.
-    Results from the pool are merged by submission index — a unit that
-    finishes early never reorders anything.
+    ``jobs=None``, ``cache=CONFIGURED``, and ``timeout=CONFIGURED`` defer
+    to the process-wide settings (:mod:`repro.parallel.config`); pass
+    ``jobs=1`` / ``cache=None`` to force the serial, uncached path
+    regardless.  Results from the pool are merged by submission index — a
+    unit that finishes early never reorders anything.
+
+    ``timeout`` is a per-unit wall-clock watchdog in seconds: a pooled
+    unit whose result is not ready within ``timeout`` of the runner
+    starting to wait on it gets its workers terminated and raises
+    :class:`~repro.errors.ParallelError` naming the unit, so a hung
+    chaos trial fails CI instead of stalling it.  The watchdog only
+    applies on the pool path — a serial in-process trial cannot be
+    preempted from within the same interpreter.
     """
     units = list(units)
     jobs = config.current_jobs() if jobs is None else config.resolve_jobs(jobs)
     cache = config.current_cache() if cache is CONFIGURED else cache
+    timeout = config.current_timeout() if timeout is CONFIGURED \
+        else config.resolve_timeout(timeout)
     rec = telemetry.RECORDER
     capture = rec.enabled
     if capture:
@@ -175,7 +199,16 @@ def run_units(units, jobs=None, cache=CONFIGURED):
             # are absorbed in the same pass, so the merged event stream
             # is ordered by unit, then by each unit's own emission order.
             for index, future in zip(pending, futures):
-                value, events, worker = future.result()
+                try:
+                    value, events, worker = future.result(timeout=timeout)
+                except _FutureTimeout:
+                    _abort_pool(pool)
+                    unit = units[index]
+                    raise ParallelError(
+                        f"trial unit {unit.experiment!r} (seed {unit.seed}, "
+                        f"params {sorted(unit.params)}) exceeded the "
+                        f"{timeout:g} s wall-clock watchdog"
+                    ) from None
                 if events:
                     rec.absorb(events, worker=worker)
                 results[index] = value

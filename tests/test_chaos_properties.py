@@ -1,0 +1,101 @@
+"""Property tests: storms over the scenario corpus keep every invariant.
+
+Two layers of property coverage:
+
+- **Disconnected-mode recovery, corpus-wide** — every scenario family ×
+  storm profile (and a hypothesis-driven seed sweep) runs a real shard
+  under the invariant auditor and must come back with zero violations and
+  a conserved deferred-op ledger.  The point of a *property* here is that
+  the safety argument does not hinge on one blessed trace.
+- **Estimator agility through the auditor** — the EWMA bandwidth filter,
+  fed samples of a storm-modulated trace, must settle back into the
+  target band within the settling SLO after the storm clears; a frozen
+  estimator must be *flagged*, proving the settling invariant has teeth.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chaos import InvariantAuditor, standard_profile
+from repro.estimation.ewma import EwmaFilter
+from repro.faults import Blackout, FaultPlan
+from repro.fleet.shard import run_fleet_shard
+from repro.trace.waveforms import constant
+
+FAMILIES = ("urban", "highway", "office", "robustness")
+DURATION = 30.0
+
+
+def stormed_shard(family, profile_name, seed, clients=8):
+    return run_fleet_shard(clients, DURATION, family=family, shard=0,
+                           seed=seed, chaos=standard_profile(profile_name,
+                                                             DURATION))
+
+
+def assert_invariants(stats):
+    assert stats.violations == ()
+    assert stats.ops_lost == 0
+    assert 0.0 <= stats.fidelity_floor <= 1.0
+    assert stats.marks_attempted >= stats.marks_applied
+    # Conservation arithmetic: everything enqueued is coalesced, still
+    # queued, or terminally replayed (the auditor flags the remainder).
+    assert stats.ops_enqueued >= stats.ops_coalesced + stats.ops_queued_at_end
+    assert stats.churn_rejoined == stats.churn_left
+
+
+@pytest.mark.parametrize("family", FAMILIES)
+@pytest.mark.parametrize("profile_name", ("regional-blackout", "full-storm"))
+def test_corpus_times_profiles_stay_clean(family, profile_name):
+    assert_invariants(stormed_shard(family, profile_name, seed=11).chaos)
+
+
+@settings(max_examples=5, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2**16))
+def test_any_seed_recovers_from_the_full_storm(seed):
+    stats = stormed_shard("robustness", "full-storm", seed).chaos
+    assert_invariants(stats)
+    # The storm must actually have forced disconnected operation, or the
+    # property is vacuous.
+    assert stats.marks_deferred > 0
+
+
+BANDWIDTH_LEVELS = st.sampled_from([64 * 1024, 256 * 1024, 1024 * 1024])
+
+
+def estimate_series(trace, ewma, step=1.0, end=60.0):
+    series = []
+    t = 0.0
+    while t <= end:
+        series.append((t, ewma.update(trace.bandwidth_at(t))))
+        t += step
+    return series
+
+
+@settings(max_examples=8, deadline=None)
+@given(level=BANDWIDTH_LEVELS,
+       dark=st.floats(min_value=5.0, max_value=15.0))
+def test_ewma_settles_within_slo_after_storm(level, dark):
+    """Post-storm, the paper's throughput filter re-enters the band fast."""
+    plan = FaultPlan([Blackout(start=30.0, duration=dark)])
+    trace = plan.modulate(constant(level, duration=60.0))
+    auditor = InvariantAuditor(lambda: 60.0, settling_slo=10.0)
+    for t, value in estimate_series(trace, EwmaFilter(gain=0.875)):
+        auditor.note_estimate(t, value)
+    auditor.note_storm(30.0, 30.0 + dark, target=level)
+    assert auditor.finish(60.0) == []
+
+
+def test_frozen_estimator_is_flagged():
+    """The settling invariant has teeth: a wedged estimate violates."""
+    plan = FaultPlan([Blackout(start=30.0, duration=10.0)])
+    trace = plan.modulate(constant(256 * 1024, duration=60.0))
+    auditor = InvariantAuditor(lambda: 60.0, settling_slo=10.0)
+    ewma = EwmaFilter(gain=0.875)
+    for t, value in estimate_series(trace, ewma, end=40.0):
+        auditor.note_estimate(t, value)
+    # The filter stops absorbing samples right at storm end: the series
+    # never climbs back toward the target.
+    auditor.note_storm(30.0, 40.0, target=256 * 1024)
+    violations = auditor.finish(60.0)
+    assert [v.invariant for v in violations] == ["settling"]

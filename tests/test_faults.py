@@ -53,6 +53,54 @@ def test_plan_sorts_and_classifies():
     assert len(plan.server_faults) == 1
 
 
+def test_plan_merges_overlapping_blackouts():
+    """One link, one outage: overlapping/adjacent windows become one span."""
+    plan = FaultPlan([
+        Blackout(start=10.0, duration=5.0),
+        Blackout(start=12.0, duration=8.0),  # overlaps the first
+        Blackout(start=20.0, duration=2.0),  # adjacent to the merged span
+        Blackout(start=40.0, duration=1.0),  # disjoint
+    ])
+    spans = [(b.start, b.end) for b in plan.blackouts]
+    assert spans == [(10.0, 22.0), (40.0, 41.0)]
+
+
+def test_plan_merge_keeps_containing_blackout():
+    """A window nested inside another must not shrink the outer span."""
+    plan = FaultPlan([
+        Blackout(start=10.0, duration=20.0),
+        Blackout(start=12.0, duration=2.0),
+    ])
+    assert [(b.start, b.end) for b in plan.blackouts] == [(10.0, 30.0)]
+
+
+def test_plan_rejects_overlapping_server_stalls_same_port():
+    with pytest.raises(FaultError, match="overlapping ServerStall"):
+        FaultPlan([
+            ServerStall(start=10.0, duration=10.0, port="a"),
+            ServerStall(start=15.0, duration=10.0, port="a"),
+        ])
+
+
+def test_plan_rejects_overlap_with_wildcard_port():
+    """A port=None stall targets every service, so it conflicts with any."""
+    with pytest.raises(FaultError, match="overlapping ServerStall"):
+        FaultPlan([
+            ServerStall(start=10.0, duration=10.0),
+            ServerStall(start=15.0, duration=10.0, port="a"),
+        ])
+
+
+def test_plan_allows_disjoint_and_cross_port_server_faults():
+    plan = FaultPlan([
+        ServerStall(start=10.0, duration=5.0, port="a"),
+        ServerStall(start=15.0, duration=5.0, port="a"),  # touching, not overlapping
+        ServerStall(start=12.0, duration=5.0, port="b"),  # different port
+        ServerSlowdown(start=11.0, duration=5.0, port="a"),  # different kind
+    ])
+    assert len(plan.server_faults) == 4
+
+
 # -- trace modulation ---------------------------------------------------------
 
 

@@ -135,6 +135,40 @@ def test_telemetry_bypasses_cache(tmp_path, echo_experiment):
     assert cache.hits == 0  # the warm entry was never consulted
 
 
+def test_watchdog_aborts_hung_unit(echo_experiment):
+    """A unit exceeding the wall-clock watchdog raises, naming the unit."""
+    units = [TrialUnit("echo", {"tag": "fast"}, 0),
+             TrialUnit("echo", {"tag": "slow", "delay": 30.0}, 7)]
+    with pytest.raises(ParallelError, match=r"'echo' \(seed 7.*watchdog"):
+        run_units(units, jobs=2, cache=None, timeout=0.5)
+
+
+def test_watchdog_passes_fast_units(echo_experiment):
+    units = [TrialUnit("echo", {"tag": i}, i) for i in range(3)]
+    assert run_units(units, jobs=2, cache=None, timeout=30.0) \
+        == [(0, 0), (1, 1), (2, 2)]
+
+
+def test_watchdog_config_default_applies(echo_experiment):
+    units = [TrialUnit("echo", {"tag": 0}, 0),
+             TrialUnit("echo", {"tag": 1, "delay": 30.0}, 1)]
+    with overrides(jobs=2, timeout=0.5):
+        with pytest.raises(ParallelError, match="watchdog"):
+            run_units(units, cache=None)
+
+
+def test_watchdog_rejects_bad_timeout():
+    from repro.parallel import resolve_timeout
+
+    with pytest.raises(ParallelError):
+        resolve_timeout(-1.0)
+    with pytest.raises(ParallelError):
+        resolve_timeout("soon")
+    assert resolve_timeout(None) is None
+    assert resolve_timeout(0) is None  # 0 disables, like --jobs 0 = all cores
+    assert resolve_timeout(2.5) == 2.5
+
+
 def test_sweep_units_are_well_formed():
     units = sweep_units(trials=2)
     assert all(isinstance(unit, TrialUnit) for unit in units)
