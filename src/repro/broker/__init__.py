@@ -1,0 +1,52 @@
+"""The broker subsystem: a real multi-client RPC broker over TCP.
+
+The deployable face of the architecture (docs/architecture.md §15): an
+asyncio :class:`Broker` accepting many named :class:`BrokerClient`
+connections over the :mod:`repro.transport` wire format, enforcing
+per-client registration namespaces, relaying calls between clients,
+routing window-of-tolerance upcalls back to the owning connection, and
+reaping sessions that miss their heartbeat budget.  ``repro serve``,
+``repro connect``, and ``repro loadtest`` are the CLI faces.
+
+Importing this package must never perturb a simulation —
+``tests/test_transport_golden.py`` holds that line.
+"""
+
+from repro.broker.client import DEFAULT_CALL_TIMEOUT, BrokerClient
+from repro.broker.loadtest import (
+    LoadtestReport,
+    format_loadtest_report,
+    run_loadtest,
+    run_loadtest_async,
+)
+from repro.broker.server import (
+    BYE_OP,
+    CANCEL_OP,
+    DEFAULT_HEARTBEAT_TIMEOUT,
+    HELLO_OP,
+    NAMESPACE_PREFIX,
+    REGISTER_OP,
+    REPORT_OP,
+    REQUEST_OP,
+    UPCALL_OP,
+    Broker,
+)
+
+__all__ = [
+    "BYE_OP",
+    "CANCEL_OP",
+    "DEFAULT_CALL_TIMEOUT",
+    "DEFAULT_HEARTBEAT_TIMEOUT",
+    "HELLO_OP",
+    "NAMESPACE_PREFIX",
+    "REGISTER_OP",
+    "REPORT_OP",
+    "REQUEST_OP",
+    "UPCALL_OP",
+    "Broker",
+    "BrokerClient",
+    "LoadtestReport",
+    "format_loadtest_report",
+    "run_loadtest",
+    "run_loadtest_async",
+]

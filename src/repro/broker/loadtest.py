@@ -1,0 +1,218 @@
+"""Wall-clock load test: many asyncio clients hammering one broker.
+
+Spins up N named clients (against an in-process ephemeral broker by
+default, or a remote one via ``--port``), has each register a window of
+tolerance and serve an ``echo`` operation under its namespace, then runs
+closed-loop callers for a fixed wall-clock duration — mostly broker-local
+echoes, with every :data:`RELAY_EVERY`-th call relayed through the broker
+to a peer client's operation.  After the timed phase a single report
+drives every surviving window into violation, and the test waits for each
+client to receive its upcall: ``upcalls_received == clients`` is the
+zero-lost-upcalls check CI enforces.
+
+The report carries throughput and latency percentiles measured on the
+monotonic clock — the first numbers in this repo that are *measured*
+rather than simulated (EXPERIMENTS.md, "Broker load test").
+"""
+
+import asyncio
+import math
+from dataclasses import dataclass, field
+
+from repro.broker.client import BrokerClient
+from repro.broker.server import DEFAULT_HEARTBEAT_TIMEOUT, Broker
+from repro.errors import BrokerError
+from repro.rpc.clock import MonotonicClock
+
+#: Every n-th call goes through the broker to a peer client's op.
+RELAY_EVERY = 8
+#: Registered windows span [0, this); the closing report exceeds it.
+WINDOW_UPPER = 1.0e6
+#: Seconds to wait for the final upcall fan-out to reach every client.
+UPCALL_WAIT = 5.0
+#: Per-call timeout during the timed phase, seconds.
+CALL_TIMEOUT = 10.0
+
+
+@dataclass
+class LoadtestReport:
+    """Everything one load-test run measured."""
+
+    clients: int
+    seconds: float
+    address: tuple
+    external_broker: bool
+    calls: int = 0
+    relayed: int = 0
+    errors: int = 0
+    timeouts: int = 0
+    wall_seconds: float = 0.0
+    calls_per_second: float = 0.0
+    latency_ms: dict = field(default_factory=dict)
+    upcalls_expected: int = 0
+    upcalls_received: int = 0
+    clean_shutdown: bool = False
+    broker: dict = None
+
+    @property
+    def lost_upcalls(self):
+        return self.upcalls_expected - self.upcalls_received
+
+    @property
+    def ok(self):
+        """The CI gate: no errors, no lost upcalls, clean teardown."""
+        return (self.errors == 0 and self.timeouts == 0
+                and self.lost_upcalls == 0 and self.clean_shutdown)
+
+
+def percentile(sorted_values, q):
+    """Nearest-rank percentile of an ascending list (q in [0, 1])."""
+    if not sorted_values:
+        return 0.0
+    rank = max(1, math.ceil(q * len(sorted_values)))
+    return sorted_values[min(rank, len(sorted_values)) - 1]
+
+
+def summarize_latencies(latencies_seconds):
+    """Latency percentiles in milliseconds from raw per-call seconds."""
+    ordered = sorted(latencies_seconds)
+    if not ordered:
+        return {"mean": 0.0, "p50": 0.0, "p95": 0.0, "p99": 0.0, "max": 0.0}
+    to_ms = 1000.0
+    return {
+        "mean": to_ms * sum(ordered) / len(ordered),
+        "p50": to_ms * percentile(ordered, 0.50),
+        "p95": to_ms * percentile(ordered, 0.95),
+        "p99": to_ms * percentile(ordered, 0.99),
+        "max": to_ms * ordered[-1],
+    }
+
+
+async def _caller(client, peers, index, deadline, clock, latencies, report):
+    """Closed-loop caller: echo mostly, relay to a peer every n-th call."""
+    i = 0
+    while clock.now() < deadline:
+        if peers and i % RELAY_EVERY == RELAY_EVERY - 1:
+            op = peers[(index + 1 + i // RELAY_EVERY) % len(peers)]
+            report.relayed += 1
+        else:
+            op = "echo"
+        started = clock.now()
+        try:
+            await client.call(op, body={"n": i}, timeout=CALL_TIMEOUT)
+        except Exception:  # noqa: BLE001 - every failure is a counted result
+            report.errors += 1
+        else:
+            latencies.append(clock.now() - started)
+            report.calls += 1
+        i += 1
+
+
+async def run_loadtest_async(clients=64, seconds=2.0, host="127.0.0.1",
+                             port=None,
+                             heartbeat_timeout=DEFAULT_HEARTBEAT_TIMEOUT):
+    """Run one load test; returns a :class:`LoadtestReport`.
+
+    ``port=None`` starts an in-process broker on an ephemeral port;
+    a concrete port targets an already-running broker.
+    """
+    if clients < 1:
+        raise BrokerError(f"need at least one client, got {clients!r}")
+    clock = MonotonicClock()
+    broker = None
+    if port is None:
+        broker = Broker(host=host, port=0,
+                        heartbeat_timeout=heartbeat_timeout)
+        await broker.start()
+        host, port = broker.address
+    report = LoadtestReport(clients=clients, seconds=seconds,
+                            address=(host, port),
+                            external_broker=broker is None)
+    fleet = [BrokerClient(host, port, f"lt-{i:04d}") for i in range(clients)]
+    upcall_events = []
+    try:
+        await asyncio.gather(*(c.connect() for c in fleet))
+        # Each client serves an echo op and watches one window; the
+        # closing report will violate every window at once.
+        peers = []
+        for client in fleet:
+            peers.append(await client.register_op("echo",
+                                                  lambda body: body))
+            await client.request(0.0, WINDOW_UPPER)
+            event = asyncio.Event()
+            client.on_upcall(lambda body, event=event: event.set())
+            upcall_events.append(event)
+        report.upcalls_expected = clients
+        relay_peers = peers if clients > 1 else []
+
+        latencies = []
+        started = clock.now()
+        deadline = started + seconds
+        await asyncio.gather(*(
+            _caller(client, relay_peers, i, deadline, clock, latencies,
+                    report)
+            for i, client in enumerate(fleet)
+        ))
+        report.wall_seconds = clock.now() - started
+        report.timeouts = sum(c.timeouts for c in fleet)
+        if report.wall_seconds > 0:
+            report.calls_per_second = report.calls / report.wall_seconds
+        report.latency_ms = summarize_latencies(latencies)
+
+        # Violate every window; every client must get its upcall back.
+        await fleet[0].call("__report__", {"resource": "bandwidth",
+                                           "level": WINDOW_UPPER * 2})
+        try:
+            await asyncio.wait_for(
+                asyncio.gather(*(e.wait() for e in upcall_events)),
+                UPCALL_WAIT)
+        except asyncio.TimeoutError:
+            pass  # lost_upcalls in the report says how many never arrived
+        report.upcalls_received = sum(
+            1 for c in fleet if c.upcalls_received)
+        if broker is not None:
+            report.broker = broker.describe()
+    finally:
+        await asyncio.gather(*(c.close() for c in fleet),
+                             return_exceptions=True)
+        if broker is not None:
+            await broker.close()
+    report.clean_shutdown = all(c.closed for c in fleet)
+    return report
+
+
+def run_loadtest(clients=64, seconds=2.0, host="127.0.0.1", port=None,
+                 heartbeat_timeout=DEFAULT_HEARTBEAT_TIMEOUT):
+    """Synchronous entry point (owns the event loop)."""
+    return asyncio.run(run_loadtest_async(
+        clients=clients, seconds=seconds, host=host, port=port,
+        heartbeat_timeout=heartbeat_timeout))
+
+
+def format_loadtest_report(report):
+    """Human-readable report for ``repro loadtest``."""
+    host, port = report.address
+    where = ("in-process broker" if not report.external_broker
+             else "external broker")
+    lat = report.latency_ms
+    lines = [
+        f"broker load test: {report.clients} clients x "
+        f"{report.seconds:g} s against {where} at {host}:{port}",
+        f"  calls        {report.calls} ({report.relayed} relayed) in "
+        f"{report.wall_seconds:.2f} s wall",
+        f"  throughput   {report.calls_per_second:,.0f} calls/s",
+        f"  latency ms   mean={lat['mean']:.3f} p50={lat['p50']:.3f} "
+        f"p95={lat['p95']:.3f} p99={lat['p99']:.3f} max={lat['max']:.3f}",
+        f"  errors       {report.errors} errors, {report.timeouts} timeouts",
+        f"  upcalls      {report.upcalls_received}/{report.upcalls_expected}"
+        f" delivered ({report.lost_upcalls} lost)",
+        f"  shutdown     {'clean' if report.clean_shutdown else 'DIRTY'}",
+    ]
+    if report.broker is not None:
+        b = report.broker
+        lines.append(
+            f"  broker       served={b['calls_served']} "
+            f"relayed={b['calls_relayed']} upcalls={b['upcalls_sent']} "
+            f"acked={b['upcalls_acked']} expired={b['sessions_expired']}")
+    lines.append(f"  verdict      {'OK' if report.ok else 'FAILED'}")
+    return "\n".join(lines)

@@ -411,6 +411,87 @@ def _cmd_telemetry(args):
     return 0
 
 
+def _cmd_serve(args):
+    import asyncio
+
+    from repro.broker import Broker
+
+    async def serve():
+        broker = Broker(host=args.host, port=args.port,
+                        heartbeat_timeout=args.heartbeat)
+        await broker.start()
+        host, port = broker.address
+        print(f"broker listening on {host}:{port} "
+              f"(heartbeat budget {args.heartbeat:g} s)", flush=True)
+        try:
+            if args.run_seconds is not None:
+                await asyncio.sleep(args.run_seconds)
+            else:
+                while True:
+                    await asyncio.sleep(3600.0)
+        finally:
+            stats = broker.describe()
+            await broker.close()
+            print(f"broker stopped: {stats['calls_served']} calls served, "
+                  f"{stats['calls_relayed']} relayed, "
+                  f"{stats['upcalls_sent']} upcalls, "
+                  f"{stats['connections_accepted']} connections")
+
+    try:
+        asyncio.run(serve())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def _cmd_connect(args):
+    import asyncio
+    import json
+
+    from repro.broker import BrokerClient
+    from repro.errors import ReproError
+
+    async def connect():
+        client = BrokerClient(args.host, args.port, args.name)
+        await client.connect(timeout=args.timeout)
+        print(f"connected to {args.host}:{args.port} as {client.name} "
+              f"(namespace {client.namespace})")
+        latencies = []
+        for _ in range(args.pings):
+            latencies.append(await client.ping(timeout=args.timeout))
+        if latencies:
+            mean_ms = 1000.0 * sum(latencies) / len(latencies)
+            worst_ms = 1000.0 * max(latencies)
+            print(f"ping x{len(latencies)}: mean {mean_ms:.3f} ms, "
+                  f"max {worst_ms:.3f} ms")
+        if args.call:
+            body = json.loads(args.body) if args.body else None
+            reply = await client.call(args.call, body, timeout=args.timeout)
+            print(f"{args.call} -> {reply!r}")
+        await client.close()
+
+    try:
+        asyncio.run(connect())
+    except (ReproError, ConnectionError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_loadtest(args):
+    from repro.broker import format_loadtest_report, run_loadtest
+    from repro.errors import ReproError
+
+    try:
+        report = run_loadtest(clients=args.clients, seconds=args.seconds,
+                              host=args.host, port=args.port)
+    except (ReproError, ConnectionError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(format_loadtest_report(report))
+    return 0 if report.ok else 1
+
+
 def _cmd_scenario(args):
     from repro.experiments.concurrent import PAPER_FIG14, run_concurrent_trial
 
@@ -589,6 +670,54 @@ def build_parser():
     p.add_argument("action", choices=("stats", "clear"), nargs="?",
                    default="stats")
     p.set_defaults(fn=_cmd_cache)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the RPC broker: real asyncio TCP, many clients, "
+             "namespaced registrations, upcall routing")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=0,
+                   help="listen port (default 0 = ephemeral, printed "
+                        "on startup)")
+    p.add_argument("--heartbeat", type=float, default=10.0,
+                   help="seconds of client silence before the session "
+                        "is reaped (default 10)")
+    p.add_argument("--run-seconds", type=float, default=None,
+                   help="serve for this long then exit cleanly "
+                        "(default: until interrupted)")
+    p.set_defaults(fn=_cmd_serve)
+
+    p = sub.add_parser("connect",
+                       help="connect to a running broker, measure ping "
+                            "latency, optionally call one operation")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, required=True)
+    p.add_argument("--name", default="probe",
+                   help="client name to register (default 'probe')")
+    p.add_argument("--pings", type=int, default=3,
+                   help="round-trip probes to send (default 3)")
+    p.add_argument("--call", metavar="OP",
+                   help="also call this operation once")
+    p.add_argument("--body", metavar="JSON",
+                   help="JSON body for --call")
+    p.add_argument("--timeout", type=float, default=5.0,
+                   help="per-call timeout, seconds (default 5)")
+    p.set_defaults(fn=_cmd_connect)
+
+    p = sub.add_parser(
+        "loadtest",
+        help="hammer a broker with concurrent clients and report "
+             "wall-clock throughput, latency percentiles, and upcall "
+             "delivery (exit 1 on any error or lost upcall)")
+    p.add_argument("--clients", type=int, default=64,
+                   help="concurrent asyncio clients (default 64)")
+    p.add_argument("--seconds", type=float, default=2.0,
+                   help="timed-phase duration, wall seconds (default 2)")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=None,
+                   help="target an already-running broker (default: "
+                        "start one in-process on an ephemeral port)")
+    p.set_defaults(fn=_cmd_loadtest)
 
     p = sub.add_parser("scenario",
                        help="one urban-walk trial under a chosen policy")

@@ -9,6 +9,7 @@ through :meth:`~repro.core.warden.Warden.resilient_fetch` and queue writes
 through :meth:`~repro.core.warden.Warden.tsop`.
 """
 
+from repro.connectivity.async_probe import AsyncHeartbeatProber
 from repro.connectivity.deferred import (
     DEFAULT_CAPACITY,
     DeferredOp,
@@ -27,6 +28,7 @@ __all__ = [
     "DEFAULT_CAPACITY",
     "PROBE_OP",
     "VALID_TRANSITIONS",
+    "AsyncHeartbeatProber",
     "ConnState",
     "ConnectivityTracker",
     "DeferredOp",

@@ -1,0 +1,73 @@
+"""Heartbeat probing over real sockets.
+
+The asyncio twin of :class:`~repro.connectivity.probe.HeartbeatProber`,
+with one deliberate difference: it pings on every interval, even while
+CONNECTED.  On the simulated link an idle ping is noise — fetch traffic is
+the heartbeat and probes would pollute the bandwidth estimator's
+round-trip log.  On a real broker connection the ping does double duty as
+a *keepalive*: the broker reaps sessions silent past its heartbeat budget,
+so an idle but healthy client must keep talking.  Probe outcomes feed the
+same :class:`~repro.connectivity.ConnectivityTracker` evidence stream
+(``probe=True``), so the hysteresis state machine runs unmodified on
+wall-clock time.
+"""
+
+import asyncio
+
+from repro.connectivity.probe import (
+    DEFAULT_PROBE_INTERVAL,
+    DEFAULT_PROBE_TIMEOUT,
+)
+from repro.errors import RemoteCallError, RpcTimeout, TransportError
+
+
+class AsyncHeartbeatProber:
+    """Periodically pings one :class:`~repro.broker.BrokerClient`.
+
+    Construct then :meth:`start` inside a running event loop; the loop
+    retires on :meth:`stop` or when the connection dies (``ping`` raising
+    :class:`~repro.errors.TransportError`).  Timeouts are fed to the
+    client's tracker as probe failures; completed pings as successes.
+    """
+
+    def __init__(self, client, interval=DEFAULT_PROBE_INTERVAL,
+                 timeout=DEFAULT_PROBE_TIMEOUT):
+        self.client = client
+        self.interval = interval
+        self.timeout = timeout
+        self.probes_sent = 0
+        self._stopped = False
+        self._task = None
+
+    def start(self):
+        if self._task is not None:
+            raise TransportError(f"prober for {self.client.name} "
+                                 "already started")
+        self._task = asyncio.ensure_future(self._run())
+        return self
+
+    async def stop(self):
+        """Stop probing and wait for the loop to exit."""
+        self._stopped = True
+        if self._task is not None:
+            self._task.cancel()
+            try:
+                await self._task
+            except asyncio.CancelledError:
+                pass
+            self._task = None
+
+    async def _run(self):
+        while not self._stopped:
+            await asyncio.sleep(self.interval)
+            if self._stopped:
+                return
+            self.probes_sent += 1
+            try:
+                # probe=True routes the outcome — success or timeout —
+                # to the tracker as heartbeat evidence.
+                await self.client.ping(timeout=self.timeout, probe=True)
+            except RpcTimeout:
+                continue
+            except (TransportError, RemoteCallError):
+                return  # connection died under us; prober retires

@@ -104,6 +104,47 @@ class RequestNotFound(OdysseyError):
     """``cancel`` named a request identifier that is not registered."""
 
 
+class TransportError(ReproError):
+    """Base class for real-transport (socket/broker) failures."""
+
+
+class WireError(TransportError):
+    """A message could not be encoded to or decoded from the wire format
+    (unsupported value type, unknown message kind, malformed payload)."""
+
+
+class FrameError(WireError):
+    """A wire frame is unusable: bad magic, unsupported version, oversize
+    or truncated length, or a checksum mismatch.  The connection that
+    produced it cannot be resynchronized and must be closed."""
+
+
+class BrokerError(TransportError):
+    """A broker protocol violation (bad handshake, namespace breach,
+    duplicate client name, or an operation on a dead session)."""
+
+
+class RemoteCallError(TransportError):
+    """An error raised by a remote handler, reconstructed from the wire.
+
+    The original exception type cannot cross the wire; ``kind`` carries its
+    class name and ``message`` its text.  Compares by value so round-tripped
+    responses stay equal to what was sent.
+    """
+
+    def __init__(self, kind, message):
+        super().__init__(f"{kind}: {message}")
+        self.kind = kind
+        self.message = message
+
+    def __eq__(self, other):
+        return (isinstance(other, RemoteCallError)
+                and self.kind == other.kind and self.message == other.message)
+
+    def __hash__(self):
+        return hash((self.kind, self.message))
+
+
 class ParallelError(ReproError):
     """A trial unit could not be scheduled, executed, or cached."""
 

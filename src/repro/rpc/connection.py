@@ -21,6 +21,7 @@ from repro import telemetry
 from repro.errors import RpcError, RpcTimeout
 from repro.sim.events import AnyOf
 from repro.net.packet import HEADER_BYTES, Packet
+from repro.rpc.clock import RetrySchedule, SimClock
 from repro.rpc.logs import RpcLog
 from repro.rpc.messages import (
     BulkPush,
@@ -415,6 +416,10 @@ class RpcConnection:
             raise RpcError("window_bytes and fragment_bytes must be positive")
         self.sim = sim
         self.network = network
+        #: Clock the retry machinery reads; the seam that lets
+        #: :class:`RetryPolicy` arithmetic also run on wall time (the real
+        #: transport swaps in a monotonic clock — see :mod:`repro.rpc.clock`).
+        self.clock = SimClock(sim)
         # Usually the mobile client; a wired host for server-to-server
         # connections (e.g. the distillation server fetching from the web).
         self.client = client_host or network.client
@@ -551,24 +556,17 @@ class RpcConnection:
     def _with_retry(self, attempt, retry):
         """Drive ``attempt(timeout)`` under ``retry``, backing off between timeouts."""
         retry = retry or RetryPolicy()
-        delays = retry.delays()
+        schedule = RetrySchedule(retry, self.clock)
         rec = telemetry.RECORDER  # one lookup for the whole retry loop
-        deadline_at = None
-        if retry.deadline is not None:
-            deadline_at = self.sim.now + retry.deadline
         while True:
-            timeout = retry.timeout
-            if deadline_at is not None:
-                timeout = min(timeout, deadline_at - self.sim.now)
             try:
-                result = yield from attempt(timeout)
+                result = yield from attempt(schedule.attempt_timeout())
                 return result
             except RpcTimeout:
-                delay = next(delays, None)
+                delay = schedule.next_delay()
                 if delay is None:
                     raise
-                if (deadline_at is not None
-                        and self.sim.now + delay >= deadline_at):
+                if schedule.past_deadline(delay):
                     self.timeouts += 1
                     if rec.enabled:
                         rec.count("rpc.timeouts", connection=self.connection_id)
@@ -584,7 +582,7 @@ class RpcConnection:
                     rec.event("rpc.retry", connection=self.connection_id,
                               backoff=delay)
                 if delay > 0:
-                    yield self.sim.timeout(delay)
+                    yield self.clock.sleep(delay)
 
     def call_with_retry(self, op, body=None, body_bytes=256, retry=None):
         """:meth:`call` with timeout/retry-with-backoff (see :class:`RetryPolicy`).

@@ -1,0 +1,42 @@
+"""The transport seam: one contract, two substrates.
+
+A *transport* moves whole :mod:`repro.rpc.messages` objects between two
+endpoints and delivers arrivals to a callback.  The contract:
+
+- ``channel.send(message)`` enqueues one message toward the peer; delivery
+  is in order and at-most-once (the RPC layer above owns retries);
+- arrivals invoke ``on_message(message)`` one at a time, in arrival order;
+- ``channel.close()`` is idempotent; after close, ``send`` raises
+  :class:`~repro.errors.TransportError` and ``on_close(exc)`` has fired
+  exactly once (``exc`` is ``None`` for a deliberate close, the fatal
+  exception for a transport death).
+
+Two implementations satisfy it:
+
+- :class:`~repro.transport.sim.SimTransport` — the deterministic path:
+  messages ride as live objects inside :class:`~repro.net.packet.Packet`
+  through the simulated network, exactly as the RPC stack has always sent
+  them (the fig8/fig9/fleet golden fingerprints prove this path unchanged);
+- :class:`~repro.transport.tcp.TcpChannel` — real asyncio TCP sockets,
+  messages serialized through :mod:`repro.transport.wire`.
+"""
+
+from repro.errors import TransportError
+
+
+class Channel:
+    """Base class for one duplex message channel (see module docstring)."""
+
+    def send(self, message):
+        raise NotImplementedError
+
+    def close(self):
+        raise NotImplementedError
+
+    @property
+    def closed(self):
+        raise NotImplementedError
+
+    def _check_open(self):
+        if self.closed:
+            raise TransportError(f"{self!r} is closed")

@@ -1,0 +1,203 @@
+"""The deterministic transport: message channels over the simulated net.
+
+The sim path has always moved RPC messages as live objects inside
+:class:`~repro.net.packet.Packet`; this adapter wraps that substrate in the
+:class:`~repro.transport.base.Channel` contract so the same channel-shaped
+code can run on either the simulator or real sockets.  Nothing in the
+existing RPC stack is rerouted through it — :class:`~repro.rpc.connection.
+RpcConnection` keeps speaking packets natively, which is what keeps the
+fig8/fig9/fleet golden fingerprints byte-identical.
+
+The simulated network is a datagram service, so the adapter supplies the
+connection-oriented part itself, mirroring TCP accept semantics in sim
+time: ``connect`` (a generator — drive it with ``yield from``) sends an
+open request to the listener's port; the listener allocates a dedicated
+per-channel port, binds a server-side channel there, and replies with an
+accept carrying that port.  From then on each side sends straight to the
+other's private port.
+"""
+
+import itertools
+from dataclasses import dataclass
+
+from repro.errors import TransportError
+from repro.net.packet import HEADER_BYTES, Packet
+from repro.transport.base import Channel
+
+_channel_ids = itertools.count(1)
+
+
+@dataclass(slots=True)
+class _SimOpen:
+    """Connection request: answer to ``reply_port`` on ``client_host``."""
+
+    client_host: str
+    reply_port: str
+
+
+@dataclass(slots=True)
+class _SimAccept:
+    """Connection grant: the per-channel port the client must send to."""
+
+    channel_port: str
+
+
+@dataclass(slots=True)
+class _SimClose:
+    """Peer closed its end of the channel."""
+
+
+def sim_packet_size(message):
+    """Wire size the sim charges for ``message``, matching the RPC stack.
+
+    Data-bearing messages pay for their modeled payload (``body_bytes`` for
+    calls/responses, ``nbytes`` for fragments and pushes); pure control
+    messages are a bare header.
+    """
+    for attr in ("nbytes", "body_bytes"):
+        size = getattr(message, attr, None)
+        if size is not None:
+            return HEADER_BYTES + size
+    return HEADER_BYTES
+
+
+class SimChannel(Channel):
+    """One end of a sim-transport channel, bound to a private port."""
+
+    def __init__(self, sim, host, local_port, peer_host, peer_port,
+                 on_message, on_close=None):
+        self.sim = sim
+        self.host = host
+        self.local_port = local_port
+        self.peer_host = peer_host
+        self.peer_port = peer_port
+        self.on_message = on_message
+        self.on_close = on_close
+        self.messages_sent = 0
+        self.messages_received = 0
+        self._closed = False
+        host.bind(local_port, self._on_packet)
+
+    def __repr__(self):
+        state = "closed" if self._closed else "open"
+        return (f"<SimChannel {self.local_port!r} -> "
+                f"{self.peer_host}:{self.peer_port} {state}>")
+
+    @property
+    def closed(self):
+        return self._closed
+
+    def send(self, message):
+        self._check_open()
+        self.messages_sent += 1
+        self.host.send(Packet(
+            src=self.host.name, dst=self.peer_host, port=self.peer_port,
+            size=sim_packet_size(message), payload=message,
+        ))
+
+    def close(self):
+        """Close this end and notify the peer (idempotent)."""
+        if self._closed:
+            return
+        self.host.send(Packet(
+            src=self.host.name, dst=self.peer_host, port=self.peer_port,
+            size=HEADER_BYTES, payload=_SimClose(),
+        ))
+        self._finish(None)
+
+    def _finish(self, exc):
+        self._closed = True
+        self.host.unbind(self.local_port)
+        if self.on_close is not None:
+            self.on_close(exc)
+
+    def _on_packet(self, packet):
+        message = packet.payload
+        if isinstance(message, _SimClose):
+            if not self._closed:
+                self._finish(None)
+            return
+        self.messages_received += 1
+        self.on_message(message)
+
+
+class SimListener:
+    """Accepts sim-channel connections on a well-known port."""
+
+    def __init__(self, sim, host, port, on_channel):
+        self.sim = sim
+        self.host = host
+        self.port = port
+        self.on_channel = on_channel
+        self.accepted = 0
+        self._closed = False
+        host.bind(port, self._on_packet)
+
+    def close(self):
+        if not self._closed:
+            self._closed = True
+            self.host.unbind(self.port)
+
+    def _on_packet(self, packet):
+        request = packet.payload
+        if not isinstance(request, _SimOpen):
+            raise TransportError(
+                f"listener {self.port!r}: unexpected payload {request!r} "
+                "(data must flow on the accepted channel port)"
+            )
+        self.accepted += 1
+        channel_port = f"{self.port}#{next(_channel_ids)}"
+        channel = SimChannel(
+            self.sim, self.host, channel_port,
+            peer_host=request.client_host, peer_port=request.reply_port,
+            on_message=None,
+        )
+        # The acceptor wires the handlers before any data can arrive: the
+        # accept reply has not even been sent yet.
+        self.on_channel(channel)
+        if channel.on_message is None:
+            raise TransportError(
+                f"listener {self.port!r}: on_channel left the channel "
+                "without an on_message handler"
+            )
+        self.host.send(Packet(
+            src=self.host.name, dst=request.client_host,
+            port=request.reply_port, size=HEADER_BYTES,
+            payload=_SimAccept(channel_port),
+        ))
+
+
+class SimTransport:
+    """Channel factory over one simulated network."""
+
+    def __init__(self, sim, network):
+        self.sim = sim
+        self.network = network
+
+    def listen(self, host, port, on_channel):
+        """Accept connections on ``host:port``; ``on_channel(channel)`` must
+        assign ``channel.on_message`` (and optionally ``on_close``)."""
+        return SimListener(self.sim, host, port, on_channel)
+
+    def connect(self, client_host, server_name, server_port, on_message,
+                on_close=None):
+        """Open a channel to a listener.  Generator — ``yield from`` it;
+        returns the connected :class:`SimChannel`."""
+        local_port = f"{client_host.name}/ch:{next(_channel_ids)}"
+        accepted = self.sim.event(name="sim-accept")
+        client_host.bind(local_port, lambda packet: accepted.succeed(packet))
+        client_host.send(Packet(
+            src=client_host.name, dst=server_name, port=server_port,
+            size=HEADER_BYTES, payload=_SimOpen(client_host.name, local_port),
+        ))
+        packet = yield accepted
+        grant = packet.payload
+        if not isinstance(grant, _SimAccept):
+            raise TransportError(f"connect to {server_name}:{server_port} "
+                                 f"answered with {grant!r}")
+        client_host.unbind(local_port)
+        return SimChannel(
+            self.sim, client_host, local_port,
+            peer_host=server_name, peer_port=grant.channel_port,
+            on_message=on_message, on_close=on_close,
+        )

@@ -1,0 +1,207 @@
+"""The real transport: asyncio TCP sockets speaking the wire format.
+
+One :class:`TcpChannel` per socket: sends serialize through
+:func:`~repro.transport.wire.encode_frame`; a background reader task feeds
+arriving bytes — whatever chunking the kernel delivers — through a
+:class:`~repro.transport.wire.FrameDecoder` and hands each completed
+message to ``on_message``.  A corrupt frame, EOF, or socket error closes
+the channel and fires ``on_close(exc)`` exactly once.
+
+Unlike the simulated links, real sockets have buffers: ``send`` is
+synchronous (it enqueues into the OS buffer) and ``drain`` is the
+backpressure point for bulk senders.
+"""
+
+import asyncio
+
+from repro import telemetry
+from repro.errors import TransportError, WireError
+from repro.transport.base import Channel
+from repro.transport.wire import FrameDecoder, encode_frame
+
+#: Bytes requested per socket read.  Big enough to drain several frames per
+#: syscall under load; small enough not to stall interactive traffic.
+READ_CHUNK_BYTES = 64 * 1024
+
+
+class TcpChannel(Channel):
+    """One live socket speaking length-prefixed wire frames.
+
+    Construct, then :meth:`open` with the message handler to start the
+    reader (``connect_tcp`` does both; server-side ``on_channel`` callbacks
+    must call :meth:`open` themselves before returning).
+    """
+
+    def __init__(self, reader, writer, label="tcp"):
+        self._reader = reader
+        self._writer = writer
+        self.label = label
+        self.on_message = None
+        self.on_close = None
+        self.peer = writer.get_extra_info("peername")
+        self.frames_sent = 0
+        self.frames_received = 0
+        self.bytes_sent = 0
+        self.bytes_received = 0
+        self._closed = False
+        self._close_exc = None
+        self._reader_task = None
+        self._done = asyncio.get_running_loop().create_future()
+
+    def __repr__(self):
+        state = "closed" if self._closed else "open"
+        return f"<TcpChannel {self.label} peer={self.peer} {state}>"
+
+    @property
+    def closed(self):
+        return self._closed
+
+    def open(self, on_message, on_close=None):
+        """Install handlers and start the reader task.  Returns ``self``."""
+        if self._reader_task is not None:
+            raise TransportError(f"{self!r} already opened")
+        self.on_message = on_message
+        self.on_close = on_close
+        self._reader_task = asyncio.ensure_future(self._read_loop())
+        return self
+
+    # -- sending ------------------------------------------------------------
+
+    def send(self, message):
+        """Serialize and enqueue one message (order-preserving)."""
+        self._check_open()
+        frame = encode_frame(message)
+        self._writer.write(frame)
+        self.frames_sent += 1
+        self.bytes_sent += len(frame)
+        rec = telemetry.RECORDER
+        if rec.enabled:
+            rec.count("transport.frames_sent", label=self.label)
+            rec.count("transport.bytes_sent", len(frame), label=self.label)
+
+    async def drain(self):
+        """Backpressure point: wait for the OS send buffer to empty out."""
+        await self._writer.drain()
+
+    # -- receiving ----------------------------------------------------------
+
+    async def _read_loop(self):
+        decoder = FrameDecoder()
+        exc = None
+        rec = telemetry.RECORDER
+        try:
+            while True:
+                chunk = await self._reader.read(READ_CHUNK_BYTES)
+                if not chunk:
+                    break  # clean EOF from the peer
+                self.bytes_received += len(chunk)
+                if rec.enabled:
+                    rec.count("transport.bytes_received", len(chunk),
+                              label=self.label)
+                for message in decoder.feed(chunk):
+                    self.frames_received += 1
+                    if rec.enabled:
+                        rec.count("transport.frames_received",
+                                  label=self.label)
+                    self.on_message(message)
+                    if self._closed:
+                        return
+        except asyncio.CancelledError:
+            return  # local close() cancelled us; _finish already ran
+        except (WireError, ConnectionError, OSError) as exc_:
+            exc = exc_
+            if rec.enabled:
+                rec.count("transport.read_errors", label=self.label)
+        finally:
+            self._finish(exc)
+
+    # -- teardown -----------------------------------------------------------
+
+    def close(self):
+        """Close the socket (idempotent); fires ``on_close(None)``."""
+        self._finish(None)
+
+    def _finish(self, exc):
+        if self._closed:
+            return
+        self._closed = True
+        self._close_exc = exc
+        if (self._reader_task is not None
+                and self._reader_task is not asyncio.current_task()):
+            self._reader_task.cancel()
+        try:
+            self._writer.close()
+        except RuntimeError:
+            pass  # event loop already gone (interpreter shutdown)
+        if not self._done.done():
+            self._done.set_result(exc)
+        if self.on_close is not None:
+            callback, self.on_close = self.on_close, None
+            callback(exc)
+
+    async def wait_closed(self):
+        """Block until the channel is fully torn down; returns the closing
+        exception (``None`` for a clean close)."""
+        exc = await asyncio.shield(self._done)
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass  # the peer may have reset under us; the channel is dead anyway
+        return exc
+
+
+class TcpServer:
+    """A listening socket handing accepted :class:`TcpChannel` objects to
+    an ``on_channel`` callback."""
+
+    def __init__(self, server, on_channel, label):
+        self._server = server
+        self.on_channel = on_channel
+        self.label = label
+        self.channels_accepted = 0
+
+    @property
+    def port(self):
+        """The bound port (resolves an ephemeral ``port=0`` request)."""
+        return self._server.sockets[0].getsockname()[1]
+
+    @property
+    def host(self):
+        return self._server.sockets[0].getsockname()[0]
+
+    def _accept(self, reader, writer):
+        self.channels_accepted += 1
+        rec = telemetry.RECORDER
+        if rec.enabled:
+            rec.count("transport.accepted", label=self.label)
+        channel = TcpChannel(reader, writer, label=self.label)
+        try:
+            self.on_channel(channel)
+        except Exception:  # noqa: BLE001 - close the socket, then re-raise as-is
+            channel.close()
+            raise
+        if channel._reader_task is None and not channel.closed:
+            channel.close()
+            raise TransportError(
+                f"server {self.label!r}: on_channel returned without "
+                "opening the accepted channel"
+            )
+
+    async def close(self):
+        self._server.close()
+        await self._server.wait_closed()
+
+
+async def serve_tcp(on_channel, host="127.0.0.1", port=0, label="server"):
+    """Listen on ``host:port`` (0 = ephemeral).  ``on_channel(channel)``
+    must call ``channel.open(...)`` before returning."""
+    holder = TcpServer(None, on_channel, label)
+    server = await asyncio.start_server(holder._accept, host=host, port=port)
+    holder._server = server
+    return holder
+
+
+async def connect_tcp(host, port, on_message, on_close=None, label="client"):
+    """Connect to a listener; returns an opened :class:`TcpChannel`."""
+    reader, writer = await asyncio.open_connection(host, port)
+    return TcpChannel(reader, writer, label=label).open(on_message, on_close)

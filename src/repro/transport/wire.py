@@ -1,0 +1,286 @@
+"""The wire format: versioned, length-prefixed frames for RPC messages.
+
+The simulator passes :mod:`repro.rpc.messages` dataclasses between hosts as
+live Python objects; a real socket needs bytes.  This module is the codec:
+
+- **values** are encoded as JSON with tagged extensions, so every payload
+  the sim path carries (str/int/float/bool/None, lists, dicts, tuples,
+  bytes, :class:`~repro.rpc.messages.BulkSource` descriptors, and handler
+  exceptions) survives the round trip *equal to what was sent*;
+- **messages** are one JSON array of field values in dataclass field order,
+  identified by a one-byte kind code;
+- **frames** wrap a message payload in a fixed 12-byte header::
+
+      offset  size  field
+      0       2     magic  b"Od"
+      2       1     version (WIRE_VERSION)
+      3       1     kind    (message type code, see MESSAGE_KINDS)
+      4       4     length  of payload, big-endian
+      8       4     CRC-32  over bytes 2..8 of the header plus the payload
+      12      n     payload (UTF-8 JSON array of field values)
+
+The checksum covers the version, kind, and length bytes as well as the
+payload, so *any* single corrupted byte — header or body — is rejected
+with a typed :class:`~repro.errors.FrameError` instead of decoding into a
+different message.  TCP presents frames as an arbitrary byte stream;
+:class:`FrameDecoder` reassembles them across any split boundaries.
+"""
+
+import binascii
+import json
+import struct
+from dataclasses import fields
+
+from repro.errors import FrameError, RemoteCallError, WireError
+from repro.rpc.messages import (
+    BulkPush,
+    BulkSource,
+    CallRequest,
+    CallResponse,
+    Fragment,
+    ServerReply,
+    WindowAck,
+    WindowRequest,
+)
+
+#: First bytes of every frame ("Odyssey").
+MAGIC = b"Od"
+#: Bumped whenever the payload encoding or field order changes.
+WIRE_VERSION = 1
+#: Hard ceiling on one frame's payload; a length beyond it means a corrupt
+#: header (or a hostile peer), not a legitimately huge message.
+MAX_FRAME_BYTES = 16 * 1024 * 1024
+#: Bytes before the payload: magic(2) + version(1) + kind(1) + length(4)
+#: + crc32(4).
+FRAME_HEADER_BYTES = 12
+
+_HEADER = struct.Struct(">2sBBLL")
+
+#: Kind code <-> message class, in wire-format order.  Codes are part of
+#: the format: never renumber, only append.
+MESSAGE_KINDS = (
+    (1, CallRequest),
+    (2, CallResponse),
+    (3, WindowRequest),
+    (4, Fragment),
+    (5, BulkPush),
+    (6, WindowAck),
+    (7, ServerReply),
+)
+
+_KIND_BY_CLASS = {cls: code for code, cls in MESSAGE_KINDS}
+_CLASS_BY_KIND = {code: cls for code, cls in MESSAGE_KINDS}
+_FIELDS_BY_CLASS = {cls: tuple(f.name for f in fields(cls))
+                    for _, cls in MESSAGE_KINDS}
+
+#: Reserved single-key tags the value codec uses for non-JSON types.
+_TAGS = ("__tuple__", "__bytes__", "__map__", "__bulk__", "__error__")
+
+
+def _is_tagged(obj):
+    """Whether a decoded JSON object is one of our single-key tag forms."""
+    return len(obj) == 1 and next(iter(obj)) in _TAGS
+
+
+def _encode_value(value):
+    if value is None or isinstance(value, (bool, int, str)):
+        return value
+    if isinstance(value, float):
+        if value != value or value in (float("inf"), float("-inf")):
+            raise WireError(f"non-finite float {value!r} cannot cross the wire")
+        return value
+    if isinstance(value, tuple):
+        return {"__tuple__": [_encode_value(v) for v in value]}
+    if isinstance(value, list):
+        return [_encode_value(v) for v in value]
+    if isinstance(value, (bytes, bytearray)):
+        return {"__bytes__": binascii.b2a_base64(bytes(value), newline=False)
+                .decode("ascii")}
+    if isinstance(value, dict):
+        pairs = []
+        plain = True
+        for key, item in value.items():
+            if not isinstance(key, str):
+                plain = False
+            pairs.append((key, _encode_value(item)))
+        # A dict whose own keys collide with the tag repertoire (or whose
+        # keys are not strings) is escaped into explicit pairs.
+        if plain and any(k in _TAGS for k, _ in pairs):
+            plain = False
+        if plain:
+            return dict(pairs)
+        return {"__map__": [[_encode_value(k), v] for k, v in pairs]}
+    if isinstance(value, BulkSource):
+        return {"__bulk__": [value.transfer_id, value.nbytes,
+                             _encode_value(value.meta), value.consumed]}
+    if isinstance(value, BaseException):
+        if isinstance(value, RemoteCallError):
+            return {"__error__": [value.kind, value.message]}
+        return {"__error__": [type(value).__name__, str(value)]}
+    raise WireError(f"value of type {type(value).__name__} cannot cross "
+                    f"the wire: {value!r}")
+
+
+def _decode_value(value):
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, list):
+        return [_decode_value(v) for v in value]
+    if isinstance(value, dict):
+        if _is_tagged(value):
+            tag, body = next(iter(value.items()))
+            try:
+                if tag == "__tuple__":
+                    return tuple(_decode_value(v) for v in body)
+                if tag == "__bytes__":
+                    return binascii.a2b_base64(body.encode("ascii"))
+                if tag == "__map__":
+                    return {_decode_value(k): _decode_value(v)
+                            for k, v in body}
+                if tag == "__bulk__":
+                    transfer_id, nbytes, meta, consumed = body
+                    source = BulkSource(transfer_id, nbytes,
+                                        _decode_value(meta))
+                    source.consumed = consumed
+                    return source
+                if tag == "__error__":
+                    kind, message = body
+                    return RemoteCallError(kind, message)
+            except (TypeError, ValueError, binascii.Error) as exc:
+                raise WireError(f"malformed {tag} payload: {exc}") from exc
+        return {key: _decode_value(v) for key, v in value.items()}
+    raise WireError(f"unexpected JSON value {value!r}")
+
+
+def encode_message(message):
+    """Encode one RPC message dataclass; returns ``(kind, payload_bytes)``."""
+    kind = _KIND_BY_CLASS.get(type(message))
+    if kind is None:
+        raise WireError(f"{type(message).__name__} is not a wire message")
+    values = [_encode_value(getattr(message, name))
+              for name in _FIELDS_BY_CLASS[type(message)]]
+    try:
+        text = json.dumps(values, separators=(",", ":"), allow_nan=False)
+    except (TypeError, ValueError) as exc:
+        raise WireError(f"message {message!r} is not wire-encodable: "
+                        f"{exc}") from exc
+    return kind, text.encode("utf-8")
+
+
+def decode_message(kind, payload):
+    """Decode a payload produced by :func:`encode_message`."""
+    cls = _CLASS_BY_KIND.get(kind)
+    if cls is None:
+        raise WireError(f"unknown message kind {kind}")
+    try:
+        values = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise WireError(f"undecodable payload for kind {kind}: {exc}") from exc
+    names = _FIELDS_BY_CLASS[cls]
+    if not isinstance(values, list) or len(values) != len(names):
+        raise WireError(
+            f"{cls.__name__} payload carries "
+            f"{len(values) if isinstance(values, list) else 'non-list'} "
+            f"fields, expected {len(names)}"
+        )
+    return cls(**{name: _decode_value(value)
+                  for name, value in zip(names, values)})
+
+
+def _checksum(header_tail, payload):
+    return binascii.crc32(payload, binascii.crc32(header_tail)) & 0xFFFFFFFF
+
+
+def encode_frame(message):
+    """One complete frame (header + payload) for ``message``."""
+    kind, payload = encode_message(message)
+    if len(payload) > MAX_FRAME_BYTES:
+        raise FrameError(f"payload of {len(payload)} bytes exceeds the "
+                         f"{MAX_FRAME_BYTES}-byte frame ceiling")
+    header = _HEADER.pack(MAGIC, WIRE_VERSION, kind, len(payload), 0)
+    crc = _checksum(header[2:8], payload)
+    return _HEADER.pack(MAGIC, WIRE_VERSION, kind, len(payload), crc) + payload
+
+
+def try_decode_frame(buffer):
+    """Decode the first frame of ``buffer`` if it is complete.
+
+    Returns ``(message, consumed_bytes)`` or ``None`` when more bytes are
+    needed.  Raises :class:`~repro.errors.FrameError` on a frame that can
+    never become valid (bad magic, wrong version, oversize length, checksum
+    mismatch) — the stream is unrecoverable past that point.
+    """
+    view = bytes(buffer)
+    if len(view) < FRAME_HEADER_BYTES:
+        if view and not MAGIC.startswith(view[:2]):
+            raise FrameError(f"bad frame magic {view[:2]!r}")
+        return None
+    magic, version, kind, length, crc = _HEADER.unpack_from(view)
+    if magic != MAGIC:
+        raise FrameError(f"bad frame magic {magic!r}")
+    if version != WIRE_VERSION:
+        raise FrameError(f"unsupported wire version {version} "
+                         f"(speaking {WIRE_VERSION})")
+    if length > MAX_FRAME_BYTES:
+        raise FrameError(f"frame length {length} exceeds the "
+                         f"{MAX_FRAME_BYTES}-byte ceiling")
+    end = FRAME_HEADER_BYTES + length
+    if len(view) < end:
+        return None
+    payload = view[FRAME_HEADER_BYTES:end]
+    if _checksum(view[2:8], payload) != crc:
+        raise FrameError(f"frame checksum mismatch (kind {kind}, "
+                         f"{length} bytes)")
+    return decode_message(kind, payload), end
+
+
+def decode_frame(data):
+    """Strictly decode one frame; returns ``(message, consumed_bytes)``.
+
+    Unlike :func:`try_decode_frame`, an incomplete buffer is an error: a
+    *truncated* frame raises :class:`~repro.errors.FrameError`.
+    """
+    result = try_decode_frame(data)
+    if result is None:
+        raise FrameError(f"truncated frame ({len(data)} bytes)")
+    return result
+
+
+class FrameDecoder:
+    """Streaming reassembly: feed arbitrary chunks, get whole messages.
+
+    TCP has no message boundaries; whatever chunking the kernel delivers,
+    ``feed`` buffers it and returns every message completed so far, in
+    order.  A corrupt frame raises :class:`~repro.errors.FrameError` and
+    poisons the decoder — the connection must be torn down, resyncing an
+    LV-framed stream past garbage is not possible.
+    """
+
+    __slots__ = ("_buffer", "_poisoned")
+
+    def __init__(self):
+        self._buffer = bytearray()
+        self._poisoned = False
+
+    @property
+    def pending_bytes(self):
+        """Bytes buffered toward the next (incomplete) frame."""
+        return len(self._buffer)
+
+    def feed(self, chunk):
+        """Absorb ``chunk``; return the list of messages it completed."""
+        if self._poisoned:
+            raise FrameError("decoder poisoned by an earlier corrupt frame")
+        self._buffer.extend(chunk)
+        messages = []
+        while True:
+            try:
+                result = try_decode_frame(self._buffer)
+            except (FrameError, WireError):
+                self._poisoned = True
+                raise
+            if result is None:
+                return messages
+            message, consumed = result
+            del self._buffer[:consumed]
+            messages.append(message)

@@ -1,0 +1,85 @@
+"""The broker load test: wall-clock throughput with zero lost upcalls."""
+
+from repro.broker import (
+    LoadtestReport,
+    format_loadtest_report,
+    run_loadtest,
+)
+from repro.broker.loadtest import percentile, summarize_latencies
+from repro.cli import main
+
+
+def test_small_loadtest_is_clean():
+    """Eight clients, half a second: every call succeeds, every client
+    gets its closing upcall, and the teardown is clean."""
+    report = run_loadtest(clients=8, seconds=0.5)
+    assert report.errors == 0
+    assert report.timeouts == 0
+    assert report.calls > 0
+    assert report.relayed > 0  # cross-client relays happened
+    assert report.upcalls_expected == 8
+    assert report.upcalls_received == 8
+    assert report.lost_upcalls == 0
+    assert report.clean_shutdown
+    assert report.ok
+    assert report.calls_per_second > 0
+    assert report.latency_ms["p50"] <= report.latency_ms["p99"]
+    assert report.broker["upcalls_sent"] == 8
+    assert report.broker["upcalls_acked"] == 8
+
+
+def test_single_client_loadtest_skips_relays():
+    report = run_loadtest(clients=1, seconds=0.2)
+    assert report.ok
+    assert report.relayed == 0
+
+
+def test_percentile_is_nearest_rank():
+    values = [1.0, 2.0, 3.0, 4.0]
+    assert percentile(values, 0.50) == 2.0
+    assert percentile(values, 0.95) == 4.0
+    assert percentile(values, 0.0) == 1.0
+    assert percentile([], 0.99) == 0.0
+
+
+def test_latency_summary_is_monotone():
+    summary = summarize_latencies([0.001 * n for n in range(1, 101)])
+    assert (summary["p50"] <= summary["p95"] <= summary["p99"]
+            <= summary["max"])
+    assert summary["mean"] > 0
+
+
+def test_report_formatting_flags_failures():
+    report = LoadtestReport(clients=4, seconds=1.0,
+                            address=("127.0.0.1", 1), external_broker=False,
+                            upcalls_expected=4, upcalls_received=3,
+                            clean_shutdown=True,
+                            latency_ms=summarize_latencies([]))
+    text = format_loadtest_report(report)
+    assert "1 lost" in text
+    assert "FAILED" in text
+    assert not report.ok
+
+
+def test_loadtest_cli_smoke(capsys):
+    code = main(["loadtest", "--clients", "4", "--seconds", "0.2"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "verdict      OK" in out
+    assert "4/4 delivered" in out
+
+
+def test_serve_cli_bounded_run(capsys):
+    code = main(["serve", "--run-seconds", "0.05"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "broker listening on 127.0.0.1:" in out
+    assert "broker stopped" in out
+
+
+def test_connect_cli_against_unreachable_broker(capsys):
+    # Port 1 is never listening: connect must fail fast with exit 1.
+    code = main(["connect", "--port", "1", "--timeout", "0.5"])
+    err = capsys.readouterr().err
+    assert code == 1
+    assert "error:" in err

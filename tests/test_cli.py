@@ -81,6 +81,24 @@ def test_parser_rejects_missing_command():
         build_parser().parse_args([])
 
 
+def test_parser_knows_the_transport_commands():
+    parser = build_parser()
+    args = parser.parse_args(["serve", "--port", "7777",
+                              "--heartbeat", "2.5"])
+    assert (args.port, args.heartbeat, args.run_seconds) == (7777, 2.5, None)
+    args = parser.parse_args(["connect", "--port", "7777",
+                              "--call", "echo", "--body", "{}"])
+    assert (args.port, args.name, args.call) == (7777, "probe", "echo")
+    args = parser.parse_args(["loadtest", "--clients", "64",
+                              "--seconds", "2"])
+    assert (args.clients, args.seconds, args.port) == (64, 2.0, None)
+
+
+def test_connect_requires_a_port():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["connect"])
+
+
 def test_version(capsys):
     with pytest.raises(SystemExit) as excinfo:
         main(["--version"])

@@ -1,0 +1,65 @@
+"""Golden regression: the transport/broker import must not perturb the sim.
+
+The tentpole promise of the transport work is that the deterministic path
+is untouched: loading :mod:`repro.transport` and :mod:`repro.broker` —
+module import, class definition, even running an asyncio broker in the
+same process — leaves every seeded simulation byte-identical.  The
+imports below happen *before* the experiment modules run, so any
+import-time side effect on the sim substrate (a monkeypatch, a shared
+counter, an RNG draw) would shift the fingerprints and fail here.
+"""
+
+# Import order is the point: transport and broker first.
+import asyncio
+
+import repro.broker  # noqa: F401
+import repro.transport  # noqa: F401
+from repro.broker import Broker
+from repro.chaos import run_chaos_fleet
+from repro.experiments.demand import run_demand_trial
+from repro.experiments.supply import run_supply_trial
+from repro.fleet import run_fleet
+
+from tests.test_sim_determinism import (
+    GOLDEN_FIG8_STEP_DOWN_SEED1,
+    GOLDEN_FIG8_STEP_UP_SEED0,
+    GOLDEN_FIG9_SECOND_SEED0,
+    GOLDEN_FIG9_TOTAL_SEED0,
+    fingerprint,
+)
+
+
+def test_fig8_fig9_fingerprints_survive_the_transport_import():
+    assert fingerprint(run_supply_trial("step-up", seed=0).series) \
+        == GOLDEN_FIG8_STEP_UP_SEED0
+    assert fingerprint(run_supply_trial("step-down", seed=1).series) \
+        == GOLDEN_FIG8_STEP_DOWN_SEED1
+    trial = run_demand_trial(0.45, seed=0)
+    assert fingerprint(trial.total_series) == GOLDEN_FIG9_TOTAL_SEED0
+    assert fingerprint(trial.second_series) == GOLDEN_FIG9_SECOND_SEED0
+
+
+def test_fingerprints_survive_a_live_broker_in_process():
+    """Harsher than importing: run a real broker (its own event loop,
+    sockets, wall-clock timers) in this process, then re-run a seeded
+    experiment.  Still byte-identical — sim time never touches it."""
+
+    async def exercise():
+        broker = await Broker(port=0).start()
+        await broker.close()
+
+    asyncio.run(exercise())
+    assert fingerprint(run_supply_trial("step-up", seed=0).series) \
+        == GOLDEN_FIG8_STEP_UP_SEED0
+
+
+def test_fleet_and_chaos_fingerprints_are_jobs_invariant_here():
+    """The parallel path too: worker processes import the same modules,
+    and the merged fingerprints must match serial at any --jobs."""
+    fleet_kwargs = dict(clients=32, shards=2, duration=6.0, prime=3.0,
+                        cache=None)
+    assert run_fleet(jobs=1, **fleet_kwargs).fingerprint() \
+        == run_fleet(jobs=2, **fleet_kwargs).fingerprint()
+    chaos_kwargs = dict(shards=2, duration=8.0, cache=None)
+    assert run_chaos_fleet(16, jobs=1, **chaos_kwargs).fingerprint() \
+        == run_chaos_fleet(16, jobs=2, **chaos_kwargs).fingerprint()

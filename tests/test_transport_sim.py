@@ -1,0 +1,174 @@
+"""The sim transport adapter: channel semantics over the simulated net."""
+
+import pytest
+
+from repro.errors import ReproError, TransportError
+from repro.net.network import Network
+from repro.net.packet import HEADER_BYTES
+from repro.rpc.messages import CallRequest, Fragment, WindowAck
+from repro.sim.kernel import Simulator
+from repro.transport import SimTransport, sim_packet_size
+from repro.trace.replay import ReplayTrace, Segment
+from repro.trace.waveforms import HIGH_BANDWIDTH
+
+
+def build_world():
+    sim = Simulator()
+    trace = ReplayTrace([Segment(10_000, HIGH_BANDWIDTH, 0.0105)])
+    network = Network(sim, trace)
+    server = network.add_host("server")
+    return sim, network, server, network.client
+
+
+def request(seq, body=None):
+    return CallRequest(connection_id="c", seq=seq, op="echo", body=body,
+                       body_bytes=64, reply_port="")
+
+
+def test_connect_accept_and_exchange():
+    sim, network, server, client = build_world()
+    transport = SimTransport(sim, network)
+    server_got, client_got = [], []
+
+    def on_channel(channel):
+        channel.on_message = lambda m: (server_got.append(m),
+                                        channel.send(WindowAck(
+                                            "c", m.seq, 0, 0)))
+
+    listener = transport.listen(server, "svc", on_channel)
+
+    def client_process():
+        channel = yield from transport.connect(
+            client, "server", "svc", client_got.append)
+        channel.send(request(1, body={"x": (1, 2)}))
+        yield sim.timeout(1.0)
+        channel.close()
+
+    sim.process(client_process())
+    sim.run()
+    assert [m.seq for m in server_got] == [1]
+    assert server_got[0].body == {"x": (1, 2)}
+    assert [m.seq for m in client_got] == [1]
+    assert listener.accepted == 1
+
+
+def test_messages_arrive_in_order_and_channels_are_private():
+    """Two clients get distinct per-channel ports; streams never mix."""
+    sim, network, server, client = build_world()
+    other = network.add_host("other")
+    transport = SimTransport(sim, network)
+    by_channel = {}
+
+    def on_channel(channel):
+        log = by_channel.setdefault(channel.local_port, [])
+        channel.on_message = log.append
+
+    transport.listen(server, "svc", on_channel)
+
+    def talker(host, start):
+        channel = yield from transport.connect(
+            host, "server", "svc", lambda m: None)
+        for seq in range(start, start + 5):
+            channel.send(request(seq))
+            yield sim.timeout(0.01)
+
+    sim.process(talker(client, 0))
+    sim.process(talker(other, 100))
+    sim.run()
+    assert len(by_channel) == 2
+    streams = sorted([m.seq for m in log] for log in by_channel.values())
+    assert streams == [[0, 1, 2, 3, 4], [100, 101, 102, 103, 104]]
+
+
+def test_close_notifies_the_peer():
+    sim, network, server, client = build_world()
+    transport = SimTransport(sim, network)
+    closes = []
+
+    def on_channel(channel):
+        channel.on_message = lambda m: None
+        channel.on_close = closes.append
+
+    transport.listen(server, "svc", on_channel)
+
+    def client_process():
+        channel = yield from transport.connect(
+            client, "server", "svc", lambda m: None)
+        yield sim.timeout(0.5)
+        channel.close()
+        # Idempotent: a second close must not resend or re-fire.
+        channel.close()
+
+    sim.process(client_process())
+    sim.run()
+    assert closes == [None]
+
+
+def test_send_after_close_raises():
+    sim, network, server, client = build_world()
+    transport = SimTransport(sim, network)
+
+    def on_channel(channel):
+        channel.on_message = lambda m: None
+
+    transport.listen(server, "svc", on_channel)
+    failures = []
+
+    def client_process():
+        channel = yield from transport.connect(
+            client, "server", "svc", lambda m: None)
+        channel.close()
+        try:
+            channel.send(request(1))
+        except TransportError as exc:
+            failures.append(exc)
+
+    sim.process(client_process())
+    sim.run()
+    assert len(failures) == 1
+
+
+def test_listener_requires_a_message_handler():
+    sim, network, server, client = build_world()
+    transport = SimTransport(sim, network)
+    transport.listen(server, "svc", lambda channel: None)  # forgets handler
+
+    def client_process():
+        yield from transport.connect(client, "server", "svc",
+                                     lambda m: None)
+
+    sim.process(client_process())
+    with pytest.raises(TransportError, match="on_message"):
+        sim.run()
+
+
+def test_sim_packet_sizes_match_the_rpc_stack():
+    assert sim_packet_size(request(1)) == HEADER_BYTES + 64
+    assert sim_packet_size(
+        Fragment("c", 1, 2, 0, 1400, False, False)) == HEADER_BYTES + 1400
+    assert sim_packet_size(WindowAck("c", 1, 2, 0)) == HEADER_BYTES
+
+
+def test_closed_listener_stops_accepting():
+    sim, network, server, client = build_world()
+    transport = SimTransport(sim, network)
+
+    def on_channel(channel):
+        channel.on_message = lambda m: None
+
+    listener = transport.listen(server, "svc", on_channel)
+    listener.close()
+    listener.close()  # idempotent
+
+    def client_process():
+        yield from transport.connect(client, "server", "svc",
+                                     lambda m: None)
+
+    sim.process(client_process())
+    # The open request lands on an unbound port: the net drops or faults
+    # it; either way no accept ever arrives and no channel is created.
+    try:
+        sim.run(until=5.0)
+    except ReproError:
+        pass
+    assert listener.accepted == 0
