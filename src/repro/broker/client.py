@@ -58,6 +58,7 @@ class BrokerClient:
         self._pending = {}  # seq -> Future for an in-flight call
         self._local_ops = {}  # full op name -> handler(body) -> reply body
         self._upcall_handler = None
+        self._stream_handler = None  # receives non-call frames (bulk)
         self.calls = 0
         self.timeouts = 0
         self.late_replies = 0
@@ -219,6 +220,13 @@ class BrokerClient:
         """Install ``handler(body)`` for window-violation upcalls."""
         self._upcall_handler = handler
 
+    def on_stream(self, handler):
+        """Install ``handler(message)`` for non-call frames (bulk
+        :class:`~repro.rpc.messages.Fragment` streams and the like).
+        Without one, such frames are ignored — the base request/response
+        protocol never produces them."""
+        self._stream_handler = handler
+
     # -- inbound ------------------------------------------------------------
 
     def _on_message(self, message):
@@ -230,8 +238,10 @@ class BrokerClient:
             future.set_result(message)
         elif isinstance(message, CallRequest):
             self._serve(message)
-        # Anything else from the broker would be a protocol bug; the wire
-        # layer already guarantees it decodes to a known message type.
+        elif self._stream_handler is not None:
+            # Bulk-transfer frames (Fragment and friends); the wire layer
+            # already guarantees the message decodes to a known type.
+            self._stream_handler(message)
 
     def _serve(self, request):
         rec = telemetry.RECORDER

@@ -178,6 +178,16 @@ class Broker:
             raise BrokerError(f"broker op {op!r} already registered")
         self._handlers[op] = handler
 
+    def _adopt(self, session):
+        """Hook: ``session`` just claimed a name in :meth:`_hello`.  The
+        base broker needs no per-client state beyond the session itself;
+        the live broker adopts the client into its estimation tables."""
+
+    def _abandon(self, session):
+        """Hook: ``session`` is being torn down (name may be ``None`` if
+        it never completed the handshake).  Runs before the registration
+        and relay cleanup so overrides still see the session's state."""
+
     # -- accepting ----------------------------------------------------------
 
     def _accept(self, channel):
@@ -216,6 +226,7 @@ class Broker:
             return
         session.closed = True
         self.connections_closed += 1
+        self._abandon(session)
         if session in self._sessions:
             self._sessions.remove(session)
         if session.name is not None and \
@@ -244,10 +255,15 @@ class Broker:
         elif isinstance(message, CallResponse):
             self._on_response(session, message)
         else:
-            # Any other frame kind is a protocol violation from this peer.
-            self._teardown(session, reason=f"unexpected frame "
-                                           f"{type(message).__name__}")
-            session.channel.close()
+            self._on_stream(session, message)
+
+    def _on_stream(self, session, message):
+        """Non-call frame from a peer.  The base broker speaks only the
+        request/response protocol, so this is a violation; subclasses that
+        stream (the live broker's bulk transfer) override it."""
+        self._teardown(session, reason=f"unexpected frame "
+                                       f"{type(message).__name__}")
+        session.channel.close()
 
     def _respond(self, session, request, body=None, error=None,
                  server_seconds=0.0):
@@ -335,6 +351,7 @@ class Broker:
         session.name = name
         session.namespace = f"{NAMESPACE_PREFIX}/{name}"
         self._named[name] = session
+        self._adopt(session)
         self._respond(session, request, body={
             "welcome": True,
             "namespace": session.namespace,

@@ -492,6 +492,36 @@ def _cmd_loadtest(args):
     return 0 if report.ok else 1
 
 
+def _cmd_live(args):
+    import asyncio
+    import json
+
+    from repro.errors import ReproError
+    from repro.live import format_live_report, run_live_demo
+
+    def narrate(name, at, fraction, rung):
+        print(f"  [{at:10.3f}] {name}: fidelity -> {rung} ({fraction:g})",
+              flush=True)
+
+    try:
+        report = asyncio.run(run_live_demo(
+            clients=args.clients, seconds=args.seconds,
+            chunk_bytes=args.chunk_bytes, period=args.period,
+            high_per_client=args.high, low_per_client=args.low,
+            on_transition=None if args.quiet else narrate,
+        ))
+    except (ReproError, ConnectionError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.json_out:
+        with open(args.json_out, "w") as fh:
+            json.dump(report.to_dict(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"# wrote report to {args.json_out}", file=sys.stderr)
+    print(format_live_report(report))
+    return 0 if report.ok else 1
+
+
 def _cmd_scenario(args):
     from repro.experiments.concurrent import PAPER_FIG14, run_concurrent_trial
 
@@ -718,6 +748,33 @@ def build_parser():
                    help="target an already-running broker (default: "
                         "start one in-process on an ephemeral port)")
     p.set_defaults(fn=_cmd_loadtest)
+
+    p = sub.add_parser(
+        "live",
+        help="run the live adaptation demo: a broker with a square-wave "
+             "synthetic link and N adapting clients over real TCP (exit 1 "
+             "on lost upcalls or stuck adaptation)")
+    p.add_argument("--clients", type=int, default=4,
+                   help="adapting clients, alternating video/web ladders "
+                        "(default 4)")
+    p.add_argument("--seconds", type=float, default=3.0,
+                   help="demo duration, wall seconds; the link wave runs "
+                        "three phases high/low/high inside it (default 3)")
+    p.add_argument("--chunk-bytes", type=int, default=16 * 1024,
+                   help="full-fidelity chunk size per period (default 16384)")
+    p.add_argument("--period", type=float, default=0.25,
+                   help="chunk cadence, seconds (default 0.25)")
+    p.add_argument("--high", type=int, default=80_000,
+                   help="high-phase link budget per client, bytes/s "
+                        "(default 80000)")
+    p.add_argument("--low", type=int, default=8_000,
+                   help="low-phase link budget per client, bytes/s "
+                        "(default 8000)")
+    p.add_argument("--quiet", action="store_true",
+                   help="suppress the live fidelity-transition log")
+    p.add_argument("--json-out", metavar="PATH",
+                   help="also write the full report as JSON here")
+    p.set_defaults(fn=_cmd_live)
 
     p = sub.add_parser("scenario",
                        help="one urban-walk trial under a chosen policy")

@@ -1,0 +1,289 @@
+"""Receiver-driven bulk transfer over the live broker (paper §6.3).
+
+The sim's RPC protocol models windowed bulk transfer; this module runs
+the same shape over real sockets:
+
+- the client *opens* a named blob (``__open__``, an ordinary call) and
+  learns its transfer id and size;
+- it then pulls the payload one **window** at a time: a
+  :class:`~repro.rpc.messages.WindowRequest` frame asks for
+  ``window_bytes`` starting at an offset, and the broker answers with a
+  train of :class:`~repro.rpc.messages.Fragment` frames, the last one
+  flagged ``last_in_window`` (and ``last_in_transfer`` at the end);
+- every fragment the broker sends passes through the shared
+  :class:`~repro.live.throttle.Throttle` (the synthetic link) and then
+  ``await drain()`` — real TCP backpressure, so a slow or stalled
+  receiver stops the sender instead of ballooning the send buffer;
+- the receiver reports each fragment's bytes (``delivery``) and each
+  completed window's elapsed time (``throughput``) via ``__report__`` —
+  the same passive samples the sim protocol logs as a side effect of
+  traffic — which is what keeps the live viceroy's estimate honest.
+
+Fragments are *sized, not serialized*: like the sim's messages they
+carry byte counts rather than payloads, so the wire cost is a frame
+header and the transfer's timing comes from the throttle.  (The paper's
+measurements care about when bytes arrive, not what they spell.)
+"""
+
+import asyncio
+import itertools
+
+from repro import telemetry
+from repro.broker.server import REPORT_OP
+from repro.errors import BrokerError, RpcTimeout
+from repro.rpc.messages import Fragment, WindowRequest
+
+#: Ordinary call that registers a blob for pulling: body
+#: ``{"name": str, "nbytes": int}`` -> ``{"transfer_id": int, "nbytes": int}``.
+OPEN_OP = "__open__"
+
+#: Default shape of a pull: how much one WindowRequest asks for, and how
+#: the broker fragments it on the way back.
+DEFAULT_WINDOW_BYTES = 64 * 1024
+DEFAULT_FRAGMENT_BYTES = 8 * 1024
+
+#: Receiver-side patience for the next fragment, seconds.  Spans a
+#: blackout phase of the demo throttle with room to spare.
+FRAGMENT_TIMEOUT = 30.0
+
+
+class BulkServerMixin:
+    """Bulk-transfer plane for a broker: ``__open__`` plus window streaming.
+
+    Mixed in ahead of :class:`~repro.broker.Broker`; the host class calls
+    :meth:`_init_bulk` from ``__init__`` and provides ``self.throttle``
+    (a :class:`~repro.live.throttle.Throttle` or ``None`` for unshaped).
+    """
+
+    def _init_bulk(self):
+        self._contents = {}  # transfer_id -> (name, nbytes)
+        self._transfer_ids = itertools.count(1)
+        self._bulk_seq = itertools.count(1)
+        self._stream_tasks = {}  # session -> set of streaming tasks
+        self.transfers_opened = 0
+        self.windows_streamed = 0
+        self.fragments_streamed = 0
+        self.bulk_bytes_streamed = 0
+        self.streams_aborted = 0
+        self.register(OPEN_OP, self._open_content)
+
+    def _open_content(self, body):
+        body = body or {}
+        try:
+            nbytes = int(body["nbytes"])
+        except (TypeError, KeyError, ValueError) as exc:
+            raise BrokerError(f"{OPEN_OP} requires integer 'nbytes'") from exc
+        if nbytes < 0:
+            raise BrokerError(f"content size must be >= 0, got {nbytes}")
+        transfer_id = next(self._transfer_ids)
+        self._contents[transfer_id] = (body.get("name", ""), nbytes)
+        self.transfers_opened += 1
+        return {"transfer_id": transfer_id, "nbytes": nbytes}
+
+    # -- inbound stream frames ------------------------------------------------
+
+    def _on_stream(self, session, message):
+        if isinstance(message, WindowRequest):
+            if message.transfer_id not in self._contents:
+                # A window against nothing we opened is a protocol
+                # violation, same as any other unexpected frame.
+                return super()._on_stream(session, message)
+            task = asyncio.ensure_future(
+                self._stream_window(session, message))
+            tasks = self._stream_tasks.setdefault(session, set())
+            tasks.add(task)
+            task.add_done_callback(tasks.discard)
+            return
+        super()._on_stream(session, message)
+
+    async def _stream_window(self, session, request):
+        """Send one window of fragments, throttle-paced and drain-gated."""
+        _, total = self._contents[request.transfer_id]
+        # An offset at (or past) the end is a legitimate race, not a
+        # violation: the reply is one empty terminal fragment.
+        offset = min(max(0, request.offset), total)
+        end = min(total, offset + max(0, request.window_bytes))
+        fragment_bytes = max(1, request.fragment_bytes)
+        rec = telemetry.RECORDER
+        try:
+            while True:
+                size = min(fragment_bytes, end - offset)
+                last_in_window = offset + size >= end
+                last_in_transfer = offset + size >= total
+                if self.throttle is not None and size > 0:
+                    await self.throttle.acquire(size)
+                if session.closed:
+                    return
+                session.channel.send(Fragment(
+                    connection_id="broker", seq=next(self._bulk_seq),
+                    transfer_id=request.transfer_id, offset=offset,
+                    nbytes=size, last_in_window=last_in_window,
+                    last_in_transfer=last_in_transfer,
+                ))
+                # The backpressure point: a receiver that stops reading
+                # parks the stream here until its socket drains.
+                await session.channel.drain()
+                self.fragments_streamed += 1
+                self.bulk_bytes_streamed += size
+                if rec.enabled:
+                    rec.count("live.fragments", client=session.name)
+                offset += size
+                if last_in_window:
+                    break
+            self.windows_streamed += 1
+        except asyncio.CancelledError:
+            self.streams_aborted += 1
+            raise
+        except Exception:  # noqa: BLE001 - a dead receiver ends its own stream
+            self.streams_aborted += 1
+            if rec.enabled:
+                rec.count("live.streams_aborted", client=session.name)
+
+    # -- teardown -------------------------------------------------------------
+
+    def _abort_session_transfers(self, session):
+        for task in self._stream_tasks.pop(session, ()):
+            task.cancel()
+
+    async def _close_bulk(self):
+        tasks = [t for tasks in self._stream_tasks.values() for t in tasks]
+        self._stream_tasks.clear()
+        for task in tasks:
+            task.cancel()
+        if tasks:
+            await asyncio.gather(*tasks, return_exceptions=True)
+
+    def describe_bulk(self):
+        return {
+            "transfers_opened": self.transfers_opened,
+            "windows_streamed": self.windows_streamed,
+            "fragments_streamed": self.fragments_streamed,
+            "bytes_streamed": self.bulk_bytes_streamed,
+            "streams_aborted": self.streams_aborted,
+        }
+
+
+class TransferResult:
+    """What one :meth:`BulkReceiver.fetch` observed."""
+
+    __slots__ = ("transfer_id", "nbytes", "windows", "fragments",
+                 "seconds", "levels")
+
+    def __init__(self, transfer_id):
+        self.transfer_id = transfer_id
+        self.nbytes = 0
+        self.windows = 0
+        self.fragments = 0
+        self.seconds = 0.0
+        #: Availability estimate returned after each window's throughput
+        #: report (None entries predate the first sample).
+        self.levels = []
+
+    @property
+    def rate(self):
+        """Observed end-to-end rate, bytes/s."""
+        return self.nbytes / self.seconds if self.seconds > 0 else 0.0
+
+    @property
+    def level(self):
+        """The viceroy's latest availability estimate for this client."""
+        return self.levels[-1] if self.levels else None
+
+    def __repr__(self):
+        return (f"<TransferResult id={self.transfer_id} "
+                f"bytes={self.nbytes} windows={self.windows} "
+                f"rate={self.rate:.0f}B/s>")
+
+
+class BulkReceiver:
+    """Receiver-driven pulls over one :class:`~repro.broker.BrokerClient`.
+
+    Installs itself as the client's stream handler; fragments route to
+    per-transfer queues, so concurrent fetches of different transfers
+    interleave safely on one connection.
+    """
+
+    def __init__(self, client):
+        self.client = client
+        self._queues = {}  # transfer_id -> asyncio.Queue of Fragment
+        self._seq = itertools.count(1)
+        client.on_stream(self._on_frame)
+
+    def _on_frame(self, message):
+        if isinstance(message, Fragment):
+            queue = self._queues.get(message.transfer_id)
+            if queue is not None:
+                queue.put_nowait(message)
+        # Anything else: not ours; the request/response plane already
+        # handled CallRequest/CallResponse before we were consulted.
+
+    async def open(self, name, nbytes):
+        """Register a blob with the broker; returns its transfer id."""
+        reply = await self.client.call(OPEN_OP,
+                                       {"name": name, "nbytes": nbytes})
+        return reply["transfer_id"]
+
+    async def fetch(self, transfer_id, nbytes,
+                    window_bytes=DEFAULT_WINDOW_BYTES,
+                    fragment_bytes=DEFAULT_FRAGMENT_BYTES,
+                    report=True, timeout=FRAGMENT_TIMEOUT):
+        """Pull ``nbytes`` of an opened transfer, window by window.
+
+        With ``report=True`` (the default) every fragment's arrival and
+        every window's elapsed time go back as ``__report__`` estimation
+        samples — the passive feed the live viceroy shares out.
+        """
+        if transfer_id in self._queues:
+            raise BrokerError(f"transfer {transfer_id} already being fetched")
+        queue = asyncio.Queue()
+        self._queues[transfer_id] = queue
+        result = TransferResult(transfer_id)
+        clock = self.client.clock
+        started = clock.now()
+        try:
+            offset = 0
+            done = False
+            while not done and offset < nbytes:
+                window_started = clock.now()
+                window_got = 0
+                self.client.channel.send(WindowRequest(
+                    connection_id=self.client.name, seq=next(self._seq),
+                    transfer_id=transfer_id, offset=offset,
+                    window_bytes=min(window_bytes, nbytes - offset),
+                    fragment_bytes=fragment_bytes, reply_port="",
+                ))
+                while True:
+                    try:
+                        fragment = await asyncio.wait_for(
+                            queue.get(), timeout)
+                    except asyncio.TimeoutError:
+                        raise RpcTimeout(
+                            f"{self.client.name}: no fragment for transfer "
+                            f"{transfer_id} within {timeout} s"
+                        ) from None
+                    window_got += fragment.nbytes
+                    result.fragments += 1
+                    if report and fragment.nbytes > 0:
+                        await self.client.call(REPORT_OP, {
+                            "kind": "delivery", "nbytes": fragment.nbytes,
+                        })
+                    if fragment.last_in_transfer:
+                        done = True
+                    if fragment.last_in_window:
+                        break
+                offset += window_got
+                result.nbytes += window_got
+                result.windows += 1
+                elapsed = clock.now() - window_started
+                if report and window_got > 0 and elapsed > 0:
+                    reply = await self.client.call(REPORT_OP, {
+                        "kind": "throughput", "seconds": elapsed,
+                        "nbytes": window_got,
+                    })
+                    result.levels.append(reply.get("level"))
+                if window_got == 0:
+                    break  # empty terminal window (offset past the end)
+            result.seconds = clock.now() - started
+            return result
+        finally:
+            self._queues.pop(transfer_id, None)

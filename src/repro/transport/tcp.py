@@ -68,10 +68,23 @@ class TcpChannel(Channel):
     # -- sending ------------------------------------------------------------
 
     def send(self, message):
-        """Serialize and enqueue one message (order-preserving)."""
+        """Serialize and enqueue one message (order-preserving).
+
+        Raises :class:`~repro.errors.TransportError` if the channel is
+        closed — including the window after ``on_close`` has fired — or if
+        the kernel rejects the write; the bare asyncio/OS error never
+        escapes, so senders handle exactly one exception type.
+        """
         self._check_open()
         frame = encode_frame(message)
-        self._writer.write(frame)
+        try:
+            self._writer.write(frame)
+        except (ConnectionError, OSError, RuntimeError) as exc:
+            # The transport died under us before the reader task noticed
+            # (e.g. a racing RST): tear down now and surface the typed error.
+            self._finish(exc)
+            raise TransportError(
+                f"{self.label}: send on dead transport ({exc})") from exc
         self.frames_sent += 1
         self.bytes_sent += len(frame)
         rec = telemetry.RECORDER
@@ -80,8 +93,24 @@ class TcpChannel(Channel):
             rec.count("transport.bytes_sent", len(frame), label=self.label)
 
     async def drain(self):
-        """Backpressure point: wait for the OS send buffer to empty out."""
-        await self._writer.drain()
+        """Backpressure point: wait for the OS send buffer to empty out.
+
+        Bulk senders sit in this call while a slow reader catches up, so
+        this is also where a peer death surfaces mid-transfer — as a typed
+        :class:`~repro.errors.TransportError`, like :meth:`send`, never as
+        the bare ``ConnectionResetError`` asyncio raises underneath.
+        """
+        if self._closed:
+            raise TransportError(
+                f"{self.label}: drain on closed channel"
+                if self._close_exc is None else
+                f"{self.label}: drain on dead transport ({self._close_exc})")
+        try:
+            await self._writer.drain()
+        except (ConnectionError, OSError, RuntimeError) as exc:
+            self._finish(exc)
+            raise TransportError(
+                f"{self.label}: peer died during drain ({exc})") from exc
 
     # -- receiving ----------------------------------------------------------
 

@@ -1,0 +1,240 @@
+"""Bulk transfer over the live broker: windows, fragments, backpressure."""
+
+import asyncio
+
+import pytest
+
+from repro.broker import BrokerClient
+from repro.errors import BrokerError, RemoteCallError
+from repro.live import BulkReceiver, LiveBroker, Throttle
+from repro.rpc.messages import WindowRequest
+
+
+def run(coro):
+    return asyncio.run(asyncio.wait_for(coro, 30.0))
+
+
+async def start_live_broker(**kwargs):
+    broker = LiveBroker(port=0, **kwargs)
+    await broker.start()
+    return broker
+
+
+async def connect_receiver(broker, name):
+    host, port = broker.address
+    client = await BrokerClient(host, port, name).connect()
+    return client, BulkReceiver(client)
+
+
+def test_open_then_fetch_delivers_every_window():
+    async def scenario():
+        broker = await start_live_broker()
+        client, receiver = await connect_receiver(broker, "alpha")
+        try:
+            transfer_id = await receiver.open("blob", 100_000)
+            result = await receiver.fetch(transfer_id, 20_000,
+                                          window_bytes=8_192,
+                                          fragment_bytes=1_024)
+            return result, broker.describe_bulk()
+        finally:
+            await client.close()
+            await broker.close()
+
+    result, bulk = run(scenario())
+    assert result.nbytes == 20_000
+    assert result.windows == 3  # 8 KB + 8 KB + 4 KB remainder
+    assert result.fragments == 20  # ceil per window: 8 + 8 + 4
+    assert bulk["transfers_opened"] == 1
+    assert bulk["windows_streamed"] == 3
+    assert bulk["fragments_streamed"] == 20
+    assert bulk["bytes_streamed"] == 20_000
+
+
+def test_fetch_stops_at_the_end_of_the_content():
+    async def scenario():
+        broker = await start_live_broker()
+        client, receiver = await connect_receiver(broker, "alpha")
+        try:
+            transfer_id = await receiver.open("short", 5_000)
+            # Ask for more than exists: the stream ends at the content.
+            result = await receiver.fetch(transfer_id, 50_000,
+                                          window_bytes=8_192,
+                                          fragment_bytes=2_048)
+            return result
+        finally:
+            await client.close()
+            await broker.close()
+
+    result = run(scenario())
+    assert result.nbytes == 5_000
+    assert result.windows == 1
+
+
+def test_reports_feed_the_estimator_during_a_fetch():
+    async def scenario():
+        broker = await start_live_broker(
+            throttle=Throttle(bandwidth=200_000))
+        client, receiver = await connect_receiver(broker, "alpha")
+        try:
+            transfer_id = await receiver.open("blob", 1 << 20)
+            result = await receiver.fetch(transfer_id, 32_768,
+                                          window_bytes=8_192,
+                                          fragment_bytes=2_048)
+            level = broker.viceroy.availability("alpha")
+            return result, level
+        finally:
+            await client.close()
+            await broker.close()
+
+    result, level = run(scenario())
+    # One throughput sample per window, so the estimate is primed and
+    # lands within sight of the throttle's rate (scheduling noise aside).
+    assert len(result.levels) == result.windows
+    assert result.levels[-1] is not None
+    assert level == pytest.approx(200_000, rel=0.6)
+
+
+def test_throttle_paces_the_stream():
+    async def scenario():
+        broker = await start_live_broker(
+            throttle=Throttle(bandwidth=50_000))
+        client, receiver = await connect_receiver(broker, "alpha")
+        try:
+            transfer_id = await receiver.open("blob", 1 << 20)
+            started = asyncio.get_running_loop().time()
+            await receiver.fetch(transfer_id, 25_000, report=False)
+            return asyncio.get_running_loop().time() - started
+        finally:
+            await client.close()
+            await broker.close()
+
+    elapsed = run(scenario())
+    # 25 kB through a 50 kB/s serial link takes ~0.5 s of link time.
+    assert elapsed >= 0.35
+
+
+def test_unshaped_fetch_is_fast():
+    async def scenario():
+        broker = await start_live_broker()  # throttle=None
+        client, receiver = await connect_receiver(broker, "alpha")
+        try:
+            transfer_id = await receiver.open("blob", 1 << 20)
+            started = asyncio.get_running_loop().time()
+            await receiver.fetch(transfer_id, 256_000, report=False)
+            return asyncio.get_running_loop().time() - started
+        finally:
+            await client.close()
+            await broker.close()
+
+    assert run(scenario()) < 5.0
+
+
+def test_concurrent_fetches_of_one_transfer_are_rejected():
+    async def scenario():
+        broker = await start_live_broker(
+            throttle=Throttle(bandwidth=20_000))
+        client, receiver = await connect_receiver(broker, "alpha")
+        try:
+            transfer_id = await receiver.open("blob", 1 << 20)
+            slow = asyncio.ensure_future(
+                receiver.fetch(transfer_id, 10_000, report=False))
+            await asyncio.sleep(0.05)
+            with pytest.raises(BrokerError, match="already being fetched"):
+                await receiver.fetch(transfer_id, 1_000)
+            await slow
+        finally:
+            await client.close()
+            await broker.close()
+
+    run(scenario())
+
+
+def test_window_against_unknown_transfer_tears_the_session_down():
+    async def scenario():
+        broker = await start_live_broker()
+        client, receiver = await connect_receiver(broker, "alpha")
+        try:
+            client.channel.send(WindowRequest(
+                connection_id="alpha", seq=1, transfer_id=999,
+                offset=0, window_bytes=1024, fragment_bytes=256,
+                reply_port=""))
+            for _ in range(100):
+                if client.channel.closed:
+                    break
+                await asyncio.sleep(0.01)
+            return client.channel.closed, broker.describe()["clients"]
+        finally:
+            await client.close(polite=False)
+            await broker.close()
+
+    closed, remaining = run(scenario())
+    assert closed is True
+    assert remaining == 0
+
+
+def test_offset_past_the_end_yields_an_empty_terminal_window():
+    async def scenario():
+        broker = await start_live_broker()
+        client, receiver = await connect_receiver(broker, "alpha")
+        try:
+            transfer_id = await receiver.open("blob", 1_000)
+            fragments = []
+            queue = asyncio.Queue()
+            receiver._queues[transfer_id] = queue
+            client.channel.send(WindowRequest(
+                connection_id="alpha", seq=1, transfer_id=transfer_id,
+                offset=5_000, window_bytes=1024, fragment_bytes=256,
+                reply_port=""))
+            fragments.append(await asyncio.wait_for(queue.get(), 5.0))
+            return fragments
+        finally:
+            await client.close()
+            await broker.close()
+
+    (fragment,) = run(scenario())
+    assert fragment.nbytes == 0
+    assert fragment.last_in_window is True
+    assert fragment.last_in_transfer is True
+
+
+def test_open_validates_its_body():
+    async def scenario():
+        broker = await start_live_broker()
+        client, receiver = await connect_receiver(broker, "alpha")
+        try:
+            with pytest.raises(RemoteCallError, match="nbytes"):
+                await receiver.open("blob", "not-a-size")
+        finally:
+            await client.close()
+            await broker.close()
+
+    run(scenario())
+
+
+def test_disconnect_mid_stream_aborts_the_transfer_cleanly():
+    async def scenario():
+        broker = await start_live_broker(
+            throttle=Throttle(bandwidth=10_000))
+        client, receiver = await connect_receiver(broker, "beta")
+        try:
+            transfer_id = await receiver.open("blob", 1 << 20)
+            fetch = asyncio.ensure_future(
+                receiver.fetch(transfer_id, 100_000, report=False))
+            await asyncio.sleep(0.15)  # a few fragments in flight
+            await client.close(polite=False)
+            fetch.cancel()
+            try:
+                await fetch
+            except (asyncio.CancelledError, Exception):
+                pass
+            for _ in range(100):
+                if not broker._stream_tasks:
+                    break
+                await asyncio.sleep(0.01)
+            return broker.describe_bulk(), broker.describe()["clients"]
+        finally:
+            await broker.close()
+
+    bulk, remaining = run(scenario())
+    assert remaining == 0
+    assert bulk["streams_aborted"] >= 1

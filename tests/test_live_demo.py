@@ -1,0 +1,106 @@
+"""The checked live demo and its CLI surface."""
+
+import asyncio
+import json
+
+from repro.cli import main
+from repro.live import LiveReport, format_live_report, run_live_demo
+
+
+def run(coro):
+    return asyncio.run(asyncio.wait_for(coro, 60.0))
+
+
+def _warden_row(name, **overrides):
+    row = {
+        "client": name, "app": "video", "fidelity": "jpeg50",
+        "fidelity_changes": 2, "upcalls_received": 1, "renegotiations": 1,
+        "rejections": 0, "chunks": 10, "bytes_fetched": 100_000,
+        "stalls": 0, "failures": 0, "cache_chunks": 0, "reintegrations": 0,
+        "connectivity": "connected",
+    }
+    row.update(overrides)
+    return row
+
+
+def _passing_report(**broker_overrides):
+    report = LiveReport(clients=1, seconds=1.0, high=80_000, low=8_000)
+    report.wardens = [_warden_row("live-0")]
+    report.broker = {"upcalls_sent": 1, "upcalls_acked": 1,
+                     "calls_served": 50, "clients": 0}
+    report.broker.update(broker_overrides)
+    return report
+
+
+# -- the judgement, on synthetic snapshots ------------------------------------
+
+
+def test_check_passes_a_clean_run():
+    report = _passing_report().check()
+    assert report.ok
+    assert report.problems == []
+    assert "OK: every client" in format_live_report(report)
+
+
+def test_check_flags_lost_and_unacked_upcalls():
+    report = _passing_report(upcalls_sent=3, upcalls_acked=2).check()
+    assert not report.ok
+    assert any("lost upcalls" in p for p in report.problems)
+    assert any("unacked upcalls" in p for p in report.problems)
+
+
+def test_check_flags_stuck_adaptation():
+    report = _passing_report(upcalls_sent=0, upcalls_acked=0)
+    report.wardens = [_warden_row("live-0", upcalls_received=0,
+                                  fidelity_changes=0, renegotiations=0)]
+    report.check()
+    assert any("stuck adaptation" in p for p in report.problems)
+    assert any("no upcall received" in p for p in report.problems)
+    assert any("fidelity never changed" in p for p in report.problems)
+    assert any("never re-registered" in p for p in report.problems)
+
+
+def test_check_flags_failures_and_dirty_shutdown():
+    report = _passing_report()
+    report.wardens = [_warden_row("live-0", failures=2)]
+    report.sessions_left = 1
+    report.check()
+    assert any("2 failed exchanges" in p for p in report.problems)
+    assert any("dirty shutdown" in p for p in report.problems)
+    formatted = format_live_report(report)
+    assert "FAILED:" in formatted
+    assert report.to_dict()["ok"] is False
+
+
+# -- one real end-to-end run ---------------------------------------------------
+
+
+def test_live_demo_completes_an_adaptation_cycle_per_client():
+    transitions = []
+
+    def on_transition(name, when, level, rung):
+        transitions.append((name, rung))
+
+    report = run(run_live_demo(clients=2, seconds=1.5,
+                               on_transition=on_transition))
+    assert report.ok, report.problems
+    assert report.upcalls_received >= 2
+    assert report.sessions_left == 0
+    assert len(transitions) >= 2
+    assert {name for name, _ in transitions} == {"live-0", "live-1"}
+    payload = report.to_dict()
+    assert payload["ok"] is True
+    assert len(payload["wardens"]) == 2
+    json.dumps(payload)  # the CLI writes this; it must be serializable
+
+
+def test_cli_live_smoke(tmp_path, capsys):
+    out = tmp_path / "live.json"
+    code = main(["live", "--clients", "2", "--seconds", "1.5",
+                 "--quiet", "--json-out", str(out)])
+    assert code == 0
+    payload = json.loads(out.read_text())
+    assert payload["ok"] is True
+    assert payload["clients"] == 2
+    captured = capsys.readouterr()
+    assert "OK: every client" in captured.out

@@ -1,0 +1,65 @@
+"""Golden regression: the live stack must not perturb the deterministic sim.
+
+Same contract :mod:`tests.test_transport_golden` enforces for the
+transport layer, one level up: importing :mod:`repro.live` — and even
+running a full live demo (broker, wardens, wall-clock estimation, real
+sockets) in this process — leaves every seeded simulation byte-identical
+at any ``--jobs``.  The live viceroy reuses the sim's estimation classes
+through :class:`~repro.live.viceroy.WallSim`; this test is what proves
+that reuse reads the substrate without writing to it.
+"""
+
+# Import order is the point: the live stack loads first.
+import asyncio
+
+import repro.live  # noqa: F401
+from repro.chaos import run_chaos_fleet
+from repro.experiments.demand import run_demand_trial
+from repro.experiments.supply import run_supply_trial
+from repro.fleet import run_fleet
+from repro.live import run_live_demo
+
+from tests.test_sim_determinism import (
+    GOLDEN_FIG8_STEP_DOWN_SEED1,
+    GOLDEN_FIG8_STEP_UP_SEED0,
+    GOLDEN_FIG9_SECOND_SEED0,
+    GOLDEN_FIG9_TOTAL_SEED0,
+    fingerprint,
+)
+
+
+def test_fig8_fig9_fingerprints_survive_the_live_import():
+    assert fingerprint(run_supply_trial("step-up", seed=0).series) \
+        == GOLDEN_FIG8_STEP_UP_SEED0
+    assert fingerprint(run_supply_trial("step-down", seed=1).series) \
+        == GOLDEN_FIG8_STEP_DOWN_SEED1
+    trial = run_demand_trial(0.45, seed=0)
+    assert fingerprint(trial.total_series) == GOLDEN_FIG9_TOTAL_SEED0
+    assert fingerprint(trial.second_series) == GOLDEN_FIG9_SECOND_SEED0
+
+
+def test_fingerprints_survive_a_live_demo_in_process():
+    """Harsher than importing: run the whole adapting stack — wall-clock
+    viceroy, throttled bulk plane, real upcalls — then re-run a seeded
+    experiment.  Still byte-identical: live estimation state lives on the
+    broker instance, never on the shared estimation modules."""
+
+    report = asyncio.run(asyncio.wait_for(
+        run_live_demo(clients=2, seconds=1.2), 60.0))
+    assert report.ok, report.problems
+    assert fingerprint(run_supply_trial("step-up", seed=0).series) \
+        == GOLDEN_FIG8_STEP_UP_SEED0
+    trial = run_demand_trial(0.45, seed=0)
+    assert fingerprint(trial.total_series) == GOLDEN_FIG9_TOTAL_SEED0
+
+
+def test_fleet_and_chaos_fingerprints_are_jobs_invariant_here():
+    """The parallel path too: worker processes import repro.live via this
+    module, and the merged fingerprints must match serial at any --jobs."""
+    fleet_kwargs = dict(clients=32, shards=2, duration=6.0, prime=3.0,
+                        cache=None)
+    assert run_fleet(jobs=1, **fleet_kwargs).fingerprint() \
+        == run_fleet(jobs=2, **fleet_kwargs).fingerprint()
+    chaos_kwargs = dict(shards=2, duration=8.0, cache=None)
+    assert run_chaos_fleet(16, jobs=1, **chaos_kwargs).fingerprint() \
+        == run_chaos_fleet(16, jobs=2, **chaos_kwargs).fingerprint()

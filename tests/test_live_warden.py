@@ -1,0 +1,199 @@
+"""The live warden: negotiation, adaptation, and disconnected handoff."""
+
+import asyncio
+
+import pytest
+
+from repro.broker import BrokerClient
+from repro.broker.server import REPORT_OP
+from repro.errors import BrokerError
+from repro.live import FidelityProfile, LiveBroker, LiveWarden, Throttle
+from repro.live.warden import video_profile, web_profile
+
+
+def run(coro):
+    return asyncio.run(asyncio.wait_for(coro, 30.0))
+
+
+async def start_live_broker(**kwargs):
+    broker = LiveBroker(port=0, **kwargs)
+    await broker.start()
+    return broker
+
+
+def make_warden(broker, name, **kwargs):
+    host, port = broker.address
+    return LiveWarden(host, port, name, **kwargs)
+
+
+# -- profiles and ladder arithmetic (no sockets) ------------------------------
+
+
+def test_profiles_mirror_the_app_fidelity_tables():
+    video = video_profile()
+    assert video.levels == (0.01, 0.50, 1.00)
+    assert video.name_of(0.01) == "bw"
+    assert video.name_of(1.00) == "jpeg99"
+    web = web_profile()
+    assert web.levels == (0.05, 0.25, 0.50, 1.00)
+    assert web.name_of(1.00) == "original"
+
+
+def test_empty_profile_is_rejected():
+    with pytest.raises(BrokerError, match="no fidelity levels"):
+        FidelityProfile("hollow", {})
+
+
+def test_demand_scales_with_fidelity():
+    warden = LiveWarden.__new__(LiveWarden)
+    warden.chunk_bytes = 16 * 1024
+    warden.period = 0.25
+    warden.profile = video_profile()
+    assert warden.demand(1.0) == pytest.approx(65_536)
+    assert warden.demand(0.5) == pytest.approx(32_768)
+    assert warden.demand(0.01) == pytest.approx(655.36)
+
+
+def test_best_level_for_walks_the_ladder():
+    warden = LiveWarden.__new__(LiveWarden)
+    warden.chunk_bytes = 16 * 1024
+    warden.period = 0.25
+    warden.profile = video_profile()
+    assert warden.best_level_for(None) == 1.0  # optimistic
+    assert warden.best_level_for(100_000) == 1.0
+    assert warden.best_level_for(40_000) == 0.5
+    assert warden.best_level_for(1_000) == 0.01
+    assert warden.best_level_for(0.0) == 0.01  # floor rung, always
+
+
+def test_windows_carry_the_fleet_guards():
+    warden = LiveWarden.__new__(LiveWarden)
+    warden.chunk_bytes = 16 * 1024
+    warden.period = 0.25
+    warden.profile = video_profile()
+    lower, upper = warden.window_for_level(0.01)
+    assert lower == 0.0  # bottom rung never violates downward
+    assert upper == pytest.approx(32_768 * 1.3)
+    lower, upper = warden.window_for_level(1.0)
+    assert lower == pytest.approx(65_536 * 0.8)
+    assert upper == 1e12  # top rung never violates upward
+    lower, upper = warden.window_for_level(0.5)
+    assert lower == pytest.approx(32_768 * 0.8)
+    assert upper == pytest.approx(65_536 * 1.3)
+
+
+# -- the full loop against a live broker --------------------------------------
+
+
+def test_warden_settles_on_the_rung_the_link_sustains():
+    async def scenario():
+        broker = await start_live_broker(
+            throttle=Throttle(bandwidth=40_000))
+        warden = make_warden(broker, "settler")
+        try:
+            await warden.start()
+            await warden.run(2.0)
+            return warden.describe(), warden.fidelity
+        finally:
+            await warden.stop()
+            await broker.close()
+
+    snapshot, fidelity = run(scenario())
+    # 40 kB/s sustains jpeg50 (demand 32 kB/s) but not jpeg99 (64 kB/s):
+    # the optimistic start violates, the upcall lands, jpeg50 holds.
+    assert fidelity == 0.5
+    assert snapshot["fidelity"] == "jpeg50"
+    assert snapshot["upcalls_received"] >= 1
+    assert snapshot["renegotiations"] >= 1
+    assert snapshot["fidelity_changes"] >= 1
+    assert snapshot["failures"] == 0
+    assert snapshot["chunks"] >= 3
+
+
+def test_primed_broker_rejects_the_optimistic_window():
+    async def scenario():
+        broker = await start_live_broker()
+        primer = await BrokerClient(*broker.address, "primer").connect()
+        for _ in range(3):
+            await primer.call(REPORT_OP, {
+                "kind": "throughput", "seconds": 1.0, "nbytes": 20_000,
+            })
+        await primer.close()
+        for _ in range(100):
+            if not broker.viceroy.clients:
+                break
+            await asyncio.sleep(0.01)
+        warden = make_warden(broker, "latecomer")
+        try:
+            await warden.start()
+            return warden.describe(), warden.fidelity
+        finally:
+            await warden.stop()
+            await broker.close()
+
+    snapshot, fidelity = run(scenario())
+    # ~20 kB/s on the books: the top rung's window (lower ~52 kB/s) is
+    # structurally rejected and the warden re-anchors without an upcall.
+    assert snapshot["rejections"] >= 1
+    assert fidelity < 1.0
+    assert snapshot["upcalls_received"] == 0
+
+
+def test_disconnected_handoff_serves_the_cache_and_reintegrates():
+    async def scenario():
+        broker = await start_live_broker()
+        warden = make_warden(broker, "roamer", probe_interval=60.0)
+        try:
+            await warden.start()
+            await warden._cycle()  # one online chunk seeds the cache
+            online_chunks = warden.chunks
+            tracker = warden.client.tracker
+            for _ in range(4):
+                tracker.note_failure()
+            offline = tracker.offline
+            await warden._cycle()
+            await warden._cycle()
+            cache_chunks = warden.cache_chunks
+            chunks_while_offline = warden.chunks - online_chunks
+            while tracker.offline:
+                tracker.note_success()
+            await warden._cycle()  # reintegration renegotiates here
+            return (warden.describe(), offline, cache_chunks,
+                    chunks_while_offline)
+        finally:
+            await warden.stop()
+            await broker.close()
+
+    snapshot, offline, cache_chunks, chunks_while_offline = run(scenario())
+    assert offline is True
+    assert cache_chunks == 2
+    assert chunks_while_offline == 0  # no network traffic while offline
+    assert snapshot["reintegrations"] == 1
+    assert snapshot["renegotiations"] >= 1
+    assert snapshot["connectivity"] == "connected"
+
+
+def test_connectivity_transitions_are_journaled():
+    async def scenario():
+        broker = await start_live_broker()
+        warden = make_warden(broker, "journal", probe_interval=60.0)
+        try:
+            await warden.start()
+            tracker = warden.client.tracker
+            for _ in range(4):
+                tracker.note_failure()
+            while tracker.offline:
+                tracker.note_success()
+            return [(t.source.value, t.target.value)
+                    for t in warden.connectivity_log]
+        finally:
+            await warden.stop()
+            await broker.close()
+
+    hops = run(scenario())
+    assert hops == [
+        ("connected", "degraded"),
+        ("degraded", "disconnected"),
+        ("disconnected", "reconnecting"),
+        ("reconnecting", "connected"),
+    ]

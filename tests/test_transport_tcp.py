@@ -231,3 +231,100 @@ def test_control_messages_cross_the_wire():
 
     (ack,) = run(scenario())
     assert ack == WindowAck("c", 9, 4, 65536)
+
+
+def test_send_after_peer_death_raises_typed_error():
+    """Regression: a send racing the peer's reset surfaced the bare OS
+    error; it must always be the typed TransportError."""
+
+    async def scenario():
+        server, server_channels = await start_echo_server()
+        closes = []
+        client = await connect_tcp("127.0.0.1", server.port,
+                                   lambda m: None,
+                                   on_close=closes.append)
+        while not server_channels:
+            await asyncio.sleep(0.001)
+        server_channels[0]._writer.transport.abort()  # RST, not FIN
+        await client.wait_closed()
+        outcomes = []
+        try:
+            client.send(request(1))
+        except TransportError as exc:
+            outcomes.append(exc)
+        await server.close()
+        return closes, outcomes
+
+    closes, outcomes = run(scenario())
+    assert len(closes) == 1  # on_close fired exactly once despite the race
+    assert len(outcomes) == 1
+
+
+def test_drain_on_a_dead_channel_raises_typed_error():
+    """Regression: drain after a peer death raised the bare
+    ConnectionResetError asyncio stores on the transport."""
+
+    async def scenario():
+        server, server_channels = await start_echo_server()
+        client = await connect_tcp("127.0.0.1", server.port,
+                                   lambda m: None)
+        while not server_channels:
+            await asyncio.sleep(0.001)
+        server_channels[0]._writer.transport.abort()
+        await client.wait_closed()
+        with pytest.raises(TransportError, match="drain on"):
+            await client.drain()
+        await server.close()
+
+    run(scenario())
+
+
+def test_drain_applies_backpressure_against_a_slow_reader():
+    """A sender that drains must park until the reader catches up; the
+    send buffer cannot balloon past the write high-water mark."""
+
+    import socket as socket_module
+
+    async def scenario():
+        channels = []
+        server = await serve_tcp(
+            lambda ch: channels.append(ch.open(lambda m: None)))
+        reader, writer = await asyncio.open_connection(
+            "127.0.0.1", server.port)
+        while not channels:
+            await asyncio.sleep(0.001)
+        sender = channels[0]
+        # Shrink every buffer between the two ends so backpressure bites
+        # within a few frames instead of a few megabytes.
+        sender._writer.transport.set_write_buffer_limits(high=16 * 1024)
+        for transport_sock in (
+                sender._writer.transport.get_extra_info("socket"),
+                writer.get_extra_info("socket")):
+            transport_sock.setsockopt(socket_module.SOL_SOCKET,
+                                      socket_module.SO_SNDBUF, 16 * 1024)
+            transport_sock.setsockopt(socket_module.SOL_SOCKET,
+                                      socket_module.SO_RCVBUF, 16 * 1024)
+        delay = 0.4
+        loop = asyncio.get_running_loop()
+
+        async def consume_after_delay():
+            await asyncio.sleep(delay)
+            while await reader.read(64 * 1024):
+                pass
+
+        consumer = asyncio.ensure_future(consume_after_delay())
+        blob = b"x" * 65536
+        started = loop.time()
+        for seq in range(128):  # ~8 MB >> every buffer in the path
+            sender.send(request(seq, body={"blob": blob}))
+            await sender.drain()
+        elapsed = loop.time() - started
+        sender.close()
+        await consumer
+        writer.close()
+        await server.close()
+        return elapsed
+
+    elapsed = run(scenario())
+    # The sender cannot finish before the reader starts reading.
+    assert elapsed >= 0.3
