@@ -75,8 +75,13 @@ def _cmd_speedup(args):
 def _cmd_compare(args):
     current = headline_metrics(load_report(args.json))
     baseline = load_baseline(args.baseline)
+    only = None
+    if args.metrics:
+        only = [name for name in
+                (part.strip() for part in args.metrics.split(",")) if name]
     report = compare_metrics(current, baseline,
-                             tolerance_scale=args.tolerance_scale)
+                             tolerance_scale=args.tolerance_scale,
+                             only=only)
     print(format_report(report))
     return 0 if report.ok else 1
 
@@ -104,6 +109,9 @@ def build_parser():
                    help=f"baseline to compare against (default {DEFAULT_BASELINE})")
     p.add_argument("--tolerance-scale", type=float, default=1.0,
                    help="multiply every tolerance band")
+    p.add_argument("--metrics",
+                   help="comma-separated metric names: compare only these "
+                        "(each must exist in the baseline)")
     p.set_defaults(fn=_cmd_compare)
 
     p = sub.add_parser("speedup",

@@ -9,7 +9,16 @@ the paper's published numbers, and records headline values in
 Run with::
 
     pytest benchmarks/ --benchmark-only -s
+
+Set ``REPRO_BENCH_PROFILE_DIR`` (or run ``repro bench --profile``) to run
+every benchmark under :mod:`cProfile`: each test writes a ``.pstats`` dump
+plus a top-20 cumulative-time table into that directory.  Profiler
+overhead distorts the timings, so profiled runs are for reading, never
+for baselines.
 """
+
+import os
+import re
 
 import pytest
 
@@ -60,6 +69,36 @@ def _parallel_overrides(jobs, request):
     timeout = resolve_timeout(request.config.getoption("--repro-timeout"))
     with overrides(jobs=jobs, cache=None, timeout=timeout):
         yield
+
+
+@pytest.fixture(autouse=True)
+def _profile(request):
+    """Profile the whole test when ``REPRO_BENCH_PROFILE_DIR`` is set.
+
+    One profile per benchmark: ``<test>.pstats`` for ``snakeviz``/``pstats``
+    tooling, ``<test>.txt`` with the top 20 functions by cumulative time
+    for eyes.  Future perf work starts from these instead of guessing.
+    """
+    directory = os.environ.get("REPRO_BENCH_PROFILE_DIR")
+    if not directory:
+        yield
+        return
+    import cProfile
+    import pstats
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        yield
+    finally:
+        profiler.disable()
+        os.makedirs(directory, exist_ok=True)
+        stem = re.sub(r"[^\w.-]+", "_", request.node.name)
+        profiler.dump_stats(os.path.join(directory, f"{stem}.pstats"))
+        with open(os.path.join(directory, f"{stem}.txt"), "w",
+                  encoding="utf-8") as fh:
+            stats = pstats.Stats(profiler, stream=fh)
+            stats.sort_stats("cumulative").print_stats(20)
 
 
 def run_once(benchmark, fn, *args, **kwargs):

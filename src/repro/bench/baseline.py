@@ -257,12 +257,15 @@ class ComparisonReport:
         return not self.regressions and not self.missing
 
 
-def compare_metrics(current, baseline_doc, tolerance_scale=1.0):
+def compare_metrics(current, baseline_doc, tolerance_scale=1.0, only=None):
     """Judge ``current`` (``{metric: value}``) against a baseline document.
 
     ``tolerance_scale`` multiplies every per-metric tolerance — CI uses a
     generous scale so shared-runner noise cannot fail the gate while a
-    genuine slowdown still does.
+    genuine slowdown still does.  ``only`` restricts the judgement to the
+    named baseline metrics (the strict kernel gate runs a handful of
+    metrics at scale 1.0 while the rest keep their bands); naming a
+    metric the baseline lacks is an error, not a vacuous pass.
     """
     if tolerance_scale < _MIN_TOLERANCE:
         raise BenchmarkError(
@@ -270,6 +273,15 @@ def compare_metrics(current, baseline_doc, tolerance_scale=1.0):
         )
     report = ComparisonReport()
     baseline_metrics = baseline_doc["metrics"]
+    if only is not None:
+        unknown = sorted(set(only) - set(baseline_metrics))
+        if unknown:
+            raise BenchmarkError(
+                f"--metrics names absent from the baseline: {unknown}"
+            )
+        baseline_metrics = {name: baseline_metrics[name] for name in only}
+        current = {name: value for name, value in current.items()
+                   if name in baseline_metrics}
     for name, entry in sorted(baseline_metrics.items()):
         value = entry["value"]
         tolerance = entry.get("tolerance", DEFAULT_TOLERANCE) * tolerance_scale

@@ -315,8 +315,15 @@ def _cmd_bench(args):
                                             suffix=".json")
             os.close(fd)
             paths = args.paths or list(BENCH_DEFAULT_PATHS)
+            # Profiled runs swap --benchmark-only for --benchmark-disable
+            # (pytest-benchmark rejects the pair): cProfile's hook cannot
+            # survive pytest-benchmark's save/restore of sys.getprofile()
+            # around its timed sections, and profiled timings are
+            # worthless anyway, so each benchmark runs once as a plain
+            # call under the profiler.
             command = [
-                sys.executable, "-m", "pytest", "-q", "--benchmark-only",
+                sys.executable, "-m", "pytest", "-q",
+                "--benchmark-disable" if args.profile else "--benchmark-only",
                 f"--benchmark-json={run_json}", *paths,
             ]
             if args.jobs != 1:
@@ -327,11 +334,25 @@ def _cmd_bench(args):
                 p for p in (os.path.join(_REPO_ROOT, "src"),
                             env.get("PYTHONPATH")) if p
             )
+            if args.profile:
+                profile_dir = os.path.join(args.out_dir, "profiles")
+                env["REPRO_BENCH_PROFILE_DIR"] = profile_dir
+                print(f"# profiling into {profile_dir}/ "
+                      "(pstats dump + top-20 table per benchmark)",
+                      file=sys.stderr)
             proc = subprocess.run(command, env=env)
             if proc.returncode != 0:
                 print(f"error: benchmark run failed (exit {proc.returncode})",
                       file=sys.stderr)
                 return proc.returncode
+            if args.profile:
+                # Profiler overhead distorts every timing, so a profiled
+                # run never records a trajectory point, never refreshes
+                # the baseline, and never judges a comparison.
+                print("# profile run: skipping capture and baseline "
+                      "comparison (timings carry profiler overhead)",
+                      file=sys.stderr)
+                return 0
         metrics = headline_metrics(load_report(run_json))
         if not metrics:
             raise BenchmarkError(f"no metrics found in {run_json!r}")
@@ -369,8 +390,14 @@ def _cmd_bench(args):
             print("hint: seed one with `repro bench --update-baseline`",
                   file=sys.stderr)
             return 2
+        only = None
+        if args.metrics:
+            only = [name for name in
+                    (part.strip() for part in args.metrics.split(","))
+                    if name]
         report = compare_metrics(current=metrics, baseline_doc=baseline,
-                                 tolerance_scale=args.tolerance_scale)
+                                 tolerance_scale=args.tolerance_scale,
+                                 only=only)
         print(format_report(report))
         return 0 if report.ok else 1
     except BenchmarkError as exc:
@@ -399,14 +426,14 @@ def _run_telemetry_scenario(args):
 
 def _cmd_telemetry(args):
     from repro import telemetry
-    from repro.telemetry.export import metrics_summary, write_events_jsonl
+    from repro.telemetry.export import metrics_summary, write_recorder_jsonl
 
     with telemetry.enabled() as rec:
         _run_telemetry_scenario(args)
     if args.events_out:
-        count = write_events_jsonl(rec.trace.events(), args.events_out)
+        count, dropped = write_recorder_jsonl(rec, args.events_out)
         print(f"# wrote {count} events to {args.events_out} "
-              f"({rec.trace.dropped} dropped)", file=sys.stderr)
+              f"({dropped} dropped)", file=sys.stderr)
     print(metrics_summary(rec.registry.snapshot()), end="")
     return 0
 
@@ -822,6 +849,14 @@ def build_parser():
                         "(passed to pytest as --repro-jobs)")
     p.add_argument("--tolerance-scale", type=float, default=1.0,
                    help="multiply every tolerance band")
+    p.add_argument("--metrics", metavar="NAMES",
+                   help="comma-separated metric names: compare only these "
+                        "(each must exist in baseline and run)")
+    p.add_argument("--profile", action="store_true",
+                   help="run each benchmark under cProfile, writing a "
+                        ".pstats dump and top-20 cumulative table per "
+                        "benchmark to OUT_DIR/profiles/ (skips capture "
+                        "and comparison: profiled timings are distorted)")
     p.add_argument("--update-baseline", action="store_true",
                    help="refresh the baseline from this run instead of "
                         "comparing")
@@ -838,13 +873,13 @@ def _run_command(args):
         # the runner merges per-worker event shards into this recorder in
         # unit order, labelling each event with the worker's pid.
         from repro import telemetry
-        from repro.telemetry.export import write_events_jsonl
+        from repro.telemetry.export import write_recorder_jsonl
 
         with telemetry.enabled() as rec:
             status = args.fn(args)
-        count = write_events_jsonl(rec.trace.events(), events_out)
+        count, dropped = write_recorder_jsonl(rec, events_out)
         print(f"# wrote {count} events to {events_out} "
-              f"({rec.trace.dropped} dropped)", file=sys.stderr)
+              f"({dropped} dropped)", file=sys.stderr)
         return status
     return args.fn(args)
 

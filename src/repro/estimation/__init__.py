@@ -11,6 +11,10 @@ Implements the viceroy's estimation machinery:
   estimated from *all* logs (aggregate bytes moved during each observed
   window), split per connection into a competed-for part proportional to
   recent use plus a fair-share lower bound.
+- :class:`BatchedEstimator` — the fleet-scale twin of :class:`EwmaFilter`:
+  one vectorized Eq. 1 step across every connection in a shard,
+  bit-identical to the scalar filter (numpy is scoped to this one module
+  and optional — without it the lanes fall back to scalar filters).
 - :mod:`repro.estimation.agility` — settling time, detection delay and
   tracking error: the metrics behind Figs. 8 and 9.
 
@@ -29,10 +33,12 @@ from repro.estimation.agility import (
     tracking_error,
 )
 from repro.estimation.bandwidth import ConnectionEstimator
+from repro.estimation.batch import BatchedEstimator
 from repro.estimation.ewma import EwmaFilter
 from repro.estimation.share import ClientShares
 
 __all__ = [
+    "BatchedEstimator",
     "ClientShares",
     "ConnectionEstimator",
     "EwmaFilter",

@@ -44,7 +44,7 @@ class ConnectionEstimator:
     def __init__(self, sim, connection_id=None,
                  rtt_gain=RTT_GAIN, throughput_gain=THROUGHPUT_GAIN,
                  rtt_rise_cap=RTT_RISE_CAP, eq2_rtt="base",
-                 aggregate_own_log=True):
+                 aggregate_own_log=True, batch=None):
         if eq2_rtt not in ("base", "smoothed"):
             raise ValueError(f"eq2_rtt must be 'base' or 'smoothed', got {eq2_rtt!r}")
         self.sim = sim
@@ -59,9 +59,20 @@ class ConnectionEstimator:
         #: each window in isolation, so a pipelined endpoint undercounts.
         self.aggregate_own_log = aggregate_own_log
         self.rtt_filter = EwmaFilter(rtt_gain, rise_cap=rtt_rise_cap)
-        self.bandwidth_filter = EwmaFilter(throughput_gain)
-        self.history = []  # (time, bandwidth estimate)
+        self._history = []  # (time, bandwidth estimate)
         self._rtt_window = deque()  # (time, raw sample)
+        # ``batch`` (a repro.estimation.batch.BatchedEstimator sharing this
+        # estimator's throughput gain) moves the Eq. 1 throughput filter
+        # into a vectorized lane: updates are deferred and folded across
+        # the whole shard in array ops, bit-identical to the scalar filter.
+        # The RTT side stays scalar — its windowed minimum is read on
+        # every Eq. 2 sample, so there is nothing to defer.
+        if batch is None:
+            self.bandwidth_filter = EwmaFilter(throughput_gain)
+            self._lane = None
+        else:
+            self.bandwidth_filter = batch.add_lane(history=self._history)
+            self._lane = self.bandwidth_filter
 
     @property
     def round_trip(self):
@@ -87,6 +98,17 @@ class ConnectionEstimator:
         """Smoothed bandwidth estimate in bytes/s, or None before any sample."""
         return self.bandwidth_filter.value
 
+    @property
+    def history(self):
+        """(time, bandwidth estimate) pairs, one per throughput window.
+
+        Under a batched lane the pairs materialize at flush time, so the
+        lane is flushed before the list is handed out.
+        """
+        if self._lane is not None:
+            self._lane.flush()
+        return self._history
+
     def on_round_trip(self, log, entry):
         """Absorb a round-trip log entry."""
         capped_before = self.rtt_filter.capped_rises
@@ -109,10 +131,17 @@ class ConnectionEstimator:
                           sample=entry.seconds, estimate=self.round_trip)
 
     def on_throughput(self, log, entry):
-        """Absorb a throughput log entry; returns the new estimate."""
+        """Absorb a throughput log entry; returns the new estimate.
+
+        Under a batched lane the estimate is deferred and ``None`` is
+        returned — unless telemetry is live, which forces the fold so the
+        gauge carries the post-sample value.
+        """
         estimate, sample = self._absorb_throughput(log, entry)
         rec = telemetry.RECORDER
         if rec.enabled:
+            if estimate is None:
+                estimate = self.bandwidth_filter.value  # flushes the lane
             span = rec.begin("estimator.update", connection=self.connection_id)
             rec.gauge("estimation.bandwidth_bytes_per_s", estimate,
                       connection=self.connection_id)
@@ -124,11 +153,17 @@ class ConnectionEstimator:
         """The uninstrumented Eq. 1/2 update; returns (estimate, sample).
 
         Kept separate from :meth:`on_throughput` so the telemetry overhead
-        benchmark can time the pure computation as its baseline.
+        benchmark can time the pure computation as its baseline.  With a
+        batched lane the Eq. 1 fold (and the history append) is deferred
+        to the next vectorized flush and the estimate slot is ``None``.
         """
         sample = self.bandwidth_sample(entry, log)
+        lane = self._lane
+        if lane is not None:
+            lane.defer(self.sim.now, sample)
+            return None, sample
         estimate = self.bandwidth_filter.update(sample)
-        self.history.append((self.sim.now, estimate))
+        self._history.append((self.sim.now, estimate))
         return estimate, sample
 
     def bandwidth_sample(self, entry, log=None):

@@ -1,0 +1,264 @@
+"""Vectorized EWMA estimation for fleet-scale shards.
+
+:mod:`repro.estimation.ewma` is the scalar reference — one filter, one
+Python float, no dependencies — and stays the arithmetic ground truth.
+At fleet scale a shard runs one Eq. 1 throughput filter per connection,
+and the per-connection estimates are write-only while the shard runs (the
+odyssey policy reads only the shared total and the RTT side), so this
+module batches them: a :class:`BatchedEstimator` keeps every lane's state
+in flat arrays and applies one update step **across all lanes in a single
+vectorized operation**, and a :class:`LaneFilter` defers a lane's samples
+(telemetry-style) until someone reads a value.
+
+Element-wise the arrays compute exactly the scalar expressions —
+``gain * sample + (1 - gain) * value`` and the rise cap's
+``base * (1 + rise_cap)`` with its additive floor — as single IEEE-754
+double operations in the same order, so a batched lane is **bit-identical**
+to a scalar :class:`~repro.estimation.ewma.EwmaFilter` fed the same
+samples (the property suite in ``tests/test_estimation_batch.py`` holds
+this to exact equality, not approximation).
+
+numpy's scope ends at this file: it is imported here only, and when it is
+unavailable every lane falls back to a scalar ``EwmaFilter`` — same
+results, no vectorization — so the rest of the package stays
+dependency-free.
+"""
+
+from repro.errors import ReproError
+from repro.estimation.ewma import EwmaFilter
+
+try:
+    import numpy as _np
+except ImportError:  # pragma: no cover - the toolchain ships numpy
+    _np = None
+
+#: True when the vectorized backend is in use (numpy importable).
+HAVE_NUMPY = _np is not None
+
+#: Deferred samples across all lanes that trigger an automatic flush, so
+#: an unread estimator cannot grow its pending queues without bound.
+_FLUSH_THRESHOLD = 4096
+
+
+class LaneFilter:
+    """One lane's view of a :class:`BatchedEstimator`.
+
+    Quacks like the slice of :class:`~repro.estimation.ewma.EwmaFilter`
+    the estimation stack uses (``update``/``defer``, ``value``,
+    ``primed``, ``updates``, ``capped_rises``), but the state lives in the
+    batch's arrays.  Reading any of them flushes the batch first, so a
+    lane is always observed fully folded.
+    """
+
+    __slots__ = ("_batch", "_lane")
+
+    def __init__(self, batch, lane):
+        self._batch = batch
+        self._lane = lane
+
+    def defer(self, t, sample):
+        """Queue ``sample`` (observed at time ``t``) for the next flush."""
+        self._batch.defer(self._lane, t, sample)
+
+    def flush(self):
+        """Fold every queued sample (whole batch, not just this lane)."""
+        self._batch.flush()
+
+    def update(self, sample):
+        """Scalar-compatible eager update: defer, flush, return the value."""
+        self._batch.defer(self._lane, None, sample)
+        self._batch.flush()
+        return self._batch.value(self._lane)
+
+    @property
+    def value(self):
+        return self._batch.value(self._lane)
+
+    @property
+    def primed(self):
+        return self._batch.value(self._lane) is not None
+
+    @property
+    def updates(self):
+        return self._batch.lane_updates(self._lane)
+
+    @property
+    def capped_rises(self):
+        return self._batch.lane_capped_rises(self._lane)
+
+
+class BatchedEstimator:
+    """Eq. 1 smoothing for many lanes, one array op per update round.
+
+    Parameters match :class:`~repro.estimation.ewma.EwmaFilter` and apply
+    to every lane: ``gain`` in (0, 1], an optional fractional ``rise_cap``,
+    and the cap's additive ``rise_floor`` for recovery from a value at or
+    below zero.  Lanes are created with :meth:`add_lane` (optionally
+    seeded) and updated either all at once via :meth:`update` — ``None``
+    (or NaN) skips a lane — or lazily via :meth:`defer`/:meth:`flush`,
+    which folds each lane's queued samples in order, one vectorized round
+    per queue depth.
+    """
+
+    def __init__(self, gain, rise_cap=None, rise_floor=1.0):
+        if not 0 < gain <= 1:
+            raise ReproError(f"gain must be in (0, 1], got {gain!r}")
+        if rise_cap is not None and rise_cap <= 0:
+            raise ReproError(f"rise_cap must be positive, got {rise_cap!r}")
+        if rise_floor <= 0:
+            raise ReproError(f"rise_floor must be positive, got {rise_floor!r}")
+        self.gain = gain
+        self.rise_cap = rise_cap
+        self.rise_floor = rise_floor
+        self._n = 0
+        if HAVE_NUMPY:
+            self._values = _np.full(16, _np.nan)
+            self._updates = _np.zeros(16, dtype=_np.int64)
+            self._capped = _np.zeros(16, dtype=_np.int64)
+        else:
+            self._filters = []
+        self._pending = []   # per lane: list of queued samples, in order
+        self._times = []     # per lane: matching observation times
+        self._histories = []  # per lane: output list for (t, estimate), or None
+        self._npending = 0
+
+    def __len__(self):
+        return self._n
+
+    # -- lanes ---------------------------------------------------------------
+
+    def add_lane(self, initial=None, history=None):
+        """Open a new lane; returns a :class:`LaneFilter` view of it.
+
+        ``initial`` seeds the lane like ``EwmaFilter(initial=...)``;
+        ``history``, if given, is a list that flushes append ``(t,
+        estimate)`` pairs to — the deferred twin of the eager history kept
+        by :class:`~repro.estimation.bandwidth.ConnectionEstimator`.
+        """
+        lane = self._n
+        self._n = lane + 1
+        if HAVE_NUMPY:
+            if lane == len(self._values):
+                grown = _np.full(2 * lane, _np.nan)
+                grown[:lane] = self._values
+                self._values = grown
+                self._updates = _np.concatenate(
+                    [self._updates, _np.zeros(lane, dtype=_np.int64)])
+                self._capped = _np.concatenate(
+                    [self._capped, _np.zeros(lane, dtype=_np.int64)])
+            if initial is not None:
+                self._values[lane] = initial
+        else:
+            self._filters.append(EwmaFilter(
+                self.gain, rise_cap=self.rise_cap,
+                rise_floor=self.rise_floor, initial=initial,
+            ))
+        self._pending.append([])
+        self._times.append([])
+        self._histories.append(history)
+        return LaneFilter(self, lane)
+
+    # -- updating ------------------------------------------------------------
+
+    def defer(self, lane, t, sample):
+        """Queue one sample for ``lane``; folded on the next flush.
+
+        Validation happens here, not at flush, so a bad sample raises at
+        the same moment the scalar filter would have raised.
+        """
+        if sample < 0:
+            raise ReproError(f"negative sample {sample!r}")
+        self._pending[lane].append(sample)
+        self._times[lane].append(t)
+        self._npending += 1
+        if self._npending >= _FLUSH_THRESHOLD:
+            self.flush()
+
+    def flush(self):
+        """Fold every queued sample, oldest first, one round per depth."""
+        while self._npending:
+            row = [queue.pop(0) if queue else None for queue in self._pending]
+            values = self.update(row)
+            for lane, sample in enumerate(row):
+                if sample is None:
+                    continue
+                self._npending -= 1
+                t = self._times[lane].pop(0)
+                history = self._histories[lane]
+                if history is not None:
+                    history.append((t, values[lane]))
+
+    def update(self, samples):
+        """One smoothing step for every lane, as a single array op.
+
+        ``samples`` is a sequence of length :meth:`__len__`; ``None`` (or
+        NaN) leaves that lane untouched.  Returns the per-lane values
+        after the step (``None`` for still-unprimed lanes).
+        """
+        if len(samples) != self._n:
+            raise ReproError(
+                f"expected {self._n} samples, got {len(samples)}")
+        if not HAVE_NUMPY:
+            out = []
+            for filt, sample in zip(self._filters, samples):
+                if sample is not None and sample == sample:  # not NaN
+                    filt.update(sample)
+                out.append(filt.value)
+            return out
+        s = _np.array([_np.nan if x is None else x for x in samples],
+                      dtype=_np.float64)
+        if bool((s < 0).any()):
+            raise ReproError("negative sample in batch")
+        v = self._values[:self._n]
+        live = ~_np.isnan(s)
+        primed = live & ~_np.isnan(v)
+        # Element-for-element the scalar Eq. 1 expression, one IEEE double
+        # op per term in the same order, so lanes match EwmaFilter bitwise.
+        candidate = self.gain * s + (1.0 - self.gain) * v
+        if self.rise_cap is not None:
+            base = _np.where(v > 0.0, v, _np.maximum(v, self.rise_floor))
+            ceiling = base * (1.0 + self.rise_cap)
+            over = primed & (candidate > ceiling)
+            candidate = _np.where(over, ceiling, candidate)
+            self._capped[:self._n][over] += 1
+        fresh = live & _np.isnan(v)
+        v[primed] = candidate[primed]
+        v[fresh] = s[fresh]
+        self._updates[:self._n] += live
+        return [None if _np.isnan(x) else float(x) for x in v]
+
+    # -- reading -------------------------------------------------------------
+
+    def value(self, lane):
+        """Lane's current value (``None`` before any sample); flushes."""
+        if self._npending:
+            self.flush()
+        if not HAVE_NUMPY:
+            return self._filters[lane].value
+        x = self._values[lane]
+        return None if _np.isnan(x) else float(x)
+
+    def lane_updates(self, lane):
+        """Samples absorbed by ``lane``; flushes."""
+        if self._npending:
+            self.flush()
+        if not HAVE_NUMPY:
+            return self._filters[lane].updates
+        return int(self._updates[lane])
+
+    def lane_capped_rises(self, lane):
+        """Updates where the rise cap clamped ``lane``; flushes."""
+        if self._npending:
+            self.flush()
+        if not HAVE_NUMPY:
+            return self._filters[lane].capped_rises
+        return int(self._capped[lane])
+
+    def values(self):
+        """Every lane's value, in lane order (``None`` = unprimed); flushes."""
+        if self._npending:
+            self.flush()
+        if not HAVE_NUMPY:
+            return [filt.value for filt in self._filters]
+        return [None if _np.isnan(x) else float(x)
+                for x in self._values[:self._n]]

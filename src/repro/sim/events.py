@@ -8,13 +8,21 @@ An :class:`Event` has a three-stage life cycle:
 
 Composite events (:class:`AnyOf`, :class:`AllOf`) let a process wait for the
 first or for all of several events, which the RPC layer uses for timeouts.
-"""
 
-from heapq import heappush
+Callback storage is tri-state to keep the per-event cost at zero
+allocations for the two commonest shapes: ``None`` (no callbacks yet), a
+bare callable (exactly one — every process switch), or a list (several).
+:data:`_PROCESSED` replaces the stored callbacks once the simulator has
+run them; a callback added after that point runs immediately.
+"""
 
 from repro.errors import SimulationError
 
 _PENDING = object()
+
+#: Sentinel stored in ``Event.callbacks`` once the event has been
+#: processed.  Distinct from ``None`` (= pending with no callbacks yet).
+_PROCESSED = object()
 
 
 class Event:
@@ -38,7 +46,7 @@ class Event:
     def __init__(self, sim, name=None):
         self.sim = sim
         self.name = name
-        self.callbacks = []
+        self.callbacks = None
         self._value = _PENDING
         self._ok = None
         self._defused = False
@@ -58,7 +66,7 @@ class Event:
     @property
     def processed(self):
         """True once callbacks have run (the simulator popped the event)."""
-        return self.callbacks is None
+        return self.callbacks is _PROCESSED
 
     @property
     def ok(self):
@@ -80,8 +88,7 @@ class Event:
             raise SimulationError(f"cannot schedule into the past (delay={delay!r})")
         self._ok = True
         self._value = value
-        sim = self.sim
-        heappush(sim._heap, (sim._now + delay, next(sim._sequence), self))
+        self.sim.schedule(self, delay)
         return self
 
     def fail(self, exception, delay=0.0):
@@ -99,8 +106,7 @@ class Event:
             raise SimulationError(f"cannot schedule into the past (delay={delay!r})")
         self._ok = False
         self._value = exception
-        sim = self.sim
-        heappush(sim._heap, (sim._now + delay, next(sim._sequence), self))
+        self.sim.schedule(self, delay)
         return self
 
     def defuse(self):
@@ -115,15 +121,24 @@ class Event:
         """
         callbacks = self.callbacks
         if callbacks is None:
+            self.callbacks = callback
+        elif callbacks is _PROCESSED:
             callback(self)
-        else:
+        elif type(callbacks) is list:
             callbacks.append(callback)
+        else:
+            self.callbacks = [callbacks, callback]
 
     def _process(self):
         """Run callbacks.  Called exactly once, by the simulator."""
-        callbacks, self.callbacks = self.callbacks, None
-        for callback in callbacks:
-            callback(self)
+        callbacks = self.callbacks
+        self.callbacks = _PROCESSED
+        if callbacks is not None:
+            if type(callbacks) is list:
+                for callback in callbacks:
+                    callback(self)
+            else:
+                callbacks(self)
         if not self._ok and not self._defused:
             raise self._value
 
@@ -135,28 +150,42 @@ class Timeout(Event):
     suspends the process for the given duration.
 
     This is the hottest allocation site in the kernel, so the constructor
-    inlines both ``Event.__init__`` and the enqueue: a timeout is born
-    triggered, and its label is derived lazily in ``repr`` instead of
-    formatting a string per instance.
+    writes only the slots a live timeout can be asked for: a timeout is
+    born triggered (``_ok`` true), never consults ``_defused`` (its
+    ``_process`` cannot raise), and derives its label lazily in ``repr``.
+    ``Simulator.timeout`` inlines this body — keep them in sync.
     """
 
     __slots__ = ("delay",)
+
+    #: Shadows the (never-written) ``name`` slot so generic code that
+    #: labels events keeps working on timeouts.
+    name = property(lambda self: None)
 
     def __init__(self, sim, delay, value=None):
         if delay < 0:
             raise SimulationError(f"negative timeout delay {delay!r}")
         self.sim = sim
-        self.name = None
-        self.callbacks = []
+        self.delay = delay
+        self.callbacks = None
         self._value = value
         self._ok = True
-        self._defused = False
-        self.delay = delay
-        heappush(sim._heap, (sim._now + delay, next(sim._sequence), self))
+        sim.schedule(self, delay)
 
     def __repr__(self):
-        state = "processed" if self.callbacks is None else "ok"
+        state = "processed" if self.callbacks is _PROCESSED else "ok"
         return f"<Timeout({self.delay:g}) {state} at t={self.sim.now:.6f}>"
+
+    def _process(self):
+        # A timeout cannot fail, so the failure re-raise check is dropped.
+        callbacks = self.callbacks
+        self.callbacks = _PROCESSED
+        if callbacks is not None:
+            if type(callbacks) is list:
+                for callback in callbacks:
+                    callback(self)
+            else:
+                callbacks(self)
 
 
 class _Condition(Event):

@@ -1,22 +1,30 @@
 """The simulator event loop.
 
-A :class:`Simulator` owns virtual time and a priority queue of triggered
-events.  ``run()`` pops events in (time, sequence) order and processes them;
-processing an event resumes any processes waiting on it.
+A :class:`Simulator` owns virtual time and a calendar queue of triggered
+events (:mod:`repro.sim.calqueue`).  ``run()`` pops events in (time,
+sequence) order and processes them; processing an event resumes any
+processes waiting on it.
 
 This module is the hot path under every figure in the paper — millions of
-events flow through ``run()`` per experiment — so the loop bodies inline
-the pop-advance-process step instead of dispatching through :meth:`step`,
-and scheduled calls carry their callback in slots instead of allocating a
-closure per call.
+events flow through ``run()`` per experiment — so the loop bodies drain
+the calendar queue's current bucket in place instead of dispatching
+through :meth:`step`, ``timeout()`` constructs its event without an extra
+``__init__`` frame, and scheduled calls carry their callback in slots
+instead of allocating a closure per call.  All scheduling funnels through
+:meth:`Simulator.schedule`, the one place an event meets the queue.
 """
 
-import itertools
-from heapq import heappop, heappush
+from bisect import insort
+from heapq import heappush
 
 from repro.errors import SimulationError
-from repro.sim.events import Event, Timeout
+from repro.sim.calqueue import MAX_BUCKETS, CalendarQueue
+from repro.sim.events import _PROCESSED, Event, Timeout
 from repro.sim.process import Process
+
+#: ``Timeout.__new__`` resolved once; a module global loads faster than a
+#: class-attribute lookup in the per-event allocation path.
+_timeout_new = Timeout.__new__
 
 
 class _ScheduledCall(Timeout):
@@ -30,15 +38,27 @@ class _ScheduledCall(Timeout):
     __slots__ = ("_fn", "_args")
 
     def __init__(self, sim, delay, fn, args):
-        Timeout.__init__(self, sim, delay)
+        # Slot writes mirror Timeout.__init__ (keep in sync) without the
+        # extra frame; ``delay`` is already validated by ``call_at``.
+        self.sim = sim
+        self.delay = delay
+        self.callbacks = None
+        self._value = None
+        self._ok = True
         self._fn = fn
         self._args = args
+        sim.schedule(self, delay)
 
     def _process(self):
-        callbacks, self.callbacks = self.callbacks, None
+        callbacks = self.callbacks
+        self.callbacks = _PROCESSED
         self._fn(*self._args)
-        for callback in callbacks:
-            callback(self)
+        if callbacks is not None:
+            if type(callbacks) is list:
+                for callback in callbacks:
+                    callback(self)
+            else:
+                callbacks(self)
 
 
 class Simulator:
@@ -57,12 +77,12 @@ class Simulator:
         assert sim.now == 1.5 and proc.value == "done"
     """
 
-    __slots__ = ("_now", "_heap", "_sequence")
+    __slots__ = ("_now", "_queue", "_seq")
 
     def __init__(self):
         self._now = 0.0
-        self._heap = []
-        self._sequence = itertools.count()
+        self._queue = CalendarQueue()
+        self._seq = 0
 
     @property
     def now(self):
@@ -76,8 +96,43 @@ class Simulator:
         return Event(self, name=name)
 
     def timeout(self, delay, value=None):
-        """Create an event that fires ``delay`` seconds from now."""
-        return Timeout(self, delay, value)
+        """Create an event that fires ``delay`` seconds from now.
+
+        This is the kernel's hottest path — one call per simulated event —
+        so the body writes the slots directly instead of running
+        ``Timeout.__init__`` (the two must stay field-for-field identical)
+        and inlines the queue push instead of calling :meth:`schedule`
+        (the push must stay in sync with ``schedule`` and
+        ``CalendarQueue.push``): each avoided call frame is measurable on
+        every workload.
+        """
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay {delay!r}")
+        event = _timeout_new(Timeout)
+        event.sim = self
+        event.delay = delay
+        event.callbacks = None
+        event._value = value
+        event._ok = True
+        seq = self._seq
+        self._seq = seq - 1
+        queue = self._queue
+        time = self._now + delay
+        idx = int(time * queue._inv)
+        cur = queue._cur
+        if idx > cur:
+            if idx - cur < queue._nb:
+                queue._buckets[idx & queue._mask].append((-time, seq, event, time))
+                queue._count += 1
+            else:
+                heappush(queue._over, (time, -seq, event))
+                if len(queue._over) > queue._nb and queue._nb < MAX_BUCKETS:
+                    queue._resize(queue._nb * 2)
+        elif queue._sorted:
+            insort(queue._buckets[cur & queue._mask], (-time, seq, event, time))
+        else:
+            queue._buckets[cur & queue._mask].append((-time, seq, event, time))
+        return event
 
     def process(self, generator, name=None):
         """Start a new :class:`Process` running ``generator``."""
@@ -85,11 +140,44 @@ class Simulator:
 
     # -- scheduling --------------------------------------------------------
 
-    def _enqueue(self, event, delay=0.0):
-        """Place a triggered event on the heap ``delay`` seconds from now."""
+    def schedule(self, event, delay=0.0):
+        """Queue a triggered ``event`` to be processed ``delay`` seconds on.
+
+        The scheduling entry point for every triggered event: ``succeed``,
+        ``fail``, and scheduled calls all land here, so ordering policy
+        (FIFO sequence tiebreak, via a down-counting sequence so negated
+        ring keys need no per-push negation) lives in one place —
+        :meth:`timeout` inlines this body for the same reason it inlines
+        the ``Timeout`` constructor.  Keep both in sync with
+        ``CalendarQueue.push``.
+        """
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past (delay={delay!r})")
-        heappush(self._heap, (self._now + delay, next(self._sequence), event))
+        seq = self._seq
+        self._seq = seq - 1
+        queue = self._queue
+        cur = queue._cur
+        if delay:
+            time = self._now + delay
+            idx = int(time * queue._inv)
+            if idx > cur:
+                if idx - cur < queue._nb:
+                    queue._buckets[idx & queue._mask].append(
+                        (-time, seq, event, time))
+                    queue._count += 1
+                else:
+                    heappush(queue._over, (time, -seq, event))
+                    if len(queue._over) > queue._nb and queue._nb < MAX_BUCKETS:
+                        queue._resize(queue._nb * 2)
+                return
+        else:
+            # Zero-delay events (every ``succeed``, every process tick)
+            # always land in the cursor's bucket; skip the index math.
+            time = self._now
+        if queue._sorted:
+            insort(queue._buckets[cur & queue._mask], (-time, seq, event, time))
+        else:
+            queue._buckets[cur & queue._mask].append((-time, seq, event, time))
 
     def call_at(self, when, callback, *args):
         """Run ``callback(*args)`` at absolute time ``when``.
@@ -109,16 +197,17 @@ class Simulator:
 
     def peek(self):
         """Time of the next event, or ``None`` if the queue is empty."""
-        return self._heap[0][0] if self._heap else None
+        head = self._queue.peek()
+        return None if head is None else head[0]
 
     def step(self):
         """Process exactly one event.
 
         Raises :class:`SimulationError` if the queue is empty.
         """
-        if not self._heap:
+        if not len(self._queue):
             raise SimulationError("step() on an empty event queue")
-        self._now, _, event = heappop(self._heap)
+        self._now, _, event = self._queue.pop()
         event._process()
 
     def run(self, until=None):
@@ -131,34 +220,105 @@ class Simulator:
           queued and ``now`` is left equal to ``until``);
         - an :class:`Event` — run until that event has been processed, and
           return its value.
+
+        The loops below drain the calendar queue's current bucket in place
+        (``queue._enter`` hands back the bucket, sorted on negated keys so
+        the earliest event is last) instead of calling ``pop`` per event:
+        ``bucket.pop()`` is one O(1) C call, zero-delay events scheduled
+        by callbacks insort into the live bucket, and — because the
+        queue's ``_count`` excludes the cursor's bucket — no counter is
+        touched per event, so a propagating callback exception leaves the
+        queue exactly consistent.  Exact ``Timeout`` and ``_ScheduledCall``
+        instances (the overwhelming majority of events; neither can fail)
+        have their tri-state callback dispatch inlined, saving the
+        ``_process`` frame; every other event type dispatches virtually.
         """
-        heap = self._heap
-        pop = heappop
+        queue = self._queue
         if until is None:
-            while heap:
-                self._now, _, event = pop(heap)
-                event._process()
-            return None
+            enter = queue._enter
+            timeout_cls, call_cls = Timeout, _ScheduledCall
+            while True:
+                bucket = enter()
+                if bucket is None:
+                    return None
+                pop = bucket.pop
+                while bucket:
+                    item = pop()
+                    self._now = item[3]
+                    event = item[2]
+                    if type(event) is timeout_cls:
+                        callbacks = event.callbacks
+                        event.callbacks = _PROCESSED
+                        if callbacks is not None:
+                            if type(callbacks) is list:
+                                for callback in callbacks:
+                                    callback(event)
+                            else:
+                                callbacks(event)
+                    elif type(event) is call_cls:
+                        callbacks = event.callbacks
+                        event.callbacks = _PROCESSED
+                        event._fn(*event._args)
+                        if callbacks is not None:
+                            if type(callbacks) is list:
+                                for callback in callbacks:
+                                    callback(event)
+                            else:
+                                callbacks(event)
+                    else:
+                        event._process()
         if isinstance(until, Event):
             return self._run_until_event(until)
         deadline = float(until)
         if deadline < self._now:
             raise SimulationError(f"run(until={deadline!r}) is in the past (now={self._now!r})")
-        while heap and heap[0][0] <= deadline:
-            self._now, _, event = pop(heap)
-            event._process()
+        neg_deadline = -deadline
+        enter = queue._enter
+        while True:
+            bucket = enter()
+            if bucket is None or bucket[-1][0] < neg_deadline:
+                break
+            while bucket:
+                item = bucket[-1]
+                if item[0] < neg_deadline:
+                    break
+                del bucket[-1]
+                self._now = item[3]
+                event = item[2]
+                if type(event) is Timeout:
+                    callbacks = event.callbacks
+                    event.callbacks = _PROCESSED
+                    if callbacks is not None:
+                        if type(callbacks) is list:
+                            for callback in callbacks:
+                                callback(event)
+                        else:
+                            callbacks(event)
+                elif type(event) is _ScheduledCall:
+                    callbacks = event.callbacks
+                    event.callbacks = _PROCESSED
+                    event._fn(*event._args)
+                    if callbacks is not None:
+                        if type(callbacks) is list:
+                            for callback in callbacks:
+                                callback(event)
+                        else:
+                            callbacks(event)
+                else:
+                    event._process()
         self._now = deadline
         return None
 
     def _run_until_event(self, event):
         done = []
         event.add_callback(done.append)
-        heap = self._heap
-        pop = heappop
+        pop = self._queue.pop
         while not done:
-            if not heap:
-                raise SimulationError(f"queue drained before {event!r} was processed")
-            self._now, _, popped = pop(heap)
+            try:
+                self._now, _, popped = pop()
+            except SimulationError:
+                raise SimulationError(
+                    f"queue drained before {event!r} was processed") from None
             popped._process()
         if not event.ok:
             event.defuse()

@@ -8,7 +8,7 @@ processes can wait on each other.
 """
 
 from repro.errors import ProcessInterrupt, SimulationError
-from repro.sim.events import _PENDING, Event
+from repro.sim.events import _PENDING, Event, Timeout
 
 
 class Process(Event):
@@ -34,12 +34,12 @@ class Process(Event):
         self._generator = generator
         self._waiting_on = None
         # Kick off on the next scheduler tick so construction order does not
-        # matter within a time step.  The start event carries a static name:
-        # servers spawn a process per request, so this runs per-RPC.
-        start = Event(sim, name="start")
+        # matter within a time step.  A zero-delay timeout is born triggered,
+        # so this allocates one slotted object and draws one sequence number
+        # — and servers spawn a process per request, so this runs per-RPC.
+        start = Timeout(sim, 0.0)
         self._waiting_on = start
         start.add_callback(self._resume)
-        start.succeed()
 
     @property
     def alive(self):
@@ -101,8 +101,9 @@ class Process(Event):
             self.fail(exc)
             return
         if target is None:
-            target = Event(self.sim, name="tick")
-            target.succeed()
+            # "Yield to the scheduler": a zero-delay timeout, the cheapest
+            # born-triggered event.
+            target = Timeout(self.sim, 0.0)
         if not isinstance(target, Event):
             self._step(throw=SimulationError(f"process yielded non-event {target!r}"))
             return

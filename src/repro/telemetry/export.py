@@ -25,6 +25,17 @@ def write_events_jsonl(events, path):
     return len(events)
 
 
+def write_recorder_jsonl(recorder, path):
+    """Drain a live recorder's trace to a JSONL file at ``path``.
+
+    Touching ``recorder.trace`` flushes the recorder's batch ring, so the
+    log contains every record buffered at call time.  Returns ``(count,
+    dropped)``: events written, and events the bounded trace shed.
+    """
+    trace = recorder.trace
+    return write_events_jsonl(trace.events(), path), trace.dropped
+
+
 # -- series bridges -----------------------------------------------------------
 
 def series_to_csv(series, header="time,value"):

@@ -129,6 +129,36 @@ def test_tolerance_scale_widens_every_band(baseline_doc):
         compare_metrics(slowed, baseline_doc, tolerance_scale=0.5)
 
 
+def test_only_filter_judges_named_metrics(baseline_doc):
+    # Regress only the RPC benchmark; a filter naming the event-loop
+    # metric alone must still pass, and one naming RPC must fail.
+    current = headline_metrics(run_report())
+    current["test_rpc_fetch_throughput.min_seconds"] *= SLOWDOWN
+    assert compare_metrics(
+        current, baseline_doc,
+        only=["test_event_loop_throughput.min_seconds"],
+    ).ok
+    report = compare_metrics(
+        current, baseline_doc,
+        only=["test_rpc_fetch_throughput.min_seconds"],
+    )
+    assert not report.ok
+    assert [c.metric for c in report.regressions] == [
+        "test_rpc_fetch_throughput.min_seconds"
+    ]
+
+
+def test_only_filter_rejects_unknown_names(baseline_doc):
+    # A typo in the CI gate's metric list must fail the gate loudly,
+    # never shrink it to a vacuous pass.
+    with pytest.raises(BenchmarkError):
+        compare_metrics(
+            headline_metrics(run_report()), baseline_doc,
+            only=["test_event_loop_throughput.min_seconds",
+                  "test_nonexistent.min_seconds"],
+        )
+
+
 def test_capture_rejects_sub_unity_tolerance():
     with pytest.raises(BenchmarkError):
         capture_baseline({"m": 1.0}, tolerance=0.9)

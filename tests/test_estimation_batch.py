@@ -1,0 +1,149 @@
+"""BatchedEstimator vs the scalar EwmaFilter: exact element-wise equality.
+
+The batched lanes must be **bit-identical** to scalar filters fed the
+same samples — every assertion here is ``==`` on floats, never approx —
+including the rise cap with its additive floor, unprimed-lane
+initialization, and the deferred (queue + flush) path the fleet shards
+use.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ReproError
+from repro.estimation.batch import HAVE_NUMPY, BatchedEstimator
+from repro.estimation.ewma import EwmaFilter
+
+# Samples spanning zero, sub-unity, and bandwidth-scale magnitudes so the
+# rise cap, the additive floor (value at 0), and plain smoothing all
+# exercise; None = "no sample for this lane this round".
+samples = st.one_of(
+    st.none(),
+    st.floats(min_value=0.0, max_value=1e9, allow_nan=False,
+              allow_infinity=False),
+)
+
+configs = st.fixed_dictionaries({
+    "gain": st.sampled_from([0.125, 0.5, 0.75, 0.875, 1.0]),
+    "rise_cap": st.one_of(st.none(),
+                          st.sampled_from([0.05, 0.1, 0.5, 2.0])),
+    "rise_floor": st.sampled_from([0.5, 1.0, 1024.0]),
+})
+
+
+def make_pair(config, lanes):
+    batch = BatchedEstimator(**config)
+    views = [batch.add_lane() for _ in range(lanes)]
+    scalars = [EwmaFilter(**config) for _ in range(lanes)]
+    return batch, views, scalars
+
+
+def assert_lanes_equal(views, scalars):
+    for view, scalar in zip(views, scalars):
+        assert view.value == scalar.value          # exact, not approx
+        assert view.primed == scalar.primed
+        assert view.updates == scalar.updates
+        assert view.capped_rises == scalar.capped_rises
+
+
+@settings(max_examples=200, deadline=None)
+@given(config=configs,
+       rounds=st.lists(st.lists(samples, min_size=4, max_size=4),
+                       min_size=1, max_size=30))
+def test_vectorized_rounds_match_scalar_filters(config, rounds):
+    batch, views, scalars = make_pair(config, lanes=4)
+    for row in rounds:
+        batch.update(row)
+        for scalar, sample in zip(scalars, row):
+            if sample is not None:
+                scalar.update(sample)
+        assert_lanes_equal(views, scalars)
+
+
+@settings(max_examples=100, deadline=None)
+@given(config=configs,
+       streams=st.lists(st.lists(st.floats(min_value=0.0, max_value=1e9,
+                                           allow_nan=False,
+                                           allow_infinity=False),
+                                 max_size=20),
+                        min_size=1, max_size=6),
+       read_every=st.integers(min_value=1, max_value=7))
+def test_deferred_lanes_match_scalar_filters(config, streams, read_every):
+    """The fleet path: defer per-lane, flush on read, histories included."""
+    batch = BatchedEstimator(**config)
+    histories = [[] for _ in streams]
+    views = [batch.add_lane(history=history) for history in histories]
+    scalars = [EwmaFilter(**config) for _ in streams]
+    expected = [[] for _ in streams]
+    step = 0
+    for lane, stream in enumerate(streams):
+        for t, sample in enumerate(stream):
+            views[lane].defer(float(t), sample)
+            expected[lane].append((float(t), scalars[lane].update(sample)))
+            step += 1
+            if step % read_every == 0:
+                assert_lanes_equal(views, scalars)  # reads force a flush
+    batch.flush()
+    assert_lanes_equal(views, scalars)
+    assert histories == expected  # same pairs, same order, exact floats
+
+
+def test_rise_cap_additive_floor_engages_from_zero():
+    # An estimate driven to 0 must recover capped at floor * (1 + cap),
+    # not jump to the first post-recovery sample (EwmaFilter's contract).
+    config = {"gain": 0.875, "rise_cap": 0.1, "rise_floor": 1.0}
+    batch, (view,), (scalar,) = make_pair(config, lanes=1)
+    for sample in [0.0, 0.0, 1e6, 1e6, 5.0, 1e6]:
+        batch.update([sample])
+        scalar.update(sample)
+        assert view.value == scalar.value
+    assert view.capped_rises == scalar.capped_rises > 0
+
+
+def test_initial_seed_matches_scalar():
+    batch = BatchedEstimator(gain=0.5)
+    view = batch.add_lane(initial=42.0)
+    scalar = EwmaFilter(0.5, initial=42.0)
+    assert view.value == scalar.value == 42.0
+    batch.update([10.0])
+    scalar.update(10.0)
+    assert view.value == scalar.value
+
+
+def test_eager_lane_update_returns_new_value():
+    batch = BatchedEstimator(gain=0.875)
+    view = batch.add_lane()
+    assert view.update(100.0) == 100.0
+    scalar = EwmaFilter(0.875, initial=100.0)
+    assert view.update(200.0) == scalar.update(200.0)
+
+
+def test_lane_growth_past_initial_capacity():
+    batch = BatchedEstimator(gain=0.5)
+    views = [batch.add_lane() for _ in range(40)]  # beyond the 16 seed slots
+    batch.update([float(i) for i in range(40)])
+    assert [v.value for v in views] == [float(i) for i in range(40)]
+
+
+def test_validation_matches_scalar_contract():
+    with pytest.raises(ReproError):
+        BatchedEstimator(gain=0.0)
+    with pytest.raises(ReproError):
+        BatchedEstimator(gain=0.5, rise_cap=-1.0)
+    with pytest.raises(ReproError):
+        BatchedEstimator(gain=0.5, rise_floor=0.0)
+    batch = BatchedEstimator(gain=0.5)
+    view = batch.add_lane()
+    with pytest.raises(ReproError):
+        view.defer(0.0, -1.0)  # raises at defer time, like scalar update
+    with pytest.raises(ReproError):
+        batch.update([-1.0])
+    with pytest.raises(ReproError):
+        batch.update([1.0, 2.0])  # wrong width
+
+
+def test_numpy_backend_is_active():
+    # The container ships numpy; if this starts failing the fleet path
+    # silently lost its vectorization — worth a loud signal.
+    assert HAVE_NUMPY

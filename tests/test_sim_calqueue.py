@@ -1,0 +1,157 @@
+"""CalendarQueue vs a heapq reference model: identical pop order, always.
+
+The calendar queue replaced the kernel's binary heap; every seeded run
+staying byte-identical rests on the two structures agreeing on full
+``(time, sequence)`` order — FIFO among duplicate timestamps included —
+through bucket wraps, overflow redistribution, ring growth and shrink,
+and zero-delay pushes into the bucket being drained.  The hypothesis
+suite drives both with the same interleaved operation sequences and
+asserts exact agreement at every step.
+"""
+
+import heapq
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SimulationError
+from repro.sim.calqueue import MIN_BUCKETS, CalendarQueue
+
+# Times mixing a continuum with a handful of magnet values so duplicate
+# timestamps (the FIFO tiebreak) occur constantly, plus bucket-boundary
+# multiples of the default width.
+times = st.one_of(
+    st.floats(min_value=0.0, max_value=50.0,
+              allow_nan=False, allow_infinity=False),
+    st.sampled_from([0.0, 0.05, 0.1, 1.0, 1.0, 2.5, 12.8, 12.8]),
+)
+
+operations = st.lists(
+    st.one_of(
+        st.tuples(st.just("push"), times),
+        st.tuples(st.just("pop"), st.just(0.0)),
+        st.tuples(st.just("peek"), st.just(0.0)),
+    ),
+    max_size=200,
+)
+
+# Geometries spanning the regimes: the kernel default; a ring so narrow
+# everything overflows and redistribution/growth carries the load; huge
+# buckets (everything lands in one, entry sort does the work); a
+# one-bucket ring (constructor rounds up to MIN_BUCKETS); a microscopic
+# width driving bucket indexes to ~5e7 so the horizon never covers the
+# workload without resizing.
+geometries = st.sampled_from([
+    (0.05, 256),
+    (0.001, 4),
+    (10.0, 4),
+    (0.05, 1),
+    (1e-6, 2),
+])
+
+
+@settings(max_examples=300, deadline=None)
+@given(geometry=geometries, ops=operations)
+def test_interleaved_ops_match_heap_reference(geometry, ops):
+    width, nbuckets = geometry
+    queue = CalendarQueue(width=width, nbuckets=nbuckets)
+    heap = []
+    seq = 0
+    for op, time in ops:
+        if op == "push":
+            queue.push(time, seq, f"item-{seq}")
+            heapq.heappush(heap, (time, seq, f"item-{seq}"))
+            seq += 1
+        elif op == "pop":
+            if heap:
+                assert queue.pop() == heapq.heappop(heap)
+            else:
+                with pytest.raises(SimulationError):
+                    queue.pop()
+        else:
+            assert queue.peek() == (heap[0] if heap else None)
+        assert len(queue) == len(heap)
+    while heap:
+        assert queue.pop() == heapq.heappop(heap)
+    assert queue.peek() is None
+    assert len(queue) == 0
+
+
+@settings(max_examples=100, deadline=None)
+@given(geometry=geometries,
+       batch=st.lists(times, min_size=1, max_size=100))
+def test_drain_order_is_global_sort(geometry, batch):
+    width, nbuckets = geometry
+    queue = CalendarQueue(width=width, nbuckets=nbuckets)
+    for seq, time in enumerate(batch):
+        queue.push(time, seq, seq)
+    drained = [queue.pop() for _ in range(len(batch))]
+    assert drained == sorted(drained)
+    assert drained == sorted(
+        (time, seq, seq) for seq, time in enumerate(batch))
+
+
+@settings(max_examples=100, deadline=None)
+@given(count=st.integers(min_value=1, max_value=200),
+       time=st.sampled_from([0.0, 0.05, 1.0, 40.0]))
+def test_duplicate_timestamps_pop_fifo(count, time):
+    queue = CalendarQueue()
+    for seq in range(count):
+        queue.push(time, seq, f"p{seq}")
+    assert [queue.pop()[2] for _ in range(count)] \
+        == [f"p{seq}" for seq in range(count)]
+
+
+def test_zero_delay_push_mid_drain_lands_in_live_bucket():
+    # The kernel's commonest pattern: a popped event's callback schedules
+    # at the *current* time, into the bucket being drained (sorted, so
+    # the insort path), and must pop before anything later.
+    queue = CalendarQueue()
+    for seq in range(3):
+        queue.push(1.0, seq, f"old{seq}")
+    queue.push(2.0, 3, "later")
+    assert queue.pop() == (1.0, 0, "old0")
+    queue.push(1.0, 4, "echo")     # zero-delay relative to the pop
+    queue.push(0.5, 5, "past")     # behind the cursor: clamped, key-ordered
+    assert [queue.pop() for _ in range(4)] == [
+        (0.5, 5, "past"), (1.0, 1, "old1"), (1.0, 2, "old2"),
+        (1.0, 4, "echo"),
+    ]
+    assert queue.pop() == (2.0, 3, "later")
+
+
+def test_overflow_growth_then_idle_shrink():
+    queue = CalendarQueue(width=0.05, nbuckets=4)
+    nb_before = queue._nb
+    # Far beyond a 4-bucket horizon: pressure doubles the ring.
+    for seq in range(64):
+        queue.push(100.0 + seq, seq, seq)
+    assert queue._nb > nb_before
+    assert len(queue) == 64
+    drained = [queue.pop() for _ in range(64)]
+    assert drained == sorted(drained) and len({s for _, s, _ in drained}) == 64
+    # Cursor-jump across idle time with a near-empty queue shrinks back.
+    queue.push(1e6, 64, "lone")
+    assert queue.pop() == (1e6, 64, "lone")
+    assert queue._nb >= MIN_BUCKETS
+
+
+def test_geometry_validation():
+    with pytest.raises(SimulationError):
+        CalendarQueue(width=0.0)
+    with pytest.raises(SimulationError):
+        CalendarQueue(nbuckets=0)
+    assert CalendarQueue(nbuckets=3)._nb == 4  # rounded up to a power of two
+
+
+def test_clear_keeps_geometry():
+    queue = CalendarQueue(width=0.05, nbuckets=4)
+    for seq in range(50):
+        queue.push(float(seq), seq, seq)
+    nb = queue._nb
+    queue.clear()
+    assert len(queue) == 0 and queue.peek() is None
+    assert queue._nb == nb
+    queue.push(0.25, 99, "fresh")
+    assert queue.pop() == (0.25, 99, "fresh")
